@@ -1,0 +1,36 @@
+//! Criterion micro-bench of the Figures 10/13 shape: per-query wall time
+//! as the number of query keywords varies (k fixed at 10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ir2_bench::{build_db, workload};
+use ir2_datagen::DatasetSpec;
+use ir2tree::Algorithm;
+
+fn bench_keywords(c: &mut Criterion) {
+    let spec = DatasetSpec::restaurants().scaled(10_000.0 / 456_288.0);
+    let bench = build_db(&spec, 8);
+    let mut group = c.benchmark_group("vary_keywords");
+    group.sample_size(20);
+    for kw in [1usize, 2, 3, 5] {
+        let queries = workload(&spec, 8, kw, 10);
+        for alg in Algorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(alg.label(), kw),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        let mut total = 0usize;
+                        for q in queries {
+                            total += bench.db.distance_first(alg, q).unwrap().results.len();
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_keywords);
+criterion_main!(benches);

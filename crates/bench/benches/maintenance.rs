@@ -1,0 +1,95 @@
+//! Criterion bench of the maintenance ablation (A1): per-insert cost of
+//! the IR²-Tree vs the MIR²-Tree (incremental OR-lift) vs the MIR²-Tree
+//! under the paper's literal recompute-from-objects rule.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ir2_datagen::DatasetSpec;
+use ir2tree::irtree::{insert_object, Ir2Payload, MirPayload};
+use ir2tree::model::{ObjPtr, ObjectSource, ObjectStore, SpatialObject};
+use ir2tree::rtree::{RTree, RTreeConfig};
+use ir2tree::sigfile::{MultiLevelScheme, SignatureScheme};
+use ir2tree::storage::MemDevice;
+
+const N: usize = 1_500;
+
+fn fixture() -> (Arc<ObjectStore<2, MemDevice>>, Vec<(ObjPtr, SpatialObject<2>)>) {
+    let spec = DatasetSpec::restaurants().scaled(N as f64 / 456_288.0);
+    let store = Arc::new(ObjectStore::<2, _>::create(MemDevice::new()));
+    let items: Vec<_> = spec
+        .generate()
+        .map(|o| (store.append(&o).unwrap(), o))
+        .collect();
+    store.flush().unwrap();
+    (store, items)
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let (store, items) = fixture();
+    let cfg = RTreeConfig::for_dims::<2>();
+    let schemes =
+        || MultiLevelScheme::new(8, 4, 1, cfg.max_entries, 14.0, 20_000);
+
+    let mut group = c.benchmark_group("maintenance_insert_all");
+    group.sample_size(10);
+
+    group.bench_function("ir2", |b| {
+        b.iter_batched(
+            || RTree::create(MemDevice::new(), cfg, Ir2Payload::new(SignatureScheme::from_bytes_len(8, 4, 1))).unwrap(),
+            |tree| {
+                for (p, o) in &items {
+                    insert_object(&tree, *p, o).unwrap();
+                }
+                tree.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("mir2_incremental", |b| {
+        b.iter_batched(
+            || {
+                RTree::create(
+                    MemDevice::new(),
+                    cfg,
+                    MirPayload::new(schemes(), Arc::clone(&store) as Arc<dyn ObjectSource<2>>),
+                )
+                .unwrap()
+            },
+            |tree| {
+                for (p, o) in &items {
+                    insert_object(&tree, *p, o).unwrap();
+                }
+                tree.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("mir2_strict_paper", |b| {
+        b.iter_batched(
+            || {
+                RTree::create(
+                    MemDevice::new(),
+                    cfg,
+                    MirPayload::new(schemes(), Arc::clone(&store) as Arc<dyn ObjectSource<2>>)
+                        .strict(),
+                )
+                .unwrap()
+            },
+            |tree| {
+                for (p, o) in &items {
+                    insert_object(&tree, *p, o).unwrap();
+                }
+                tree.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

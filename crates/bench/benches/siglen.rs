@@ -1,0 +1,36 @@
+//! Criterion micro-bench of the Figures 11/14 shape: IR²-/MIR²-Tree query
+//! time as the signature length varies (k = 10, 2 keywords).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ir2_bench::{build_db, workload};
+use ir2_datagen::DatasetSpec;
+use ir2tree::Algorithm;
+
+fn bench_siglen(c: &mut Criterion) {
+    let spec = DatasetSpec::restaurants().scaled(8_000.0 / 456_288.0);
+    let mut group = c.benchmark_group("vary_signature_length");
+    group.sample_size(15);
+    for sig_bytes in [2usize, 8, 32] {
+        let bench = build_db(&spec, sig_bytes);
+        let queries = workload(&spec, 8, 2, 10);
+        for alg in [Algorithm::Ir2, Algorithm::Mir2] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.label(), sig_bytes),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        let mut total = 0usize;
+                        for q in queries {
+                            total += bench.db.distance_first(alg, q).unwrap().results.len();
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_siglen);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion benches of the substrate hot paths: signature hashing and
+//! containment, incremental NN traversal, postings intersection, block
+//! device round trips, and Zipf sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ir2_datagen::{AliasTable, DatasetSpec};
+use ir2tree::geo::{Point, Rect};
+use ir2tree::invindex::InvertedIndex;
+use ir2tree::model::ObjPtr;
+use ir2tree::rtree::{RTree, RTreeConfig, UnitPayload};
+use ir2tree::sigfile::SignatureScheme;
+use ir2tree::storage::{BlockDevice, MemDevice, BLOCK_SIZE};
+use ir2tree::text::{tokenize, TermId, Vocabulary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_signatures(c: &mut Criterion) {
+    let scheme = SignatureScheme::from_bytes_len(64, 4, 7);
+    let words: Vec<String> = (0..14).map(|i| format!("word{i}")).collect();
+    let doc_sig = scheme.sign_terms(words.iter().map(String::as_str));
+    let probe = scheme.sign_term("word7");
+    let miss = scheme.sign_term("absent");
+
+    c.bench_function("signature/sign_14_terms", |b| {
+        b.iter(|| scheme.sign_terms(words.iter().map(String::as_str)))
+    });
+    c.bench_function("signature/containment_hit", |b| {
+        b.iter(|| doc_sig.contains(&probe))
+    });
+    c.bench_function("signature/containment_miss", |b| {
+        b.iter(|| doc_sig.contains(&miss))
+    });
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let tree = RTree::create(MemDevice::new(), RTreeConfig::for_dims::<2>(), UnitPayload).unwrap();
+    let items: Vec<_> = (0..20_000u64)
+        .map(|i| {
+            let p = Point::new([((i * 7919) % 10_000) as f64, ((i * 104_729) % 10_000) as f64]);
+            (i, Rect::from_point(p), vec![])
+        })
+        .collect();
+    tree.bulk_load(items).unwrap();
+    c.bench_function("rtree/nn_top10_of_20k", |b| {
+        b.iter(|| {
+            tree.nearest(Point::new([5000.0, 5000.0]))
+                .take(10)
+                .map(|r| r.unwrap().child)
+                .sum::<u64>()
+        })
+    });
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    // Build a small inverted index and intersect two real postings lists.
+    let spec = DatasetSpec::restaurants().scaled(5_000.0 / 456_288.0);
+    let mut vocab = Vocabulary::new();
+    let docs: Vec<(ObjPtr, Vec<TermId>)> = spec
+        .generate()
+        .enumerate()
+        .map(|(i, o)| {
+            let mut terms: Vec<String> = tokenize(&o.text).collect();
+            terms.sort_unstable();
+            terms.dedup();
+            vocab.add_document(terms.iter().map(String::as_str));
+            (
+                ObjPtr(i as u64),
+                terms.iter().map(|t| vocab.term_id(t).unwrap()).collect(),
+            )
+        })
+        .collect();
+    let idx = InvertedIndex::build(MemDevice::new(), &vocab, docs).unwrap();
+    let common = vocab.term_id(&spec.keyword_of_rank(2)).unwrap();
+    let rarer = vocab.term_id(&spec.keyword_of_rank(40)).unwrap();
+    c.bench_function("invindex/fetch_and_intersect", |b| {
+        b.iter(|| {
+            let a = idx.postings(common).unwrap();
+            let bl = idx.postings(rarer).unwrap();
+            (a.len(), bl.len())
+        })
+    });
+}
+
+fn bench_block_io(c: &mut Criterion) {
+    let dev = MemDevice::new();
+    dev.allocate(1024).unwrap();
+    let block = ir2tree::storage::zeroed_block();
+    let mut out = ir2tree::storage::zeroed_block();
+    c.bench_function("storage/block_write_read", |b| {
+        b.iter(|| {
+            dev.write_block(512, &block).unwrap();
+            dev.read_block(512, &mut out).unwrap();
+            out[0]
+        })
+    });
+    c.bench_function("storage/extent_read_4_blocks", |b| {
+        b.iter(|| ir2tree::storage::extent::read_extent(&dev, 100, 4).unwrap().len())
+    });
+    let _ = BLOCK_SIZE;
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let table = AliasTable::zipf(73_855, 1.0);
+    let mut rng = StdRng::seed_from_u64(9);
+    c.bench_function("datagen/zipf_sample", |b| b.iter(|| table.sample(&mut rng)));
+}
+
+criterion_group!(
+    benches,
+    bench_signatures,
+    bench_nn,
+    bench_intersection,
+    bench_block_io,
+    bench_sampling
+);
+criterion_main!(benches);

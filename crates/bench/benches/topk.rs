@@ -1,0 +1,38 @@
+//! Criterion micro-bench of the Figures 9/12 shape: per-query wall time of
+//! each algorithm as k varies, on a 10k-object Restaurants-like dataset.
+//! (The `experiments` binary reproduces the figures at full scale with
+//! simulated disk time; this bench tracks the CPU-side costs.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ir2_bench::{build_db, workload};
+use ir2_datagen::DatasetSpec;
+use ir2tree::Algorithm;
+
+fn bench_topk(c: &mut Criterion) {
+    let spec = DatasetSpec::restaurants().scaled(10_000.0 / 456_288.0);
+    let bench = build_db(&spec, 8);
+    let mut group = c.benchmark_group("distance_first_topk");
+    group.sample_size(20);
+    for k in [1usize, 10, 50] {
+        let queries = workload(&spec, 8, 2, k);
+        for alg in Algorithm::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(alg.label(), k),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        let mut total = 0usize;
+                        for q in queries {
+                            total += bench.db.distance_first(alg, q).unwrap().results.len();
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_topk);
+criterion_main!(benches);

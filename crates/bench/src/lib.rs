@@ -1,0 +1,178 @@
+#![warn(missing_docs)]
+//! Shared harness for the experiment reproduction (Section VI of the
+//! paper) — used by both the `experiments` binary and the Criterion
+//! benches.
+//!
+//! The harness builds a [`SpatialKeywordDb`] over a synthetic dataset
+//! matched to Table 1, generates deterministic query workloads (query
+//! points sampled from the data's own spatial distribution, keywords drawn
+//! from frequency bands of the Zipf vocabulary), runs each algorithm over
+//! the same workload, and aggregates the paper's metrics: simulated
+//! execution time, random and sequential block accesses, and object
+//! accesses.
+
+use ir2_datagen::DatasetSpec;
+use ir2tree::model::DistanceFirstQuery;
+use ir2tree::storage::MemDevice;
+use ir2tree::{Algorithm, DbConfig, DeviceSet, SpatialKeywordDb};
+
+/// A database built for benchmarking, with its generating spec.
+pub struct BenchDb {
+    /// The dataset specification the database was generated from.
+    pub spec: DatasetSpec,
+    /// The database under test.
+    pub db: SpatialKeywordDb<MemDevice>,
+}
+
+/// Builds a database over `spec` with the given leaf signature length.
+pub fn build_db(spec: &DatasetSpec, sig_bytes: usize) -> BenchDb {
+    let config = DbConfig {
+        sig_bytes,
+        ..DbConfig::default()
+    };
+    let db = SpatialKeywordDb::build(DeviceSet::in_memory(), spec.generate(), config)
+        .expect("benchmark database build");
+    BenchDb {
+        spec: spec.clone(),
+        db,
+    }
+}
+
+/// Samples `n` query points from the dataset's own object locations
+/// (queries land where the data lives, as user queries do).
+pub fn query_points(spec: &DatasetSpec, n: usize) -> Vec<[f64; 2]> {
+    let stride = (spec.num_objects / n.max(1)).max(1);
+    spec.generate()
+        .step_by(stride)
+        .take(n)
+        .map(|o| {
+            // Nudge off the exact object position so distance ties are rare.
+            [o.point.coord(0) + 0.01, o.point.coord(1) - 0.01]
+        })
+        .collect()
+}
+
+/// Deterministic keyword workload: query `qi` with `num_keywords` keywords
+/// drawn from the common band of the vocabulary (frequency ranks 5–125),
+/// mirroring the paper's use of real query words. Conjunctions of common
+/// words still have results; rarer ranks make queries more selective.
+pub fn query_keywords(spec: &DatasetSpec, num_keywords: usize, qi: usize) -> Vec<String> {
+    (0..num_keywords)
+        .map(|j| spec.keyword_of_rank(5 + (qi * 13 + j * 29) % 120))
+        .collect()
+}
+
+/// The full workload for one experiment point.
+pub fn workload(
+    spec: &DatasetSpec,
+    num_queries: usize,
+    num_keywords: usize,
+    k: usize,
+) -> Vec<DistanceFirstQuery<2>> {
+    query_points(spec, num_queries)
+        .into_iter()
+        .enumerate()
+        .map(|(qi, p)| DistanceFirstQuery::new(p, &query_keywords(spec, num_keywords, qi), k))
+        .collect()
+}
+
+/// Aggregated metrics over a workload — the columns of the paper's figures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Measurement {
+    /// Mean simulated execution time (ms) under the disk cost model.
+    pub time_ms: f64,
+    /// Mean random block accesses.
+    pub random: f64,
+    /// Mean sequential block accesses.
+    pub sequential: f64,
+    /// Mean object accesses.
+    pub object_loads: f64,
+    /// Mean wall-clock time of the in-memory run (ms).
+    pub wall_ms: f64,
+    /// Mean number of results returned.
+    pub results: f64,
+}
+
+/// Runs every query of `queries` with `alg` and averages the metrics.
+pub fn run_distance_first(
+    bench: &BenchDb,
+    alg: Algorithm,
+    queries: &[DistanceFirstQuery<2>],
+) -> Measurement {
+    let mut m = Measurement::default();
+    for q in queries {
+        let rep = bench.db.distance_first(alg, q).expect("query");
+        m.time_ms += rep.simulated.as_secs_f64() * 1e3;
+        m.random += rep.io.random() as f64;
+        m.sequential += rep.io.sequential() as f64;
+        m.object_loads += rep.object_loads as f64;
+        m.wall_ms += rep.wall.as_secs_f64() * 1e3;
+        m.results += rep.results.len() as f64;
+    }
+    let n = queries.len().max(1) as f64;
+    m.time_ms /= n;
+    m.random /= n;
+    m.sequential /= n;
+    m.object_loads /= n;
+    m.wall_ms /= n;
+    m.results /= n;
+    m
+}
+
+/// Pretty-prints a figure-style table: one row per x-axis value, one column
+/// group per algorithm.
+pub fn print_table(
+    title: &str,
+    x_label: &str,
+    rows: &[(String, Vec<(Algorithm, Measurement)>)],
+    metric: fn(&Measurement) -> f64,
+    unit: &str,
+) {
+    println!("\n### {title} ({unit})\n");
+    print!("{x_label:>10} |");
+    if let Some((_, cols)) = rows.first() {
+        for (alg, _) in cols {
+            print!(" {:>12}", alg.label());
+        }
+    }
+    println!();
+    println!(
+        "{}",
+        "-".repeat(12 + rows.first().map_or(0, |(_, c)| c.len() * 13))
+    );
+    for (x, cols) in rows {
+        print!("{x:>10} |");
+        for (_, m) in cols {
+            print!(" {:>12.1}", metric(m));
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_sized() {
+        let spec = DatasetSpec::restaurants().scaled(0.005);
+        let w1 = workload(&spec, 10, 2, 5);
+        let w2 = workload(&spec, 10, 2, 5);
+        assert_eq!(w1.len(), 10);
+        assert_eq!(w1, w2);
+        for q in &w1 {
+            assert_eq!(q.keywords.len(), 2);
+            assert_eq!(q.k, 5);
+        }
+    }
+
+    #[test]
+    fn harness_round_trip() {
+        let spec = DatasetSpec::restaurants().scaled(0.002);
+        let bench = build_db(&spec, 8);
+        let queries = workload(&spec, 5, 2, 5);
+        let m = run_distance_first(&bench, Algorithm::Ir2, &queries);
+        assert!(m.random > 0.0);
+        assert!(m.time_ms > 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal flag parsing (no external dependencies, like the rest of the
+//! workspace).
+
+use std::collections::HashMap;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+ir2 — keyword search on spatial databases (IR²-Tree, ICDE 2008)
+
+USAGE:
+  ir2 generate --preset <hotels|restaurants> [--count N] [--seed S] --out FILE.tsv
+  ir2 build    --tsv FILE.tsv --db DIR [--sig-bytes N] [--capacity N] [--incremental]
+  ir2 query    --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N]
+               [--alg <rtree|iio|ir2|mir2>] [--area LAT1,LON1,LAT2,LON2]
+  ir2 ranked   --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N] [--dist-weight W]
+  ir2 stats    --db DIR
+
+Databases are directories of 4096-byte block-device files; every query
+reports its (simulated) disk I/O alongside the results.";
+
+/// Parsed `--flag value` pairs.
+pub struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `--key value` pairs and bare `--switch`es.
+    pub fn parse(args: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut switches = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument `{arg}`"));
+            };
+            match it.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    values.insert(key.to_owned(), it.next().expect("peeked").clone());
+                }
+                _ => switches.push(key.to_owned()),
+            }
+        }
+        Ok(Self { values, switches })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(key) {
+            Some(v) => v.parse().map_err(|e| format!("bad --{key}: {e}")),
+            None => Ok(default),
+        }
+    }
+
+    /// True if the bare switch was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+/// Parses "lat,lon" into a coordinate pair.
+pub fn parse_point(s: &str) -> Result<[f64; 2], String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 2 {
+        return Err(format!("expected LAT,LON, got `{s}`"));
+    }
+    let lat = parts[0].trim().parse().map_err(|e| format!("bad latitude: {e}"))?;
+    let lon = parts[1].trim().parse().map_err(|e| format!("bad longitude: {e}"))?;
+    Ok([lat, lon])
+}
+
+/// Parses "lat1,lon1,lat2,lon2" into rectangle corners.
+pub fn parse_area(s: &str) -> Result<([f64; 2], [f64; 2]), String> {
+    let parts: Vec<&str> = s.split(',').collect();
+    if parts.len() != 4 {
+        return Err(format!("expected LAT1,LON1,LAT2,LON2, got `{s}`"));
+    }
+    let mut v = [0.0f64; 4];
+    for (slot, p) in v.iter_mut().zip(&parts) {
+        *slot = p.trim().parse().map_err(|e| format!("bad coordinate: {e}"))?;
+    }
+    Ok(([v[0], v[1]], [v[2], v[3]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let f = Flags::parse(&args(&["--db", "dir", "--k", "5", "--incremental"])).unwrap();
+        assert_eq!(f.required("db").unwrap(), "dir");
+        assert_eq!(f.get_or("k", 10usize).unwrap(), 5);
+        assert!(f.switch("incremental"));
+        assert!(!f.switch("verbose"));
+        assert!(f.required("missing").is_err());
+        assert_eq!(f.get_or("absent", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_positional_args() {
+        assert!(Flags::parse(&args(&["stray"])).is_err());
+    }
+
+    #[test]
+    fn point_and_area_parsing() {
+        assert_eq!(parse_point("25.7, -80.1").unwrap(), [25.7, -80.1]);
+        assert!(parse_point("1,2,3").is_err());
+        assert!(parse_point("abc,1").is_err());
+        let (lo, hi) = parse_area("1,2,3,4").unwrap();
+        assert_eq!((lo, hi), ([1.0, 2.0], [3.0, 4.0]));
+        assert!(parse_area("1,2,3").is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Command implementations.
+
+use std::io::{BufReader, BufWriter, Write};
+
+use ir2_datagen::DatasetSpec;
+use ir2tree::geo::{Point, Rect};
+use ir2tree::irtree::GeneralQuery;
+use ir2tree::model::{tsv, DistanceFirstQuery, QueryRegion};
+use ir2tree::storage::FileDevice;
+use ir2tree::text::{LinearRank, SaturatingTfIdf};
+use ir2tree::{Algorithm, DbConfig, DeviceSet, IndexSizes, QueryReport, SpatialKeywordDb};
+
+use crate::args::{parse_area, parse_point, Flags};
+
+type CliResult = Result<(), String>;
+
+/// `writeln!` with the io error mapped into the CLI error type.
+macro_rules! say {
+    ($out:expr, $($arg:tt)*) => {
+        writeln!($out, $($arg)*).map_err(io_err)?
+    };
+}
+
+fn io_err(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+/// `ir2 generate` — synthesize a TSV dataset from a Table-1 preset.
+pub fn generate(args: &[String], out: &mut impl Write) -> CliResult {
+    let f = Flags::parse(args)?;
+    let preset = f.required("preset")?;
+    let out_path = f.required("out")?;
+    let mut spec = match preset {
+        "hotels" => DatasetSpec::hotels(),
+        "restaurants" => DatasetSpec::restaurants(),
+        other => return Err(format!("unknown preset `{other}` (hotels|restaurants)")),
+    };
+    let count: usize = f.get_or("count", spec.num_objects)?;
+    spec.num_objects = count;
+    spec.seed = f.get_or("seed", spec.seed)?;
+
+    let file = std::fs::File::create(out_path).map_err(io_err)?;
+    let mut w = BufWriter::new(file);
+    let objs: Vec<_> = spec.generate().collect();
+    tsv::write_tsv(&mut w, &objs).map_err(io_err)?;
+    say!(out, "wrote {count} {preset} objects to {out_path}");
+    Ok(())
+}
+
+fn db_config(f: &Flags) -> Result<DbConfig, String> {
+    let mut config = DbConfig {
+        sig_bytes: f.get_or("sig-bytes", 16usize)?,
+        seed: f.get_or("seed", DbConfig::default().seed)?,
+        ..DbConfig::default()
+    };
+    if let Some(cap) = f.optional("capacity") {
+        config.capacity = Some(cap.parse().map_err(|e| format!("bad --capacity: {e}"))?);
+    }
+    if f.switch("incremental") {
+        config.bulk_load = false;
+    }
+    Ok(config)
+}
+
+/// `ir2 build` — import a TSV file into a new on-disk database directory.
+pub fn build(args: &[String], out: &mut impl Write) -> CliResult {
+    let f = Flags::parse(args)?;
+    let tsv_path = f.required("tsv")?;
+    let db_dir = f.required("db")?;
+    let config = db_config(&f)?;
+
+    let file = std::fs::File::open(tsv_path).map_err(io_err)?;
+    let objects = tsv::read_tsv::<2, _>(BufReader::new(file))
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(io_err)?;
+    let n = objects.len();
+
+    let t0 = std::time::Instant::now();
+    let devices = DeviceSet::create_in_dir(db_dir).map_err(io_err)?;
+    let db = SpatialKeywordDb::build(devices, objects, config).map_err(io_err)?;
+    say!(out, 
+        "built {n} objects into {db_dir} in {:.1}s (vocabulary: {} words)",
+        t0.elapsed().as_secs_f64(),
+        db.build_stats().unique_words
+    );
+    print_sizes(out, &db.index_sizes())?;
+    Ok(())
+}
+
+fn open_db(f: &Flags) -> Result<SpatialKeywordDb<FileDevice>, String> {
+    let dir = f.required("db")?;
+    let devices = DeviceSet::open_dir(dir).map_err(io_err)?;
+    SpatialKeywordDb::open(devices).map_err(io_err)
+}
+
+fn keywords_of(f: &Flags) -> Result<Vec<String>, String> {
+    Ok(f.required("keywords")?
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect())
+}
+
+fn print_report(out: &mut impl Write, report: &QueryReport) -> CliResult {
+    for (obj, dist) in &report.results {
+        let preview: String = obj.text.chars().take(60).collect();
+        say!(out, "  #{:<8} {:>10.4}  {preview}", obj.id, dist);
+    }
+    if report.results.is_empty() {
+        say!(out, "  (no results)");
+    }
+    say!(out, 
+        "  [{} random + {} sequential block accesses, {} object loads, {:.1} ms simulated disk time]",
+        report.io.random(),
+        report.io.sequential(),
+        report.object_loads,
+        report.simulated.as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+/// `ir2 query` — distance-first top-k (point- or area-anchored).
+pub fn query(args: &[String], out: &mut impl Write) -> CliResult {
+    let f = Flags::parse(args)?;
+    let db = open_db(&f)?;
+    let keywords = keywords_of(&f)?;
+    let k: usize = f.get_or("k", 10)?;
+    let alg = match f.optional("alg").unwrap_or("ir2") {
+        "rtree" => Algorithm::RTree,
+        "iio" => Algorithm::Iio,
+        "ir2" => Algorithm::Ir2,
+        "mir2" => Algorithm::Mir2,
+        other => return Err(format!("unknown algorithm `{other}` (rtree|iio|ir2|mir2)")),
+    };
+
+    let report = if let Some(area) = f.optional("area") {
+        let (a, b) = parse_area(area)?;
+        let region: QueryRegion<2> =
+            Rect::from_corners(Point::new(a), Point::new(b)).into();
+        say!(out, "top-{k} {keywords:?} in/near area {a:?}..{b:?} via {}:", alg.label());
+        db.distance_first_region(alg, region, &keywords, k)
+            .map_err(io_err)?
+    } else {
+        let at = parse_point(f.required("at")?)?;
+        say!(out, "top-{k} {keywords:?} near {at:?} via {}:", alg.label());
+        let q = DistanceFirstQuery::new(at, &keywords, k);
+        db.distance_first(alg, &q).map_err(io_err)?
+    };
+    print_report(out, &report)?;
+    Ok(())
+}
+
+/// `ir2 ranked` — general top-k by f(distance, IRscore) on the IR²-Tree.
+pub fn ranked(args: &[String], out: &mut impl Write) -> CliResult {
+    let f = Flags::parse(args)?;
+    let db = open_db(&f)?;
+    let keywords = keywords_of(&f)?;
+    let k: usize = f.get_or("k", 10)?;
+    let at = parse_point(f.required("at")?)?;
+    let dist_weight: f64 = f.get_or("dist-weight", 0.05)?;
+
+    let q = GeneralQuery::new(at, &keywords, k);
+    let rank = LinearRank {
+        ir_weight: 1.0,
+        dist_weight,
+    };
+    let report = db
+        .general_ranked(Algorithm::Ir2, &q, &SaturatingTfIdf, &rank)
+        .map_err(io_err)?;
+    say!(out, "ranked top-{k} {keywords:?} near {at:?} (relevance − {dist_weight}·distance):");
+    for r in &report.results {
+        let preview: String = r.object.text.chars().take(50).collect();
+        say!(out, 
+            "  #{:<8} score {:>7.3} (dist {:>8.3}, rel {:>5.2})  {preview}",
+            r.object.id, r.score, r.distance, r.ir_score
+        );
+    }
+    if report.results.is_empty() {
+        say!(out, "  (no results)");
+    }
+    say!(out, 
+        "  [{} random + {} sequential block accesses, {:.1} ms simulated]",
+        report.io.random(),
+        report.io.sequential(),
+        report.simulated.as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+/// `ir2 stats` — Table-1/Table-2 style report for a database directory.
+pub fn stats(args: &[String], out: &mut impl Write) -> CliResult {
+    let f = Flags::parse(args)?;
+    let db = open_db(&f)?;
+    let s = db.build_stats();
+    say!(out, "objects:            {}", s.objects);
+    say!(out, "avg words/object:   {:.1}", s.avg_unique_words);
+    say!(out, "vocabulary:         {}", s.unique_words);
+    say!(out, "object file:        {:.1} MB", s.object_file_bytes as f64 / 1_048_576.0);
+    say!(out, "avg blocks/object:  {:.2}", s.avg_blocks_per_object);
+    say!(out, "tree fanout:        {}", db.tree_config().max_entries);
+    print_sizes(out, &db.index_sizes())?;
+    Ok(())
+}
+
+fn print_sizes(out: &mut impl Write, sizes: &ir2tree::IndexSizes) -> CliResult {
+    say!(out, "index sizes (MB):");
+    say!(out, "  inverted index:   {:.1}", IndexSizes::mb(sizes.iio));
+    say!(out, "  R-Tree:           {:.1}", IndexSizes::mb(sizes.rtree));
+    say!(out, "  IR2-Tree:         {:.1}", IndexSizes::mb(sizes.ir2));
+    say!(out, "  MIR2-Tree:        {:.1}", IndexSizes::mb(sizes.mir2));
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! `ir2` — command-line spatial keyword search.
+//!
+//! ```text
+//! ir2 generate --preset restaurants --count 10000 --out pois.tsv
+//! ir2 build --tsv pois.tsv --db ./mydb [--sig-bytes 8] [--capacity 102]
+//! ir2 query --db ./mydb --at 25.77,-80.19 --keywords "cafe wifi" [--k 10] [--alg ir2]
+//! ir2 ranked --db ./mydb --at 25.77,-80.19 --keywords "cafe wifi" [--k 10]
+//! ir2 stats --db ./mydb
+//! ```
+//!
+//! Databases are directories of block-device files (see
+//! `DeviceSet::create_in_dir`); every query prints its results *and* its
+//! simulated disk I/O, like the paper's experiments.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", args::USAGE);
+        return ExitCode::FAILURE;
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let result = match cmd.as_str() {
+        "generate" => commands::generate(rest, &mut out),
+        "build" => commands::build(rest, &mut out),
+        "query" => commands::query(rest, &mut out),
+        "ranked" => commands::ranked(rest, &mut out),
+        "stats" => commands::stats(rest, &mut out),
+        "help" | "--help" | "-h" => {
+            println!("{}", args::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", args::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        // A closed pipe (e.g. `ir2 stats | head`) is not an error.
+        Err(e) if e.contains("Broken pipe") => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! End-to-end tests of the `ir2` binary: generate → build → query/stats,
+//! driven through the real executable.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn ir2(dir: &std::path::Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_ir2"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("spawn ir2")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ir2-cli-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_pipeline() {
+    let dir = workdir("pipeline");
+    let gen = ir2(
+        &dir,
+        &["generate", "--preset", "restaurants", "--count", "800", "--out", "pois.tsv"],
+    );
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    assert!(dir.join("pois.tsv").exists());
+
+    let build = ir2(
+        &dir,
+        &["build", "--tsv", "pois.tsv", "--db", "db", "--sig-bytes", "8"],
+    );
+    assert!(build.status.success(), "{}", String::from_utf8_lossy(&build.stderr));
+    assert!(stdout(&build).contains("built 800 objects"));
+
+    let stats = ir2(&dir, &["stats", "--db", "db"]);
+    assert!(stats.status.success());
+    let s = stdout(&stats);
+    assert!(s.contains("objects:            800"), "{s}");
+    assert!(s.contains("index sizes"));
+
+    // Query with every algorithm; all must succeed and report I/O.
+    for alg in ["rtree", "iio", "ir2", "mir2"] {
+        let q = ir2(
+            &dir,
+            &[
+                "query", "--db", "db", "--at", "0,0", "--keywords", "ba", "--k", "3", "--alg", alg,
+            ],
+        );
+        assert!(q.status.success(), "{alg}: {}", String::from_utf8_lossy(&q.stderr));
+        assert!(stdout(&q).contains("block accesses"), "{alg}");
+    }
+
+    // Area query and ranked query.
+    let area = ir2(
+        &dir,
+        &["query", "--db", "db", "--area", "-20,-20,20,20", "--keywords", "ba", "--k", "2"],
+    );
+    assert!(area.status.success());
+    let ranked = ir2(
+        &dir,
+        &["ranked", "--db", "db", "--at", "0,0", "--keywords", "ba ce", "--k", "3"],
+    );
+    assert!(ranked.status.success());
+    assert!(stdout(&ranked).contains("score"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn helpful_errors() {
+    let dir = workdir("errors");
+    // Unknown command.
+    let bad = ir2(&dir, &["frobnicate"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown command"));
+
+    // Missing required flag.
+    let q = ir2(&dir, &["query", "--at", "0,0", "--keywords", "x"]);
+    assert!(!q.status.success());
+    assert!(String::from_utf8_lossy(&q.stderr).contains("--db"));
+
+    // Nonexistent database directory.
+    let q = ir2(&dir, &["stats", "--db", "nope"]);
+    assert!(!q.status.success());
+
+    // Bad algorithm name.
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn help_prints_usage() {
+    let dir = workdir("help");
+    let h = ir2(&dir, &["help"]);
+    assert!(h.status.success());
+    assert!(stdout(&h).contains("USAGE"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

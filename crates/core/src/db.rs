@@ -1,0 +1,874 @@
+//! The database facade: one object file, four index structures, measured
+//! queries — the paper's experimental apparatus as a library.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ir2_geo::Rect;
+use ir2_invindex::{iio_topk, InvertedIndex};
+use ir2_irtree::{
+    distance_first_topk, general_topk, insert_object, rtree_baseline_topk, GeneralQuery,
+    Ir2Payload, MirPayload, SearchCounters,
+};
+use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectSource, ObjectStore, SpatialObject};
+use ir2_rtree::{RTree, RTreeConfig, UnitPayload};
+use ir2_sigfile::{MultiLevelScheme, SignatureScheme};
+use ir2_storage::{
+    BlockDevice, FileDevice, IoSnapshot, IoStats, MemDevice, Result, StorageError, TrackedDevice,
+    BLOCK_SIZE,
+};
+
+/// Magic prefix of the catalog extent.
+const CATALOG_MAGIC: &[u8; 4] = b"IR2C";
+use ir2_text::{tokenize, IrScorer, RankingFn, TermId, Vocabulary};
+
+use crate::{Algorithm, BatchReport, BuildStats, DbConfig, GeneralReport, IndexSizes, QueryReport};
+
+/// One block device per structure (so sizes and I/O are attributable), plus
+/// a catalog device holding the cross-structure metadata.
+pub struct DeviceSet<D> {
+    /// Device of the object file.
+    pub objects: D,
+    /// Device of the plain R-Tree.
+    pub rtree: D,
+    /// Device of the IR²-Tree.
+    pub ir2: D,
+    /// Device of the MIR²-Tree.
+    pub mir2: D,
+    /// Device of the inverted index.
+    pub inverted: D,
+    /// Device of the catalog (config, vocabulary, dictionaries).
+    pub catalog: D,
+}
+
+impl DeviceSet<MemDevice> {
+    /// A volatile set for experiments and tests.
+    pub fn in_memory() -> Self {
+        Self {
+            objects: MemDevice::new(),
+            rtree: MemDevice::new(),
+            ir2: MemDevice::new(),
+            mir2: MemDevice::new(),
+            inverted: MemDevice::new(),
+            catalog: MemDevice::new(),
+        }
+    }
+}
+
+impl DeviceSet<FileDevice> {
+    const FILES: [&'static str; 6] = [
+        "objects.blocks",
+        "rtree.blocks",
+        "ir2.blocks",
+        "mir2.blocks",
+        "inverted.blocks",
+        "catalog.blocks",
+    ];
+
+    /// Creates (truncating) the device files in `dir`.
+    pub fn create_in_dir<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut f = Self::FILES.iter().map(|n| FileDevice::create(dir.join(n)));
+        Ok(Self {
+            objects: f.next().expect("six files")?,
+            rtree: f.next().expect("six files")?,
+            ir2: f.next().expect("six files")?,
+            mir2: f.next().expect("six files")?,
+            inverted: f.next().expect("six files")?,
+            catalog: f.next().expect("six files")?,
+        })
+    }
+
+    /// Opens previously created device files in `dir`.
+    pub fn open_dir<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        let dir = dir.as_ref();
+        let mut f = Self::FILES.iter().map(|n| FileDevice::open(dir.join(n)));
+        Ok(Self {
+            objects: f.next().expect("six files")?,
+            rtree: f.next().expect("six files")?,
+            ir2: f.next().expect("six files")?,
+            mir2: f.next().expect("six files")?,
+            inverted: f.next().expect("six files")?,
+            catalog: f.next().expect("six files")?,
+        })
+    }
+}
+
+struct IoHandles {
+    objects: Arc<IoStats>,
+    rtree: Arc<IoStats>,
+    ir2: Arc<IoStats>,
+    mir2: Arc<IoStats>,
+    inverted: Arc<IoStats>,
+}
+
+/// A spatial keyword database: the object file plus all four access
+/// methods of the paper's evaluation, instrumented for I/O accounting.
+///
+/// Built once over a collection of objects (bulk-loaded by default),
+/// queried by any [`Algorithm`], and maintainable through
+/// [`insert`](SpatialKeywordDb::insert) / [`delete`](SpatialKeywordDb::delete)
+/// on the tree structures.
+pub struct SpatialKeywordDb<D: BlockDevice + 'static> {
+    config: DbConfig,
+    tree_cfg: RTreeConfig,
+    vocab: Vocabulary,
+    avg_words: f64,
+    objects: Arc<ObjectStore<2, TrackedDevice<D>>>,
+    rtree: RTree<2, TrackedDevice<D>, UnitPayload>,
+    ir2: RTree<2, TrackedDevice<D>, Ir2Payload>,
+    mir2: RTree<2, TrackedDevice<D>, MirPayload<2>>,
+    inverted: InvertedIndex<TrackedDevice<D>>,
+    catalog: D,
+    io: IoHandles,
+    build_stats: BuildStats,
+}
+
+impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
+    /// Builds the database: appends every object to the object file,
+    /// derives the vocabulary, and constructs all four index structures.
+    pub fn build(
+        devices: DeviceSet<D>,
+        objects: impl IntoIterator<Item = SpatialObject<2>>,
+        config: DbConfig,
+    ) -> Result<Self> {
+        let t0 = Instant::now();
+        let obj_dev = TrackedDevice::new(devices.objects);
+        let io = IoHandles {
+            objects: obj_dev.stats(),
+            rtree: Arc::new(IoStats::new()),
+            ir2: Arc::new(IoStats::new()),
+            mir2: Arc::new(IoStats::new()),
+            inverted: Arc::new(IoStats::new()),
+        };
+        let store = Arc::new(ObjectStore::<2, _>::create(obj_dev));
+
+        // Pass 1: append objects, build the vocabulary, keep per-object
+        // metadata (pointer, point, distinct term ids) for index builds.
+        let mut vocab = Vocabulary::new();
+        let mut meta: Vec<(ObjPtr, ir2_geo::Point<2>, Vec<TermId>)> = Vec::new();
+        let mut distinct_total = 0u64;
+        let mut blocks_total = 0u64;
+        for obj in objects {
+            let encoded_len = 8 + 32 + obj.text.len() as u64; // id + point + text
+            let ptr = store.append(&obj)?;
+            let end = ptr.0 + 4 + encoded_len;
+            blocks_total += end.div_ceil(BLOCK_SIZE as u64) - ptr.0 / BLOCK_SIZE as u64;
+            let mut terms: Vec<String> = tokenize(&obj.text).collect();
+            terms.sort_unstable();
+            terms.dedup();
+            vocab.add_document(terms.iter().map(String::as_str));
+            let ids: Vec<TermId> = terms
+                .iter()
+                .map(|t| vocab.term_id(t).expect("just interned"))
+                .collect();
+            distinct_total += ids.len() as u64;
+            meta.push((ptr, obj.point, ids));
+        }
+        store.flush()?;
+        let n = meta.len() as u64;
+        if n == 0 {
+            return Err(StorageError::Corrupt("cannot build an empty database".into()));
+        }
+        let avg_words = config
+            .avg_words_hint
+            .unwrap_or(distinct_total as f64 / n as f64);
+
+        // Index structures.
+        let tree_cfg = match config.capacity {
+            Some(c) => RTreeConfig::with_max(c),
+            None => RTreeConfig::for_dims::<2>(),
+        };
+        let ir2_scheme = SignatureScheme::from_bytes_len(config.sig_bytes, config.sig_k, config.seed);
+        let mir_schemes = MultiLevelScheme::new(
+            config.sig_bytes,
+            config.sig_k,
+            config.seed,
+            tree_cfg.max_entries,
+            avg_words,
+            vocab.len(),
+        );
+        let mut mir_payload = MirPayload::new(
+            mir_schemes,
+            Arc::clone(&store) as Arc<dyn ObjectSource<2>>,
+        );
+        if config.mir_strict {
+            mir_payload = mir_payload.strict();
+        }
+
+        let rtree = RTree::create(
+            TrackedDevice::with_stats(devices.rtree, Arc::clone(&io.rtree)),
+            tree_cfg,
+            UnitPayload,
+        )?;
+        let ir2 = RTree::create(
+            TrackedDevice::with_stats(devices.ir2, Arc::clone(&io.ir2)),
+            tree_cfg,
+            Ir2Payload::new(ir2_scheme),
+        )?;
+        let mir2 = RTree::create(
+            TrackedDevice::with_stats(devices.mir2, Arc::clone(&io.mir2)),
+            tree_cfg,
+            mir_payload,
+        )?;
+
+        let sign_leaf = |scheme: &SignatureScheme, ids: &[TermId]| -> Vec<u8> {
+            let sig = scheme.sign_terms(ids.iter().map(|&t| vocab.name(t)));
+            let mut out = vec![0u8; scheme.byte_len()];
+            sig.write_bytes(&mut out);
+            out
+        };
+        if config.bulk_load {
+            rtree.bulk_load(
+                meta.iter()
+                    .map(|(p, pt, _)| (p.0, Rect::from_point(*pt), Vec::new()))
+                    .collect(),
+            )?;
+            ir2.bulk_load(
+                meta.iter()
+                    .map(|(p, pt, ids)| {
+                        (p.0, Rect::from_point(*pt), sign_leaf(&ir2_scheme, ids))
+                    })
+                    .collect(),
+            )?;
+            let mir_leaf_scheme = *ir2_irtree::SigPayload::leaf_scheme(mir2.ops());
+            mir2.bulk_load(
+                meta.iter()
+                    .map(|(p, pt, ids)| {
+                        (p.0, Rect::from_point(*pt), sign_leaf(&mir_leaf_scheme, ids))
+                    })
+                    .collect(),
+            )?;
+        } else {
+            let mir_leaf_scheme = *ir2_irtree::SigPayload::leaf_scheme(mir2.ops());
+            for (p, pt, ids) in &meta {
+                let rect = Rect::from_point(*pt);
+                rtree.insert(p.0, rect, &[])?;
+                ir2.insert(p.0, rect, &sign_leaf(&ir2_scheme, ids))?;
+                mir2.insert(p.0, rect, &sign_leaf(&mir_leaf_scheme, ids))?;
+            }
+        }
+
+        let inverted = InvertedIndex::build(
+            TrackedDevice::with_stats(devices.inverted, Arc::clone(&io.inverted)),
+            &vocab,
+            meta.iter().map(|(p, _, ids)| (*p, ids.clone())),
+        )?;
+
+        rtree.flush()?;
+        ir2.flush()?;
+        mir2.flush()?;
+
+        let build_stats = BuildStats {
+            objects: n,
+            avg_unique_words: distinct_total as f64 / n as f64,
+            unique_words: vocab.len() as u64,
+            object_file_bytes: store.size_bytes(),
+            avg_blocks_per_object: blocks_total as f64 / n as f64,
+            build_time: t0.elapsed(),
+        };
+
+        let db = Self {
+            config,
+            tree_cfg,
+            vocab,
+            avg_words,
+            objects: store,
+            rtree,
+            ir2,
+            mir2,
+            inverted,
+            catalog: devices.catalog,
+            io,
+            build_stats,
+        };
+        db.save_catalog()?;
+        Ok(db)
+    }
+
+    /// Persists the cross-structure metadata to the catalog device. Called
+    /// automatically by [`build`](SpatialKeywordDb::build); call again
+    /// after maintenance to refresh.
+    pub fn save_catalog(&self) -> Result<()> {
+        // Catalog layout, written as one extent from block 0:
+        // magic | payload length | four length-prefixed chunks in order
+        // (config, vocabulary, inverted dictionary, store state + stats).
+        let (len, records) = self.objects.state();
+        let s = &self.build_stats;
+        let mut tail = Vec::with_capacity(80);
+        for v in [len, records, s.objects, s.unique_words, s.object_file_bytes] {
+            tail.extend_from_slice(&v.to_le_bytes());
+        }
+        tail.extend_from_slice(&s.avg_unique_words.to_le_bytes());
+        tail.extend_from_slice(&s.avg_blocks_per_object.to_le_bytes());
+        tail.extend_from_slice(&self.avg_words.to_le_bytes());
+        tail.extend_from_slice(&(s.build_time.as_micros() as u64).to_le_bytes());
+
+        let chunks = [
+            self.config.encode(),
+            self.vocab.encode(),
+            self.inverted.encode_dictionary(),
+            tail,
+        ];
+        let mut payload = Vec::new();
+        payload.extend_from_slice(CATALOG_MAGIC);
+        let body_len: usize = chunks.iter().map(|c| 4 + c.len()).sum();
+        payload.extend_from_slice(&(body_len as u64).to_le_bytes());
+        for c in &chunks {
+            payload.extend_from_slice(&(c.len() as u32).to_le_bytes());
+            payload.extend_from_slice(c);
+        }
+        let need = ir2_storage::extent::blocks_for(payload.len()) as u64;
+        let have = self.catalog.num_blocks();
+        if have < need {
+            self.catalog.allocate(need - have)?;
+        }
+        ir2_storage::extent::write_extent(&self.catalog, 0, &payload)?;
+        self.catalog.sync()?;
+        self.rtree.flush()?;
+        self.ir2.flush()?;
+        self.mir2.flush()?;
+        self.objects.flush()?;
+        Ok(())
+    }
+
+    /// Reads the catalog chunks back (config, vocab, dictionary, stats).
+    fn read_catalog(catalog: &D) -> Result<Vec<Vec<u8>>> {
+        let corrupt = |m: &str| StorageError::Corrupt(format!("catalog: {m}"));
+        if catalog.num_blocks() == 0 {
+            return Err(corrupt("empty device"));
+        }
+        let mut first = ir2_storage::zeroed_block();
+        catalog.read_block(0, &mut first)?;
+        if &first[..4] != CATALOG_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let body_len = u64::from_le_bytes(first[4..12].try_into().expect("8 bytes")) as usize;
+        let total = 12 + body_len;
+        let nblocks = ir2_storage::extent::blocks_for(total);
+        if (nblocks as u64) > catalog.num_blocks() {
+            return Err(corrupt("truncated"));
+        }
+        let raw = ir2_storage::extent::read_extent(catalog, 0, nblocks)?;
+        let mut chunks = Vec::with_capacity(4);
+        let mut pos = 12;
+        while pos < total {
+            let len = u32::from_le_bytes(
+                raw.get(pos..pos + 4)
+                    .ok_or_else(|| corrupt("chunk header"))?
+                    .try_into()
+                    .expect("4 bytes"),
+            ) as usize;
+            let chunk = raw
+                .get(pos + 4..pos + 4 + len)
+                .ok_or_else(|| corrupt("chunk body"))?;
+            chunks.push(chunk.to_vec());
+            pos += 4 + len;
+        }
+        Ok(chunks)
+    }
+
+    /// Reopens a database persisted by [`build`](SpatialKeywordDb::build) /
+    /// [`save_catalog`](SpatialKeywordDb::save_catalog).
+    pub fn open(devices: DeviceSet<D>) -> Result<Self> {
+        // Read the catalog chunks in layout order.
+        let records = Self::read_catalog(&devices.catalog)?;
+        if records.len() != 4 {
+            return Err(StorageError::Corrupt(format!(
+                "catalog has {} records, expected 4",
+                records.len()
+            )));
+        }
+        let config = DbConfig::decode(&records[0])?;
+        let vocab = Vocabulary::decode(&records[1])
+            .ok_or_else(|| StorageError::Corrupt("catalog vocabulary corrupt".into()))?;
+        let tail = &records[3];
+        if tail.len() < 72 {
+            return Err(StorageError::Corrupt("catalog stats record too short".into()));
+        }
+        let u = |i: usize| u64::from_le_bytes(tail[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        let f = |i: usize| f64::from_le_bytes(tail[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
+        let (store_len, store_records) = (u(0), u(1));
+        let build_stats = BuildStats {
+            objects: u(2),
+            unique_words: u(3),
+            object_file_bytes: u(4),
+            avg_unique_words: f(5),
+            avg_blocks_per_object: f(6),
+            build_time: Duration::from_micros(u(8)),
+        };
+        let avg_words = f(7);
+
+        let io = IoHandles {
+            objects: Arc::new(IoStats::new()),
+            rtree: Arc::new(IoStats::new()),
+            ir2: Arc::new(IoStats::new()),
+            mir2: Arc::new(IoStats::new()),
+            inverted: Arc::new(IoStats::new()),
+        };
+        let store = Arc::new(ObjectStore::<2, _>::open(
+            TrackedDevice::with_stats(devices.objects, Arc::clone(&io.objects)),
+            store_len,
+            store_records,
+        )?);
+
+        let tree_cfg = match config.capacity {
+            Some(c) => RTreeConfig::with_max(c),
+            None => RTreeConfig::for_dims::<2>(),
+        };
+        let ir2_scheme = SignatureScheme::from_bytes_len(config.sig_bytes, config.sig_k, config.seed);
+        let mir_schemes = MultiLevelScheme::new(
+            config.sig_bytes,
+            config.sig_k,
+            config.seed,
+            tree_cfg.max_entries,
+            avg_words,
+            vocab.len(),
+        );
+        let mut mir_payload = MirPayload::new(
+            mir_schemes,
+            Arc::clone(&store) as Arc<dyn ObjectSource<2>>,
+        );
+        if config.mir_strict {
+            mir_payload = mir_payload.strict();
+        }
+
+        let rtree = RTree::open(
+            TrackedDevice::with_stats(devices.rtree, Arc::clone(&io.rtree)),
+            tree_cfg,
+            UnitPayload,
+        )?;
+        let ir2 = RTree::open(
+            TrackedDevice::with_stats(devices.ir2, Arc::clone(&io.ir2)),
+            tree_cfg,
+            Ir2Payload::new(ir2_scheme),
+        )?;
+        let mir2 = RTree::open(
+            TrackedDevice::with_stats(devices.mir2, Arc::clone(&io.mir2)),
+            tree_cfg,
+            mir_payload,
+        )?;
+        let inverted = InvertedIndex::open(
+            TrackedDevice::with_stats(devices.inverted, Arc::clone(&io.inverted)),
+            &vocab,
+            &records[2],
+        )?;
+
+        Ok(Self {
+            config,
+            tree_cfg,
+            vocab,
+            avg_words,
+            objects: store,
+            rtree,
+            ir2,
+            mir2,
+            inverted,
+            catalog: devices.catalog,
+            io,
+            build_stats,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Queries.
+    // ------------------------------------------------------------------
+
+    fn stats_of(&self, alg: Algorithm) -> &Arc<IoStats> {
+        match alg {
+            Algorithm::RTree => &self.io.rtree,
+            Algorithm::Iio => &self.io.inverted,
+            Algorithm::Ir2 => &self.io.ir2,
+            Algorithm::Mir2 => &self.io.mir2,
+        }
+    }
+
+    /// Answers a distance-first top-k spatial keyword query with the chosen
+    /// algorithm, reporting results plus the I/O metrics the paper plots.
+    pub fn distance_first(
+        &self,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+    ) -> Result<QueryReport> {
+        let idx_stats = self.stats_of(alg);
+        let idx_before = idx_stats.snapshot();
+        let obj_before = self.io.objects.snapshot();
+        let loads_before = self.objects.loads();
+        let t0 = Instant::now();
+
+        let (results, counters) = match alg {
+            Algorithm::RTree => rtree_baseline_topk(&self.rtree, self.objects.as_ref(), query)?,
+            Algorithm::Ir2 => distance_first_topk(&self.ir2, self.objects.as_ref(), query)?,
+            Algorithm::Mir2 => distance_first_topk(&self.mir2, self.objects.as_ref(), query)?,
+            Algorithm::Iio => (
+                iio_topk(&self.inverted, &self.vocab, self.objects.as_ref(), query)?,
+                SearchCounters::default(),
+            ),
+        };
+
+        let wall = t0.elapsed();
+        let index_io = idx_stats.snapshot() - idx_before;
+        let object_io = self.io.objects.snapshot() - obj_before;
+        let io = index_io + object_io;
+        Ok(QueryReport {
+            results,
+            index_io,
+            object_io,
+            io,
+            object_loads: self.objects.loads() - loads_before,
+            counters,
+            simulated: self.config.cost_model.time(io),
+            wall,
+        })
+    }
+
+    /// Answers a batch of distance-first queries concurrently on `threads`
+    /// worker threads (the index structures support any number of
+    /// concurrent readers).
+    ///
+    /// Returns the per-query results in input order plus the batch's
+    /// aggregate I/O. Per-query I/O attribution is not possible here —
+    /// concurrent queries interleave on the shared counters — so use
+    /// [`distance_first`](SpatialKeywordDb::distance_first) when measuring
+    /// a single query.
+    pub fn batch_distance_first(
+        &self,
+        alg: Algorithm,
+        queries: &[DistanceFirstQuery<2>],
+        threads: usize,
+    ) -> Result<BatchReport> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let threads = threads.clamp(1, queries.len().max(1));
+        let before = self.stats_of(alg).snapshot() + self.io.objects.snapshot();
+        let t0 = Instant::now();
+        let next = AtomicUsize::new(0);
+        let results: Vec<std::sync::OnceLock<Vec<(SpatialObject<2>, f64)>>> =
+            (0..queries.len()).map(|_| std::sync::OnceLock::new()).collect();
+        let first_error: std::sync::Mutex<Option<StorageError>> = std::sync::Mutex::new(None);
+
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        break;
+                    }
+                    let run = || -> Result<Vec<(SpatialObject<2>, f64)>> {
+                        Ok(match alg {
+                            Algorithm::RTree => {
+                                rtree_baseline_topk(&self.rtree, self.objects.as_ref(), &queries[i])?.0
+                            }
+                            Algorithm::Ir2 => {
+                                distance_first_topk(&self.ir2, self.objects.as_ref(), &queries[i])?.0
+                            }
+                            Algorithm::Mir2 => {
+                                distance_first_topk(&self.mir2, self.objects.as_ref(), &queries[i])?.0
+                            }
+                            Algorithm::Iio => iio_topk(
+                                &self.inverted,
+                                &self.vocab,
+                                self.objects.as_ref(),
+                                &queries[i],
+                            )?,
+                        })
+                    };
+                    match run() {
+                        Ok(r) => {
+                            results[i].set(r).expect("each query index runs once");
+                        }
+                        Err(e) => {
+                            first_error.lock().expect("poison-free").get_or_insert(e);
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+        .expect("batch workers must not panic");
+
+        if let Some(e) = first_error.into_inner().expect("poison-free") {
+            return Err(e);
+        }
+        let io = (self.stats_of(alg).snapshot() + self.io.objects.snapshot()) - before;
+        Ok(BatchReport {
+            results: results
+                .into_iter()
+                .map(|s| s.into_inner().expect("every query ran"))
+                .collect(),
+            io,
+            simulated: self.config.cost_model.time(io),
+            wall: t0.elapsed(),
+        })
+    }
+
+    /// Answers a distance-first top-k query anchored at an arbitrary
+    /// region (the paper's "an area could be used instead" of the query
+    /// point) on the IR²- or MIR²-Tree. Objects inside an area region come
+    /// out at distance zero, then in increasing distance from its boundary.
+    pub fn distance_first_region(
+        &self,
+        alg: Algorithm,
+        region: ir2_model::QueryRegion<2>,
+        keywords: &[String],
+        k: usize,
+    ) -> Result<QueryReport> {
+        let idx_stats = self.stats_of(alg);
+        let idx_before = idx_stats.snapshot();
+        let obj_before = self.io.objects.snapshot();
+        let loads_before = self.objects.loads();
+        let t0 = Instant::now();
+
+        let (results, counters) = match alg {
+            Algorithm::Ir2 => ir2_irtree::distance_first_region_topk(
+                &self.ir2,
+                self.objects.as_ref(),
+                region,
+                keywords,
+                k,
+            )?,
+            Algorithm::Mir2 => ir2_irtree::distance_first_region_topk(
+                &self.mir2,
+                self.objects.as_ref(),
+                region,
+                keywords,
+                k,
+            )?,
+            other => {
+                return Err(StorageError::Corrupt(format!(
+                    "region queries are implemented on the signature trees, not {}",
+                    other.label()
+                )))
+            }
+        };
+
+        let wall = t0.elapsed();
+        let index_io = idx_stats.snapshot() - idx_before;
+        let object_io = self.io.objects.snapshot() - obj_before;
+        let io = index_io + object_io;
+        Ok(QueryReport {
+            results,
+            index_io,
+            object_io,
+            io,
+            object_loads: self.objects.loads() - loads_before,
+            counters,
+            simulated: self.config.cost_model.time(io),
+            wall,
+        })
+    }
+
+    /// Boolean keyword query within a window (Section 2's `Ans(Q_w)`
+    /// restricted to a map area) on the IR²- or MIR²-Tree: every object in
+    /// `window` containing all `keywords`, unranked.
+    pub fn keyword_window(
+        &self,
+        alg: Algorithm,
+        window: &Rect<2>,
+        keywords: &[String],
+    ) -> Result<Vec<SpatialObject<2>>> {
+        let (hits, _) = match alg {
+            Algorithm::Ir2 => ir2_irtree::keyword_window_query(
+                &self.ir2,
+                self.objects.as_ref(),
+                window,
+                keywords,
+            )?,
+            Algorithm::Mir2 => ir2_irtree::keyword_window_query(
+                &self.mir2,
+                self.objects.as_ref(),
+                window,
+                keywords,
+            )?,
+            other => {
+                return Err(StorageError::Corrupt(format!(
+                    "window keyword queries are implemented on the signature trees, not {}",
+                    other.label()
+                )))
+            }
+        };
+        Ok(hits)
+    }
+
+    /// Answers a general (ranked) top-k spatial keyword query on the IR²-
+    /// or MIR²-Tree.
+    ///
+    /// Returns an error for [`Algorithm::RTree`] / [`Algorithm::Iio`]: the
+    /// general algorithm needs node signatures for its IR-score upper
+    /// bounds.
+    pub fn general_ranked(
+        &self,
+        alg: Algorithm,
+        query: &GeneralQuery<2>,
+        scorer: &dyn IrScorer,
+        rank: &dyn RankingFn,
+    ) -> Result<GeneralReport> {
+        let idx_stats = self.stats_of(alg);
+        let idx_before = idx_stats.snapshot();
+        let obj_before = self.io.objects.snapshot();
+        let loads_before = self.objects.loads();
+        let t0 = Instant::now();
+
+        let results = match alg {
+            Algorithm::Ir2 => general_topk(
+                &self.ir2,
+                self.objects.as_ref(),
+                &self.vocab,
+                scorer,
+                rank,
+                query,
+            )?,
+            Algorithm::Mir2 => general_topk(
+                &self.mir2,
+                self.objects.as_ref(),
+                &self.vocab,
+                scorer,
+                rank,
+                query,
+            )?,
+            other => {
+                return Err(StorageError::Corrupt(format!(
+                    "general ranked queries need a signature tree, not {}",
+                    other.label()
+                )))
+            }
+        };
+
+        let wall = t0.elapsed();
+        let io = (idx_stats.snapshot() - idx_before) + (self.io.objects.snapshot() - obj_before);
+        Ok(GeneralReport {
+            results,
+            io,
+            object_loads: self.objects.loads() - loads_before,
+            simulated: self.config.cost_model.time(io),
+            wall,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance.
+    // ------------------------------------------------------------------
+
+    /// Inserts a new object into the object file and all three tree
+    /// structures.
+    ///
+    /// The inverted index and the vocabulary's document frequencies are
+    /// *not* updated (the paper treats IIO as a static baseline); rebuild
+    /// to refresh them. New terms still work in tree queries — signatures
+    /// hash raw words, not vocabulary ids.
+    pub fn insert(&mut self, obj: &SpatialObject<2>) -> Result<ObjPtr> {
+        let ptr = self.objects.append(obj)?;
+        self.objects.flush()?;
+        self.rtree
+            .insert(ptr.0, Rect::from_point(obj.point), &[])?;
+        insert_object(&self.ir2, ptr, obj)?;
+        insert_object(&self.mir2, ptr, obj)?;
+        self.build_stats.objects += 1;
+        Ok(ptr)
+    }
+
+    /// Deletes an object (by pointer) from all three tree structures. The
+    /// object record remains in the append-only object file; the inverted
+    /// index is not updated (see [`insert`](SpatialKeywordDb::insert)).
+    pub fn delete(&mut self, ptr: ObjPtr) -> Result<bool> {
+        let obj = self.objects.load(ptr)?;
+        let rect = Rect::from_point(obj.point);
+        let a = self.rtree.delete(ptr.0, &rect)?;
+        let b = ir2_irtree::delete_object(&self.ir2, ptr, &obj)?;
+        let c = ir2_irtree::delete_object(&self.mir2, ptr, &obj)?;
+        debug_assert_eq!(a, b);
+        debug_assert_eq!(b, c);
+        if a {
+            self.build_stats.objects -= 1;
+        }
+        Ok(a)
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection.
+    // ------------------------------------------------------------------
+
+    /// Table 2: per-structure sizes in bytes.
+    pub fn index_sizes(&self) -> IndexSizes {
+        IndexSizes {
+            iio: self.inverted.size_bytes(),
+            rtree: self.rtree.size_bytes(),
+            ir2: self.ir2.size_bytes(),
+            mir2: self.mir2.size_bytes(),
+            objects: self.objects.size_bytes(),
+        }
+    }
+
+    /// Table 1: dataset statistics recorded at build time.
+    pub fn build_stats(&self) -> &BuildStats {
+        &self.build_stats
+    }
+
+    /// The configuration the database was built with.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// The R-Tree shape shared by all three trees.
+    pub fn tree_config(&self) -> &RTreeConfig {
+        &self.tree_cfg
+    }
+
+    /// The corpus vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// The object store.
+    pub fn object_store(&self) -> &ObjectStore<2, TrackedDevice<D>> {
+        &self.objects
+    }
+
+    /// The plain R-Tree (baseline 1).
+    pub fn rtree(&self) -> &RTree<2, TrackedDevice<D>, UnitPayload> {
+        &self.rtree
+    }
+
+    /// The IR²-Tree.
+    pub fn ir2_tree(&self) -> &RTree<2, TrackedDevice<D>, Ir2Payload> {
+        &self.ir2
+    }
+
+    /// The MIR²-Tree.
+    pub fn mir2_tree(&self) -> &RTree<2, TrackedDevice<D>, MirPayload<2>> {
+        &self.mir2
+    }
+
+    /// The inverted index (baseline 2).
+    pub fn inverted_index(&self) -> &InvertedIndex<TrackedDevice<D>> {
+        &self.inverted
+    }
+
+    /// Total I/O since the counters were last reset, per structure:
+    /// `(objects, rtree, ir2, mir2, inverted)`.
+    pub fn io_totals(&self) -> (IoSnapshot, IoSnapshot, IoSnapshot, IoSnapshot, IoSnapshot) {
+        (
+            self.io.objects.snapshot(),
+            self.io.rtree.snapshot(),
+            self.io.ir2.snapshot(),
+            self.io.mir2.snapshot(),
+            self.io.inverted.snapshot(),
+        )
+    }
+
+    /// Resets every I/O counter (e.g. after the build phase).
+    pub fn reset_io(&self) {
+        for s in [
+            &self.io.objects,
+            &self.io.rtree,
+            &self.io.ir2,
+            &self.io.mir2,
+            &self.io.inverted,
+        ] {
+            s.reset();
+        }
+        self.objects.reset_loads();
+    }
+}

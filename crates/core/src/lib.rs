@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! # ir2tree — Keyword Search on Spatial Databases
+//!
+//! A complete Rust implementation of *"Keyword Search on Spatial
+//! Databases"* (De Felipe, Hristidis, Rishe — ICDE 2008): the **IR²-Tree**
+//! and **MIR²-Tree** indexes, the incremental top-k spatial keyword query
+//! algorithms, both baselines the paper compares against (plain R-Tree and
+//! Inverted-Index-Only), and the disk simulation its evaluation is
+//! expressed in (4 KiB blocks, random vs. sequential access counting).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ir2tree::{Algorithm, DbConfig, DeviceSet, SpatialKeywordDb};
+//! use ir2tree::model::{DistanceFirstQuery, SpatialObject};
+//!
+//! // Three points of interest.
+//! let objects = vec![
+//!     SpatialObject::new(1, [25.4, -80.1], "coffee wifi patio"),
+//!     SpatialObject::new(2, [25.5, -80.2], "coffee drive through"),
+//!     SpatialObject::new(3, [25.6, -80.0], "tapas bar wifi"),
+//! ];
+//! let db = SpatialKeywordDb::build(DeviceSet::in_memory(), objects, DbConfig::default())
+//!     .unwrap();
+//!
+//! // Nearest object to (25.45, -80.15) containing both keywords:
+//! let q = DistanceFirstQuery::new([25.45, -80.15], &["coffee", "wifi"], 1);
+//! let report = db.distance_first(Algorithm::Ir2, &q).unwrap();
+//! assert_eq!(report.results[0].0.id, 1);
+//! // Every query reports its simulated disk I/O:
+//! assert!(report.io.total() > 0);
+//! ```
+//!
+//! The facade [`SpatialKeywordDb`] builds all four structures over one
+//! object file so any query can be answered by any algorithm and their
+//! I/O compared — exactly the paper's experimental setup. The underlying
+//! crates are re-exported for direct use ([`irtree`], [`rtree`],
+//! [`invindex`], [`sigfile`], [`storage`], [`text`], [`geo`], [`model`]).
+
+mod config;
+mod db;
+mod report;
+
+pub use config::DbConfig;
+pub use db::{DeviceSet, SpatialKeywordDb};
+pub use report::{Algorithm, BatchReport, BuildStats, GeneralReport, IndexSizes, QueryReport};
+
+pub use ir2_geo as geo;
+pub use ir2_invindex as invindex;
+pub use ir2_irtree as irtree;
+pub use ir2_model as model;
+pub use ir2_rtree as rtree;
+pub use ir2_sigfile as sigfile;
+pub use ir2_storage as storage;
+pub use ir2_text as text;

@@ -1,0 +1,151 @@
+//! Query reports: results plus the measurements the paper's figures plot.
+
+use std::time::Duration;
+
+use ir2_irtree::{ScoredResult, SearchCounters};
+use ir2_model::SpatialObject;
+use ir2_storage::IoSnapshot;
+
+/// Which access method answers a query — the four contenders of Section 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Plain R-Tree + post-filter (baseline 1).
+    RTree,
+    /// Inverted Index Only (baseline 2).
+    Iio,
+    /// The IR²-Tree.
+    Ir2,
+    /// The MIR²-Tree.
+    Mir2,
+}
+
+impl Algorithm {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::RTree,
+        Algorithm::Iio,
+        Algorithm::Ir2,
+        Algorithm::Mir2,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::RTree => "R-Tree",
+            Algorithm::Iio => "IIO",
+            Algorithm::Ir2 => "IR2-Tree",
+            Algorithm::Mir2 => "MIR2-Tree",
+        }
+    }
+}
+
+/// The outcome of one distance-first query: results plus every metric the
+/// paper's evaluation reports.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// `(object, distance)` in ascending distance.
+    pub results: Vec<(SpatialObject<2>, f64)>,
+    /// Block accesses on the index structure used.
+    pub index_io: IoSnapshot,
+    /// Block accesses on the object file.
+    pub object_io: IoSnapshot,
+    /// Combined block accesses (what Figures 9b/12b plot).
+    pub io: IoSnapshot,
+    /// Objects loaded (Figures 11b/14b plot object accesses).
+    pub object_loads: u64,
+    /// Traversal counters (nodes read, signature prunes, false positives).
+    pub counters: SearchCounters,
+    /// Simulated disk time under the configured cost model — the
+    /// hardware-independent stand-in for the paper's execution time.
+    pub simulated: Duration,
+    /// Wall-clock time of the in-memory run (CPU-bound component).
+    pub wall: Duration,
+}
+
+/// The outcome of a general (ranked) top-k query.
+#[derive(Debug, Clone)]
+pub struct GeneralReport {
+    /// Results in non-increasing combined-score order.
+    pub results: Vec<ScoredResult<2>>,
+    /// Combined block accesses.
+    pub io: IoSnapshot,
+    /// Objects loaded.
+    pub object_loads: u64,
+    /// Simulated disk time.
+    pub simulated: Duration,
+    /// Wall-clock time.
+    pub wall: Duration,
+}
+
+/// The outcome of a concurrent batch of distance-first queries.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-query results, in input order.
+    pub results: Vec<Vec<(SpatialObject<2>, f64)>>,
+    /// Aggregate block accesses of the whole batch (per-query attribution
+    /// is meaningless under concurrency).
+    pub io: IoSnapshot,
+    /// Simulated disk time for the aggregate I/O.
+    pub simulated: Duration,
+    /// Wall-clock time of the batch.
+    pub wall: Duration,
+}
+
+/// Sizes of every structure in bytes — the reproduction of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexSizes {
+    /// Inverted index (postings + dictionary).
+    pub iio: u64,
+    /// Plain R-Tree.
+    pub rtree: u64,
+    /// IR²-Tree.
+    pub ir2: u64,
+    /// MIR²-Tree.
+    pub mir2: u64,
+    /// The object file itself (Table 1's dataset size).
+    pub objects: u64,
+}
+
+impl IndexSizes {
+    /// Formats a size in MB with one decimal, as the paper's tables do.
+    pub fn mb(bytes: u64) -> f64 {
+        bytes as f64 / 1_048_576.0
+    }
+}
+
+/// Statistics recorded while building the database — the reproduction of
+/// Table 1's columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BuildStats {
+    /// Total number of objects.
+    pub objects: u64,
+    /// Average distinct words per object.
+    pub avg_unique_words: f64,
+    /// Vocabulary size.
+    pub unique_words: u64,
+    /// Object file bytes.
+    pub object_file_bytes: u64,
+    /// Average disk blocks spanned per object record.
+    pub avg_blocks_per_object: f64,
+    /// Wall time spent building all four structures.
+    pub build_time: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_labels_match_the_paper() {
+        assert_eq!(Algorithm::ALL.len(), 4);
+        let labels: Vec<&str> = Algorithm::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(labels, ["R-Tree", "IIO", "IR2-Tree", "MIR2-Tree"]);
+    }
+
+    #[test]
+    fn megabyte_conversion() {
+        assert_eq!(IndexSizes::mb(0), 0.0);
+        assert_eq!(IndexSizes::mb(1_048_576), 1.0);
+        assert!((IndexSizes::mb(55_200_000) - 52.64).abs() < 0.01);
+    }
+}

@@ -1,0 +1,208 @@
+//! End-to-end tests of the database facade: all four algorithms over one
+//! store, I/O accounting, persistence, maintenance.
+
+use ir2tree::model::{DistanceFirstQuery, SpatialObject};
+use ir2tree::text::{DecayRank, SaturatingTfIdf};
+use ir2tree::{Algorithm, DbConfig, DeviceSet, SpatialKeywordDb};
+
+fn small_config() -> DbConfig {
+    DbConfig {
+        capacity: Some(8),
+        sig_bytes: 8,
+        ..DbConfig::default()
+    }
+}
+
+fn town(n: usize) -> Vec<SpatialObject<2>> {
+    // A deterministic grid of businesses with themed keywords.
+    let themes = [
+        "coffee wifi pastry",
+        "pizza delivery late",
+        "gym sauna pool",
+        "books coffee quiet",
+        "bar live music",
+        "pharmacy open sunday",
+    ];
+    (0..n)
+        .map(|i| {
+            let x = (i % 25) as f64;
+            let y = (i / 25) as f64;
+            SpatialObject::new(i as u64, [x, y], themes[i % themes.len()])
+        })
+        .collect()
+}
+
+#[test]
+fn all_algorithms_agree_on_results() {
+    let db = SpatialKeywordDb::build(DeviceSet::in_memory(), town(200), small_config()).unwrap();
+    for keywords in [vec!["coffee"], vec!["coffee", "wifi"], vec!["pool"]] {
+        let q = DistanceFirstQuery::new([7.3, 3.1], &keywords, 5);
+        let reports: Vec<_> = Algorithm::ALL
+            .iter()
+            .map(|&alg| db.distance_first(alg, &q).unwrap())
+            .collect();
+        let reference: Vec<f64> = reports[0].results.iter().map(|(_, d)| *d).collect();
+        for (alg, rep) in Algorithm::ALL.iter().zip(&reports) {
+            let dists: Vec<f64> = rep.results.iter().map(|(_, d)| *d).collect();
+            assert_eq!(dists.len(), reference.len(), "{}", alg.label());
+            for (a, b) in dists.iter().zip(reference.iter()) {
+                assert!((a - b).abs() < 1e-9, "{}: {a} vs {b}", alg.label());
+            }
+            for (obj, _) in &rep.results {
+                assert!(obj.token_set().contains_all(&keywords), "{}", alg.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn reports_contain_io_accounting() {
+    let db = SpatialKeywordDb::build(DeviceSet::in_memory(), town(300), small_config()).unwrap();
+    db.reset_io();
+    let q = DistanceFirstQuery::new([5.0, 5.0], &["coffee", "wifi"], 10);
+    let rep = db.distance_first(Algorithm::Ir2, &q).unwrap();
+    assert!(rep.index_io.total() > 0, "tree reads must be counted");
+    assert!(rep.object_loads > 0, "verification loads objects");
+    assert_eq!(rep.io, rep.index_io + rep.object_io);
+    assert!(rep.simulated > std::time::Duration::ZERO);
+
+    // The baseline R-Tree must load at least as many objects for the same
+    // query (the paper's core claim).
+    let base = db.distance_first(Algorithm::RTree, &q).unwrap();
+    assert!(base.object_loads >= rep.object_loads);
+}
+
+#[test]
+fn general_ranked_queries_work_on_both_trees() {
+    let db = SpatialKeywordDb::build(DeviceSet::in_memory(), town(120), small_config()).unwrap();
+    let q = ir2tree::irtree::GeneralQuery::new([3.0, 1.0], &["coffee", "music"], 6);
+    let scorer = SaturatingTfIdf;
+    let rank = DecayRank { scale: 20.0 };
+    let a = db.general_ranked(Algorithm::Ir2, &q, &scorer, &rank).unwrap();
+    let b = db.general_ranked(Algorithm::Mir2, &q, &scorer, &rank).unwrap();
+    assert_eq!(a.results.len(), b.results.len());
+    for (x, y) in a.results.iter().zip(b.results.iter()) {
+        assert!((x.score - y.score).abs() < 1e-9);
+    }
+    assert!(db
+        .general_ranked(Algorithm::Iio, &q, &scorer, &rank)
+        .is_err());
+}
+
+#[test]
+fn index_sizes_report_table2_shape() {
+    // Paper-scale fanout (block-derived) and Hotels signature length, so
+    // IR²/MIR² nodes genuinely spill onto extra blocks.
+    let db = SpatialKeywordDb::build(
+        DeviceSet::in_memory(),
+        town(500),
+        DbConfig {
+            capacity: None,
+            sig_bytes: 189,
+            ..DbConfig::default()
+        },
+    )
+    .unwrap();
+    let sizes = db.index_sizes();
+    assert!(sizes.rtree > 0 && sizes.iio > 0);
+    // Signatures make the IR²-Tree strictly larger than the R-Tree, and the
+    // MIR²-Tree at least as large as the IR²-Tree (longer upper levels).
+    assert!(sizes.ir2 > sizes.rtree, "ir2 {} rtree {}", sizes.ir2, sizes.rtree);
+    assert!(sizes.mir2 >= sizes.ir2, "mir2 {} ir2 {}", sizes.mir2, sizes.ir2);
+}
+
+#[test]
+fn build_stats_match_input() {
+    let objs = town(150);
+    let db = SpatialKeywordDb::build(DeviceSet::in_memory(), objs, small_config()).unwrap();
+    let stats = db.build_stats();
+    assert_eq!(stats.objects, 150);
+    assert!(stats.avg_unique_words >= 3.0 && stats.avg_unique_words <= 4.0);
+    assert!(stats.avg_blocks_per_object >= 1.0);
+    assert!(stats.unique_words > 10);
+}
+
+#[test]
+fn insert_and_delete_maintain_all_trees() {
+    let mut db =
+        SpatialKeywordDb::build(DeviceSet::in_memory(), town(60), small_config()).unwrap();
+    let new_obj = SpatialObject::new(999, [2.0, 2.0], "secret speakeasy coffee");
+    let ptr = db.insert(&new_obj).unwrap();
+
+    let q = DistanceFirstQuery::new([2.0, 2.0], &["speakeasy"], 1);
+    for alg in [Algorithm::RTree, Algorithm::Ir2, Algorithm::Mir2] {
+        let rep = db.distance_first(alg, &q).unwrap();
+        assert_eq!(rep.results.len(), 1, "{}", alg.label());
+        assert_eq!(rep.results[0].0.id, 999);
+    }
+
+    assert!(db.delete(ptr).unwrap());
+    for alg in [Algorithm::RTree, Algorithm::Ir2, Algorithm::Mir2] {
+        let rep = db.distance_first(alg, &q).unwrap();
+        assert!(rep.results.is_empty(), "{}", alg.label());
+    }
+    assert!(!db.delete(ptr).unwrap(), "double delete reports absence");
+}
+
+#[test]
+fn incremental_build_matches_bulk_build() {
+    let objs = town(180);
+    let bulk = SpatialKeywordDb::build(DeviceSet::in_memory(), objs.clone(), small_config()).unwrap();
+    let incr = SpatialKeywordDb::build(
+        DeviceSet::in_memory(),
+        objs,
+        small_config().with_incremental_build(),
+    )
+    .unwrap();
+    let q = DistanceFirstQuery::new([11.0, 4.0], &["pizza"], 7);
+    for alg in [Algorithm::RTree, Algorithm::Ir2, Algorithm::Mir2, Algorithm::Iio] {
+        let a = bulk.distance_first(alg, &q).unwrap();
+        let b = incr.distance_first(alg, &q).unwrap();
+        let da: Vec<f64> = a.results.iter().map(|(_, d)| *d).collect();
+        let db_: Vec<f64> = b.results.iter().map(|(_, d)| *d).collect();
+        assert_eq!(da.len(), db_.len(), "{}", alg.label());
+        for (x, y) in da.iter().zip(db_.iter()) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn persistence_roundtrip_on_disk() {
+    let dir = std::env::temp_dir().join(format!("ir2tree-facade-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let q = DistanceFirstQuery::new([5.0, 2.0], &["coffee", "quiet"], 4);
+    let before = {
+        let devices = DeviceSet::create_in_dir(&dir).unwrap();
+        let db = SpatialKeywordDb::build(devices, town(100), small_config()).unwrap();
+        db.distance_first(Algorithm::Ir2, &q).unwrap()
+    };
+    let devices = DeviceSet::open_dir(&dir).unwrap();
+    let db = SpatialKeywordDb::open(devices).unwrap();
+    for alg in Algorithm::ALL {
+        let after = db.distance_first(alg, &q).unwrap();
+        assert_eq!(after.results.len(), before.results.len(), "{}", alg.label());
+        for ((a, da), (b, db_)) in after.results.iter().zip(before.results.iter()) {
+            assert_eq!(a.id, b.id);
+            assert!((da - db_).abs() < 1e-9);
+        }
+    }
+    assert_eq!(db.build_stats().objects, 100);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn empty_build_is_rejected() {
+    assert!(SpatialKeywordDb::build(DeviceSet::in_memory(), vec![], small_config()).is_err());
+}
+
+#[test]
+fn k_zero_and_oversized_k() {
+    let db = SpatialKeywordDb::build(DeviceSet::in_memory(), town(30), small_config()).unwrap();
+    let q0 = DistanceFirstQuery::new([0.0, 0.0], &["coffee"], 0);
+    assert!(db.distance_first(Algorithm::Ir2, &q0).unwrap().results.is_empty());
+    let qbig = DistanceFirstQuery::new([0.0, 0.0], &["coffee"], 10_000);
+    let rep = db.distance_first(Algorithm::Ir2, &qbig).unwrap();
+    // 2 of 6 themes contain "coffee": 10 objects.
+    assert_eq!(rep.results.len(), 10);
+}

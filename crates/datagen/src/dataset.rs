@@ -1,0 +1,253 @@
+//! Dataset specifications and the streaming generator.
+
+use ir2_model::SpatialObject;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{SpatialModel, WordModel};
+
+/// Everything needed to synthesize a dataset, with presets matching the
+/// paper's Table 1.
+///
+/// ```
+/// use ir2_datagen::DatasetSpec;
+/// // A 1000-object sample of the Restaurants distribution.
+/// let spec = DatasetSpec::restaurants().scaled(1000.0 / 456_288.0);
+/// let objects: Vec<_> = spec.generate().collect();
+/// assert_eq!(objects.len(), 1000);
+/// // Same seed, same dataset.
+/// assert_eq!(objects[17], spec.generate().nth(17).unwrap());
+/// ```
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset label used in reports.
+    pub name: &'static str,
+    /// Number of objects.
+    pub num_objects: usize,
+    /// Vocabulary size (Table 1: "total # unique words").
+    pub vocab_size: usize,
+    /// Target average distinct words per object (Table 1 column).
+    pub avg_words_per_object: usize,
+    /// Zipf exponent of word frequencies.
+    pub zipf_s: f64,
+    /// Number of spatial clusters (0 = uniform).
+    pub clusters: usize,
+    /// RNG seed; same spec + seed ⇒ identical dataset.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// The Hotels dataset of Table 1: 129 319 objects, 53 906-word
+    /// vocabulary, ~35 distinct words per object.
+    ///
+    /// Table 1 prints "349" average unique words per object, but that value
+    /// contradicts the same table's other columns: 55.2 MB / 129 319
+    /// objects = 427 bytes per record (~35 words), and the IIO index of
+    /// Table 2 (31.4 MB ≈ 4.5 M postings × 8 B) also implies ~35 words per
+    /// object — 349 would make the dataset ~580 MB and the postings
+    /// ~360 MB. We read "349" as a typo for "34.9" and target 35; the
+    /// qualitative relationship the experiments need (Hotels documents are
+    /// 2.5× larger than Restaurants', so Hotels needs longer signatures)
+    /// is preserved. `EXPERIMENTS.md` records this choice.
+    pub fn hotels() -> Self {
+        Self {
+            name: "Hotels",
+            num_objects: 129_319,
+            vocab_size: 53_906,
+            avg_words_per_object: 35,
+            zipf_s: 1.0,
+            clusters: 400,
+            seed: 0x1407E15,
+        }
+    }
+
+    /// The Restaurants dataset of Table 1: 456 288 objects, ~14 distinct
+    /// words each, 73 855-word vocabulary.
+    pub fn restaurants() -> Self {
+        Self {
+            name: "Restaurants",
+            num_objects: 456_288,
+            vocab_size: 73_855,
+            avg_words_per_object: 14,
+            zipf_s: 1.0,
+            clusters: 1200,
+            seed: 0x8E57A,
+        }
+    }
+
+    /// Scales the object count by `factor` (for quick runs and CI), keeping
+    /// the text statistics intact.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.num_objects = ((self.num_objects as f64 * factor) as usize).max(1);
+        self
+    }
+
+    /// Starts streaming generation.
+    pub fn generate(&self) -> GeneratedObjects {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let words = WordModel::new(self.vocab_size, self.zipf_s);
+        let spatial = if self.clusters == 0 {
+            SpatialModel::uniform()
+        } else {
+            SpatialModel::clustered(&mut rng, self.clusters)
+        };
+        GeneratedObjects {
+            spec: self.clone(),
+            words,
+            spatial,
+            rng,
+            next_id: 0,
+        }
+    }
+
+    /// The word `rank`-th most frequent word of this spec's vocabulary —
+    /// lets experiments pick query keywords of known selectivity (e.g.
+    /// rank 10 ≈ very common, rank 10 000 ≈ rare).
+    pub fn keyword_of_rank(&self, rank: usize) -> String {
+        WordModel::new(self.vocab_size, self.zipf_s).word(rank)
+    }
+}
+
+/// Streaming iterator of generated objects.
+pub struct GeneratedObjects {
+    spec: DatasetSpec,
+    words: WordModel,
+    spatial: SpatialModel,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl Iterator for GeneratedObjects {
+    type Item = SpatialObject<2>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_id >= self.spec.num_objects as u64 {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let point = self.spatial.sample(&mut self.rng);
+        let ranks = self
+            .words
+            .sample_document(&mut self.rng, self.spec.avg_words_per_object);
+        let text = self.words.render(&ranks);
+        Some(SpatialObject::new(id, point, text))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.spec.num_objects - self.next_id as usize;
+        (left, Some(left))
+    }
+}
+
+/// Statistics of a generated (or any) object collection — the reproduction
+/// of Table 1's columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Number of objects.
+    pub objects: u64,
+    /// Average distinct words per object.
+    pub avg_unique_words: f64,
+    /// Total distinct words across the collection.
+    pub unique_words: u64,
+    /// Total text bytes (dataset size proxy).
+    pub text_bytes: u64,
+}
+
+impl DatasetStats {
+    /// Computes the statistics of a collection.
+    pub fn measure<'a>(objects: impl IntoIterator<Item = &'a SpatialObject<2>>) -> Self {
+        let mut vocab = std::collections::HashSet::new();
+        let mut n = 0u64;
+        let mut words_total = 0u64;
+        let mut bytes = 0u64;
+        for obj in objects {
+            n += 1;
+            bytes += obj.text.len() as u64;
+            let set = obj.token_set();
+            words_total += set.len() as u64;
+            for w in set.iter() {
+                vocab.insert(w.to_owned());
+            }
+        }
+        Self {
+            objects: n,
+            avg_unique_words: if n == 0 { 0.0 } else { words_total as f64 / n as f64 },
+            unique_words: vocab.len() as u64,
+            text_bytes: bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restaurants_sample_matches_table1_statistics() {
+        // A 20k-object sample of the Restaurants spec must match the
+        // per-object statistics (vocab coverage grows with the full run).
+        let spec = DatasetSpec::restaurants().scaled(20_000.0 / 456_288.0);
+        let objs: Vec<_> = spec.generate().collect();
+        let stats = DatasetStats::measure(&objs);
+        assert_eq!(stats.objects, 20_000);
+        assert!(
+            (stats.avg_unique_words - 14.0).abs() < 1.0,
+            "avg words {}",
+            stats.avg_unique_words
+        );
+        assert!(stats.unique_words > 5_000, "vocab {}", stats.unique_words);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DatasetSpec::restaurants().scaled(0.0005);
+        let a: Vec<_> = spec.generate().collect();
+        let b: Vec<_> = spec.generate().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hotels_sample_has_larger_documents_than_restaurants() {
+        let spec = DatasetSpec::hotels().scaled(2000.0 / 129_319.0);
+        let objs: Vec<_> = spec.generate().collect();
+        let stats = DatasetStats::measure(&objs);
+        assert!(
+            (stats.avg_unique_words - 35.0).abs() < 3.0,
+            "avg words {}",
+            stats.avg_unique_words
+        );
+        // Hotels records are ~2.5x Restaurants records, the ratio that
+        // drives the paper's per-dataset signature-length choices.
+        let rest: Vec<_> = DatasetSpec::restaurants().scaled(2000.0 / 456_288.0).generate().collect();
+        let rest_stats = DatasetStats::measure(&rest);
+        assert!(stats.avg_unique_words > 2.0 * rest_stats.avg_unique_words);
+    }
+
+    #[test]
+    fn keyword_ranks_have_decreasing_frequency() {
+        let spec = DatasetSpec::restaurants().scaled(0.02);
+        let objs: Vec<_> = spec.generate().collect();
+        let common = spec.keyword_of_rank(1);
+        let rare = spec.keyword_of_rank(2000);
+        let df = |w: &str| {
+            objs.iter()
+                .filter(|o| o.token_set().contains(w))
+                .count()
+        };
+        assert!(
+            df(&common) > df(&rare) * 3,
+            "common {} rare {}",
+            df(&common),
+            df(&rare)
+        );
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let spec = DatasetSpec::restaurants().scaled(0.0002);
+        let ids: Vec<u64> = spec.generate().map(|o| o.id).collect();
+        assert_eq!(ids, (0..ids.len() as u64).collect::<Vec<_>>());
+    }
+}

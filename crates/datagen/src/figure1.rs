@@ -1,0 +1,41 @@
+//! The paper's Figure 1 running example.
+
+use ir2_model::SpatialObject;
+
+/// The eight fictitious hotels of the paper's Figure 1, verbatim: ids are
+/// 1-based (`H₁` … `H₈`), the text concatenates the name and amenities
+/// attributes exactly as Section 2 prescribes.
+///
+/// Used by the quickstart example and by tests that reproduce the paper's
+/// Examples 1–3 traces.
+pub fn figure1_hotels() -> Vec<SpatialObject<2>> {
+    let rows: [(f64, f64, &str); 8] = [
+        (25.4, -80.1, "Hotel A tennis court, gift shop, spa, Internet"),
+        (47.3, -122.2, "Hotel B wireless Internet, pool, golf course"),
+        (35.5, 139.4, "Hotel C spa, continental suites, pool"),
+        (39.5, 116.2, "Hotel D sauna, pool, conference rooms"),
+        (51.3, -0.5, "Hotel E dry cleaning, free lunch, pets"),
+        (40.4, -73.5, "Hotel F safe box, concierge, internet, pets"),
+        (-33.2, -70.4, "Hotel G Internet, airport transportation, pool"),
+        (-41.1, 174.4, "Hotel H wake up service, no pets, pool"),
+    ];
+    rows.iter()
+        .enumerate()
+        .map(|(i, (lat, lon, text))| SpatialObject::new(i as u64 + 1, [*lat, *lon], *text))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_hotels_with_expected_contents() {
+        let hotels = figure1_hotels();
+        assert_eq!(hotels.len(), 8);
+        assert_eq!(hotels[6].id, 7);
+        assert!(hotels[6].token_set().contains_all(&["internet", "pool"]));
+        assert!(hotels[1].token_set().contains_all(&["internet", "pool"]));
+        assert!(!hotels[0].token_set().contains("pool"));
+    }
+}

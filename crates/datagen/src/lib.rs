@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+//! Synthetic dataset generation matched to the paper's Table 1.
+//!
+//! The paper evaluates on two datasets from the High Performance Database
+//! Research Center (hpdrc.fiu.edu) that are no longer publicly available:
+//!
+//! | Dataset     | Objects | Avg unique words/object | Unique words |
+//! |-------------|---------|-------------------------|--------------|
+//! | Hotels      | 129 319 | 349                     | 53 906       |
+//! | Restaurants | 456 288 | 14                      | 73 855       |
+//!
+//! This crate substitutes generators that reproduce those published
+//! statistics (see `DESIGN.md` §4): Zipf-distributed word frequencies over
+//! a synthetic vocabulary (what makes some keywords common and others
+//! rare, driving inverted-list lengths and signature densities) and
+//! Gaussian-mixture "city" clustering over the lat/lon plane (what gives
+//! the R-Tree its real-world geometry). Everything is seeded and
+//! deterministic.
+//!
+//! The paper's Figure 1 running example is also provided verbatim
+//! ([`figure1_hotels`]) for tests and the quickstart example.
+
+mod dataset;
+mod figure1;
+mod sampler;
+mod spatial;
+mod words;
+
+pub use dataset::{DatasetSpec, DatasetStats, GeneratedObjects};
+pub use figure1::figure1_hotels;
+pub use sampler::AliasTable;
+pub use spatial::SpatialModel;
+pub use words::WordModel;

@@ -1,0 +1,152 @@
+//! Discrete sampling utilities.
+
+use rand::{Rng, RngExt};
+
+/// Walker's alias method: O(n) construction, O(1) sampling from an
+/// arbitrary discrete distribution. Used to draw Zipf-distributed words
+/// and cluster assignments without per-sample binary searches — the
+/// generators draw hundreds of millions of words for the Hotels-scale
+/// dataset.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "alias table weights must sum to a positive value");
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Residual numerical slack: everything left is probability 1.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Builds the table for a Zipf distribution over `n` ranks with
+    /// exponent `s` (`weight(rank r) = 1 / r^s`, ranks 1-based) — the
+    /// classic fit for natural-language word frequencies.
+    pub fn zipf(n: usize, s: f64) -> Self {
+        let weights: Vec<f64> = (1..=n).map(|r| (r as f64).powf(-s)).collect();
+        Self::new(&weights)
+    }
+
+    /// Draws one index.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when there are no categories (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0, 1.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "count {c}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_respected() {
+        let t = AliasTable::new(&[9.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut hits = 0;
+        for _ in 0..20_000 {
+            if t.sample(&mut rng) == 0 {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_rank_one_dominates() {
+        let t = AliasTable::zipf(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rank1 = 0;
+        let samples = 50_000;
+        for _ in 0..samples {
+            if t.sample(&mut rng) == 0 {
+                rank1 += 1;
+            }
+        }
+        // H(1000) ≈ 7.485, so rank 1 has probability ≈ 0.1336.
+        let frac = rank1 as f64 / samples as f64;
+        assert!((frac - 0.1336).abs() < 0.01, "fraction {frac}");
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert_eq!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn all_zero_weights_panic() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Synthetic vocabularies and per-object word sampling.
+
+use rand::{Rng, RngExt};
+
+use crate::AliasTable;
+
+/// Syllables used to synthesize pronounceable, distinct words.
+const SYLLABLES: [&str; 20] = [
+    "ba", "ce", "di", "fo", "gu", "ha", "ke", "li", "mo", "nu", "pa", "re", "si", "to", "vu",
+    "wa", "ze", "cho", "pli", "gra",
+];
+
+/// A synthetic vocabulary with Zipf-distributed word frequencies.
+///
+/// Word `rank` (0 = most frequent) is drawn with probability proportional
+/// to `1/(rank+1)^s` — Zipf's law, the empirical distribution of words in
+/// natural text. This is what gives the reproduction the paper's query
+/// dynamics: common keywords (low ranks) produce long inverted lists and
+/// dense signatures, rare keywords (high ranks) are selective.
+#[derive(Debug, Clone)]
+pub struct WordModel {
+    vocab_size: usize,
+    zipf: AliasTable,
+}
+
+impl WordModel {
+    /// Creates a vocabulary of `vocab_size` words with Zipf exponent `s`
+    /// (natural text ≈ 1.0).
+    pub fn new(vocab_size: usize, s: f64) -> Self {
+        assert!(vocab_size > 0, "vocabulary must be non-empty");
+        Self {
+            vocab_size,
+            zipf: AliasTable::zipf(vocab_size, s),
+        }
+    }
+
+    /// Number of distinct words.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// The word string at `rank` (0-based; deterministic, distinct).
+    ///
+    /// Encodes the rank in base-20 syllables, so rank 0 = "ba",
+    /// rank 21 = "ceba", etc. Distinctness follows from distinct digit
+    /// strings (a leading-syllable marker avoids collisions between
+    /// different lengths).
+    pub fn word(&self, rank: usize) -> String {
+        debug_assert!(rank < self.vocab_size);
+        let mut out = String::new();
+        let mut v = rank;
+        loop {
+            out.push_str(SYLLABLES[v % SYLLABLES.len()]);
+            v /= SYLLABLES.len();
+            if v == 0 {
+                break;
+            }
+            v -= 1; // bijective base-k: no leading-zero collisions
+        }
+        out
+    }
+
+    /// Draws one word rank from the Zipf distribution.
+    pub fn sample_rank<R: Rng>(&self, rng: &mut R) -> usize {
+        self.zipf.sample(rng)
+    }
+
+    /// Draws a document of approximately `target_distinct` distinct words
+    /// (uniform jitter of ±50 %), returning the distinct ranks sampled.
+    pub fn sample_document<R: Rng>(
+        &self,
+        rng: &mut R,
+        target_distinct: usize,
+    ) -> Vec<usize> {
+        let target = if target_distinct <= 1 {
+            1
+        } else {
+            let lo = target_distinct.div_ceil(2);
+            let hi = target_distinct * 3 / 2;
+            rng.random_range(lo..=hi)
+        };
+        let target = target.min(self.vocab_size);
+        let mut seen = std::collections::HashSet::with_capacity(target * 2);
+        let mut out = Vec::with_capacity(target);
+        // Zipf re-draws collide often for large targets; cap the attempts
+        // and backfill deterministically so generation always terminates.
+        let max_attempts = target * 30 + 100;
+        let mut attempts = 0;
+        while out.len() < target && attempts < max_attempts {
+            attempts += 1;
+            let r = self.sample_rank(rng);
+            if seen.insert(r) {
+                out.push(r);
+            }
+        }
+        let mut backfill = 0;
+        while out.len() < target {
+            if seen.insert(backfill) {
+                out.push(backfill);
+            }
+            backfill += 1;
+        }
+        out
+    }
+
+    /// Renders a document's ranks as a text body (space-separated words).
+    pub fn render(&self, ranks: &[usize]) -> String {
+        let mut s = String::with_capacity(ranks.len() * 6);
+        for (i, &r) in ranks.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            s.push_str(&self.word(r));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn words_are_distinct() {
+        let m = WordModel::new(5000, 1.0);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..5000 {
+            assert!(seen.insert(m.word(r)), "collision at rank {r}");
+        }
+    }
+
+    #[test]
+    fn words_are_lowercase_tokens() {
+        let m = WordModel::new(100, 1.0);
+        for r in 0..100 {
+            let w = m.word(r);
+            let toks: Vec<String> = ir2_text_tokenize(&w);
+            assert_eq!(toks, vec![w.clone()], "word must survive tokenization");
+        }
+    }
+
+    fn ir2_text_tokenize(s: &str) -> Vec<String> {
+        // Local shim: datagen does not depend on ir2-text; replicate the
+        // tokenizer's definition for the test.
+        s.split(|c: char| !c.is_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .map(|t| t.to_lowercase())
+            .collect()
+    }
+
+    #[test]
+    fn documents_hit_the_distinct_target_range() {
+        let m = WordModel::new(10_000, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut total = 0usize;
+        let n = 300;
+        for _ in 0..n {
+            let doc = m.sample_document(&mut rng, 14);
+            assert!(doc.len() >= 7 && doc.len() <= 21, "len {}", doc.len());
+            let set: std::collections::HashSet<_> = doc.iter().collect();
+            assert_eq!(set.len(), doc.len(), "distinct ranks");
+            total += doc.len();
+        }
+        let avg = total as f64 / n as f64;
+        assert!((avg - 14.0).abs() < 1.5, "average {avg}");
+    }
+
+    #[test]
+    fn large_documents_terminate() {
+        let m = WordModel::new(200, 1.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        // Target exceeding vocabulary: capped, still terminates.
+        let doc = m.sample_document(&mut rng, 500);
+        assert_eq!(doc.len(), 200);
+    }
+
+    #[test]
+    fn render_round_trips_through_whitespace_split() {
+        let m = WordModel::new(100, 1.0);
+        let ranks = vec![0, 5, 99, 42];
+        let text = m.render(&ranks);
+        let words: Vec<&str> = text.split(' ').collect();
+        assert_eq!(words.len(), 4);
+        assert_eq!(words[2], m.word(99));
+    }
+}

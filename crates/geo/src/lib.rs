@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! Spatial primitives for the IR²-Tree reproduction.
+//!
+//! This crate provides the geometric vocabulary shared by every spatial
+//! index in the workspace: [`Point`]s in `N`-dimensional Euclidean space,
+//! axis-aligned [`Rect`]s (minimum bounding rectangles, MBRs), and the
+//! distance measures the query algorithms rely on:
+//!
+//! * [`Point::distance`] — the Euclidean distance used to rank result
+//!   objects (the paper's `distance(T.p, Q.p)`);
+//! * [`Rect::min_dist`] — the classical MINDIST lower bound between a query
+//!   point and an MBR, which makes the Hjaltason–Samet incremental
+//!   nearest-neighbor traversal correct: no object inside an MBR can be
+//!   closer to the query point than the MBR's MINDIST.
+//!
+//! Everything is generic over the compile-time dimensionality `N`. The
+//! paper's running examples are two-dimensional (latitude/longitude treated
+//! as plain Euclidean coordinates — its Example 2/3 distances, e.g.
+//! `dist(H7, [30.5, 100.0]) = 181.9`, are Euclidean on raw degrees), but the
+//! method "can be applied to arbitrarily-shaped and multi-dimensional
+//! objects", and so can this implementation.
+//!
+//! # Total ordering of distances
+//!
+//! Distances are `f64`. Priority queues need a total order, so the crate
+//! also exports [`OrderedF64`], a thin wrapper implementing `Ord` via IEEE
+//! `total_cmp`. Query code never produces NaN distances (inputs are finite),
+//! but the wrapper keeps the heap invariants sound even if it did.
+
+mod ordered;
+mod point;
+mod rect;
+
+pub use ordered::OrderedF64;
+pub use point::Point;
+pub use rect::Rect;
+
+/// Convenient alias for the two-dimensional points used in the paper's
+/// running examples and experiments.
+pub type Point2 = Point<2>;
+
+/// Convenient alias for two-dimensional rectangles (MBRs).
+pub type Rect2 = Rect<2>;

@@ -1,0 +1,61 @@
+//! Totally ordered `f64` wrapper for priority queues.
+
+use std::cmp::Ordering;
+
+/// An `f64` with a total order (`IEEE 754 totalOrder`), so distances and
+/// scores can key a `BinaryHeap`.
+///
+/// All query-time distances are finite, but `total_cmp` keeps the heap sound
+/// regardless (NaN sorts above +inf).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrderedF64(pub f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for OrderedF64 {
+    fn from(v: f64) -> Self {
+        Self(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn orders_like_f64_on_finite_values() {
+        assert!(OrderedF64(1.0) < OrderedF64(2.0));
+        assert!(OrderedF64(-1.0) < OrderedF64(0.0));
+        assert_eq!(OrderedF64(3.5), OrderedF64(3.5));
+    }
+
+    #[test]
+    fn min_heap_via_reverse_yields_ascending() {
+        use std::cmp::Reverse;
+        let mut h = BinaryHeap::new();
+        for v in [3.0, 1.0, 2.0] {
+            h.push(Reverse(OrderedF64(v)));
+        }
+        let drained: Vec<f64> = std::iter::from_fn(|| h.pop()).map(|Reverse(o)| o.0).collect();
+        assert_eq!(drained, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn nan_has_a_stable_position() {
+        // total_cmp: NaN (positive) sorts greater than +infinity.
+        assert!(OrderedF64(f64::NAN) > OrderedF64(f64::INFINITY));
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the geometric invariants every spatial index
+//! in the workspace depends on.
+
+use ir2_geo::{Point, Rect};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point<2>> {
+    prop::array::uniform2(-1000.0f64..1000.0).prop_map(Point::new)
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect<2>> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::from_corners(a, b))
+}
+
+proptest! {
+    /// Triangle inequality: the backbone of any metric-space pruning.
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.distance(&c) <= a.distance(&b) + b.distance(&c) + 1e-9);
+    }
+
+    /// MINDIST is a lower bound on the distance to every contained point —
+    /// the invariant that makes incremental NN emit objects in order.
+    #[test]
+    fn min_dist_lower_bounds_contained_points(r in arb_rect(), q in arb_point(), t in prop::array::uniform2(0.0f64..=1.0)) {
+        // A point interpolated inside the rectangle.
+        let inside = Point::new([
+            r.lo().coord(0) + t[0] * (r.hi().coord(0) - r.lo().coord(0)),
+            r.lo().coord(1) + t[1] * (r.hi().coord(1) - r.lo().coord(1)),
+        ]);
+        prop_assert!(r.contains_point(&inside));
+        prop_assert!(r.min_dist(&q) <= q.distance(&inside) + 1e-9);
+        prop_assert!(r.max_dist(&q) >= q.distance(&inside) - 1e-9);
+    }
+
+    /// Union is the *minimum* bounding rectangle of its arguments:
+    /// it contains both and no smaller area is reported than either part.
+    #[test]
+    fn union_is_bounding(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains(&a));
+        prop_assert!(u.contains(&b));
+        prop_assert!(u.area() + 1e-9 >= a.area().max(b.area()));
+        // Union with self is identity.
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    /// Enlargement is non-negative and zero iff already contained.
+    #[test]
+    fn enlargement_nonnegative(a in arb_rect(), b in arb_rect()) {
+        let e = a.enlargement(&b);
+        prop_assert!(e >= -1e-9);
+        if a.contains(&b) {
+            prop_assert!(e.abs() < 1e-9);
+        }
+    }
+
+    /// Containment implies intersection; intersection is symmetric.
+    #[test]
+    fn containment_implies_intersection(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        if a.contains(&b) {
+            prop_assert!(a.intersects(&b));
+        }
+    }
+
+    /// MINDIST to a rectangle that contains the query point is zero.
+    #[test]
+    fn min_dist_zero_inside(r in arb_rect(), q in arb_point()) {
+        if r.contains_point(&q) {
+            prop_assert_eq!(r.min_dist(&q), 0.0);
+        } else {
+            prop_assert!(r.min_dist(&q) > 0.0);
+        }
+    }
+
+    /// Point and rect serialization round-trips exactly (bit-for-bit).
+    #[test]
+    fn encode_roundtrip(r in arb_rect(), p in arb_point()) {
+        let mut rb = [0u8; Rect::<2>::ENCODED_LEN];
+        r.encode(&mut rb);
+        prop_assert_eq!(Rect::<2>::decode(&rb), r);
+        let mut pb = [0u8; Point::<2>::ENCODED_LEN];
+        p.encode(&mut pb);
+        prop_assert_eq!(Point::<2>::decode(&pb), p);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests: the grid baseline against brute force — ring expansion
+//! plus signature pruning must never miss a result.
+
+use std::sync::Arc;
+
+use ir2_grid::{GridConfig, GridIndex};
+use ir2_model::{DistanceFirstQuery, ObjectStore, SpatialObject};
+use ir2_sigfile::SignatureScheme;
+use ir2_storage::MemDevice;
+use ir2_text::tokenize;
+use proptest::prelude::*;
+
+const WORDS: [&str; 8] = [
+    "cafe", "wifi", "pool", "grill", "books", "bar", "spa", "gym",
+];
+
+#[derive(Debug, Clone)]
+struct Doc {
+    point: [f64; 2],
+    words: Vec<usize>,
+}
+
+fn arb_docs() -> impl Strategy<Value = Vec<Doc>> {
+    prop::collection::vec(
+        (
+            prop::array::uniform2(-30.0f64..30.0),
+            prop::collection::vec(0..WORDS.len(), 0..4),
+        )
+            .prop_map(|(point, words)| Doc { point, words }),
+        1..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn grid_topk_equals_brute_force(
+        docs in arb_docs(),
+        qpoint in prop::array::uniform2(-40.0f64..40.0),
+        kw in prop::collection::vec(0..WORDS.len(), 0..3),
+        k in 1usize..12,
+        cells in 1usize..12,
+        sig_bytes in 1usize..5,
+    ) {
+        let store = Arc::new(ObjectStore::<2, _>::create(MemDevice::new()));
+        let mut items = Vec::new();
+        let mut objs = Vec::new();
+        for (i, d) in docs.iter().enumerate() {
+            let text = d.words.iter().map(|&w| WORDS[w]).collect::<Vec<_>>().join(" ");
+            let obj = SpatialObject::new(i as u64, d.point, text);
+            let ptr = store.append(&obj).unwrap();
+            let mut terms: Vec<String> = tokenize(&obj.text).collect();
+            terms.sort_unstable();
+            terms.dedup();
+            items.push((ptr, obj.point, terms));
+            objs.push(obj);
+        }
+        store.flush().unwrap();
+        let grid = GridIndex::build(
+            MemDevice::new(),
+            GridConfig {
+                cells_per_axis: cells,
+                scheme: SignatureScheme::from_bytes_len(sig_bytes, 3, 11),
+            },
+            &items,
+        )
+        .unwrap();
+
+        let kws: Vec<&str> = kw.iter().map(|&i| WORDS[i]).collect();
+        let q = DistanceFirstQuery::new(qpoint, &kws, k);
+        let (got, _) = grid.topk(store.as_ref(), &q).unwrap();
+
+        let mut want: Vec<(u64, f64)> = objs
+            .iter()
+            .filter(|o| o.token_set().contains_all(&q.keywords))
+            .map(|o| (o.id, o.point.distance(&q.point)))
+            .collect();
+        want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        want.truncate(k);
+
+        prop_assert_eq!(got.len(), want.len());
+        for ((o, d), (_, wd)) in got.iter().zip(want.iter()) {
+            prop_assert!((d - wd).abs() < 1e-9, "{} vs {}", d, wd);
+            prop_assert!(o.token_set().contains_all(&q.keywords));
+        }
+    }
+}

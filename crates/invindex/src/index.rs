@@ -1,0 +1,340 @@
+//! Disk-resident inverted index.
+
+
+
+use ir2_model::ObjPtr;
+use ir2_storage::{BlockDevice, RecordFile, RecordPtr, Result, StorageError};
+use ir2_text::{TermId, Vocabulary};
+
+/// A disk-resident inverted index: term → sorted list of object pointers.
+///
+/// Postings are packed back to back in a [`RecordFile`] on the index's own
+/// device; retrieving a term's list costs one random block access plus
+/// sequential ones for long lists (the paper's
+/// `I.RetrieveObjectPointersList(wᵢ)`). The dictionary — term id → record
+/// pointer and list length — lives in memory and its serialized size is
+/// included in [`size_bytes`](InvertedIndex::size_bytes) so Table 2 is
+/// comparable.
+pub struct InvertedIndex<D> {
+    postings: RecordFile<D>,
+    /// Indexed by `TermId`; `None` for interned terms with no postings.
+    dict: Vec<Option<(RecordPtr, u32)>>,
+    dict_bytes: u64,
+}
+
+impl<D: BlockDevice> InvertedIndex<D> {
+    /// Builds the index over `(object pointer, distinct term ids)` pairs on
+    /// a fresh device. The `vocab` must already contain every term id that
+    /// appears.
+    ///
+    /// Postings within each list are sorted by object pointer (file order),
+    /// enabling linear-time merging and galloping intersection.
+    pub fn build(
+        dev: D,
+        vocab: &Vocabulary,
+        docs: impl IntoIterator<Item = (ObjPtr, Vec<TermId>)>,
+    ) -> Result<Self> {
+        // Accumulate lists in memory, then lay them out term by term.
+        let mut lists: Vec<Vec<u64>> = vec![Vec::new(); vocab.len()];
+        for (ptr, terms) in docs {
+            for t in terms {
+                let slot = lists.get_mut(t.0 as usize).ok_or_else(|| {
+                    StorageError::Corrupt(format!("term id {} outside vocabulary", t.0))
+                })?;
+                slot.push(ptr.0);
+            }
+        }
+        let postings = RecordFile::create(dev);
+        let mut dict = Vec::with_capacity(lists.len());
+        for mut list in lists {
+            if list.is_empty() {
+                dict.push(None);
+                continue;
+            }
+            list.sort_unstable();
+            list.dedup();
+            let mut bytes = Vec::with_capacity(list.len() * 8);
+            for p in &list {
+                bytes.extend_from_slice(&p.to_le_bytes());
+            }
+            let rec = postings.append(&bytes)?;
+            dict.push(Some((rec, list.len() as u32)));
+        }
+        postings.flush()?;
+        let dict_bytes = Self::dict_encoded_len(vocab, &dict);
+        Ok(Self {
+            postings,
+            dict,
+            dict_bytes,
+        })
+    }
+
+    fn dict_encoded_len(vocab: &Vocabulary, dict: &[Option<(RecordPtr, u32)>]) -> u64 {
+        // term string + record pointer + length per populated entry.
+        vocab
+            .iter()
+            .zip(dict.iter())
+            .map(|((_, name, _), slot)| {
+                if slot.is_some() {
+                    name.len() as u64 + 12
+                } else {
+                    0
+                }
+            })
+            .sum()
+    }
+
+    /// Serializes the dictionary (for the database superblock).
+    pub fn encode_dictionary(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.dict.len() * 13 + 12);
+        let (len, records) = self.postings.state();
+        out.extend_from_slice(&len.to_le_bytes());
+        out.extend_from_slice(&(records as u32).to_le_bytes());
+        out.extend_from_slice(&(self.dict.len() as u32).to_le_bytes());
+        for slot in &self.dict {
+            match slot {
+                Some((ptr, n)) => {
+                    out.push(1);
+                    out.extend_from_slice(&ptr.to_le_bytes());
+                    out.extend_from_slice(&n.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+        out
+    }
+
+    /// Reopens an index from its device and a dictionary written by
+    /// [`encode_dictionary`](InvertedIndex::encode_dictionary).
+    pub fn open(dev: D, vocab: &Vocabulary, dict_buf: &[u8]) -> Result<Self> {
+        let corrupt = |msg: &str| StorageError::Corrupt(format!("inverted dictionary: {msg}"));
+        if dict_buf.len() < 16 {
+            return Err(corrupt("truncated header"));
+        }
+        let len = u64::from_le_bytes(dict_buf[..8].try_into().expect("8 bytes"));
+        let records = u32::from_le_bytes(dict_buf[8..12].try_into().expect("4 bytes")) as u64;
+        let count = u32::from_le_bytes(dict_buf[12..16].try_into().expect("4 bytes")) as usize;
+        let mut dict = Vec::with_capacity(count);
+        let mut pos = 16;
+        for _ in 0..count {
+            let tag = *dict_buf.get(pos).ok_or_else(|| corrupt("truncated entry"))?;
+            pos += 1;
+            if tag == 0 {
+                dict.push(None);
+                continue;
+            }
+            let end = pos + 12;
+            let slice = dict_buf.get(pos..end).ok_or_else(|| corrupt("truncated entry"))?;
+            let ptr = RecordPtr::from_le_bytes(slice[..8].try_into().expect("8 bytes"));
+            let n = u32::from_le_bytes(slice[8..12].try_into().expect("4 bytes"));
+            dict.push(Some((ptr, n)));
+            pos = end;
+        }
+        let postings = RecordFile::open(dev, len, records)?;
+        let dict_bytes = Self::dict_encoded_len(vocab, &dict);
+        Ok(Self {
+            postings,
+            dict,
+            dict_bytes,
+        })
+    }
+
+    /// Document frequency of a term id (0 when absent).
+    pub fn df(&self, term: TermId) -> u32 {
+        self.dict
+            .get(term.0 as usize)
+            .and_then(|s| s.map(|(_, n)| n))
+            .unwrap_or(0)
+    }
+
+    /// Retrieves the postings list of `term` (sorted object pointers) —
+    /// the paper's `RetrieveObjectPointersList`. Empty when the term has no
+    /// postings.
+    pub fn postings(&self, term: TermId) -> Result<Vec<ObjPtr>> {
+        let Some(Some((rec, n))) = self.dict.get(term.0 as usize) else {
+            return Ok(Vec::new());
+        };
+        let bytes = self.postings.get(*rec)?;
+        if bytes.len() != *n as usize * 8 {
+            return Err(StorageError::Corrupt(format!(
+                "postings record length {} does not match df {n}",
+                bytes.len()
+            )));
+        }
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| RecordPtr(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+            .collect())
+    }
+
+    /// Total index footprint in bytes: postings region plus dictionary —
+    /// the IIO column of Table 2.
+    pub fn size_bytes(&self) -> u64 {
+        self.postings.device().size_bytes() + self.dict_bytes
+    }
+
+    /// The index's block device (for I/O statistics).
+    pub fn device(&self) -> &D {
+        self.postings.device()
+    }
+}
+
+/// Intersects sorted pointer lists, smallest first, using galloping search —
+/// linear in the smallest list for skewed inputs.
+pub(crate) fn intersect_sorted(mut lists: Vec<Vec<ObjPtr>>) -> Vec<ObjPtr> {
+    if lists.is_empty() {
+        return Vec::new();
+    }
+    lists.sort_by_key(Vec::len);
+    let mut acc = lists[0].clone();
+    for list in &lists[1..] {
+        if acc.is_empty() {
+            break;
+        }
+        let mut out = Vec::with_capacity(acc.len());
+        let mut lo = 0usize;
+        for &x in &acc {
+            // Gallop to find x in list[lo..].
+            let mut step = 1;
+            let mut hi = lo;
+            while hi < list.len() && list[hi] < x {
+                lo = hi + 1;
+                hi += step;
+                step *= 2;
+            }
+            let hi = hi.min(list.len());
+            let idx = lo + list[lo..hi].partition_point(|&y| y < x);
+            if idx < list.len() && list[idx] == x {
+                out.push(x);
+                lo = idx + 1;
+            } else {
+                lo = idx;
+            }
+            if lo >= list.len() {
+                break;
+            }
+        }
+        acc = out;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir2_storage::MemDevice;
+
+    fn vocab_for(docs: &[&[&str]]) -> Vocabulary {
+        let mut v = Vocabulary::new();
+        for d in docs {
+            v.add_document(d.iter().copied());
+        }
+        v
+    }
+
+    fn build_index(docs: &[&[&str]]) -> (InvertedIndex<MemDevice>, Vocabulary) {
+        let vocab = vocab_for(docs);
+        let entries: Vec<(ObjPtr, Vec<TermId>)> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                (
+                    RecordPtr(i as u64 * 100),
+                    d.iter().map(|t| vocab.term_id(t).unwrap()).collect(),
+                )
+            })
+            .collect();
+        let idx = InvertedIndex::build(MemDevice::new(), &vocab, entries).unwrap();
+        (idx, vocab)
+    }
+
+    #[test]
+    fn postings_match_documents() {
+        let docs: &[&[&str]] = &[
+            &["internet", "pool"],
+            &["pool", "spa"],
+            &["internet"],
+            &["golf"],
+        ];
+        let (idx, vocab) = build_index(docs);
+        let pool = idx.postings(vocab.term_id("pool").unwrap()).unwrap();
+        assert_eq!(pool, vec![RecordPtr(0), RecordPtr(100)]);
+        let internet = idx.postings(vocab.term_id("internet").unwrap()).unwrap();
+        assert_eq!(internet, vec![RecordPtr(0), RecordPtr(200)]);
+        assert_eq!(idx.df(vocab.term_id("golf").unwrap()), 1);
+    }
+
+    #[test]
+    fn intersection_example_2() {
+        // Example 2 of the paper: internet ∩ pool over Figure 1.
+        let internet = vec![RecordPtr(1), RecordPtr(2), RecordPtr(6), RecordPtr(7)];
+        let pool = vec![
+            RecordPtr(2),
+            RecordPtr(3),
+            RecordPtr(4),
+            RecordPtr(7),
+            RecordPtr(8),
+        ];
+        let both = intersect_sorted(vec![internet, pool]);
+        assert_eq!(both, vec![RecordPtr(2), RecordPtr(7)]); // H2, H7
+    }
+
+    #[test]
+    fn intersection_edge_cases() {
+        assert!(intersect_sorted(vec![]).is_empty());
+        assert!(intersect_sorted(vec![vec![], vec![RecordPtr(1)]]).is_empty());
+        let single = intersect_sorted(vec![vec![RecordPtr(5), RecordPtr(9)]]);
+        assert_eq!(single, vec![RecordPtr(5), RecordPtr(9)]);
+        // Three-way.
+        let a = vec![RecordPtr(1), RecordPtr(3), RecordPtr(5), RecordPtr(7)];
+        let b = vec![RecordPtr(3), RecordPtr(5), RecordPtr(7), RecordPtr(9)];
+        let c = vec![RecordPtr(5), RecordPtr(7), RecordPtr(11)];
+        assert_eq!(
+            intersect_sorted(vec![a, b, c]),
+            vec![RecordPtr(5), RecordPtr(7)]
+        );
+    }
+
+    #[test]
+    fn unknown_terms_have_empty_postings() {
+        let (idx, vocab) = build_index(&[&["alpha"]]);
+        // A term id outside the dictionary.
+        assert!(idx.postings(TermId(999)).unwrap().is_empty());
+        assert_eq!(idx.df(TermId(999)), 0);
+        let _ = vocab;
+    }
+
+    #[test]
+    fn dictionary_roundtrip() {
+        let docs: &[&[&str]] = &[&["internet", "pool"], &["pool"], &["spa", "pool"]];
+        let dev = std::sync::Arc::new(MemDevice::new());
+        let vocab = vocab_for(docs);
+        let entries: Vec<(ObjPtr, Vec<TermId>)> = docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                (
+                    RecordPtr(i as u64),
+                    d.iter().map(|t| vocab.term_id(t).unwrap()).collect(),
+                )
+            })
+            .collect();
+        let dict = {
+            let idx =
+                InvertedIndex::build(std::sync::Arc::clone(&dev), &vocab, entries).unwrap();
+            idx.encode_dictionary()
+        };
+        let idx = InvertedIndex::open(dev, &vocab, &dict).unwrap();
+        let pool = idx.postings(vocab.term_id("pool").unwrap()).unwrap();
+        assert_eq!(pool.len(), 3);
+        assert!(idx.size_bytes() > 0);
+    }
+
+    #[test]
+    fn open_rejects_corrupt_dictionary() {
+        let (idx, vocab) = build_index(&[&["a", "b"]]);
+        let dict = idx.encode_dictionary();
+        assert!(InvertedIndex::open(MemDevice::new(), &vocab, &dict[..dict.len() - 2]).is_err());
+        assert!(InvertedIndex::open(MemDevice::new(), &vocab, &[1, 2]).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests: the disk-resident inverted index and IIO against
+//! brute-force models on random corpora.
+
+use ir2_invindex::{iio_topk, InvertedIndex};
+use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectStore, SpatialObject};
+use ir2_storage::MemDevice;
+use ir2_text::{tokenize, TermId, Vocabulary};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const WORDS: [&str; 10] = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta", "iota", "kappa",
+];
+
+#[derive(Debug, Clone)]
+struct Doc {
+    point: [f64; 2],
+    words: Vec<usize>,
+}
+
+fn arb_docs() -> impl Strategy<Value = Vec<Doc>> {
+    prop::collection::vec(
+        (
+            prop::array::uniform2(-50.0f64..50.0),
+            prop::collection::vec(0..WORDS.len(), 0..6),
+        )
+            .prop_map(|(point, words)| Doc { point, words }),
+        1..60,
+    )
+}
+
+struct Fixture {
+    store: Arc<ObjectStore<2, MemDevice>>,
+    index: InvertedIndex<MemDevice>,
+    vocab: Vocabulary,
+    objs: Vec<SpatialObject<2>>,
+    ptrs: Vec<ObjPtr>,
+}
+
+fn build(docs: &[Doc]) -> Fixture {
+    let store = Arc::new(ObjectStore::<2, _>::create(MemDevice::new()));
+    let mut vocab = Vocabulary::new();
+    let mut entries: Vec<(ObjPtr, Vec<TermId>)> = Vec::new();
+    let mut objs = Vec::new();
+    let mut ptrs = Vec::new();
+    for (i, d) in docs.iter().enumerate() {
+        let text = d.words.iter().map(|&w| WORDS[w]).collect::<Vec<_>>().join(" ");
+        let obj = SpatialObject::new(i as u64, d.point, text);
+        let ptr = store.append(&obj).unwrap();
+        let mut terms: Vec<String> = tokenize(&obj.text).collect();
+        terms.sort_unstable();
+        terms.dedup();
+        vocab.add_document(terms.iter().map(String::as_str));
+        entries.push((
+            ptr,
+            terms.iter().map(|t| vocab.term_id(t).unwrap()).collect(),
+        ));
+        objs.push(obj);
+        ptrs.push(ptr);
+    }
+    store.flush().unwrap();
+    let index = InvertedIndex::build(MemDevice::new(), &vocab, entries).unwrap();
+    Fixture {
+        store,
+        index,
+        vocab,
+        objs,
+        ptrs,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every term's postings list is exactly the set of documents
+    /// containing it, sorted by pointer, and df matches.
+    #[test]
+    fn postings_match_documents(docs in arb_docs()) {
+        let f = build(&docs);
+        for w in WORDS {
+            let Some(t) = f.vocab.term_id(w) else { continue };
+            let got = f.index.postings(t).unwrap();
+            let want: Vec<ObjPtr> = f
+                .objs
+                .iter()
+                .zip(&f.ptrs)
+                .filter(|(o, _)| o.token_set().contains(w))
+                .map(|(_, p)| *p)
+                .collect();
+            prop_assert_eq!(&got, &want, "term {}", w);
+            prop_assert_eq!(f.index.df(t) as usize, want.len());
+            prop_assert!(got.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        }
+    }
+
+    /// IIO equals brute force for any conjunctive query.
+    #[test]
+    fn iio_equals_brute_force(
+        docs in arb_docs(),
+        qpoint in prop::array::uniform2(-60.0f64..60.0),
+        kw in prop::collection::vec(0..WORDS.len(), 1..4),
+        k in 1usize..10,
+    ) {
+        let f = build(&docs);
+        let kws: Vec<&str> = kw.iter().map(|&i| WORDS[i]).collect();
+        let q = DistanceFirstQuery::new(qpoint, &kws, k);
+        let got = iio_topk(&f.index, &f.vocab, f.store.as_ref(), &q).unwrap();
+
+        let mut want: Vec<(u64, f64)> = f
+            .objs
+            .iter()
+            .filter(|o| o.token_set().contains_all(&q.keywords))
+            .map(|o| (o.id, o.point.distance(&q.point)))
+            .collect();
+        want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        want.truncate(k);
+
+        prop_assert_eq!(got.len(), want.len());
+        for ((o, d), (wid, wd)) in got.iter().zip(want.iter()) {
+            prop_assert!((d - wd).abs() < 1e-9);
+            // Ties may permute ids; both must satisfy the filter.
+            prop_assert!(o.token_set().contains_all(&q.keywords));
+            let _ = wid;
+        }
+    }
+
+    /// The dictionary round-trips through serialization.
+    #[test]
+    fn dictionary_roundtrip(docs in arb_docs()) {
+        let dev = Arc::new(MemDevice::new());
+        let f = {
+            let store = Arc::new(ObjectStore::<2, _>::create(MemDevice::new()));
+            let mut vocab = Vocabulary::new();
+            let mut entries: Vec<(ObjPtr, Vec<TermId>)> = Vec::new();
+            for (i, d) in docs.iter().enumerate() {
+                let text = d.words.iter().map(|&w| WORDS[w]).collect::<Vec<_>>().join(" ");
+                let obj = SpatialObject::<2>::new(i as u64, d.point, text);
+                let ptr = store.append(&obj).unwrap();
+                let mut terms: Vec<String> = tokenize(&obj.text).collect();
+                terms.sort_unstable();
+                terms.dedup();
+                vocab.add_document(terms.iter().map(String::as_str));
+                entries.push((ptr, terms.iter().map(|t| vocab.term_id(t).unwrap()).collect()));
+            }
+            let index = InvertedIndex::build(Arc::clone(&dev), &vocab, entries).unwrap();
+            (index.encode_dictionary(), vocab)
+        };
+        let (dict, vocab) = f;
+        let reopened = InvertedIndex::open(Arc::clone(&dev), &vocab, &dict).unwrap();
+        for (t, _, df) in vocab.iter() {
+            prop_assert_eq!(reopened.df(t), df);
+            prop_assert_eq!(reopened.postings(t).unwrap().len() as u32, df);
+        }
+    }
+}

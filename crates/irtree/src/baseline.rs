@@ -1,0 +1,86 @@
+//! The R-Tree baseline algorithm (Section 5.1).
+
+use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectSource, SpatialObject};
+use ir2_rtree::{NnIter, RTree, UnitPayload};
+use ir2_storage::{BlockDevice, Result};
+
+use crate::SearchCounters;
+
+/// Incremental form of the paper's first baseline: plain Hjaltason–Samet
+/// nearest neighbor over an unaugmented R-Tree, loading **every** candidate
+/// object to post-filter it against the query keywords.
+///
+/// Its weakness — the reason the IR²-Tree exists — is that "it has to
+/// retrieve every object returned by the NN algorithm until the top-k
+/// result objects are found"; with selective keywords that is a long march
+/// of useless object loads, and "in the worst case … the entire tree has to
+/// be traversed".
+pub struct RtreeBaselineIter<'a, const N: usize, D> {
+    nn: NnIter<'a, N, D, UnitPayload>,
+    objects: &'a dyn ObjectSource<N>,
+    keywords: Vec<String>,
+    counters: SearchCounters,
+}
+
+impl<'a, const N: usize, D: BlockDevice> RtreeBaselineIter<'a, N, D> {
+    /// Starts the incremental baseline search.
+    pub fn new(
+        tree: &'a RTree<N, D, UnitPayload>,
+        objects: &'a dyn ObjectSource<N>,
+        query: &DistanceFirstQuery<N>,
+    ) -> Self {
+        Self {
+            nn: tree.nearest(query.point),
+            objects,
+            keywords: query.keywords.clone(),
+            counters: SearchCounters::default(),
+        }
+    }
+
+    /// The search counters so far (`pruned_by_signature` is always 0 — the
+    /// baseline has no signatures; its `false_positives` count the loaded
+    /// objects that failed the keyword check).
+    pub fn counters(&self) -> SearchCounters {
+        self.counters
+    }
+
+    fn step(&mut self) -> Result<Option<(SpatialObject<N>, f64)>> {
+        for nn in self.nn.by_ref() {
+            let nn = nn?;
+            self.counters.candidates_checked += 1;
+            let obj = self.objects.load(ObjPtr(nn.child))?;
+            if obj.token_set().contains_all(&self.keywords) {
+                return Ok(Some((obj, nn.dist)));
+            }
+            self.counters.false_positives += 1;
+        }
+        Ok(None)
+    }
+}
+
+impl<const N: usize, D: BlockDevice> Iterator for RtreeBaselineIter<'_, N, D> {
+    type Item = Result<(SpatialObject<N>, f64)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.step().transpose()
+    }
+}
+
+/// Answers a distance-first top-k spatial keyword query with the R-Tree
+/// baseline, returning `(object, distance)` pairs in ascending distance and
+/// the search counters.
+pub fn rtree_baseline_topk<const N: usize, D: BlockDevice>(
+    tree: &RTree<N, D, UnitPayload>,
+    objects: &dyn ObjectSource<N>,
+    query: &DistanceFirstQuery<N>,
+) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)> {
+    let mut iter = RtreeBaselineIter::new(tree, objects, query);
+    let mut out = Vec::with_capacity(query.k);
+    while out.len() < query.k {
+        match iter.step()? {
+            Some(hit) => out.push(hit),
+            None => break,
+        }
+    }
+    Ok((out, iter.counters()))
+}

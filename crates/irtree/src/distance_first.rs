@@ -1,0 +1,246 @@
+//! The distance-first IR²-Tree algorithm (paper Figure 8: `IR2TopK` on top
+//! of `IR2NearestNeighbor`).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use ir2_geo::OrderedF64;
+use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectSource, QueryRegion, SpatialObject};
+use ir2_rtree::RTree;
+use ir2_sigfile::Signature;
+use ir2_storage::{BlockDevice, Result};
+
+use crate::SigPayload;
+
+/// Counters the incremental search maintains, matching the metrics the
+/// paper's figures report per query.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SearchCounters {
+    /// Tree nodes read from disk.
+    pub nodes_read: u64,
+    /// Entries (node or object) pruned by a failed signature match.
+    pub pruned_by_signature: u64,
+    /// Candidate objects loaded and checked against the keywords.
+    pub candidates_checked: u64,
+    /// Candidates whose text did not actually contain all keywords —
+    /// signature false positives (line 21 of `IR2TopK` caught them).
+    pub false_positives: u64,
+}
+
+#[derive(PartialEq, Eq)]
+enum Item {
+    Node(u64),
+    Object(u64),
+}
+
+/// Incremental distance-first top-k spatial keyword search over an
+/// IR²-Tree or MIR²-Tree.
+///
+/// This is the paper's `IR2NearestNeighbor` (Figure 8) wrapped as an
+/// iterator: a best-first traversal ordered by MINDIST in which every
+/// entry must additionally pass the signature containment test against the
+/// query signature *of that node's level* ("if s matches w"). Each
+/// candidate object the traversal surfaces is loaded and verified against
+/// the actual keywords — signatures have false positives but no false
+/// negatives, so verified results emerge in exact distance order.
+///
+/// With an empty keyword list the query signature is empty, every entry
+/// matches, and the iterator degenerates to plain incremental NN — the
+/// IR²-Tree "facilitates both top-k spatial queries and top-k spatial
+/// keyword queries".
+pub struct DistanceFirstIter<'a, const N: usize, D, P: SigPayload> {
+    tree: &'a RTree<N, D, P>,
+    objects: &'a dyn ObjectSource<N>,
+    region: QueryRegion<N>,
+    keywords: Vec<String>,
+    /// Query signature per node level, built lazily (levels differ only in
+    /// the MIR²-Tree).
+    query_sigs: HashMap<u16, Signature>,
+    heap: BinaryHeap<Reverse<(OrderedF64, u64, Item)>>,
+    seq: u64,
+    counters: SearchCounters,
+}
+
+impl Ord for Item {
+    fn cmp(&self, _other: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+impl PartialOrd for Item {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<'a, const N: usize, D: BlockDevice, P: SigPayload> DistanceFirstIter<'a, N, D, P> {
+    /// Starts the incremental search (`U.Enqueue(R.RootNode, 0)`).
+    pub fn new(
+        tree: &'a RTree<N, D, P>,
+        objects: &'a dyn ObjectSource<N>,
+        query: DistanceFirstQuery<N>,
+    ) -> Self {
+        Self::with_region(tree, objects, QueryRegion::Point(query.point), query.keywords)
+    }
+
+    /// Starts an incremental search anchored at an arbitrary region — the
+    /// paper's "an area could be used instead" of the query point. Results
+    /// inside an area region come out at distance zero, then in increasing
+    /// distance from the area's boundary.
+    pub fn with_region(
+        tree: &'a RTree<N, D, P>,
+        objects: &'a dyn ObjectSource<N>,
+        region: QueryRegion<N>,
+        keywords: Vec<String>,
+    ) -> Self {
+        let mut heap = BinaryHeap::new();
+        if let Some(root) = tree.root() {
+            heap.push(Reverse((OrderedF64(0.0), 0, Item::Node(root))));
+        }
+        Self {
+            tree,
+            objects,
+            region,
+            keywords,
+            query_sigs: HashMap::new(),
+            heap,
+            seq: 1,
+            counters: SearchCounters::default(),
+        }
+    }
+
+    /// The search counters so far.
+    pub fn counters(&self) -> SearchCounters {
+        self.counters
+    }
+
+    fn query_sig(&mut self, level: u16) -> &Signature {
+        let ops = self.tree.ops();
+        let keywords = &self.keywords;
+        self.query_sigs.entry(level).or_insert_with(|| {
+            ops.scheme_at(level)
+                .sign_terms(keywords.iter().map(String::as_str))
+        })
+    }
+
+    fn step(&mut self) -> Result<Option<(SpatialObject<N>, f64)>> {
+        while let Some(Reverse((dist, _, item))) = self.heap.pop() {
+            match item {
+                Item::Object(child) => {
+                    // Line 20-21 of IR2TopK: load and verify (false
+                    // positives are possible).
+                    self.counters.candidates_checked += 1;
+                    let obj = self.objects.load(ObjPtr(child))?;
+                    if obj.token_set().contains_all(&self.keywords) {
+                        return Ok(Some((obj, dist.0)));
+                    }
+                    self.counters.false_positives += 1;
+                }
+                Item::Node(id) => {
+                    let node = self.tree.read_node(id)?;
+                    self.counters.nodes_read += 1;
+                    let qsig = self.query_sig(node.level).clone();
+                    for e in &node.entries {
+                        // "if s matches w": drop entries whose signature
+                        // does not contain the query signature.
+                        let esig = Signature::from_bytes(
+                            self.tree.ops().scheme_at(node.level).bits(),
+                            &e.payload,
+                        );
+                        if !esig.contains(&qsig) {
+                            self.counters.pruned_by_signature += 1;
+                            continue;
+                        }
+                        let d = OrderedF64(self.region.min_dist(&e.rect));
+                        let item = if node.is_leaf() {
+                            Item::Object(e.child)
+                        } else {
+                            Item::Node(e.child)
+                        };
+                        self.heap.push(Reverse((d, self.seq, item)));
+                        self.seq += 1;
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl<const N: usize, D: BlockDevice, P: SigPayload> Iterator for DistanceFirstIter<'_, N, D, P> {
+    type Item = Result<(SpatialObject<N>, f64)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.step().transpose()
+    }
+}
+
+/// Answers a distance-first top-k spatial keyword query over an IR²- or
+/// MIR²-Tree (the paper's `IR2TopK(R, Q)`), returning `(object, distance)`
+/// pairs in ascending distance together with the search counters.
+///
+/// ```
+/// use std::sync::Arc;
+/// use ir2_irtree::{distance_first_topk, insert_object, Ir2Payload};
+/// use ir2_model::{DistanceFirstQuery, ObjectStore, SpatialObject};
+/// use ir2_rtree::{RTree, RTreeConfig};
+/// use ir2_sigfile::SignatureScheme;
+/// use ir2_storage::MemDevice;
+///
+/// let store = Arc::new(ObjectStore::<2, _>::create(MemDevice::new()));
+/// let tree = RTree::create(
+///     MemDevice::new(),
+///     RTreeConfig::with_max(4),
+///     Ir2Payload::new(SignatureScheme::from_bytes_len(8, 3, 7)),
+/// )?;
+/// for (i, text) in ["cafe wifi", "cafe garden", "bar pool"].iter().enumerate() {
+///     let obj = SpatialObject::new(i as u64, [i as f64, 0.0], *text);
+///     insert_object(&tree, store.append(&obj)?, &obj)?;
+/// }
+/// let q = DistanceFirstQuery::new([0.0, 0.0], &["cafe"], 2);
+/// let (hits, _) = distance_first_topk(&tree, store.as_ref(), &q)?;
+/// assert_eq!(hits.len(), 2);
+/// assert_eq!(hits[0].0.id, 0); // the nearest cafe first
+/// # Ok::<(), ir2_storage::StorageError>(())
+/// ```
+pub fn distance_first_topk<const N: usize, D: BlockDevice, P: SigPayload>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    query: &DistanceFirstQuery<N>,
+) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)> {
+    let iter = DistanceFirstIter::new(tree, objects, query.clone());
+    collect_k(iter, query.k)
+}
+
+/// Distance-first top-k anchored at an arbitrary [`QueryRegion`] (point or
+/// area). Keywords are normalized like [`DistanceFirstQuery::new`] does.
+pub fn distance_first_region_topk<const N: usize, D: BlockDevice, P: SigPayload>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    region: QueryRegion<N>,
+    keywords: &[String],
+    k: usize,
+) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)> {
+    let mut kws: Vec<String> = keywords
+        .iter()
+        .flat_map(|w| ir2_text::tokenize(w).collect::<Vec<_>>())
+        .collect();
+    kws.sort_unstable();
+    kws.dedup();
+    let iter = DistanceFirstIter::with_region(tree, objects, region, kws);
+    collect_k(iter, k)
+}
+
+fn collect_k<const N: usize, D: BlockDevice, P: SigPayload>(
+    mut iter: DistanceFirstIter<'_, N, D, P>,
+    k: usize,
+) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)> {
+    let mut out = Vec::with_capacity(k.min(1024));
+    while out.len() < k {
+        match iter.step()? {
+            Some(hit) => out.push(hit),
+            None => break,
+        }
+    }
+    Ok((out, iter.counters()))
+}

@@ -1,0 +1,202 @@
+//! The general IR²-Tree algorithm (Section 5.3): results ranked by
+//! `f(distance(T.p, Q.p), IRscore(T.t, Q.t))`.
+
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use ir2_geo::{OrderedF64, Point};
+use ir2_model::{ObjPtr, ObjectSource, SpatialObject};
+use ir2_rtree::RTree;
+use ir2_sigfile::Signature;
+use ir2_storage::{BlockDevice, Result};
+use ir2_text::{tokenize, IrScorer, RankingFn, TermId, Vocabulary};
+
+use crate::SigPayload;
+
+/// A general top-k spatial keyword query: keywords are *preferences*, not a
+/// conjunctive filter — an object containing only some (or none, if
+/// `require_match` is off) of them may rank highly if it is close enough.
+#[derive(Debug, Clone)]
+pub struct GeneralQuery<const N: usize> {
+    /// `Q.p`: the query point.
+    pub point: Point<N>,
+    /// `Q.t`: the query keywords (normalized through the tokenizer).
+    pub keywords: Vec<String>,
+    /// `Q.k`: number of requested results.
+    pub k: usize,
+    /// When true (the paper's default), entries whose signature matches no
+    /// query keyword are pruned — "check if there can be an object T with
+    /// non-zero IR score". Disable to admit results with zero IR score.
+    pub require_match: bool,
+}
+
+impl<const N: usize> GeneralQuery<N> {
+    /// Builds a query with normalized, deduplicated keywords.
+    pub fn new<S: AsRef<str>>(point: impl Into<Point<N>>, keywords: &[S], k: usize) -> Self {
+        let mut kws: Vec<String> = keywords
+            .iter()
+            .flat_map(|w| tokenize(w.as_ref()).collect::<Vec<_>>())
+            .collect();
+        kws.sort_unstable();
+        kws.dedup();
+        Self {
+            point: point.into(),
+            keywords: kws,
+            k,
+            require_match: true,
+        }
+    }
+
+    /// Admits results with zero IR score (pure-distance fallback).
+    pub fn allow_unmatched(mut self) -> Self {
+        self.require_match = false;
+        self
+    }
+}
+
+/// One ranked result of the general algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredResult<const N: usize> {
+    /// The result object.
+    pub object: SpatialObject<N>,
+    /// Its combined `f(distance, IRscore)` value (higher is better).
+    pub score: f64,
+    /// Its spatial distance to the query point.
+    pub distance: f64,
+    /// Its text relevance `IRscore(T.t, Q.t)`.
+    pub ir_score: f64,
+}
+
+enum GItem<const N: usize> {
+    Node(u64),
+    Candidate(u64),
+    Loaded(Box<ScoredResult<N>>),
+}
+
+/// Answers a general top-k spatial keyword query over an IR²- or MIR²-Tree
+/// per Section 5.3:
+///
+/// * individual signatures `Signature(wᵢ)` per query keyword (no AND
+///   semantics — the node signature is probed per keyword to find the
+///   *matched subset*);
+/// * the priority queue is ordered by
+///   `Upper(v) = f(MINDIST(v), UpperBound(IRscore))`, the upper bound
+///   coming from the "imaginary object" that contains every
+///   signature-matched keyword (see
+///   [`IrScorer::upper_bound`]);
+/// * a candidate object is emitted only once its *actual* score is at
+///   least the best upper bound left in the queue; otherwise it is
+///   re-enqueued with its actual score "to be considered later".
+///
+/// Soundness rests on two monotonicities, both property-tested in this
+/// workspace: signatures have no false negatives (a node's matched set
+/// contains every descendant's) and `f` is decreasing in distance /
+/// increasing in IR score.
+pub fn general_topk<const N: usize, D: BlockDevice, P: SigPayload>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    vocab: &Vocabulary,
+    scorer: &dyn IrScorer,
+    rank: &dyn RankingFn,
+    query: &GeneralQuery<N>,
+) -> Result<Vec<ScoredResult<N>>> {
+    // Query terms present in the corpus (absent terms can never contribute
+    // to any document's score).
+    let term_ids: Vec<TermId> = query
+        .keywords
+        .iter()
+        .filter_map(|w| vocab.term_id(w))
+        .collect();
+    let terms: Vec<&str> = term_ids.iter().map(|&t| vocab.name(t)).collect();
+
+    // Per-level, per-keyword query signatures, built lazily.
+    let mut keyword_sigs: HashMap<u16, Vec<Signature>> = HashMap::new();
+
+    let mut heap: BinaryHeap<(OrderedF64, std::cmp::Reverse<u64>, u64)> = BinaryHeap::new();
+    let mut items: HashMap<u64, GItem<N>> = HashMap::new();
+    let mut seq: u64 = 0;
+    let push = |heap: &mut BinaryHeap<_>,
+                    items: &mut HashMap<u64, GItem<N>>,
+                    seq: &mut u64,
+                    upper: f64,
+                    item: GItem<N>| {
+        let id = *seq;
+        *seq += 1;
+        items.insert(id, item);
+        heap.push((OrderedF64(upper), std::cmp::Reverse(id), id));
+    };
+
+    if let Some(root) = tree.root() {
+        push(&mut heap, &mut items, &mut seq, f64::INFINITY, GItem::Node(root));
+    }
+
+    let mut out: Vec<ScoredResult<N>> = Vec::with_capacity(query.k);
+    while out.len() < query.k {
+        let Some((upper, _, id)) = heap.pop() else {
+            break;
+        };
+        let item = items.remove(&id).expect("heap entry has an item");
+        match item {
+            GItem::Loaded(res) => out.push(*res),
+            GItem::Candidate(child) => {
+                let obj = objects.load(ObjPtr(child))?;
+                let distance = obj.point.distance(&query.point);
+                let ir_score = scorer.score(vocab, &term_ids, &obj.token_counts());
+                // The verify-step analog of IR2TopK line 21: a signature
+                // false positive may surface an object that matches no
+                // query keyword; under `require_match` it is not a result.
+                if query.require_match && ir_score <= 0.0 {
+                    continue;
+                }
+                let score = rank.combine(distance, ir_score);
+                let res = ScoredResult {
+                    object: obj,
+                    score,
+                    distance,
+                    ir_score,
+                };
+                // Emit if the actual score dominates everything unseen.
+                let best_remaining = heap.peek().map(|(u, _, _)| u.0).unwrap_or(f64::NEG_INFINITY);
+                if score >= best_remaining {
+                    out.push(res);
+                } else {
+                    push(&mut heap, &mut items, &mut seq, score, GItem::Loaded(Box::new(res)));
+                }
+            }
+            GItem::Node(node_id) => {
+                let node = tree.read_node(node_id)?;
+                let level = node.level;
+                let ops = tree.ops();
+                let sigs = keyword_sigs.entry(level).or_insert_with(|| {
+                    terms
+                        .iter()
+                        .map(|t| ops.scheme_at(level).sign_term(t))
+                        .collect()
+                });
+                let bits = ops.scheme_at(level).bits();
+                for e in &node.entries {
+                    let esig = Signature::from_bytes(bits, &e.payload);
+                    let matched: Vec<TermId> = term_ids
+                        .iter()
+                        .zip(sigs.iter())
+                        .filter(|(_, s)| esig.contains(s))
+                        .map(|(&t, _)| t)
+                        .collect();
+                    if matched.is_empty() && query.require_match {
+                        continue;
+                    }
+                    let ub_ir = scorer.upper_bound(vocab, &matched);
+                    let dist = e.rect.min_dist(&query.point);
+                    let child_upper = rank.combine(dist, ub_ir).min(upper.0);
+                    let item = if node.is_leaf() {
+                        GItem::Candidate(e.child)
+                    } else {
+                        GItem::Node(e.child)
+                    };
+                    push(&mut heap, &mut items, &mut seq, child_upper, item);
+                }
+            }
+        }
+    }
+    Ok(out)
+}

@@ -1,0 +1,305 @@
+//! Signature payload strategies for the augmented R-Tree.
+
+use std::sync::Arc;
+
+use ir2_model::{ObjPtr, ObjectSource};
+use ir2_rtree::PayloadOps;
+use ir2_sigfile::{MultiLevelScheme, SignatureScheme};
+use ir2_text::tokenize;
+
+/// A [`PayloadOps`] whose payloads are signatures, exposing the per-level
+/// scheme so the query algorithms can build matching query signatures.
+pub trait SigPayload: PayloadOps {
+    /// The signature scheme of entries in a node at `level`.
+    fn scheme_at(&self, level: u16) -> &SignatureScheme;
+
+    /// The scheme applied to objects (leaf entries).
+    fn leaf_scheme(&self) -> &SignatureScheme {
+        self.scheme_at(0)
+    }
+}
+
+fn or_bytes(acc: &mut [u8], other: &[u8]) {
+    debug_assert_eq!(acc.len(), other.len(), "signature payload length mismatch");
+    for (a, b) in acc.iter_mut().zip(other.iter()) {
+        *a |= b;
+    }
+}
+
+// ---------------------------------------------------------------------
+// IR²-Tree: one scheme everywhere.
+// ---------------------------------------------------------------------
+
+/// Payloads of the plain IR²-Tree: every level shares one signature scheme,
+/// so "the signature of a node is the superimposition (OR-ing) of all the
+/// signatures of its entries" — maintenance costs no object accesses beyond
+/// the R-Tree's own work.
+#[derive(Debug, Clone)]
+pub struct Ir2Payload {
+    scheme: SignatureScheme,
+}
+
+impl Ir2Payload {
+    /// Creates the payload strategy from the tree's signature scheme.
+    pub fn new(scheme: SignatureScheme) -> Self {
+        Self { scheme }
+    }
+}
+
+impl SigPayload for Ir2Payload {
+    fn scheme_at(&self, _level: u16) -> &SignatureScheme {
+        &self.scheme
+    }
+}
+
+impl PayloadOps for Ir2Payload {
+    fn entry_size(&self, _node_level: u16) -> usize {
+        self.scheme.byte_len()
+    }
+
+    fn merge(&self, _node_level: u16, acc: &mut [u8], other: &[u8]) {
+        or_bytes(acc, other);
+    }
+
+    fn summarize_entries(
+        &self,
+        _node_level: u16,
+        entry_payloads: &mut dyn Iterator<Item = &[u8]>,
+    ) -> Option<Vec<u8>> {
+        let mut acc = vec![0u8; self.scheme.byte_len()];
+        for p in entry_payloads {
+            or_bytes(&mut acc, p);
+        }
+        Some(acc)
+    }
+
+    fn summarize_objects(
+        &self,
+        _parent_level: u16,
+        _objects: &mut dyn Iterator<Item = u64>,
+    ) -> Vec<u8> {
+        unreachable!("Ir2Payload summaries always fold from entries")
+    }
+
+    fn lift_object(&self, _child: u64, leaf_payload: &[u8], _node_level: u16) -> Vec<u8> {
+        leaf_payload.to_vec()
+    }
+}
+
+// ---------------------------------------------------------------------
+// MIR²-Tree: a scheme per level.
+// ---------------------------------------------------------------------
+
+/// Payloads of the MIR²-Tree: per-level signature schemes (multi-level
+/// superimposed coding). A node's signature superimposes the signatures of
+/// **all objects in its subtree** under its own level's scheme, so
+/// summaries across level boundaries cannot fold from children — they
+/// re-access the underlying objects through the [`ObjectSource`], which is
+/// "expensive to maintain" exactly as Section 4 warns.
+///
+/// Deviation noted in `DESIGN.md`: on the pure-insert path the new
+/// object's lifted signature is OR-ed into each ancestor (mathematically
+/// identical to recomputation, since superimposition is monotone); full
+/// recomputation happens on splits, deletions, and whenever
+/// `strict_paper_maintenance` is set (the paper's literal rule, measured by
+/// the maintenance ablation).
+pub struct MirPayload<const N: usize> {
+    schemes: MultiLevelScheme,
+    objects: Arc<dyn ObjectSource<N>>,
+    strict: bool,
+}
+
+impl<const N: usize> MirPayload<N> {
+    /// Creates the strategy from the per-level schemes and the object file
+    /// that signature recomputation reads.
+    pub fn new(schemes: MultiLevelScheme, objects: Arc<dyn ObjectSource<N>>) -> Self {
+        Self {
+            schemes,
+            objects,
+            strict: false,
+        }
+    }
+
+    /// Enables the paper's literal maintenance rule: every insert
+    /// recomputes all ancestor signatures from the underlying objects.
+    pub fn strict(mut self) -> Self {
+        self.strict = true;
+        self
+    }
+
+    /// The per-level scheme ladder.
+    pub fn schemes(&self) -> &MultiLevelScheme {
+        &self.schemes
+    }
+
+    fn sign_object_at(&self, child: u64, level: u16) -> Vec<u8> {
+        let scheme = self.schemes.scheme(level);
+        let mut out = vec![0u8; scheme.byte_len()];
+        // Object loads may fail only on a corrupt store; signatures must
+        // stay conservative (all-ones) rather than lose bits, so a failed
+        // load yields a signature that can never cause a false negative.
+        match self.objects.load(ObjPtr(child)) {
+            Ok(obj) => {
+                let terms: Vec<String> = tokenize(&obj.text).collect();
+                let sig = scheme.sign_terms(terms.iter().map(String::as_str));
+                sig.write_bytes(&mut out);
+            }
+            Err(_) => out.fill(0xFF),
+        }
+        out
+    }
+}
+
+impl<const N: usize> SigPayload for MirPayload<N> {
+    fn scheme_at(&self, level: u16) -> &SignatureScheme {
+        self.schemes.scheme(level)
+    }
+}
+
+impl<const N: usize> PayloadOps for MirPayload<N> {
+    fn entry_size(&self, node_level: u16) -> usize {
+        self.schemes.scheme(node_level).byte_len()
+    }
+
+    fn merge(&self, _node_level: u16, acc: &mut [u8], other: &[u8]) {
+        or_bytes(acc, other);
+    }
+
+    fn summarize_entries(
+        &self,
+        node_level: u16,
+        entry_payloads: &mut dyn Iterator<Item = &[u8]>,
+    ) -> Option<Vec<u8>> {
+        // Folding child payloads is only valid when both levels use the
+        // same scheme (the saturated top of the ladder).
+        if self.schemes.scheme(node_level) != self.schemes.scheme(node_level + 1) {
+            return None;
+        }
+        let mut acc = vec![0u8; self.schemes.scheme(node_level + 1).byte_len()];
+        for p in entry_payloads {
+            or_bytes(&mut acc, p);
+        }
+        Some(acc)
+    }
+
+    fn summarize_objects(
+        &self,
+        parent_level: u16,
+        objects: &mut dyn Iterator<Item = u64>,
+    ) -> Vec<u8> {
+        let scheme = self.schemes.scheme(parent_level);
+        let mut acc = vec![0u8; scheme.byte_len()];
+        for child in objects {
+            or_bytes(&mut acc, &self.sign_object_at(child, parent_level));
+        }
+        acc
+    }
+
+    fn lift_object(&self, child: u64, leaf_payload: &[u8], node_level: u16) -> Vec<u8> {
+        if self.schemes.scheme(node_level) == self.schemes.scheme(0) {
+            return leaf_payload.to_vec();
+        }
+        self.sign_object_at(child, node_level)
+    }
+
+    fn strict_maintenance(&self) -> bool {
+        self.strict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir2_model::{ObjectStore, SpatialObject};
+    use ir2_sigfile::Signature;
+    use ir2_storage::MemDevice;
+
+    #[test]
+    fn ir2_summary_is_superimposition() {
+        let scheme = SignatureScheme::new(64, 3, 1);
+        let ops = Ir2Payload::new(scheme);
+        let a = scheme.sign_term("alpha");
+        let b = scheme.sign_term("beta");
+        let mut ab = vec![0u8; 8];
+        a.write_bytes(&mut ab);
+        let mut bb = vec![0u8; 8];
+        b.write_bytes(&mut bb);
+        let sum = ops
+            .summarize_entries(0, &mut [ab.as_slice(), bb.as_slice()].into_iter())
+            .unwrap();
+        let sig = Signature::from_bytes(64, &sum);
+        assert!(sig.contains(&a));
+        assert!(sig.contains(&b));
+    }
+
+    fn mir_fixture() -> (MirPayload<2>, Vec<u64>) {
+        let store = Arc::new(ObjectStore::<2, _>::create(MemDevice::new()));
+        let texts = ["internet pool", "spa sauna", "golf pets"];
+        let mut ptrs = Vec::new();
+        for (i, t) in texts.iter().enumerate() {
+            let ptr = store
+                .append(&SpatialObject::new(i as u64, [0.0, 0.0], *t))
+                .unwrap();
+            ptrs.push(ptr.0);
+        }
+        let schemes = MultiLevelScheme::new(4, 3, 7, 4, 2.0, 100);
+        (MirPayload::new(schemes, store), ptrs)
+    }
+
+    #[test]
+    fn mir_entry_sizes_grow_with_level() {
+        let (ops, _) = mir_fixture();
+        assert_eq!(ops.entry_size(0), 4);
+        assert!(ops.entry_size(3) >= ops.entry_size(1));
+        assert!(ops.entry_size(1) > ops.entry_size(0));
+    }
+
+    #[test]
+    fn mir_cannot_fold_across_growing_levels() {
+        let (ops, _) = mir_fixture();
+        assert!(ops
+            .summarize_entries(0, &mut std::iter::empty())
+            .is_none());
+    }
+
+    #[test]
+    fn mir_summarize_objects_contains_every_objects_terms() {
+        let (ops, ptrs) = mir_fixture();
+        for level in 1..4u16 {
+            let scheme = *ops.scheme_at(level);
+            let sum = ops.summarize_objects(level, &mut ptrs.clone().into_iter());
+            let sig = Signature::from_bytes(scheme.bits(), &sum);
+            for term in ["internet", "pool", "spa", "sauna", "golf", "pets"] {
+                assert!(sig.contains(&scheme.sign_term(term)), "level {level} term {term}");
+            }
+        }
+    }
+
+    #[test]
+    fn mir_lift_matches_summarize_for_single_object() {
+        let (ops, ptrs) = mir_fixture();
+        let leaf = ops.sign_object_at(ptrs[0], 0);
+        for level in 0..4u16 {
+            let lifted = ops.lift_object(ptrs[0], &leaf, level);
+            let summed = ops.summarize_objects(level, &mut std::iter::once(ptrs[0]));
+            assert_eq!(lifted, summed, "level {level}");
+        }
+    }
+
+    #[test]
+    fn mir_missing_object_degrades_conservatively() {
+        let (ops, _) = mir_fixture();
+        // A dangling pointer must produce an all-ones signature, never a
+        // false negative.
+        let sig = ops.sign_object_at(999_999, 1);
+        assert!(sig.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn strict_flag_round_trips() {
+        let (ops, _) = mir_fixture();
+        assert!(!ops.strict_maintenance());
+        let strict = ops.strict();
+        assert!(strict.strict_maintenance());
+    }
+}

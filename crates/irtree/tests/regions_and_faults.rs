@@ -1,0 +1,199 @@
+//! Area-anchored queries (the paper's "an area could be used instead" of
+//! the query point) and fault-injection behaviour of the IR²-Tree stack.
+
+use std::sync::Arc;
+
+use ir2_geo::{Point, Rect};
+use ir2_irtree::{
+    distance_first_region_topk, insert_object, DistanceFirstIter, Ir2Payload,
+};
+use ir2_model::{ObjectSource, ObjectStore, QueryRegion, SpatialObject};
+use ir2_rtree::{RTree, RTreeConfig};
+use ir2_sigfile::SignatureScheme;
+use ir2_storage::testing::FlakyDevice;
+use ir2_storage::{MemDevice, StorageError};
+
+fn grid_db() -> (
+    Arc<ObjectStore<2, MemDevice>>,
+    RTree<2, MemDevice, Ir2Payload>,
+    Vec<SpatialObject<2>>,
+) {
+    let store = Arc::new(ObjectStore::<2, _>::create(MemDevice::new()));
+    let tree = RTree::create(
+        MemDevice::new(),
+        RTreeConfig::with_max(4),
+        Ir2Payload::new(SignatureScheme::from_bytes_len(8, 3, 5)),
+    )
+    .unwrap();
+    let themes = ["cafe wifi", "diner grill", "cafe books", "bar snooker"];
+    let mut objs = Vec::new();
+    for i in 0..64u64 {
+        let obj = SpatialObject::new(
+            i,
+            [(i % 8) as f64, (i / 8) as f64],
+            themes[i as usize % themes.len()],
+        );
+        let ptr = store.append(&obj).unwrap();
+        insert_object(&tree, ptr, &obj).unwrap();
+        objs.push(obj);
+    }
+    store.flush().unwrap();
+    (store, tree, objs)
+}
+
+#[test]
+fn area_query_returns_contained_objects_first() {
+    let (store, tree, objs) = grid_db();
+    let area = Rect::from_corners(Point::new([1.5, 1.5]), Point::new([3.5, 3.5]));
+    let region = QueryRegion::Area(area);
+    let (hits, _) =
+        distance_first_region_topk(&tree, store.as_ref(), region, &["cafe".into()], 50).unwrap();
+
+    // Every "cafe" object inside the area must be reported at distance 0,
+    // before anything outside.
+    let inside: Vec<u64> = objs
+        .iter()
+        .filter(|o| area.contains_point(&o.point) && o.token_set().contains("cafe"))
+        .map(|o| o.id)
+        .collect();
+    assert!(!inside.is_empty(), "fixture must place cafes inside the area");
+    let zero_dist: Vec<u64> = hits
+        .iter()
+        .take_while(|(_, d)| *d == 0.0)
+        .map(|(o, _)| o.id)
+        .collect();
+    let mut zs = zero_dist.clone();
+    zs.sort_unstable();
+    let mut ins = inside.clone();
+    ins.sort_unstable();
+    assert_eq!(zs, ins);
+    // Distances non-decreasing beyond the area.
+    for w in hits.windows(2) {
+        assert!(w[0].1 <= w[1].1);
+    }
+    // Agreement with brute force on the full match set.
+    let brute = objs
+        .iter()
+        .filter(|o| o.token_set().contains("cafe"))
+        .count();
+    assert_eq!(hits.len(), brute);
+}
+
+#[test]
+fn area_query_equals_point_query_for_degenerate_area() {
+    let (store, tree, _) = grid_db();
+    let p = Point::new([4.2, 2.9]);
+    let (by_area, _) = distance_first_region_topk(
+        &tree,
+        store.as_ref(),
+        QueryRegion::Area(Rect::from_point(p)),
+        &["cafe".into()],
+        10,
+    )
+    .unwrap();
+    let (by_point, _) = distance_first_region_topk(
+        &tree,
+        store.as_ref(),
+        QueryRegion::Point(p),
+        &["cafe".into()],
+        10,
+    )
+    .unwrap();
+    let da: Vec<f64> = by_area.iter().map(|(_, d)| *d).collect();
+    let dp: Vec<f64> = by_point.iter().map(|(_, d)| *d).collect();
+    assert_eq!(da.len(), dp.len());
+    for (a, b) in da.iter().zip(dp.iter()) {
+        assert!((a - b).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn tree_device_failure_surfaces_as_error_not_panic() {
+    // Build a healthy tree on a flaky device with a generous budget, then
+    // exhaust the budget and query: the iterator must yield Err.
+    let store = Arc::new(ObjectStore::<2, _>::create(MemDevice::new()));
+    let flaky = FlakyDevice::new(MemDevice::new(), u64::MAX / 2);
+    let tree = RTree::create(
+        flaky,
+        RTreeConfig::with_max(4),
+        Ir2Payload::new(SignatureScheme::from_bytes_len(8, 3, 5)),
+    )
+    .unwrap();
+    for i in 0..40u64 {
+        let obj = SpatialObject::new(i, [i as f64, 0.0], "word pool");
+        let ptr = store.append(&obj).unwrap();
+        insert_object(&tree, ptr, &obj).unwrap();
+    }
+    tree.device().refill(0); // every further tree I/O fails
+
+    let mut iter = DistanceFirstIter::new(
+        &tree,
+        store.as_ref() as &dyn ObjectSource<2>,
+        ir2_model::DistanceFirstQuery::new([0.0, 0.0], &["pool"], 5),
+    );
+    match iter.next() {
+        Some(Err(StorageError::Io(_))) => {}
+        other => panic!("expected injected Io error, got {other:?}"),
+    }
+
+    // Service restored: the same tree keeps working (no corruption).
+    tree.device().refill(u64::MAX / 2);
+    let (hits, _) = ir2_irtree::distance_first_topk(
+        &tree,
+        store.as_ref(),
+        &ir2_model::DistanceFirstQuery::new([0.0, 0.0], &["pool"], 5),
+    )
+    .unwrap();
+    assert_eq!(hits.len(), 5);
+}
+
+#[test]
+fn object_store_failure_mid_verification_is_an_error() {
+    let flaky_store = Arc::new(ObjectStore::<2, _>::create(FlakyDevice::new(
+        MemDevice::new(),
+        u64::MAX / 2,
+    )));
+    let tree = RTree::create(
+        MemDevice::new(),
+        RTreeConfig::with_max(4),
+        Ir2Payload::new(SignatureScheme::from_bytes_len(8, 3, 5)),
+    )
+    .unwrap();
+    for i in 0..20u64 {
+        let obj = SpatialObject::new(i, [i as f64, 1.0], "pool spa");
+        let ptr = flaky_store.append(&obj).unwrap();
+        insert_object(&tree, ptr, &obj).unwrap();
+    }
+    flaky_store.device().refill(0);
+    let res = ir2_irtree::distance_first_topk(
+        &tree,
+        flaky_store.as_ref(),
+        &ir2_model::DistanceFirstQuery::new([0.0, 0.0], &["pool"], 3),
+    );
+    assert!(matches!(res, Err(StorageError::Io(_))));
+}
+
+#[test]
+fn insert_failure_is_an_error_not_a_panic() {
+    // Exhaust the budget mid-insert; subsequent operations must error
+    // cleanly. (A failed insert may leave the tree partially updated — the
+    // paper's structures have no WAL — but it must never panic.)
+    let flaky = FlakyDevice::new(MemDevice::new(), 30);
+    let tree = RTree::create(
+        flaky,
+        RTreeConfig::with_max(4),
+        Ir2Payload::new(SignatureScheme::from_bytes_len(8, 3, 5)),
+    )
+    .unwrap();
+    let store = Arc::new(ObjectStore::<2, _>::create(MemDevice::new()));
+    let mut failed = false;
+    for i in 0..200u64 {
+        let obj = SpatialObject::new(i, [(i % 9) as f64, (i / 9) as f64], "pool");
+        let ptr = store.append(&obj).unwrap();
+        if insert_object(&tree, ptr, &obj).is_err() {
+            failed = true;
+            break;
+        }
+    }
+    assert!(failed, "budget of 30 operations must be exhausted");
+}

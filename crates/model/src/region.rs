@@ -1,0 +1,94 @@
+//! Query regions: a point or an area.
+//!
+//! Section 2 defines the query location as a point, but Section 3 notes
+//! the incremental NN algorithm's input is "a point p, which is the query
+//! point (an area could be used instead)". `QueryRegion` captures both: all
+//! traversal code measures distance from the region, which for a point is
+//! MINDIST and for an area the rectangle-to-rectangle gap.
+
+use ir2_geo::{Point, Rect};
+
+/// The spatial anchor of a query: a point or an axis-aligned area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryRegion<const N: usize> {
+    /// Distances measured from a point (the common case).
+    Point(Point<N>),
+    /// Distances measured from an area: zero for objects inside it.
+    Area(Rect<N>),
+}
+
+impl<const N: usize> QueryRegion<N> {
+    /// Lower bound on the distance from this region to anything inside
+    /// `mbr` (drives best-first traversal).
+    pub fn min_dist(&self, mbr: &Rect<N>) -> f64 {
+        match self {
+            Self::Point(p) => mbr.min_dist(p),
+            Self::Area(a) => a.min_dist_rect(mbr),
+        }
+    }
+
+    /// Distance from this region to a point (the reported result
+    /// distance).
+    pub fn distance(&self, p: &Point<N>) -> f64 {
+        match self {
+            Self::Point(q) => q.distance(p),
+            Self::Area(a) => a.min_dist(p),
+        }
+    }
+}
+
+impl<const N: usize> From<Point<N>> for QueryRegion<N> {
+    fn from(p: Point<N>) -> Self {
+        Self::Point(p)
+    }
+}
+
+impl<const N: usize> From<[f64; N]> for QueryRegion<N> {
+    fn from(p: [f64; N]) -> Self {
+        Self::Point(Point::new(p))
+    }
+}
+
+impl<const N: usize> From<Rect<N>> for QueryRegion<N> {
+    fn from(r: Rect<N>) -> Self {
+        Self::Area(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_region_matches_plain_distances() {
+        let r: QueryRegion<2> = [3.0, 4.0].into();
+        assert_eq!(r.distance(&Point::new([0.0, 0.0])), 5.0);
+        let mbr = Rect::from_corners(Point::new([0.0, 0.0]), Point::new([1.0, 1.0]));
+        assert!(r.min_dist(&mbr) > 0.0);
+    }
+
+    #[test]
+    fn area_region_is_zero_inside() {
+        let area = Rect::from_corners(Point::new([0.0, 0.0]), Point::new([10.0, 10.0]));
+        let r = QueryRegion::Area(area);
+        assert_eq!(r.distance(&Point::new([5.0, 5.0])), 0.0);
+        assert_eq!(r.distance(&Point::new([13.0, 4.0])), 3.0);
+        let inside = Rect::from_corners(Point::new([2.0, 2.0]), Point::new([3.0, 3.0]));
+        assert_eq!(r.min_dist(&inside), 0.0);
+        let outside = Rect::from_corners(Point::new([13.0, 14.0]), Point::new([15.0, 16.0]));
+        assert_eq!(r.min_dist(&outside), 5.0); // 3-4-5 gap
+    }
+
+    #[test]
+    fn min_dist_lower_bounds_contained_points() {
+        let r = QueryRegion::Area(Rect::from_corners(
+            Point::new([0.0, 0.0]),
+            Point::new([2.0, 2.0]),
+        ));
+        let mbr = Rect::from_corners(Point::new([5.0, 0.0]), Point::new([7.0, 2.0]));
+        let d = r.min_dist(&mbr);
+        for p in [[5.0, 0.0], [6.0, 1.0], [7.0, 2.0]] {
+            assert!(d <= r.distance(&Point::new(p)) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Tab-separated import/export of spatial objects.
+//!
+//! The paper's datasets "are plain text files (tab delimited) where each
+//! spatial object occupies a row". This module reads and writes that
+//! format — `id \t coord₀ \t … \t coordₙ₋₁ \t text` — so real datasets can
+//! be loaded in place of the synthetic generators.
+
+use std::io::{BufRead, Write};
+
+use ir2_geo::Point;
+use ir2_storage::{Result, StorageError};
+
+use crate::SpatialObject;
+
+/// Parses one TSV row.
+pub fn parse_row<const N: usize>(line: &str) -> Result<SpatialObject<N>> {
+    let corrupt = |msg: String| StorageError::Corrupt(format!("tsv: {msg}"));
+    let mut fields = line.splitn(N + 2, '\t');
+    let id: u64 = fields
+        .next()
+        .ok_or_else(|| corrupt("missing id".into()))?
+        .trim()
+        .parse()
+        .map_err(|e| corrupt(format!("bad id: {e}")))?;
+    let mut coords = [0.0f64; N];
+    for (d, c) in coords.iter_mut().enumerate() {
+        *c = fields
+            .next()
+            .ok_or_else(|| corrupt(format!("missing coordinate {d}")))?
+            .trim()
+            .parse()
+            .map_err(|e| corrupt(format!("bad coordinate {d}: {e}")))?;
+        if !c.is_finite() {
+            return Err(corrupt(format!("non-finite coordinate {d}")));
+        }
+    }
+    let text = fields.next().unwrap_or("").to_owned();
+    Ok(SpatialObject::new(id, Point::new(coords), text))
+}
+
+/// Reads objects from TSV, one per line; blank lines and `#` comments are
+/// skipped. Each item is `Err` for a malformed row (callers choose whether
+/// to skip or abort).
+pub fn read_tsv<const N: usize, R: BufRead>(
+    reader: R,
+) -> impl Iterator<Item = Result<SpatialObject<N>>> {
+    reader
+        .lines()
+        .map(|l| l.map_err(StorageError::from))
+        .filter(|l| match l {
+            Ok(l) => {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with('#')
+            }
+            Err(_) => true,
+        })
+        .map(|l| l.and_then(|l| parse_row(&l)))
+}
+
+/// Writes objects as TSV rows.
+///
+/// Tabs and newlines inside the text are replaced by spaces (the format
+/// has no escaping, matching the paper's plain files).
+pub fn write_tsv<'a, const N: usize, W: Write>(
+    mut out: W,
+    objects: impl IntoIterator<Item = &'a SpatialObject<N>>,
+) -> Result<()> {
+    for obj in objects {
+        write!(out, "{}", obj.id)?;
+        for d in 0..N {
+            write!(out, "\t{}", obj.point.coord(d))?;
+        }
+        let clean: String = obj
+            .text
+            .chars()
+            .map(|c| if c == '\t' || c == '\n' || c == '\r' { ' ' } else { c })
+            .collect();
+        writeln!(out, "\t{clean}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let objs = vec![
+            SpatialObject::<2>::new(1, [25.4, -80.1], "tennis court, gift shop"),
+            SpatialObject::<2>::new(2, [47.3, -122.2], "wireless Internet"),
+            SpatialObject::<2>::new(3, [0.0, 0.0], ""),
+        ];
+        let mut buf = Vec::new();
+        write_tsv(&mut buf, &objs).unwrap();
+        let back: Vec<SpatialObject<2>> = read_tsv(std::io::Cursor::new(buf))
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(back, objs);
+    }
+
+    #[test]
+    fn text_with_tabs_is_sanitized() {
+        let obj = SpatialObject::<2>::new(9, [1.0, 2.0], "has\ttabs\nand newlines");
+        let mut buf = Vec::new();
+        write_tsv(&mut buf, [&obj]).unwrap();
+        let back: Vec<SpatialObject<2>> = read_tsv(std::io::Cursor::new(buf))
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(back[0].text, "has tabs and newlines");
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let input = "# header\n\n1\t2.5\t-3.5\thello world\n";
+        let objs: Vec<SpatialObject<2>> = read_tsv(std::io::Cursor::new(input))
+            .collect::<Result<_>>()
+            .unwrap();
+        assert_eq!(objs.len(), 1);
+        assert_eq!(objs[0].id, 1);
+        assert_eq!(objs[0].text, "hello world");
+    }
+
+    #[test]
+    fn malformed_rows_error() {
+        assert!(parse_row::<2>("notanumber\t1\t2\ttext").is_err());
+        assert!(parse_row::<2>("1\t2.0").is_err());
+        assert!(parse_row::<2>("1\tNaN\t0\tx").is_err());
+        // Missing text is allowed (empty document).
+        assert!(parse_row::<2>("1\t2.0\t3.0").is_ok());
+    }
+
+    #[test]
+    fn three_dimensional_rows() {
+        let obj = parse_row::<3>("7\t1\t2\t3\tdrone dock").unwrap();
+        assert_eq!(obj.point.coords(), &[1.0, 2.0, 3.0]);
+        assert_eq!(obj.text, "drone dock");
+    }
+}

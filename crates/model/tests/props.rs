@@ -1,0 +1,66 @@
+//! Property tests for the object model: TSV round-trips and store/region
+//! invariants on arbitrary inputs.
+
+use ir2_geo::{Point, Rect};
+use ir2_model::{tsv, ObjectSource, ObjectStore, QueryRegion, SpatialObject};
+use ir2_storage::MemDevice;
+use proptest::prelude::*;
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Arbitrary printable text without the TSV separators.
+    "[a-zA-Z0-9 ,.!?'àé漢字-]{0,60}"
+}
+
+fn arb_object() -> impl Strategy<Value = SpatialObject<2>> {
+    (
+        any::<u64>(),
+        prop::array::uniform2(-1e6f64..1e6),
+        arb_text(),
+    )
+        .prop_map(|(id, p, text)| SpatialObject::new(id, p, text))
+}
+
+proptest! {
+    /// TSV export → import is the identity for separator-free text.
+    #[test]
+    fn tsv_roundtrip(objs in prop::collection::vec(arb_object(), 0..25)) {
+        let mut buf = Vec::new();
+        tsv::write_tsv(&mut buf, &objs).unwrap();
+        let back: Vec<SpatialObject<2>> =
+            tsv::read_tsv(std::io::Cursor::new(buf)).collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(back, objs);
+    }
+
+    /// Object store round-trips arbitrary objects and counts loads.
+    #[test]
+    fn store_roundtrip(objs in prop::collection::vec(arb_object(), 1..20)) {
+        let store = ObjectStore::<2, _>::create(MemDevice::new());
+        let ptrs: Vec<_> = objs.iter().map(|o| store.append(o).unwrap()).collect();
+        for (p, o) in ptrs.iter().zip(&objs) {
+            prop_assert_eq!(&store.load(*p).unwrap(), o);
+        }
+        prop_assert_eq!(store.loads(), objs.len() as u64);
+    }
+
+    /// Region distances: the point form of a region agrees with plain
+    /// point distance; the area form lower-bounds it for contained areas.
+    #[test]
+    fn region_distance_laws(p in prop::array::uniform2(-100.0f64..100.0),
+                            q in prop::array::uniform2(-100.0f64..100.0),
+                            pad in 0.0f64..10.0) {
+        let qp = Point::new(q);
+        let point_region: QueryRegion<2> = p.into();
+        prop_assert!((point_region.distance(&qp) - Point::new(p).distance(&qp)).abs() < 1e-12);
+
+        // An area padded around p is at most as far from q as p itself.
+        let area = Rect::from_corners(
+            Point::new([p[0] - pad, p[1] - pad]),
+            Point::new([p[0] + pad, p[1] + pad]),
+        );
+        let area_region = QueryRegion::Area(area);
+        prop_assert!(area_region.distance(&qp) <= point_region.distance(&qp) + 1e-12);
+        // And min_dist to a degenerate MBR at q equals distance to q.
+        let mbr = Rect::from_point(qp);
+        prop_assert!((area_region.min_dist(&mbr) - area_region.distance(&qp)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,161 @@
+//! Window (range) queries and tree statistics.
+
+use ir2_geo::Rect;
+use ir2_storage::{BlockDevice, Result};
+
+use crate::{PayloadOps, RTree};
+
+/// Per-level occupancy statistics of a tree (diagnostics and tests).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TreeStats {
+    /// Number of nodes at each level (index 0 = leaves).
+    pub nodes_per_level: Vec<u64>,
+    /// Total entries at each level.
+    pub entries_per_level: Vec<u64>,
+    /// Mean node fill ratio (entries / capacity) across all nodes.
+    pub avg_fill: f64,
+    /// Total blocks occupied by nodes.
+    pub node_blocks: u64,
+}
+
+impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
+    /// Classic R-Tree window query: invokes `visit` for every leaf entry
+    /// whose MBR intersects `window`, pruning subtrees whose bounding
+    /// rectangles do not. `visit` receives `(child_ref, rect, payload)` and
+    /// returns `false` to stop the search early.
+    pub fn search_window(
+        &self,
+        window: &Rect<N>,
+        mut visit: impl FnMut(u64, &Rect<N>, &[u8]) -> bool,
+    ) -> Result<()> {
+        let Some(root) = self.root() else {
+            return Ok(());
+        };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = self.read_node(id)?;
+            for e in &node.entries {
+                if !window.intersects(&e.rect) {
+                    continue;
+                }
+                if node.is_leaf() {
+                    if !visit(e.child, &e.rect, &e.payload) {
+                        return Ok(());
+                    }
+                } else {
+                    stack.push(e.child);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Collects all object references intersecting `window`.
+    pub fn window_objects(&self, window: &Rect<N>) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        self.search_window(window, |child, _, _| {
+            out.push(child);
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Walks the whole tree and reports occupancy statistics.
+    pub fn stats(&self) -> Result<TreeStats> {
+        let mut stats = TreeStats::default();
+        let Some(root) = self.root() else {
+            return Ok(stats);
+        };
+        let cap = self.config().max_entries as f64;
+        let mut fills = 0.0;
+        let mut nodes = 0u64;
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            let node = self.read_node(id)?;
+            let lvl = node.level as usize;
+            if stats.nodes_per_level.len() <= lvl {
+                stats.nodes_per_level.resize(lvl + 1, 0);
+                stats.entries_per_level.resize(lvl + 1, 0);
+            }
+            stats.nodes_per_level[lvl] += 1;
+            stats.entries_per_level[lvl] += node.entries.len() as u64;
+            stats.node_blocks += self.node_blocks(node.level) as u64;
+            fills += node.entries.len() as f64 / cap;
+            nodes += 1;
+            if !node.is_leaf() {
+                stack.extend(node.entries.iter().map(|e| e.child));
+            }
+        }
+        stats.avg_fill = fills / nodes as f64;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RTreeConfig, UnitPayload};
+    use ir2_geo::Point;
+    use ir2_storage::MemDevice;
+
+    fn grid_tree(n: u64) -> RTree<2, MemDevice, UnitPayload> {
+        let tree = RTree::create(MemDevice::new(), RTreeConfig::with_max(4), UnitPayload).unwrap();
+        for i in 0..n {
+            let p = Point::new([(i % 10) as f64, (i / 10) as f64]);
+            tree.insert(i, Rect::from_point(p), &[]).unwrap();
+        }
+        tree
+    }
+
+    #[test]
+    fn window_query_matches_brute_force() {
+        let tree = grid_tree(100);
+        let window = Rect::from_corners(Point::new([2.0, 3.0]), Point::new([5.0, 6.0]));
+        let mut got = tree.window_objects(&window).unwrap();
+        got.sort_unstable();
+        let want: Vec<u64> = (0..100u64)
+            .filter(|i| {
+                let (x, y) = ((i % 10) as f64, (i / 10) as f64);
+                (2.0..=5.0).contains(&x) && (3.0..=6.0).contains(&y)
+            })
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn window_query_early_stop() {
+        let tree = grid_tree(100);
+        let window = Rect::from_corners(Point::new([0.0, 0.0]), Point::new([9.0, 9.0]));
+        let mut seen = 0;
+        tree.search_window(&window, |_, _, _| {
+            seen += 1;
+            seen < 7
+        })
+        .unwrap();
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn empty_window_and_empty_tree() {
+        let tree = grid_tree(20);
+        let far = Rect::from_corners(Point::new([50.0, 50.0]), Point::new([60.0, 60.0]));
+        assert!(tree.window_objects(&far).unwrap().is_empty());
+        let empty = RTree::<2, _, _>::create(MemDevice::new(), RTreeConfig::with_max(4), UnitPayload)
+            .unwrap();
+        assert!(empty.window_objects(&far).unwrap().is_empty());
+        assert_eq!(empty.stats().unwrap(), TreeStats::default());
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let tree = grid_tree(100);
+        let stats = tree.stats().unwrap();
+        assert_eq!(stats.entries_per_level[0], 100);
+        assert_eq!(stats.nodes_per_level.len(), tree.height() as usize);
+        assert!(stats.avg_fill > 0.3 && stats.avg_fill <= 1.0);
+        // Each upper level's entry count equals the node count below it.
+        for lvl in 1..stats.nodes_per_level.len() {
+            assert_eq!(stats.entries_per_level[lvl], stats.nodes_per_level[lvl - 1]);
+        }
+    }
+}

@@ -1,0 +1,1002 @@
+//! The disk-resident augmented R-Tree: Insert, Delete, node I/O.
+
+use std::collections::HashMap;
+
+use ir2_geo::Rect;
+use ir2_storage::{extent, BlockDevice, Result, StorageError, BLOCK_SIZE};
+use parking_lot::Mutex;
+
+use crate::node::{Entry, Node, NodeId, NODE_HEADER_LEN};
+use crate::{PayloadOps, RTreeConfig, SplitStrategy};
+
+const META_MAGIC: &[u8; 4] = b"IR2T";
+const NO_ROOT: u64 = u64::MAX;
+
+/// In-memory tree metadata, persisted in the superblock (block 0).
+#[derive(Debug, Clone, Copy)]
+struct Meta {
+    root: Option<NodeId>,
+    /// Number of levels: 0 = empty, 1 = root is a leaf.
+    height: u16,
+    count: u64,
+}
+
+/// A height-balanced, disk-resident R-Tree over `N`-dimensional rectangles,
+/// augmented with per-entry payloads described by a [`PayloadOps`].
+///
+/// * `P = UnitPayload` — Guttman's R-Tree, the paper's first baseline.
+/// * `P = ` a signature payload — the IR²-Tree / MIR²-Tree (see the
+///   `ir2-irtree` crate).
+///
+/// The tree owns its block device: block 0 is the superblock, every node
+/// occupies a fixed extent of consecutive blocks whose size depends on the
+/// node's level (signatures may lengthen toward the root). Leaf entries
+/// reference objects by an opaque `u64` (an `ObjPtr` in the full system).
+///
+/// Concurrency: any number of concurrent readers ([`RTree::nearest`],
+/// [`RTree::read_node`]) xor one writer ([`RTree::insert`],
+/// [`RTree::delete`]) — the usual index discipline; metadata is internally
+/// locked so mixing merely risks non-repeatable reads, not corruption.
+///
+/// ```
+/// use ir2_geo::{Point, Rect};
+/// use ir2_rtree::{RTree, RTreeConfig, UnitPayload};
+/// use ir2_storage::MemDevice;
+///
+/// let tree = RTree::<2, _, _>::create(MemDevice::new(), RTreeConfig::with_max(4), UnitPayload)?;
+/// for i in 0..20u64 {
+///     tree.insert(i, Rect::from_point(Point::new([i as f64, 0.0])), &[])?;
+/// }
+/// // Incremental nearest neighbor from x = 7.2: object 7 comes first.
+/// let first = tree.nearest(Point::new([7.2, 0.0])).next().unwrap()?;
+/// assert_eq!(first.child, 7);
+/// # Ok::<(), ir2_storage::StorageError>(())
+/// ```
+pub struct RTree<const N: usize, D, P> {
+    dev: D,
+    ops: P,
+    cfg: RTreeConfig,
+    meta: Mutex<Meta>,
+    /// Freed node extents by extent size, reused before growing the device.
+    free: Mutex<HashMap<u16, Vec<NodeId>>>,
+}
+
+impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
+    /// Creates an empty tree on a fresh device (allocates the superblock).
+    pub fn create(dev: D, cfg: RTreeConfig, ops: P) -> Result<Self> {
+        let first = dev.allocate(1)?;
+        debug_assert_eq!(first, 0, "tree must own its device from block 0");
+        let tree = Self {
+            dev,
+            ops,
+            cfg,
+            meta: Mutex::new(Meta {
+                root: None,
+                height: 0,
+                count: 0,
+            }),
+            free: Mutex::new(HashMap::new()),
+        };
+        tree.write_meta()?;
+        Ok(tree)
+    }
+
+    /// Opens a tree persisted on `dev` (the caller supplies the same `cfg`
+    /// and `ops` the tree was created with; `cfg` is validated against the
+    /// superblock).
+    pub fn open(dev: D, cfg: RTreeConfig, ops: P) -> Result<Self> {
+        let mut block = ir2_storage::zeroed_block();
+        dev.read_block(0, &mut block)?;
+        if &block[..4] != META_MAGIC {
+            return Err(StorageError::Corrupt("bad tree superblock magic".into()));
+        }
+        let root = u64::from_le_bytes(block[4..12].try_into().expect("8 bytes"));
+        let height = u16::from_le_bytes(block[12..14].try_into().expect("2 bytes"));
+        let count = u64::from_le_bytes(block[14..22].try_into().expect("8 bytes"));
+        let max = u32::from_le_bytes(block[22..26].try_into().expect("4 bytes")) as usize;
+        let dims = u16::from_le_bytes(block[26..28].try_into().expect("2 bytes")) as usize;
+        if max != cfg.max_entries || dims != N {
+            return Err(StorageError::Corrupt(format!(
+                "superblock mismatch: stored M={max}, dims={dims}; expected M={}, dims={N}",
+                cfg.max_entries
+            )));
+        }
+        Ok(Self {
+            dev,
+            ops,
+            cfg,
+            meta: Mutex::new(Meta {
+                root: (root != NO_ROOT).then_some(root),
+                height,
+                count,
+            }),
+            free: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Persists the superblock (free-list extents are not persisted; a
+    /// reopened tree simply allocates fresh extents).
+    pub fn flush(&self) -> Result<()> {
+        self.write_meta()?;
+        self.dev.sync()
+    }
+
+    fn write_meta(&self) -> Result<()> {
+        let meta = *self.meta.lock();
+        let mut block = ir2_storage::zeroed_block();
+        block[..4].copy_from_slice(META_MAGIC);
+        block[4..12].copy_from_slice(&meta.root.unwrap_or(NO_ROOT).to_le_bytes());
+        block[12..14].copy_from_slice(&meta.height.to_le_bytes());
+        block[14..22].copy_from_slice(&meta.count.to_le_bytes());
+        block[22..26].copy_from_slice(&(self.cfg.max_entries as u32).to_le_bytes());
+        block[26..28].copy_from_slice(&(N as u16).to_le_bytes());
+        self.dev.write_block(0, &block)
+    }
+
+    /// Number of objects indexed.
+    pub fn len(&self) -> u64 {
+        self.meta.lock().count
+    }
+
+    /// True if no objects are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tree height in levels (0 = empty, 1 = root is a leaf).
+    pub fn height(&self) -> u16 {
+        self.meta.lock().height
+    }
+
+    /// The root node id, if any.
+    pub fn root(&self) -> Option<NodeId> {
+        self.meta.lock().root
+    }
+
+    /// Total size of the tree's device in bytes (Table 2's structure size).
+    pub fn size_bytes(&self) -> u64 {
+        self.dev.size_bytes()
+    }
+
+    /// The tree's block device (for I/O statistics).
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
+    /// The payload strategy.
+    pub fn ops(&self) -> &P {
+        &self.ops
+    }
+
+    /// The shape configuration.
+    pub fn config(&self) -> &RTreeConfig {
+        &self.cfg
+    }
+
+    /// Extent size (blocks) of a node at `level`. A plain R-Tree node is
+    /// one block; payload-carrying nodes keep the fanout and spill onto
+    /// additional blocks — the paper's "two or more disk blocks per node".
+    pub fn node_blocks(&self, level: u16) -> u16 {
+        let entry = Node::<N>::entry_encoded_len(self.ops.entry_size(level));
+        extent::blocks_for(NODE_HEADER_LEN + self.cfg.max_entries * entry) as u16
+    }
+
+    pub(crate) fn alloc_node(&self, level: u16) -> Result<NodeId> {
+        let nblocks = self.node_blocks(level);
+        if let Some(id) = self.free.lock().get_mut(&nblocks).and_then(Vec::pop) {
+            return Ok(id);
+        }
+        self.dev.allocate(nblocks as u64)
+    }
+
+    fn free_node(&self, id: NodeId, level: u16) {
+        let nblocks = self.node_blocks(level);
+        self.free.lock().entry(nblocks).or_default().push(id);
+    }
+
+    /// Reads the node at `id` (one random block access plus sequential ones
+    /// for multi-block nodes).
+    pub fn read_node(&self, id: NodeId) -> Result<Node<N>> {
+        let mut first = ir2_storage::zeroed_block();
+        self.dev.read_block(id, &mut first)?;
+        let (level, _count, nblocks) = Node::<N>::decode_header(&first[..])?;
+        let payload_size = self.ops.entry_size(level);
+        if nblocks <= 1 {
+            return Node::decode(id, &first[..], payload_size);
+        }
+        let mut buf = vec![0u8; nblocks as usize * BLOCK_SIZE];
+        buf[..BLOCK_SIZE].copy_from_slice(&first[..]);
+        extent::read_extent_into(&self.dev, id + 1, nblocks as u32 - 1, &mut buf[BLOCK_SIZE..])?;
+        Node::decode(id, &buf, payload_size)
+    }
+
+    pub(crate) fn write_node(&self, node: &Node<N>) -> Result<()> {
+        debug_assert!(
+            node.entries.len() <= self.cfg.max_entries,
+            "node {} overflows: {} entries",
+            node.id,
+            node.entries.len()
+        );
+        let nblocks = self.node_blocks(node.level);
+        let bytes = node.encode(self.ops.entry_size(node.level), nblocks);
+        // Always write the full extent so stale entries cannot resurface.
+        let mut padded = vec![0u8; nblocks as usize * BLOCK_SIZE];
+        padded[..bytes.len()].copy_from_slice(&bytes);
+        extent::write_extent(&self.dev, node.id, &padded)?;
+        Ok(())
+    }
+
+    /// The parent-entry payload summarizing `node`, via entry folding when
+    /// the payload scheme allows it and a subtree-object recomputation
+    /// otherwise (the MIR²-Tree's expensive path).
+    pub(crate) fn summary_of_node(&self, node: &Node<N>) -> Result<Vec<u8>> {
+        let mut payloads = node.entries.iter().map(|e| e.payload.as_slice());
+        if let Some(summary) = self.ops.summarize_entries(node.level, &mut payloads) {
+            return Ok(summary);
+        }
+        let objects = self.collect_objects(node)?;
+        Ok(self
+            .ops
+            .summarize_objects(node.level + 1, &mut objects.into_iter()))
+    }
+
+    /// All object references in the subtree rooted at `node` (reads the
+    /// subtree's nodes — a real, tracked I/O cost).
+    pub fn collect_objects(&self, node: &Node<N>) -> Result<Vec<u64>> {
+        let mut out = Vec::new();
+        self.collect_objects_into(node, &mut out)?;
+        Ok(out)
+    }
+
+    fn collect_objects_into(&self, node: &Node<N>, out: &mut Vec<u64>) -> Result<()> {
+        if node.is_leaf() {
+            out.extend(node.entries.iter().map(|e| e.child));
+            return Ok(());
+        }
+        for e in &node.entries {
+            let child = self.read_node(e.child)?;
+            self.collect_objects_into(&child, out)?;
+        }
+        Ok(())
+    }
+
+    /// Installs bulk-load results into the metadata (crate-internal).
+    pub(crate) fn set_meta_after_bulk(&self, root: NodeId, height: u16, count: u64) {
+        let mut meta = self.meta.lock();
+        meta.root = Some(root);
+        meta.height = height;
+        meta.count = count;
+    }
+
+    // ------------------------------------------------------------------
+    // Insert (paper Figure 5, on top of Guttman's ChooseLeaf/AdjustTree).
+    // ------------------------------------------------------------------
+
+    /// Inserts an object reference with its MBR and leaf payload
+    /// (`Insert(ObjPtr, MBR, S)` in the paper's Figure 5).
+    pub fn insert(&self, child: u64, rect: Rect<N>, leaf_payload: &[u8]) -> Result<()> {
+        let mut meta = self.meta.lock();
+        self.insert_inner(&mut meta, child, rect, leaf_payload, true)
+    }
+
+    fn insert_inner(
+        &self,
+        meta: &mut Meta,
+        child: u64,
+        rect: Rect<N>,
+        leaf_payload: &[u8],
+        bump_count: bool,
+    ) -> Result<()> {
+        debug_assert_eq!(leaf_payload.len(), self.ops.entry_size(0), "leaf payload size");
+        if bump_count {
+            meta.count += 1;
+        }
+        let Some(root_id) = meta.root else {
+            let id = self.alloc_node(0)?;
+            let mut node = Node::new(id, 0);
+            node.entries.push(Entry::new(child, rect, leaf_payload.to_vec()));
+            self.write_node(&node)?;
+            meta.root = Some(id);
+            meta.height = 1;
+            return Ok(());
+        };
+
+        // ChooseLeaf: descend by least enlargement, recording the path.
+        let mut path: Vec<(Node<N>, usize)> = Vec::new();
+        let mut node = self.read_node(root_id)?;
+        while !node.is_leaf() {
+            let idx = choose_subtree(&node, &rect);
+            let next = node.entries[idx].child;
+            path.push((node, idx));
+            node = self.read_node(next)?;
+        }
+        node.entries.push(Entry::new(child, rect, leaf_payload.to_vec()));
+
+        // Resolve overflow at the leaf, then walk the path upward adjusting
+        // MBRs and payloads (the paper's AdjustTree "modified to also
+        // maintain the signatures of the modified nodes").
+        let mut pending_split: Option<(Entry<N>, Entry<N>)> = None;
+        if node.entries.len() > self.cfg.max_entries {
+            pending_split = Some(self.split_node(node.clone())?);
+        } else {
+            self.write_node(&node)?;
+        }
+        let mut below = node;
+
+        while let Some((mut parent, idx)) = path.pop() {
+            if let Some((ea, eb)) = pending_split.take() {
+                parent.entries[idx] = ea;
+                parent.entries.push(eb);
+                if parent.entries.len() > self.cfg.max_entries {
+                    pending_split = Some(self.split_node(parent.clone())?);
+                    below = parent;
+                    continue;
+                }
+                self.write_node(&parent)?;
+                below = parent;
+                continue;
+            }
+
+            // Plain adjustment: refresh the parent entry describing `below`.
+            let e = &mut parent.entries[idx];
+            let new_rect = below.mbr();
+            let rect_changed = e.rect != new_rect;
+            e.rect = new_rect;
+            let payload_changed = if self.ops.strict_maintenance() {
+                let fresh = self.summary_of_node(&below)?;
+                let changed = e.payload != fresh;
+                e.payload = fresh;
+                changed
+            } else {
+                let lifted = self.ops.lift_object(child, leaf_payload, parent.level);
+                let before = e.payload.clone();
+                self.ops.merge(parent.level, &mut e.payload, &lifted);
+                e.payload != before
+            };
+            if rect_changed || payload_changed {
+                self.write_node(&parent)?;
+                below = parent;
+            } else {
+                // Nothing changed here, so nothing can change above.
+                return Ok(());
+            }
+        }
+
+        // A split propagated past the old root: grow the tree.
+        if let Some((ea, eb)) = pending_split {
+            let level = meta.height; // old root level + 1
+            let id = self.alloc_node(level)?;
+            let mut new_root = Node::new(id, level);
+            new_root.entries.push(ea);
+            new_root.entries.push(eb);
+            self.write_node(&new_root)?;
+            meta.root = Some(id);
+            meta.height += 1;
+        }
+        Ok(())
+    }
+
+    /// Quadratic split [Gut84]: distributes an overflowing node's entries
+    /// into two nodes, writes both, and returns the parent entries that
+    /// describe them (with freshly computed summaries).
+    fn split_node(&self, node: Node<N>) -> Result<(Entry<N>, Entry<N>)> {
+        let level = node.level;
+        let (group_a, group_b) = match self.cfg.split {
+            SplitStrategy::Quadratic => quadratic_split(node.entries, self.cfg.min_entries),
+            SplitStrategy::Linear => linear_split(node.entries, self.cfg.min_entries),
+        };
+
+        let node_a = Node {
+            id: node.id,
+            level,
+            entries: group_a,
+        };
+        let id_b = self.alloc_node(level)?;
+        let node_b = Node {
+            id: id_b,
+            level,
+            entries: group_b,
+        };
+        self.write_node(&node_a)?;
+        self.write_node(&node_b)?;
+
+        let ea = Entry::new(node_a.id, node_a.mbr(), self.summary_of_node(&node_a)?);
+        let eb = Entry::new(node_b.id, node_b.mbr(), self.summary_of_node(&node_b)?);
+        Ok((ea, eb))
+    }
+
+    // ------------------------------------------------------------------
+    // Delete (paper Figure 6: FindLeaf + CondenseTree).
+    // ------------------------------------------------------------------
+
+    /// Deletes the entry for object `child` with MBR `rect`. Returns
+    /// whether the entry existed.
+    pub fn delete(&self, child: u64, rect: &Rect<N>) -> Result<bool> {
+        let mut meta = self.meta.lock();
+        let Some(root_id) = meta.root else {
+            return Ok(false);
+        };
+
+        // FindLeaf: DFS along entries whose MBR contains the object's.
+        let root = self.read_node(root_id)?;
+        let Some(mut path) = self.find_leaf(&root, child, rect)? else {
+            return Ok(false);
+        };
+        let (mut leaf, entry_idx) = path.pop().expect("find_leaf returns the leaf last");
+        leaf.entries.remove(entry_idx);
+        meta.count -= 1;
+
+        // CondenseTree, "modified to maintain the signatures of updated
+        // nodes": under-full nodes dissolve (their leaf entries are
+        // reinserted), surviving ancestors get recomputed MBRs and payloads
+        // (bits cannot be un-OR-ed incrementally).
+        let mut orphaned: Vec<(u64, Rect<N>, Vec<u8>)> = Vec::new();
+        let mut cur = leaf;
+        while let Some((mut parent, idx)) = path.pop() {
+            if cur.entries.len() < self.cfg.min_entries {
+                parent.entries.remove(idx);
+                self.gather_and_free(&cur, &mut orphaned)?;
+            } else {
+                self.write_node(&cur)?;
+                let e = &mut parent.entries[idx];
+                e.rect = cur.mbr();
+                e.payload = self.summary_of_node(&cur)?;
+            }
+            cur = parent;
+        }
+
+        // `cur` is the root. Shrink it as needed.
+        if cur.is_leaf() {
+            if cur.entries.is_empty() {
+                self.free_node(cur.id, cur.level);
+                meta.root = None;
+                meta.height = 0;
+            } else {
+                self.write_node(&cur)?;
+            }
+        } else if cur.entries.is_empty() {
+            // Every child dissolved; the orphans below will rebuild.
+            self.free_node(cur.id, cur.level);
+            meta.root = None;
+            meta.height = 0;
+        } else {
+            self.write_node(&cur)?;
+            // If the root has a single child, make that child the root.
+            let mut root = cur;
+            while !root.is_leaf() && root.entries.len() == 1 {
+                let child_id = root.entries[0].child;
+                self.free_node(root.id, root.level);
+                root = self.read_node(child_id)?;
+                meta.root = Some(root.id);
+                meta.height -= 1;
+            }
+        }
+
+        // Reinsert orphaned objects (without recounting them).
+        for (c, r, payload) in orphaned {
+            self.insert_inner(&mut meta, c, r, &payload, false)?;
+        }
+        Ok(true)
+    }
+
+    /// DFS for the leaf holding (`child`, `rect`); returns the descent path
+    /// as `(node, entry_index)` pairs ending with `(leaf, index_of_entry)`.
+    #[allow(clippy::type_complexity)]
+    fn find_leaf(
+        &self,
+        node: &Node<N>,
+        child: u64,
+        rect: &Rect<N>,
+    ) -> Result<Option<Vec<(Node<N>, usize)>>> {
+        if node.is_leaf() {
+            for (i, e) in node.entries.iter().enumerate() {
+                if e.child == child && e.rect == *rect {
+                    return Ok(Some(vec![(node.clone(), i)]));
+                }
+            }
+            return Ok(None);
+        }
+        for (i, e) in node.entries.iter().enumerate() {
+            if e.rect.contains(rect) {
+                let sub = self.read_node(e.child)?;
+                if let Some(mut path) = self.find_leaf(&sub, child, rect)? {
+                    let mut full = vec![(node.clone(), i)];
+                    full.append(&mut path);
+                    return Ok(Some(full));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Collects every leaf entry of the subtree rooted at `node` into
+    /// `out`, freeing all subtree nodes.
+    fn gather_and_free(
+        &self,
+        node: &Node<N>,
+        out: &mut Vec<(u64, Rect<N>, Vec<u8>)>,
+    ) -> Result<()> {
+        if node.is_leaf() {
+            for e in &node.entries {
+                out.push((e.child, e.rect, e.payload.clone()));
+            }
+        } else {
+            for e in &node.entries {
+                let sub = self.read_node(e.child)?;
+                self.gather_and_free(&sub, out)?;
+            }
+        }
+        self.free_node(node.id, node.level);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Structural validation (used heavily by the test suites).
+    // ------------------------------------------------------------------
+
+    /// Walks the whole tree checking the R-Tree invariants; returns the
+    /// number of leaf entries found.
+    ///
+    /// Checked: uniform leaf depth; parent entry MBRs equal to child node
+    /// MBRs; node fills within `[min, max]` (root exempt); recorded count
+    /// matches leaf entries. Payload invariants are checked by the caller
+    /// via `check_payload(parent_entry_payload, child_node_summary)`.
+    pub fn check_invariants(
+        &self,
+        mut check_payload: impl FnMut(u16, &[u8], &[u8]) -> bool,
+    ) -> Result<u64> {
+        let meta = *self.meta.lock();
+        let Some(root_id) = meta.root else {
+            if meta.count != 0 || meta.height != 0 {
+                return Err(StorageError::Corrupt("empty tree with nonzero meta".into()));
+            }
+            return Ok(0);
+        };
+        let root = self.read_node(root_id)?;
+        if root.level + 1 != meta.height {
+            return Err(StorageError::Corrupt(format!(
+                "root level {} vs height {}",
+                root.level, meta.height
+            )));
+        }
+        let count = self.check_node(&root, true, &mut check_payload)?;
+        if count != meta.count {
+            return Err(StorageError::Corrupt(format!(
+                "counted {count} leaf entries, meta says {}",
+                meta.count
+            )));
+        }
+        Ok(count)
+    }
+
+    fn check_node(
+        &self,
+        node: &Node<N>,
+        is_root: bool,
+        check_payload: &mut impl FnMut(u16, &[u8], &[u8]) -> bool,
+    ) -> Result<u64> {
+        let fill_ok = if is_root {
+            !node.entries.is_empty() || node.is_leaf()
+        } else {
+            node.entries.len() >= self.cfg.min_entries
+                && node.entries.len() <= self.cfg.max_entries
+        };
+        if !fill_ok {
+            return Err(StorageError::Corrupt(format!(
+                "node {} fill {} outside [{}, {}]",
+                node.id,
+                node.entries.len(),
+                self.cfg.min_entries,
+                self.cfg.max_entries
+            )));
+        }
+        if node.is_leaf() {
+            return Ok(node.entries.len() as u64);
+        }
+        let mut total = 0;
+        for e in &node.entries {
+            let child = self.read_node(e.child)?;
+            if child.level + 1 != node.level {
+                return Err(StorageError::Corrupt(format!(
+                    "node {}: child {} at level {} under level {}",
+                    node.id, child.id, child.level, node.level
+                )));
+            }
+            if e.rect != child.mbr() {
+                return Err(StorageError::Corrupt(format!(
+                    "node {}: stale MBR for child {}",
+                    node.id, child.id
+                )));
+            }
+            let summary = self.summary_of_node(&child)?;
+            if !check_payload(node.level, &e.payload, &summary) {
+                return Err(StorageError::Corrupt(format!(
+                    "node {}: payload invariant violated for child {}",
+                    node.id, child.id
+                )));
+            }
+            total += self.check_node(&child, false, check_payload)?;
+        }
+        Ok(total)
+    }
+}
+
+/// Guttman's ChooseLeaf criterion: the entry needing least area enlargement
+/// (ties: smallest area, then lowest index for determinism).
+fn choose_subtree<const N: usize>(node: &Node<N>, rect: &Rect<N>) -> usize {
+    let mut best = 0;
+    let mut best_enlargement = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for (i, e) in node.entries.iter().enumerate() {
+        let enlargement = e.rect.enlargement(rect);
+        let area = e.rect.area();
+        if enlargement < best_enlargement
+            || (enlargement == best_enlargement && area < best_area)
+        {
+            best = i;
+            best_enlargement = enlargement;
+            best_area = area;
+        }
+    }
+    best
+}
+
+/// Guttman's quadratic split: PickSeeds (the pair wasting the most area
+/// together) then PickNext (the entry with the greatest preference for one
+/// group), honoring the minimum fill by force-assignment.
+fn quadratic_split<const N: usize>(
+    entries: Vec<Entry<N>>,
+    min_entries: usize,
+) -> (Vec<Entry<N>>, Vec<Entry<N>>) {
+    debug_assert!(entries.len() >= 2);
+    // PickSeeds.
+    let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        for j in i + 1..entries.len() {
+            let waste = entries[i].rect.union(&entries[j].rect).area()
+                - entries[i].rect.area()
+                - entries[j].rect.area();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    let mut remaining: Vec<Option<Entry<N>>> = entries.into_iter().map(Some).collect();
+    let mut group_a = vec![remaining[seed_a].take().expect("seed a")];
+    let mut group_b = vec![remaining[seed_b].take().expect("seed b")];
+    let mut mbr_a = group_a[0].rect;
+    let mut mbr_b = group_b[0].rect;
+    let mut left: usize = remaining.iter().flatten().count();
+
+    while left > 0 {
+        // Force-assign when a group must take everything left to reach the
+        // minimum fill.
+        if group_a.len() + left == min_entries {
+            for e in remaining.iter_mut().filter_map(Option::take) {
+                mbr_a.union_in_place(&e.rect);
+                group_a.push(e);
+            }
+            break;
+        }
+        if group_b.len() + left == min_entries {
+            for e in remaining.iter_mut().filter_map(Option::take) {
+                mbr_b.union_in_place(&e.rect);
+                group_b.push(e);
+            }
+            break;
+        }
+        // PickNext: maximal |d_a − d_b|.
+        let (mut pick, mut best_diff) = (usize::MAX, f64::NEG_INFINITY);
+        for (i, e) in remaining.iter().enumerate() {
+            if let Some(e) = e {
+                let da = mbr_a.enlargement(&e.rect);
+                let db = mbr_b.enlargement(&e.rect);
+                let diff = (da - db).abs();
+                if diff > best_diff {
+                    best_diff = diff;
+                    pick = i;
+                }
+            }
+        }
+        let e = remaining[pick].take().expect("picked entry");
+        left -= 1;
+        let da = mbr_a.enlargement(&e.rect);
+        let db = mbr_b.enlargement(&e.rect);
+        // Resolve ties by smaller area, then smaller group.
+        let to_a = match da.partial_cmp(&db).expect("finite enlargements") {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                if mbr_a.area() != mbr_b.area() {
+                    mbr_a.area() < mbr_b.area()
+                } else {
+                    group_a.len() <= group_b.len()
+                }
+            }
+        };
+        if to_a {
+            mbr_a.union_in_place(&e.rect);
+            group_a.push(e);
+        } else {
+            mbr_b.union_in_place(&e.rect);
+            group_b.push(e);
+        }
+    }
+    (group_a, group_b)
+}
+
+/// Guttman's linear split: per dimension, find the entry with the highest
+/// low side and the one with the lowest high side; the dimension with the
+/// greatest separation (normalized by its extent) supplies the two seeds.
+/// Remaining entries join the group needing least enlargement, with
+/// force-assignment to honor the minimum fill.
+fn linear_split<const N: usize>(
+    entries: Vec<Entry<N>>,
+    min_entries: usize,
+) -> (Vec<Entry<N>>, Vec<Entry<N>>) {
+    debug_assert!(entries.len() >= 2);
+    let mut best_dim_sep = f64::NEG_INFINITY;
+    let (mut seed_a, mut seed_b) = (0usize, 1usize);
+    for d in 0..N {
+        let mut lo_of_all = f64::INFINITY;
+        let mut hi_of_all = f64::NEG_INFINITY;
+        // Entry with max low side, entry with min high side.
+        let (mut max_lo_i, mut max_lo) = (0usize, f64::NEG_INFINITY);
+        let (mut min_hi_i, mut min_hi) = (0usize, f64::INFINITY);
+        for (i, e) in entries.iter().enumerate() {
+            let lo = e.rect.lo().coord(d);
+            let hi = e.rect.hi().coord(d);
+            lo_of_all = lo_of_all.min(lo);
+            hi_of_all = hi_of_all.max(hi);
+            if lo > max_lo {
+                max_lo = lo;
+                max_lo_i = i;
+            }
+            if hi < min_hi {
+                min_hi = hi;
+                min_hi_i = i;
+            }
+        }
+        let width = (hi_of_all - lo_of_all).max(f64::MIN_POSITIVE);
+        let sep = (max_lo - min_hi) / width;
+        if sep > best_dim_sep && max_lo_i != min_hi_i {
+            best_dim_sep = sep;
+            seed_a = min_hi_i;
+            seed_b = max_lo_i;
+        }
+    }
+    if seed_a == seed_b {
+        // Degenerate (all rects identical): arbitrary distinct seeds.
+        seed_b = (seed_a + 1) % entries.len();
+    }
+
+    let mut remaining: Vec<Option<Entry<N>>> = entries.into_iter().map(Some).collect();
+    let mut group_a = vec![remaining[seed_a].take().expect("seed a")];
+    let mut group_b = vec![remaining[seed_b].take().expect("seed b")];
+    let mut mbr_a = group_a[0].rect;
+    let mut mbr_b = group_b[0].rect;
+    let mut left: usize = remaining.iter().flatten().count();
+
+    for slot in remaining.iter_mut() {
+        let Some(e) = slot.take() else { continue };
+        let to_a = if group_a.len() + left == min_entries {
+            true
+        } else if group_b.len() + left == min_entries {
+            false
+        } else {
+            let da = mbr_a.enlargement(&e.rect);
+            let db = mbr_b.enlargement(&e.rect);
+            da < db || (da == db && group_a.len() <= group_b.len())
+        };
+        left -= 1;
+        if to_a {
+            mbr_a.union_in_place(&e.rect);
+            group_a.push(e);
+        } else {
+            mbr_b.union_in_place(&e.rect);
+            group_b.push(e);
+        }
+    }
+    (group_a, group_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UnitPayload;
+    use ir2_geo::Point;
+    use ir2_storage::MemDevice;
+
+    fn pt_rect(x: f64, y: f64) -> Rect<2> {
+        Rect::from_point(Point::new([x, y]))
+    }
+
+    fn small_tree() -> RTree<2, MemDevice, UnitPayload> {
+        RTree::create(MemDevice::new(), RTreeConfig::with_max(4), UnitPayload).unwrap()
+    }
+
+    #[test]
+    fn insert_and_validate_small() {
+        let tree = small_tree();
+        for i in 0..50u64 {
+            let (x, y) = ((i % 10) as f64, (i / 10) as f64);
+            tree.insert(i, pt_rect(x, y), &[]).unwrap();
+        }
+        assert_eq!(tree.len(), 50);
+        assert!(tree.height() >= 3, "capacity 4 must have split by 50");
+        assert_eq!(tree.check_invariants(|_, _, _| true).unwrap(), 50);
+    }
+
+    #[test]
+    fn delete_everything() {
+        let tree = small_tree();
+        for i in 0..30u64 {
+            tree.insert(i, pt_rect(i as f64, -(i as f64)), &[]).unwrap();
+        }
+        for i in 0..30u64 {
+            assert!(tree.delete(i, &pt_rect(i as f64, -(i as f64))).unwrap());
+            tree.check_invariants(|_, _, _| true).unwrap();
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 0);
+        // Deleting again reports absence.
+        assert!(!tree.delete(0, &pt_rect(0.0, 0.0)).unwrap());
+    }
+
+    #[test]
+    fn delete_missing_returns_false() {
+        let tree = small_tree();
+        tree.insert(1, pt_rect(1.0, 1.0), &[]).unwrap();
+        assert!(!tree.delete(2, &pt_rect(1.0, 1.0)).unwrap());
+        assert!(!tree.delete(1, &pt_rect(9.0, 9.0)).unwrap());
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn reinsertion_keeps_all_objects_findable() {
+        // Drive enough deletes to trigger CondenseTree orphan reinsertion.
+        let tree = small_tree();
+        for i in 0..60u64 {
+            tree.insert(i, pt_rect((i % 8) as f64, (i / 8) as f64), &[]).unwrap();
+        }
+        for i in (0..60u64).step_by(2) {
+            assert!(tree.delete(i, &pt_rect((i % 8) as f64, (i / 8) as f64)).unwrap());
+        }
+        assert_eq!(tree.len(), 30);
+        assert_eq!(tree.check_invariants(|_, _, _| true).unwrap(), 30);
+        // The surviving objects are all reachable via NN search.
+        let found: Vec<u64> = tree
+            .nearest(Point::new([0.0, 0.0]))
+            .map(|r| r.unwrap().child)
+            .collect();
+        let mut found_sorted = found.clone();
+        found_sorted.sort_unstable();
+        assert_eq!(found_sorted, (0..60).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let dev = std::sync::Arc::new(MemDevice::new());
+        {
+            let tree =
+                RTree::<2, _, _>::create(std::sync::Arc::clone(&dev), RTreeConfig::with_max(4), UnitPayload)
+                    .unwrap();
+            for i in 0..20u64 {
+                tree.insert(i, pt_rect(i as f64, 0.0), &[]).unwrap();
+            }
+            tree.flush().unwrap();
+        }
+        let tree =
+            RTree::<2, _, _>::open(dev, RTreeConfig::with_max(4), UnitPayload).unwrap();
+        assert_eq!(tree.len(), 20);
+        assert_eq!(tree.check_invariants(|_, _, _| true).unwrap(), 20);
+    }
+
+    #[test]
+    fn open_rejects_mismatched_config() {
+        let dev = std::sync::Arc::new(MemDevice::new());
+        {
+            let tree =
+                RTree::<2, _, _>::create(std::sync::Arc::clone(&dev), RTreeConfig::with_max(4), UnitPayload)
+                    .unwrap();
+            tree.flush().unwrap();
+        }
+        assert!(RTree::<2, _, _>::open(dev, RTreeConfig::with_max(8), UnitPayload).is_err());
+    }
+
+    #[test]
+    fn duplicate_points_are_fine() {
+        let tree = small_tree();
+        for i in 0..20u64 {
+            tree.insert(i, pt_rect(1.0, 1.0), &[]).unwrap();
+        }
+        assert_eq!(tree.check_invariants(|_, _, _| true).unwrap(), 20);
+        // Delete them one by one (same rect, distinct ids).
+        for i in 0..20u64 {
+            assert!(tree.delete(i, &pt_rect(1.0, 1.0)).unwrap());
+        }
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn linear_split_respects_min_fill_and_partitions() {
+        let entries: Vec<Entry<2>> = (0..9)
+            .map(|i| Entry::new(i as u64, pt_rect(i as f64, (i % 3) as f64), vec![]))
+            .collect();
+        let (a, b) = linear_split(entries, 4);
+        assert_eq!(a.len() + b.len(), 9);
+        assert!(a.len() >= 2 && b.len() >= 2);
+        let mut ids: Vec<u64> = a.iter().chain(b.iter()).map(|e| e.child).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn linear_split_handles_identical_rects() {
+        let entries: Vec<Entry<2>> = (0..6)
+            .map(|i| Entry::new(i as u64, pt_rect(1.0, 1.0), vec![]))
+            .collect();
+        let (a, b) = linear_split(entries, 2);
+        assert_eq!(a.len() + b.len(), 6);
+        assert!(!a.is_empty() && !b.is_empty());
+    }
+
+    #[test]
+    fn linear_split_tree_stays_correct() {
+        let tree = RTree::create(
+            MemDevice::new(),
+            RTreeConfig::with_max(4).with_linear_split(),
+            UnitPayload,
+        )
+        .unwrap();
+        for i in 0..80u64 {
+            tree.insert(i, pt_rect((i % 9) as f64, (i / 9) as f64), &[]).unwrap();
+        }
+        assert_eq!(tree.check_invariants(|_, _, _| true).unwrap(), 80);
+        let order: Vec<u64> = tree
+            .nearest(ir2_geo::Point::new([0.0, 0.0]))
+            .map(|r| r.unwrap().child)
+            .collect();
+        assert_eq!(order.len(), 80);
+    }
+
+    #[test]
+    fn quadratic_split_respects_min_fill() {
+        let entries: Vec<Entry<2>> = (0..9)
+            .map(|i| Entry::new(i as u64, pt_rect(i as f64, 0.0), vec![]))
+            .collect();
+        let (a, b) = quadratic_split(entries, 4);
+        assert!(a.len() >= 4 || b.len() >= 4);
+        assert!(a.len() >= 2 && b.len() >= 2);
+        assert_eq!(a.len() + b.len(), 9);
+    }
+
+    #[test]
+    fn rect_objects_supported() {
+        // The paper notes the method applies to arbitrarily-shaped objects:
+        // index non-degenerate rectangles.
+        let tree = small_tree();
+        for i in 0..12u64 {
+            let r = Rect::from_corners(
+                Point::new([i as f64, 0.0]),
+                Point::new([i as f64 + 2.5, 4.0]),
+            );
+            tree.insert(i, r, &[]).unwrap();
+        }
+        assert_eq!(tree.check_invariants(|_, _, _| true).unwrap(), 12);
+    }
+
+    #[test]
+    fn three_dimensional_tree() {
+        let tree: RTree<3, _, _> =
+            RTree::create(MemDevice::new(), RTreeConfig::with_max(4), UnitPayload).unwrap();
+        for i in 0..25u64 {
+            let p = Point::new([i as f64, (i * 2 % 7) as f64, (i % 3) as f64]);
+            tree.insert(i, Rect::from_point(p), &[]).unwrap();
+        }
+        assert_eq!(tree.check_invariants(|_, _, _| true).unwrap(), 25);
+    }
+}

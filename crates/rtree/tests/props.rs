@@ -1,0 +1,123 @@
+//! Property tests: the disk R-Tree against an in-memory brute-force model.
+
+use ir2_geo::{Point, Rect};
+use ir2_rtree::{RTree, RTreeConfig, UnitPayload};
+use ir2_storage::MemDevice;
+use proptest::prelude::*;
+
+type Model = Vec<(u64, [f64; 2])>;
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<[f64; 2]>> {
+    prop::collection::vec(prop::array::uniform2(-100.0f64..100.0), 1..max)
+}
+
+fn build(points: &[[f64; 2]], cap: usize) -> RTree<2, MemDevice, UnitPayload> {
+    let tree = RTree::create(MemDevice::new(), RTreeConfig::with_max(cap), UnitPayload).unwrap();
+    for (i, p) in points.iter().enumerate() {
+        tree.insert(i as u64, Rect::from_point(Point::new(*p)), &[])
+            .unwrap();
+    }
+    tree
+}
+
+fn brute_nn(model: &Model, q: Point<2>) -> Vec<(f64, u64)> {
+    let mut v: Vec<(f64, u64)> = model
+        .iter()
+        .map(|(id, p)| (q.distance(&Point::new(*p)), *id))
+        .collect();
+    v.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental NN yields every object exactly once, in exact distance
+    /// order, matching brute force.
+    #[test]
+    fn nn_matches_brute_force(points in arb_points(120), q in prop::array::uniform2(-120.0f64..120.0)) {
+        let tree = build(&points, 4);
+        let q = Point::new(q);
+        let got: Vec<(f64, u64)> = tree.nearest(q).map(|r| {
+            let r = r.unwrap();
+            (r.dist, r.child)
+        }).collect();
+        let model: Model = points.iter().enumerate().map(|(i, p)| (i as u64, *p)).collect();
+        let brute = brute_nn(&model, q);
+        prop_assert_eq!(got.len(), brute.len());
+        for (g, b) in got.iter().zip(brute.iter()) {
+            prop_assert!((g.0 - b.0).abs() < 1e-9, "distance mismatch: {} vs {}", g.0, b.0);
+        }
+        // Set equality of ids.
+        let mut gids: Vec<u64> = got.iter().map(|g| g.1).collect();
+        gids.sort_unstable();
+        prop_assert_eq!(gids, (0..points.len() as u64).collect::<Vec<_>>());
+    }
+
+    /// Structural invariants hold after any interleaving of inserts and
+    /// deletes, and the surviving set matches the model.
+    #[test]
+    fn insert_delete_interleaving(points in arb_points(80),
+                                  deletes in prop::collection::vec(any::<prop::sample::Index>(), 0..40)) {
+        let tree = build(&points, 4);
+        let mut model: Model = points.iter().enumerate().map(|(i, p)| (i as u64, *p)).collect();
+        for idx in deletes {
+            if model.is_empty() { break; }
+            let (id, p) = model.remove(idx.index(model.len()));
+            let existed = tree.delete(id, &Rect::from_point(Point::new(p))).unwrap();
+            prop_assert!(existed);
+        }
+        tree.check_invariants(|_, _, _| true).unwrap();
+        prop_assert_eq!(tree.len(), model.len() as u64);
+
+        let mut got: Vec<u64> = tree.nearest(Point::new([0.0, 0.0])).map(|r| r.unwrap().child).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = model.iter().map(|(id, _)| *id).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Bulk loading and incremental insertion index the same set (query
+    /// results agree by distance).
+    #[test]
+    fn bulk_load_equals_incremental(points in arb_points(150), q in prop::array::uniform2(-120.0f64..120.0)) {
+        let q = Point::new(q);
+        let incr = build(&points, 8);
+        let bulk = RTree::create(MemDevice::new(), RTreeConfig::with_max(8), UnitPayload).unwrap();
+        bulk.bulk_load(points.iter().enumerate()
+            .map(|(i, p)| (i as u64, Rect::from_point(Point::new(*p)), vec![]))
+            .collect()).unwrap();
+
+        let d_incr: Vec<f64> = incr.nearest(q).map(|r| r.unwrap().dist).collect();
+        let d_bulk: Vec<f64> = bulk.nearest(q).map(|r| r.unwrap().dist).collect();
+        prop_assert_eq!(d_incr.len(), d_bulk.len());
+        for (a, b) in d_incr.iter().zip(d_bulk.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Persistence: flush + reopen reproduces identical NN results.
+    #[test]
+    fn reopen_is_transparent(points in arb_points(60)) {
+        let dev = std::sync::Arc::new(MemDevice::new());
+        let cfg = RTreeConfig::with_max(4);
+        let before: Vec<(f64, u64)>;
+        {
+            let tree = RTree::<2, _, _>::create(std::sync::Arc::clone(&dev), cfg, UnitPayload).unwrap();
+            for (i, p) in points.iter().enumerate() {
+                tree.insert(i as u64, Rect::from_point(Point::new(*p)), &[]).unwrap();
+            }
+            before = tree.nearest(Point::new([1.0, 2.0])).map(|r| {
+                let r = r.unwrap();
+                (r.dist, r.child)
+            }).collect();
+            tree.flush().unwrap();
+        }
+        let tree = RTree::<2, _, _>::open(dev, cfg, UnitPayload).unwrap();
+        let after: Vec<(f64, u64)> = tree.nearest(Point::new([1.0, 2.0])).map(|r| {
+            let r = r.unwrap();
+            (r.dist, r.child)
+        }).collect();
+        prop_assert_eq!(before, after);
+    }
+}

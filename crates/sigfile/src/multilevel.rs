@@ -1,0 +1,173 @@
+//! Multi-level superimposed coding for the MIR²-Tree.
+
+use crate::{optimal_bits, SignatureScheme};
+
+/// Per-tree-level signature schemes, implementing the multi-level
+/// superimposed coding of [CS89, DR83] that the MIR²-Tree uses.
+///
+/// The plain IR²-Tree uses "the same signature length … for all levels,
+/// which leads to more false positives in the higher levels, which have
+/// more 1's". The MIR²-Tree instead sizes each level's signature for the
+/// number of distinct words its nodes cover: a node at level `ℓ` (leaves at
+/// `ℓ = 0`) covers on the order of `D₀ · f^ℓ` distinct words (`f` =
+/// fanout, `D₀` = average distinct words per object), capped by the corpus
+/// vocabulary. Applying the optimal-length rule `m = k·D/ln 2`
+/// ([`optimal_bits`]) per level yields signatures that grow geometrically
+/// toward the root and stop growing once the vocabulary saturates — the
+/// paper's "longer signatures are used for the top nodes".
+///
+/// Every level shares `k` and the seed, but **levels are not compatible**:
+/// a node signature at level `ℓ` must be the superimposition of the
+/// *object* signatures computed with `scheme(ℓ)`, which is why MIR²-Tree
+/// maintenance has to re-access underlying objects (Section 4) instead of
+/// OR-ing children.
+#[derive(Debug, Clone)]
+pub struct MultiLevelScheme {
+    schemes: Vec<SignatureScheme>,
+}
+
+/// More levels than any realistic tree height (fanout ≥ 2 ⇒ 2⁶⁴ objects).
+const MAX_LEVELS: usize = 64;
+
+impl MultiLevelScheme {
+    /// Builds per-level schemes.
+    ///
+    /// * `leaf_bytes` — the signature length of level 0 (the length the
+    ///   paper's experiments quote, e.g. 189 B / 8 B);
+    /// * `k` — bits per term (shared by all levels);
+    /// * `seed` — hash seed (shared);
+    /// * `fanout` — tree node capacity `f`;
+    /// * `avg_distinct_per_object` — `D₀`, Table 1's "average # unique
+    ///   words per object";
+    /// * `vocab_size` — corpus distinct-word count, the cap on `D_ℓ`.
+    ///
+    /// # Panics
+    /// Panics if `leaf_bytes`, `k` or `fanout` is zero.
+    pub fn new(
+        leaf_bytes: usize,
+        k: u32,
+        seed: u64,
+        fanout: usize,
+        avg_distinct_per_object: f64,
+        vocab_size: usize,
+    ) -> Self {
+        assert!(leaf_bytes > 0, "leaf signature length must be positive");
+        assert!(fanout > 1, "fanout must exceed 1");
+        let leaf_bits = leaf_bytes * 8;
+        let d0 = avg_distinct_per_object.max(1.0);
+        // Level 0 keeps the *configured* length (the quantity the paper's
+        // experiments sweep); levels ≥ 1 apply the optimal rule m = k·D/ln2
+        // to their word coverage D_ℓ = min(vocab, D₀·f^ℓ), never shrinking
+        // below the leaf length. Growth stops once the vocabulary saturates.
+        let max_bits = optimal_bits(vocab_size.max(1), k).max(leaf_bits);
+        let mut schemes = vec![SignatureScheme::new(leaf_bits, k, seed)];
+        let mut dl = d0;
+        for _ in 1..MAX_LEVELS {
+            dl = (dl * fanout as f64).min(vocab_size as f64);
+            let bits = optimal_bits(dl.ceil() as usize, k).clamp(leaf_bits, max_bits);
+            // Round up to whole bytes, as signatures are stored by the byte.
+            let bits = bits.div_ceil(8) * 8;
+            schemes.push(SignatureScheme::new(bits, k, seed));
+            if bits >= max_bits {
+                // Vocabulary saturated: every higher level reuses this scheme.
+                break;
+            }
+        }
+        Self { schemes }
+    }
+
+    /// A degenerate multi-level scheme that uses `scheme` at every level —
+    /// this turns a MIR²-Tree into a plain IR²-Tree and is used by tests to
+    /// show the two coincide.
+    pub fn uniform(scheme: SignatureScheme) -> Self {
+        Self {
+            schemes: vec![scheme],
+        }
+    }
+
+    /// The scheme for tree level `level` (0 = leaf entries / objects).
+    /// Levels beyond the computed ladder reuse the topmost scheme.
+    pub fn scheme(&self, level: u16) -> &SignatureScheme {
+        let idx = (level as usize).min(self.schemes.len() - 1);
+        &self.schemes[idx]
+    }
+
+    /// Number of distinct schemes in the ladder.
+    pub fn num_levels(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// Suggested per-level length from the optimal rule alone (diagnostic:
+    /// what `m = k·D/ln2` would pick for `distinct` terms).
+    pub fn optimal_for(distinct: usize, k: u32) -> usize {
+        optimal_bits(distinct, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_grow_then_saturate() {
+        let ml = MultiLevelScheme::new(8, 4, 0, 100, 14.0, 73855);
+        let mut prev = 0;
+        for level in 0..ml.num_levels() as u16 {
+            let bits = ml.scheme(level).bits();
+            assert!(bits >= prev, "lengths must be non-decreasing");
+            prev = bits;
+        }
+        // Leaf level keeps the configured length.
+        assert_eq!(ml.scheme(0).byte_len(), 8);
+        // The top saturates at the optimal length for the full vocabulary.
+        let top = ml.scheme((ml.num_levels() - 1) as u16);
+        let cap_bits = crate::optimal_bits(73_855, 4) as f64;
+        assert!((top.bits() as f64) <= cap_bits + 8.0);
+        assert!((top.bits() as f64) >= cap_bits - 8.0);
+        // Levels past the ladder reuse the top scheme.
+        assert_eq!(ml.scheme(40).bits(), top.bits());
+    }
+
+    #[test]
+    fn upper_levels_use_the_optimal_rule() {
+        let ml = MultiLevelScheme::new(10, 4, 0, 10, 20.0, 1_000_000);
+        // Level 1 covers 20·10 = 200 words: m = ⌈4·200/ln2⌉ bits.
+        let expected = crate::optimal_bits(200, 4);
+        let got = ml.scheme(1).bits();
+        assert!(got >= expected && got <= expected + 8, "got {got}, expected {expected}");
+        // Level 2 covers 2000 words: ~10x level 1.
+        let ratio = ml.scheme(2).bits() as f64 / ml.scheme(1).bits() as f64;
+        assert!((ratio - 10.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn uniform_ladder_has_one_scheme() {
+        let base = SignatureScheme::new(128, 3, 5);
+        let ml = MultiLevelScheme::uniform(base);
+        assert_eq!(ml.num_levels(), 1);
+        assert_eq!(ml.scheme(0), &base);
+        assert_eq!(ml.scheme(9), &base);
+    }
+
+    #[test]
+    fn no_false_negatives_across_levels() {
+        let ml = MultiLevelScheme::new(4, 3, 7, 4, 5.0, 1000);
+        let words = ["alpha", "beta", "gamma", "delta", "epsilon"];
+        for level in 0..6u16 {
+            let s = ml.scheme(level);
+            let node_sig = s.sign_terms(words);
+            for w in words {
+                assert!(node_sig.contains(&s.sign_term(w)), "level {level}, word {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_vocab_never_shrinks_below_leaf_length() {
+        // Tiny vocabulary: optimal lengths would be shorter than the leaf;
+        // the ladder must never shrink below the configured leaf length.
+        let ml = MultiLevelScheme::new(16, 4, 0, 8, 50.0, 10);
+        assert_eq!(ml.scheme(0).bits(), ml.scheme(5).bits());
+        assert_eq!(ml.scheme(0).byte_len(), 16);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests: the sequential signature file against brute force.
+
+use std::sync::Arc;
+
+use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectStore, SpatialObject};
+use ir2_sigfile::SignatureScheme;
+use ir2_sigscan::SignatureFile;
+use ir2_storage::MemDevice;
+use ir2_text::tokenize;
+use proptest::prelude::*;
+
+const WORDS: [&str; 8] = ["cafe", "wifi", "pool", "grill", "books", "bar", "spa", "gym"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SSF top-k equals brute force for any corpus, query, and signature
+    /// length — the scan plus verify never loses or invents a result.
+    #[test]
+    fn ssf_topk_equals_brute_force(
+        docs in prop::collection::vec(
+            (prop::array::uniform2(-40.0f64..40.0), prop::collection::vec(0..WORDS.len(), 0..4)),
+            1..70,
+        ),
+        qpoint in prop::array::uniform2(-50.0f64..50.0),
+        kw in prop::collection::vec(0..WORDS.len(), 0..3),
+        k in 1usize..10,
+        sig_bytes in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let store = Arc::new(ObjectStore::<2, _>::create(MemDevice::new()));
+        let mut objs = Vec::new();
+        let mut items: Vec<(ObjPtr, Vec<String>)> = Vec::new();
+        for (i, (p, words)) in docs.iter().enumerate() {
+            let text = words.iter().map(|&w| WORDS[w]).collect::<Vec<_>>().join(" ");
+            let obj = SpatialObject::new(i as u64, *p, text);
+            let ptr = store.append(&obj).unwrap();
+            let mut terms: Vec<String> = tokenize(&obj.text).collect();
+            terms.sort_unstable();
+            terms.dedup();
+            items.push((ptr, terms));
+            objs.push(obj);
+        }
+        store.flush().unwrap();
+        let ssf = SignatureFile::build(
+            MemDevice::new(),
+            SignatureScheme::from_bytes_len(sig_bytes, 3, seed),
+            items.iter().map(|(p, t)| (*p, t.as_slice())),
+        )
+        .unwrap();
+
+        let kws: Vec<&str> = kw.iter().map(|&i| WORDS[i]).collect();
+        let q = DistanceFirstQuery::new(qpoint, &kws, k);
+        let (got, counters) = ssf.topk(store.as_ref(), &q).unwrap();
+        prop_assert_eq!(counters.signatures_scanned, docs.len() as u64);
+
+        let mut want: Vec<(u64, f64)> = objs
+            .iter()
+            .filter(|o| o.token_set().contains_all(&q.keywords))
+            .map(|o| (o.id, o.point.distance(&q.point)))
+            .collect();
+        want.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        want.truncate(k);
+
+        prop_assert_eq!(got.len(), want.len());
+        for ((o, d), (_, wd)) in got.iter().zip(want.iter()) {
+            prop_assert!((d - wd).abs() < 1e-9);
+            prop_assert!(o.token_set().contains_all(&q.keywords));
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Block devices: the 4096-byte-block disk abstraction.
+
+use std::fs::{File, OpenOptions};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::{BlockId, Result, StorageError, BLOCK_SIZE};
+
+/// A device of fixed-size (4096-byte) blocks.
+///
+/// Every index structure in the workspace is stored on a `BlockDevice`, so
+/// that each structure's footprint (Table 2 of the paper) and each query's
+/// block accesses (Figures 9–14) can be measured independently. All methods
+/// take `&self`; implementations are internally synchronized.
+pub trait BlockDevice: Send + Sync {
+    /// Reads block `id` into `buf`.
+    fn read_block(&self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<()>;
+
+    /// Writes `data` as the full contents of block `id`.
+    fn write_block(&self, id: BlockId, data: &[u8; BLOCK_SIZE]) -> Result<()>;
+
+    /// Extends the device by `n` zeroed blocks, returning the id of the
+    /// first new block. The `n` blocks are consecutive.
+    fn allocate(&self, n: u64) -> Result<BlockId>;
+
+    /// Number of blocks currently allocated.
+    fn num_blocks(&self) -> u64;
+
+    /// Total allocated size in bytes.
+    fn size_bytes(&self) -> u64 {
+        self.num_blocks() * BLOCK_SIZE as u64
+    }
+
+    /// Flushes buffered state to durable storage, where applicable.
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// Blanket impl so `Arc<D>`, `&D`, `Box<D>` are devices too.
+impl<D: BlockDevice + ?Sized, P: std::ops::Deref<Target = D> + Send + Sync> BlockDevice for P {
+    fn read_block(&self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
+        (**self).read_block(id, buf)
+    }
+    fn write_block(&self, id: BlockId, data: &[u8; BLOCK_SIZE]) -> Result<()> {
+        (**self).write_block(id, data)
+    }
+    fn allocate(&self, n: u64) -> Result<BlockId> {
+        (**self).allocate(n)
+    }
+    fn num_blocks(&self) -> u64 {
+        (**self).num_blocks()
+    }
+    fn sync(&self) -> Result<()> {
+        (**self).sync()
+    }
+}
+
+/// Volatile in-memory block device.
+///
+/// Used by the experiment harness: contents live in RAM while the
+/// [`TrackedDevice`](crate::TrackedDevice) wrapper plus
+/// [`CostModel`](crate::CostModel) *simulate* the disk the paper measured.
+/// This keeps experiments deterministic and independent of the host's
+/// actual storage hardware.
+#[derive(Default)]
+pub struct MemDevice {
+    blocks: RwLock<Vec<u8>>,
+}
+
+impl MemDevice {
+    /// Creates an empty device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a device with `n` zeroed blocks pre-allocated.
+    pub fn with_blocks(n: u64) -> Self {
+        Self {
+            blocks: RwLock::new(vec![0u8; n as usize * BLOCK_SIZE]),
+        }
+    }
+
+    #[inline]
+    fn check(&self, id: BlockId, len_bytes: usize) -> Result<usize> {
+        let off = id as usize * BLOCK_SIZE;
+        if off + BLOCK_SIZE > len_bytes {
+            return Err(StorageError::OutOfBounds {
+                block: id,
+                len: (len_bytes / BLOCK_SIZE) as u64,
+            });
+        }
+        Ok(off)
+    }
+}
+
+impl BlockDevice for MemDevice {
+    fn read_block(&self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
+        let blocks = self.blocks.read();
+        let off = self.check(id, blocks.len())?;
+        buf.copy_from_slice(&blocks[off..off + BLOCK_SIZE]);
+        Ok(())
+    }
+
+    fn write_block(&self, id: BlockId, data: &[u8; BLOCK_SIZE]) -> Result<()> {
+        let mut blocks = self.blocks.write();
+        let off = self.check(id, blocks.len())?;
+        blocks[off..off + BLOCK_SIZE].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn allocate(&self, n: u64) -> Result<BlockId> {
+        let mut blocks = self.blocks.write();
+        let first = (blocks.len() / BLOCK_SIZE) as u64;
+        let new_len = blocks.len() + n as usize * BLOCK_SIZE;
+        blocks.resize(new_len, 0);
+        Ok(first)
+    }
+
+    fn num_blocks(&self) -> u64 {
+        (self.blocks.read().len() / BLOCK_SIZE) as u64
+    }
+}
+
+/// Durable file-backed block device.
+///
+/// Block `i` lives at byte offset `i * 4096` of the file. Demonstrates that
+/// every structure in the workspace genuinely operates disk-resident; the
+/// persistence integration tests build an index on a `FileDevice`, reopen
+/// the file, and query it.
+pub struct FileDevice {
+    file: File,
+    len_blocks: AtomicU64,
+}
+
+impl FileDevice {
+    /// Creates (truncating) a new device file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self {
+            file,
+            len_blocks: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens an existing device file at `path`.
+    ///
+    /// Returns [`StorageError::Corrupt`] if the file length is not a
+    /// multiple of the block size.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % BLOCK_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "device file length {len} is not a multiple of {BLOCK_SIZE}"
+            )));
+        }
+        Ok(Self {
+            file,
+            len_blocks: AtomicU64::new(len / BLOCK_SIZE as u64),
+        })
+    }
+
+    #[inline]
+    fn check(&self, id: BlockId) -> Result<u64> {
+        let len = self.len_blocks.load(Ordering::Acquire);
+        if id >= len {
+            return Err(StorageError::OutOfBounds { block: id, len });
+        }
+        Ok(id * BLOCK_SIZE as u64)
+    }
+}
+
+impl BlockDevice for FileDevice {
+    fn read_block(&self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        let off = self.check(id)?;
+        self.file.read_exact_at(buf, off)?;
+        Ok(())
+    }
+
+    fn write_block(&self, id: BlockId, data: &[u8; BLOCK_SIZE]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        let off = self.check(id)?;
+        self.file.write_all_at(data, off)?;
+        Ok(())
+    }
+
+    fn allocate(&self, n: u64) -> Result<BlockId> {
+        // Serialize allocations through a compare-free critical section:
+        // fetch_add reserves the range, set_len grows the file. Concurrent
+        // allocations may call set_len out of order; set_len to a smaller
+        // value than another thread already set would shrink, so grow to the
+        // max we know about.
+        let first = self.len_blocks.fetch_add(n, Ordering::AcqRel);
+        let new_len = (first + n) * BLOCK_SIZE as u64;
+        let cur = self.file.metadata()?.len();
+        if new_len > cur {
+            self.file.set_len(new_len)?;
+        }
+        Ok(first)
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.len_blocks.load(Ordering::Acquire)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(dev: &impl BlockDevice) {
+        let first = dev.allocate(3).unwrap();
+        let mut block = crate::zeroed_block();
+        block[0] = 0xAB;
+        block[BLOCK_SIZE - 1] = 0xCD;
+        dev.write_block(first + 2, &block).unwrap();
+
+        let mut out = crate::zeroed_block();
+        dev.read_block(first + 2, &mut out).unwrap();
+        assert_eq!(out[0], 0xAB);
+        assert_eq!(out[BLOCK_SIZE - 1], 0xCD);
+
+        // Unwritten blocks read back zeroed.
+        dev.read_block(first, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn mem_device_roundtrip() {
+        roundtrip(&MemDevice::new());
+    }
+
+    #[test]
+    fn mem_device_out_of_bounds() {
+        let dev = MemDevice::new();
+        let mut buf = crate::zeroed_block();
+        assert!(matches!(
+            dev.read_block(0, &mut buf),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+        dev.allocate(1).unwrap();
+        assert!(dev.read_block(0, &mut buf).is_ok());
+        assert!(matches!(
+            dev.write_block(1, &buf),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn allocation_is_consecutive() {
+        let dev = MemDevice::new();
+        assert_eq!(dev.allocate(2).unwrap(), 0);
+        assert_eq!(dev.allocate(5).unwrap(), 2);
+        assert_eq!(dev.allocate(1).unwrap(), 7);
+        assert_eq!(dev.num_blocks(), 8);
+        assert_eq!(dev.size_bytes(), 8 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn file_device_roundtrip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("ir2-storage-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dev.blocks");
+
+        {
+            let dev = FileDevice::create(&path).unwrap();
+            roundtrip(&dev);
+            dev.sync().unwrap();
+        }
+        {
+            let dev = FileDevice::open(&path).unwrap();
+            assert_eq!(dev.num_blocks(), 3);
+            let mut out = crate::zeroed_block();
+            dev.read_block(2, &mut out).unwrap();
+            assert_eq!(out[0], 0xAB);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_device_rejects_misaligned_file() {
+        let dir = std::env::temp_dir().join(format!("ir2-storage-mis-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.blocks");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(matches!(
+            FileDevice::open(&path),
+            Err(StorageError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn arc_is_a_device() {
+        let dev = std::sync::Arc::new(MemDevice::new());
+        dev.allocate(1).unwrap();
+        let mut buf = crate::zeroed_block();
+        assert!(dev.read_block(0, &mut buf).is_ok());
+    }
+}

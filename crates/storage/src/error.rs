@@ -1,0 +1,52 @@
+//! Storage error type.
+
+use std::fmt;
+use std::io;
+
+use crate::BlockId;
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Access to a block beyond the allocated end of the device.
+    OutOfBounds {
+        /// Offending block id.
+        block: BlockId,
+        /// Number of blocks currently allocated.
+        len: u64,
+    },
+    /// Underlying operating-system I/O failure (file-backed devices only).
+    Io(io::Error),
+    /// On-disk bytes that do not parse as the expected structure.
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutOfBounds { block, len } => {
+                write!(f, "block {block} out of bounds (device has {len} blocks)")
+            }
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Result alias used throughout the storage layer.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,299 @@
+//! LRU buffer pool.
+//!
+//! The paper measures raw disk accesses with no caching, so the experiment
+//! defaults bypass the pool (capacity 0 constructs a pass-through). The
+//! buffer-pool ablation (A2 in `DESIGN.md`) layers this pool between the
+//! query algorithms and the tracked device to show how quickly a modest
+//! cache erodes the baseline algorithms' disadvantage.
+//!
+//! Policy: least-recently-used eviction, write-through (a write updates the
+//! cached copy and the device immediately), implemented with a hash map into
+//! a slab of frames linked in an intrusive LRU list — no per-access
+//! allocation.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::{BlockDevice, BlockId, Result, BLOCK_SIZE};
+
+const NIL: usize = usize::MAX;
+
+struct Frame {
+    block: BlockId,
+    data: Box<[u8; BLOCK_SIZE]>,
+    prev: usize,
+    next: usize,
+}
+
+struct PoolState {
+    map: HashMap<BlockId, usize>,
+    frames: Vec<Frame>,
+    /// Most recently used frame index.
+    head: usize,
+    /// Least recently used frame index.
+    tail: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PoolState {
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.frames[idx].prev, self.frames[idx].next);
+        if prev != NIL {
+            self.frames[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.frames[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.frames[idx].prev = NIL;
+        self.frames[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.frames[idx].prev = NIL;
+        self.frames[idx].next = self.head;
+        if self.head != NIL {
+            self.frames[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head != idx {
+            self.detach(idx);
+            self.push_front(idx);
+        }
+    }
+}
+
+/// An LRU block cache in front of a [`BlockDevice`].
+///
+/// Implements `BlockDevice` itself, so it can be dropped transparently into
+/// any structure. Capacity is in blocks; capacity 0 disables caching.
+pub struct BufferPool<D> {
+    inner: D,
+    capacity: usize,
+    state: Mutex<PoolState>,
+}
+
+impl<D: BlockDevice> BufferPool<D> {
+    /// Wraps `inner` with an LRU cache of `capacity` blocks.
+    pub fn new(inner: D, capacity: usize) -> Self {
+        Self {
+            inner,
+            capacity,
+            state: Mutex::new(PoolState {
+                map: HashMap::with_capacity(capacity),
+                frames: Vec::with_capacity(capacity),
+                head: NIL,
+                tail: NIL,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// `(hits, misses)` observed on reads so far.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        let s = self.state.lock();
+        (s.hits, s.misses)
+    }
+
+    /// Drops every cached block (counters are kept).
+    pub fn clear(&self) {
+        let mut s = self.state.lock();
+        s.map.clear();
+        s.frames.clear();
+        s.head = NIL;
+        s.tail = NIL;
+    }
+
+    /// Installs `data` as the cached copy of `block`, evicting the LRU
+    /// victim if the pool is full.
+    fn install(&self, s: &mut PoolState, block: BlockId, data: &[u8; BLOCK_SIZE]) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(&idx) = s.map.get(&block) {
+            s.frames[idx].data.copy_from_slice(data);
+            s.touch(idx);
+            return;
+        }
+        let idx = if s.frames.len() < self.capacity {
+            s.frames.push(Frame {
+                block,
+                data: crate::zeroed_block(),
+                prev: NIL,
+                next: NIL,
+            });
+            s.frames.len() - 1
+        } else {
+            // Evict the LRU frame and reuse it.
+            let victim = s.tail;
+            debug_assert_ne!(victim, NIL, "capacity > 0 implies a tail");
+            s.detach(victim);
+            let old = s.frames[victim].block;
+            s.map.remove(&old);
+            s.frames[victim].block = block;
+            victim
+        };
+        s.frames[idx].data.copy_from_slice(data);
+        s.map.insert(block, idx);
+        s.push_front(idx);
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for BufferPool<D> {
+    fn read_block(&self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
+        {
+            let mut s = self.state.lock();
+            if let Some(&idx) = s.map.get(&id) {
+                buf.copy_from_slice(&*s.frames[idx].data);
+                s.touch(idx);
+                s.hits += 1;
+                return Ok(());
+            }
+            s.misses += 1;
+        }
+        // Miss: fetch outside the lock would race a concurrent write-through
+        // of the same block, so re-lock around the install with the freshly
+        // read data. Reads of the device may run concurrently; correctness
+        // only needs the cache to hold *some* post-write value.
+        self.inner.read_block(id, buf)?;
+        let mut s = self.state.lock();
+        self.install(&mut s, id, buf);
+        Ok(())
+    }
+
+    fn write_block(&self, id: BlockId, data: &[u8; BLOCK_SIZE]) -> Result<()> {
+        // Write-through: device first (so a device error leaves the cache
+        // consistent with disk), then cache.
+        self.inner.write_block(id, data)?;
+        let mut s = self.state.lock();
+        self.install(&mut s, id, data);
+        Ok(())
+    }
+
+    fn allocate(&self, n: u64) -> Result<BlockId> {
+        self.inner.allocate(n)
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemDevice, TrackedDevice};
+
+    fn block_of(byte: u8) -> Box<[u8; BLOCK_SIZE]> {
+        let mut b = crate::zeroed_block();
+        b.fill(byte);
+        b
+    }
+
+    #[test]
+    fn read_hit_skips_the_device() {
+        let tracked = TrackedDevice::new(MemDevice::new());
+        let stats = tracked.stats();
+        let pool = BufferPool::new(tracked, 4);
+        pool.allocate(2).unwrap();
+        pool.write_block(0, &block_of(0xAA)).unwrap();
+        stats.reset();
+
+        let mut buf = crate::zeroed_block();
+        pool.read_block(0, &mut buf).unwrap(); // cached by the write-through
+        assert_eq!(buf[0], 0xAA);
+        assert_eq!(stats.snapshot().total(), 0, "hit must not touch the device");
+        assert_eq!(pool.hit_stats().0, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let pool = BufferPool::new(MemDevice::new(), 2);
+        pool.allocate(3).unwrap();
+        for (id, byte) in [(0u64, 1u8), (1, 2), (2, 3)] {
+            pool.write_block(id, &block_of(byte)).unwrap();
+        }
+        // Capacity 2: blocks 1 and 2 are resident, block 0 was evicted.
+        let mut buf = crate::zeroed_block();
+        let (h0, m0) = pool.hit_stats();
+        pool.read_block(1, &mut buf).unwrap();
+        pool.read_block(2, &mut buf).unwrap();
+        let (h1, m1) = pool.hit_stats();
+        assert_eq!((h1 - h0, m1 - m0), (2, 0));
+        pool.read_block(0, &mut buf).unwrap(); // miss
+        assert_eq!(buf[0], 1, "evicted block still correct via device");
+        assert_eq!(pool.hit_stats().1, m1 + 1);
+    }
+
+    #[test]
+    fn touch_on_read_protects_from_eviction() {
+        let pool = BufferPool::new(MemDevice::new(), 2);
+        pool.allocate(3).unwrap();
+        pool.write_block(0, &block_of(1)).unwrap();
+        pool.write_block(1, &block_of(2)).unwrap();
+        let mut buf = crate::zeroed_block();
+        pool.read_block(0, &mut buf).unwrap(); // 0 becomes MRU
+        pool.write_block(2, &block_of(3)).unwrap(); // evicts 1, not 0
+        let (h0, _) = pool.hit_stats();
+        pool.read_block(0, &mut buf).unwrap();
+        assert_eq!(pool.hit_stats().0, h0 + 1, "block 0 must still be cached");
+    }
+
+    #[test]
+    fn capacity_zero_is_passthrough() {
+        let tracked = TrackedDevice::new(MemDevice::new());
+        let stats = tracked.stats();
+        let pool = BufferPool::new(tracked, 0);
+        pool.allocate(1).unwrap();
+        pool.write_block(0, &block_of(9)).unwrap();
+        let mut buf = crate::zeroed_block();
+        pool.read_block(0, &mut buf).unwrap();
+        pool.read_block(0, &mut buf).unwrap();
+        assert_eq!(stats.snapshot().total(), 3, "every access reaches the device");
+    }
+
+    #[test]
+    fn write_through_keeps_device_fresh() {
+        let mem = std::sync::Arc::new(MemDevice::new());
+        let pool = BufferPool::new(std::sync::Arc::clone(&mem), 8);
+        pool.allocate(1).unwrap();
+        pool.write_block(0, &block_of(0x5C)).unwrap();
+        let mut buf = crate::zeroed_block();
+        mem.read_block(0, &mut buf).unwrap();
+        assert_eq!(buf[17], 0x5C);
+    }
+
+    #[test]
+    fn clear_forgets_cached_blocks() {
+        let pool = BufferPool::new(MemDevice::new(), 4);
+        pool.allocate(1).unwrap();
+        pool.write_block(0, &block_of(1)).unwrap();
+        pool.clear();
+        let mut buf = crate::zeroed_block();
+        let (_, m0) = pool.hit_stats();
+        pool.read_block(0, &mut buf).unwrap();
+        assert_eq!(pool.hit_stats().1, m0 + 1, "read after clear is a miss");
+        assert_eq!(buf[0], 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Fault-injection test double.
+//!
+//! Real disks fail; a database library must surface those failures as
+//! errors, never panics or silent corruption. [`FlakyDevice`] wraps any
+//! device and starts failing I/O after a configurable number of
+//! operations, letting every layer's error path be exercised determin-
+//! istically. It lives in the library (not `#[cfg(test)]`) so downstream
+//! crates' tests can use it too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{BlockDevice, BlockId, Result, StorageError, BLOCK_SIZE};
+
+/// A device that fails every operation after the first `budget` calls.
+pub struct FlakyDevice<D> {
+    inner: D,
+    remaining: AtomicU64,
+}
+
+impl<D: BlockDevice> FlakyDevice<D> {
+    /// Wraps `inner`; the first `budget` read/write/allocate calls succeed,
+    /// everything after fails with [`StorageError::Io`].
+    pub fn new(inner: D, budget: u64) -> Self {
+        Self {
+            inner,
+            remaining: AtomicU64::new(budget),
+        }
+    }
+
+    /// Restores `budget` further successful operations.
+    pub fn refill(&self, budget: u64) {
+        self.remaining.store(budget, Ordering::Relaxed);
+    }
+
+    /// Operations left before failures begin.
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(Ordering::Relaxed)
+    }
+
+    fn spend(&self) -> Result<()> {
+        // Decrement-if-positive; at zero, fail.
+        let mut cur = self.remaining.load(Ordering::Relaxed);
+        loop {
+            if cur == 0 {
+                return Err(StorageError::Io(std::io::Error::other(
+                    "injected device failure",
+                )));
+            }
+            match self.remaining.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FlakyDevice<D> {
+    fn read_block(&self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
+        self.spend()?;
+        self.inner.read_block(id, buf)
+    }
+
+    fn write_block(&self, id: BlockId, data: &[u8; BLOCK_SIZE]) -> Result<()> {
+        self.spend()?;
+        self.inner.write_block(id, data)
+    }
+
+    fn allocate(&self, n: u64) -> Result<BlockId> {
+        self.spend()?;
+        self.inner.allocate(n)
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    #[test]
+    fn fails_exactly_after_budget() {
+        let dev = FlakyDevice::new(MemDevice::new(), 3);
+        dev.allocate(4).unwrap(); // 1
+        let buf = crate::zeroed_block();
+        dev.write_block(0, &buf).unwrap(); // 2
+        let mut out = crate::zeroed_block();
+        dev.read_block(0, &mut out).unwrap(); // 3
+        assert!(matches!(dev.read_block(0, &mut out), Err(StorageError::Io(_))));
+        assert_eq!(dev.remaining(), 0);
+    }
+
+    #[test]
+    fn refill_restores_service() {
+        let dev = FlakyDevice::new(MemDevice::new(), 1);
+        dev.allocate(1).unwrap();
+        let mut out = crate::zeroed_block();
+        assert!(dev.read_block(0, &mut out).is_err());
+        dev.refill(2);
+        assert!(dev.read_block(0, &mut out).is_ok());
+    }
+}

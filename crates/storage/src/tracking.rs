@@ -1,0 +1,272 @@
+//! Random vs. sequential I/O accounting.
+//!
+//! The paper's figures plot, for every algorithm, the number of **random**
+//! disk block accesses (thick bars) and **sequential** ones (thin lines),
+//! observing that "execution time is primarily proportional to the random
+//! access numbers". [`TrackedDevice`] reproduces that instrumentation: it
+//! wraps any [`BlockDevice`] and classifies each access by comparing the
+//! block id with the immediately preceding access on the same device — a
+//! disk arm model. Accessing block `b` right after block `b - 1` is
+//! sequential; anything else (including re-reading the same block) requires
+//! a seek and counts as random.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::{BlockDevice, BlockId, Result, BLOCK_SIZE};
+
+/// Sentinel for "no previous access".
+const NO_PREV: u64 = u64::MAX;
+
+/// Shared, thread-safe I/O counters.
+///
+/// Cloneable handles (via `Arc`) let the query layer snapshot counters
+/// before and after a query and report the delta.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    random_reads: AtomicU64,
+    seq_reads: AtomicU64,
+    random_writes: AtomicU64,
+    seq_writes: AtomicU64,
+    last_block: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self {
+            last_block: AtomicU64::new(NO_PREV),
+            ..Self::default()
+        }
+    }
+
+    /// Records an access to `id`, classifying it against the previous one.
+    #[inline]
+    pub fn record(&self, id: BlockId, write: bool) {
+        let prev = self.last_block.swap(id, Ordering::Relaxed);
+        let sequential = prev != NO_PREV && id == prev.wrapping_add(1);
+        let counter = match (write, sequential) {
+            (false, false) => &self.random_reads,
+            (false, true) => &self.seq_reads,
+            (true, false) => &self.random_writes,
+            (true, true) => &self.seq_writes,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            random_reads: self.random_reads.load(Ordering::Relaxed),
+            seq_reads: self.seq_reads.load(Ordering::Relaxed),
+            random_writes: self.random_writes.load(Ordering::Relaxed),
+            seq_writes: self.seq_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters (and the arm position) to the initial state.
+    pub fn reset(&self) {
+        self.random_reads.store(0, Ordering::Relaxed);
+        self.seq_reads.store(0, Ordering::Relaxed);
+        self.random_writes.store(0, Ordering::Relaxed);
+        self.seq_writes.store(0, Ordering::Relaxed);
+        self.last_block.store(NO_PREV, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`] counters.
+///
+/// Supports subtraction, so `after - before` yields the I/O a single query
+/// performed — the quantity the paper's figures plot.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Block accesses that required a seek (reads).
+    pub random_reads: u64,
+    /// Block accesses adjacent to the previous access (reads).
+    pub seq_reads: u64,
+    /// Block accesses that required a seek (writes).
+    pub random_writes: u64,
+    /// Block accesses adjacent to the previous access (writes).
+    pub seq_writes: u64,
+}
+
+impl IoSnapshot {
+    /// Total random accesses (reads + writes).
+    pub fn random(&self) -> u64 {
+        self.random_reads + self.random_writes
+    }
+
+    /// Total sequential accesses (reads + writes).
+    pub fn sequential(&self) -> u64 {
+        self.seq_reads + self.seq_writes
+    }
+
+    /// Total block accesses of any kind.
+    pub fn total(&self) -> u64 {
+        self.random() + self.sequential()
+    }
+
+    /// Total bytes transferred.
+    pub fn bytes(&self) -> u64 {
+        self.total() * BLOCK_SIZE as u64
+    }
+}
+
+impl std::ops::Sub for IoSnapshot {
+    type Output = IoSnapshot;
+
+    fn sub(self, rhs: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            random_reads: self.random_reads - rhs.random_reads,
+            seq_reads: self.seq_reads - rhs.seq_reads,
+            random_writes: self.random_writes - rhs.random_writes,
+            seq_writes: self.seq_writes - rhs.seq_writes,
+        }
+    }
+}
+
+impl std::ops::Add for IoSnapshot {
+    type Output = IoSnapshot;
+
+    fn add(self, rhs: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            random_reads: self.random_reads + rhs.random_reads,
+            seq_reads: self.seq_reads + rhs.seq_reads,
+            random_writes: self.random_writes + rhs.random_writes,
+            seq_writes: self.seq_writes + rhs.seq_writes,
+        }
+    }
+}
+
+impl std::iter::Sum for IoSnapshot {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), |a, b| a + b)
+    }
+}
+
+/// A [`BlockDevice`] wrapper that feeds every access into an [`IoStats`].
+pub struct TrackedDevice<D> {
+    inner: D,
+    stats: Arc<IoStats>,
+}
+
+impl<D: BlockDevice> TrackedDevice<D> {
+    /// Wraps `inner` with fresh counters.
+    pub fn new(inner: D) -> Self {
+        Self::with_stats(inner, Arc::new(IoStats::new()))
+    }
+
+    /// Wraps `inner`, accumulating into an existing counter handle (lets a
+    /// caller own the handle before constructing the device).
+    pub fn with_stats(inner: D, stats: Arc<IoStats>) -> Self {
+        Self { inner, stats }
+    }
+
+    /// Handle to the shared counters.
+    pub fn stats(&self) -> Arc<IoStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for TrackedDevice<D> {
+    fn read_block(&self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
+        self.stats.record(id, false);
+        self.inner.read_block(id, buf)
+    }
+
+    fn write_block(&self, id: BlockId, data: &[u8; BLOCK_SIZE]) -> Result<()> {
+        self.stats.record(id, true);
+        self.inner.write_block(id, data)
+    }
+
+    fn allocate(&self, n: u64) -> Result<BlockId> {
+        // Allocation itself is metadata, not a block transfer.
+        self.inner.allocate(n)
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    #[test]
+    fn classifies_sequential_and_random() {
+        let dev = TrackedDevice::new(MemDevice::new());
+        dev.allocate(10).unwrap();
+        let mut buf = crate::zeroed_block();
+
+        dev.read_block(3, &mut buf).unwrap(); // first access: random
+        dev.read_block(4, &mut buf).unwrap(); // sequential
+        dev.read_block(5, &mut buf).unwrap(); // sequential
+        dev.read_block(5, &mut buf).unwrap(); // same block again: random (seek back)
+        dev.read_block(0, &mut buf).unwrap(); // random
+        dev.read_block(1, &mut buf).unwrap(); // sequential
+
+        let s = dev.stats().snapshot();
+        assert_eq!(s.random_reads, 3);
+        assert_eq!(s.seq_reads, 3);
+        assert_eq!(s.random_writes, 0);
+    }
+
+    #[test]
+    fn writes_share_the_arm_position() {
+        let dev = TrackedDevice::new(MemDevice::new());
+        dev.allocate(4).unwrap();
+        let buf = crate::zeroed_block();
+        let mut out = crate::zeroed_block();
+
+        dev.write_block(0, &buf).unwrap(); // random
+        dev.write_block(1, &buf).unwrap(); // sequential
+        dev.read_block(2, &mut out).unwrap(); // sequential (follows the write)
+
+        let s = dev.stats().snapshot();
+        assert_eq!(s.random_writes, 1);
+        assert_eq!(s.seq_writes, 1);
+        assert_eq!(s.seq_reads, 1);
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let dev = TrackedDevice::new(MemDevice::new());
+        dev.allocate(4).unwrap();
+        let mut buf = crate::zeroed_block();
+        dev.read_block(0, &mut buf).unwrap();
+
+        let before = dev.stats().snapshot();
+        dev.read_block(2, &mut buf).unwrap();
+        dev.read_block(3, &mut buf).unwrap();
+        let delta = dev.stats().snapshot() - before;
+        assert_eq!(delta.random_reads, 1);
+        assert_eq!(delta.seq_reads, 1);
+        assert_eq!(delta.bytes(), 2 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn reset_clears_counters_and_arm() {
+        let dev = TrackedDevice::new(MemDevice::new());
+        dev.allocate(4).unwrap();
+        let mut buf = crate::zeroed_block();
+        dev.read_block(0, &mut buf).unwrap();
+        dev.read_block(1, &mut buf).unwrap();
+        dev.stats().reset();
+        assert_eq!(dev.stats().snapshot(), IoSnapshot::default());
+        // After reset the next access is random even if adjacent.
+        dev.read_block(2, &mut buf).unwrap();
+        assert_eq!(dev.stats().snapshot().random_reads, 1);
+    }
+}

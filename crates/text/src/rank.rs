@@ -1,0 +1,107 @@
+//! Combining functions `f(distance, IRscore)` for general top-k queries.
+
+/// A ranking function combining spatial distance and text relevance.
+///
+/// Section 2 defines the general query's ranking as
+/// `f(distance(T.p, Q.p), IRscore(T.t, Q.t))`; Section 5.3's upper-bound
+/// machinery additionally assumes `f` is *decreasing with distance and
+/// increasing with IRscore*. Implementations must satisfy that monotonicity
+/// (it is what makes `combine(MINDIST, ir_upper_bound)` an upper bound for
+/// every object in a subtree); the property tests in this crate check it
+/// for the provided implementations.
+pub trait RankingFn: Send + Sync {
+    /// Combined score — higher is better.
+    fn combine(&self, distance: f64, ir_score: f64) -> f64;
+}
+
+/// Weighted linear combination: `ir_weight · IRscore − dist_weight · distance`.
+///
+/// The classic additive trade-off; `dist_weight` converts distance units
+/// into relevance units.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearRank {
+    /// Weight of the IR relevance term.
+    pub ir_weight: f64,
+    /// Weight (per unit distance) of the spatial term.
+    pub dist_weight: f64,
+}
+
+impl Default for LinearRank {
+    fn default() -> Self {
+        Self {
+            ir_weight: 1.0,
+            dist_weight: 0.01,
+        }
+    }
+}
+
+impl RankingFn for LinearRank {
+    fn combine(&self, distance: f64, ir_score: f64) -> f64 {
+        self.ir_weight * ir_score - self.dist_weight * distance
+    }
+}
+
+/// Multiplicative decay: `IRscore / (1 + distance/scale)`.
+///
+/// Keeps scores non-negative and makes relevance count for less the farther
+/// the object is — the shape most local-search ranking uses.
+#[derive(Debug, Clone, Copy)]
+pub struct DecayRank {
+    /// Distance at which relevance is halved.
+    pub scale: f64,
+}
+
+impl Default for DecayRank {
+    fn default() -> Self {
+        Self { scale: 10.0 }
+    }
+}
+
+impl RankingFn for DecayRank {
+    fn combine(&self, distance: f64, ir_score: f64) -> f64 {
+        ir_score / (1.0 + distance / self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_monotone(f: &dyn RankingFn) {
+        // Decreasing in distance.
+        assert!(f.combine(1.0, 5.0) >= f.combine(2.0, 5.0));
+        assert!(f.combine(0.0, 5.0) >= f.combine(100.0, 5.0));
+        // Increasing in IR score.
+        assert!(f.combine(3.0, 6.0) >= f.combine(3.0, 5.0));
+        assert!(f.combine(3.0, 0.1) >= f.combine(3.0, 0.0));
+    }
+
+    #[test]
+    fn linear_is_monotone() {
+        check_monotone(&LinearRank::default());
+    }
+
+    #[test]
+    fn decay_is_monotone() {
+        check_monotone(&DecayRank::default());
+    }
+
+    #[test]
+    fn decay_is_nonnegative_for_nonnegative_ir() {
+        let f = DecayRank::default();
+        assert!(f.combine(1e9, 3.0) >= 0.0);
+        assert_eq!(f.combine(123.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn linear_trades_distance_for_relevance() {
+        let f = LinearRank {
+            ir_weight: 1.0,
+            dist_weight: 0.1,
+        };
+        // An object 10 units farther needs 1.0 more relevance to tie.
+        let near_weak = f.combine(0.0, 1.0);
+        let far_strong = f.combine(10.0, 2.0);
+        assert!((near_weak - far_strong).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,153 @@
+//! Tokenization and token-set containment.
+
+use std::collections::{HashMap, HashSet};
+
+/// Splits `text` into lower-cased alphanumeric tokens.
+///
+/// "wireless Internet, pool" tokenizes to `wireless`, `internet`, `pool` —
+/// matching the paper's running example, where the query keyword
+/// `internet` matches both "Internet" (H₁, H₇) and "internet" (H₆).
+/// Unicode alphanumerics are kept; everything else separates tokens.
+pub fn tokenize(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|s| !s.is_empty())
+        .map(|s| s.to_lowercase())
+}
+
+/// The set of distinct tokens of a document.
+///
+/// This is the structure the distance-first algorithms consult to verify
+/// candidates: "if T.t contains all keywords in Q.t".
+///
+/// ```
+/// use ir2_text::TokenSet;
+/// let doc = TokenSet::from_text("wireless Internet, pool, golf course");
+/// assert!(doc.contains_all(&["internet", "pool"]));
+/// assert!(!doc.contains_all(&["internet", "spa"]));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TokenSet {
+    tokens: HashSet<String>,
+}
+
+impl TokenSet {
+    /// Tokenizes a document into its distinct-token set.
+    pub fn from_text(text: &str) -> Self {
+        Self {
+            tokens: tokenize(text).collect(),
+        }
+    }
+
+    /// Number of distinct tokens (the document length `dl` used by the
+    /// paper's IR-score upper bound).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True if the document has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// True if the document contains keyword `w` (`w` must already be
+    /// lower-cased, as produced by [`tokenize`]).
+    pub fn contains(&self, w: &str) -> bool {
+        self.tokens.contains(w)
+    }
+
+    /// The paper's conjunctive Boolean keyword predicate:
+    /// `∀w ∈ keywords : w ∈ T.t`. Vacuously true for no keywords.
+    pub fn contains_all<S: AsRef<str>>(&self, keywords: &[S]) -> bool {
+        keywords.iter().all(|w| self.contains(w.as_ref()))
+    }
+
+    /// Iterates over the distinct tokens.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.tokens.iter().map(String::as_str)
+    }
+}
+
+/// Distinct tokens of a document with their term frequencies.
+///
+/// The general top-k algorithm needs `tf` per query term and the document
+/// length; this is the loaded-object view it scores against.
+#[derive(Debug, Clone, Default)]
+pub struct TokenCounts {
+    counts: HashMap<String, u32>,
+}
+
+impl TokenCounts {
+    /// Tokenizes a document, counting occurrences per token.
+    pub fn from_text(text: &str) -> Self {
+        let mut counts = HashMap::new();
+        for tok in tokenize(text) {
+            *counts.entry(tok).or_insert(0) += 1;
+        }
+        Self { counts }
+    }
+
+    /// Term frequency of `w` (0 when absent; `w` must be lower-cased).
+    pub fn tf(&self, w: &str) -> u32 {
+        self.counts.get(w).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct tokens.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates over `(token, tf)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.counts.iter().map(|(t, &c)| (t.as_str(), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_paper_amenities() {
+        let toks: Vec<String> = tokenize("wireless Internet, pool, golf course").collect();
+        assert_eq!(toks, ["wireless", "internet", "pool", "golf", "course"]);
+    }
+
+    #[test]
+    fn case_insensitive_match_from_running_example() {
+        // H7's description uses "Internet"; the query keyword is "internet".
+        let h7 = TokenSet::from_text("Internet, airport transportation, pool");
+        assert!(h7.contains_all(&["internet", "pool"]));
+        // H1 has internet but no pool.
+        let h1 = TokenSet::from_text("tennis court, gift shop, spa, Internet");
+        assert!(!h1.contains_all(&["internet", "pool"]));
+    }
+
+    #[test]
+    fn empty_and_punctuation_only_text() {
+        assert!(TokenSet::from_text("").is_empty());
+        assert!(TokenSet::from_text("...!?---").is_empty());
+        assert_eq!(tokenize("").count(), 0);
+    }
+
+    #[test]
+    fn empty_keyword_list_is_vacuously_true() {
+        let t = TokenSet::from_text("anything");
+        assert!(t.contains_all::<&str>(&[]));
+    }
+
+    #[test]
+    fn counts_term_frequencies() {
+        let c = TokenCounts::from_text("pool spa pool POOL spa pets");
+        assert_eq!(c.tf("pool"), 3);
+        assert_eq!(c.tf("spa"), 2);
+        assert_eq!(c.tf("pets"), 1);
+        assert_eq!(c.tf("absent"), 0);
+        assert_eq!(c.distinct(), 3);
+    }
+
+    #[test]
+    fn numbers_and_unicode_are_tokens() {
+        let toks: Vec<String> = tokenize("Motel6 café 24h").collect();
+        assert_eq!(toks, ["motel6", "café", "24h"]);
+    }
+}

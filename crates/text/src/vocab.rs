@@ -1,0 +1,211 @@
+//! Vocabulary: term ids and document frequencies.
+
+use std::collections::HashMap;
+
+/// Dense identifier of a term in a [`Vocabulary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// A corpus vocabulary: term ↔ id mapping plus the per-term document
+/// frequencies and corpus size that idf weighting needs.
+///
+/// Built once while scanning the object file (each object's *distinct*
+/// tokens increment `df`), then shared read-only by the inverted index and
+/// the tf-idf scorer.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    ids: HashMap<String, TermId>,
+    names: Vec<String>,
+    df: Vec<u32>,
+    num_docs: u64,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers one document given its *distinct* terms, interning new
+    /// terms and bumping document frequencies.
+    pub fn add_document<'a>(&mut self, distinct_terms: impl IntoIterator<Item = &'a str>) {
+        self.num_docs += 1;
+        for term in distinct_terms {
+            let id = self.intern(term);
+            self.df[id.0 as usize] += 1;
+        }
+    }
+
+    /// Interns `term`, returning its id (existing or fresh with df = 0).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = TermId(self.names.len() as u32);
+        self.ids.insert(term.to_owned(), id);
+        self.names.push(term.to_owned());
+        self.df.push(0);
+        id
+    }
+
+    /// Looks up a term (must be lower-cased). `None` means the term occurs
+    /// nowhere in the corpus — for a conjunctive query, an empty result.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// The term string for an id.
+    ///
+    /// # Panics
+    /// Panics if `id` is not from this vocabulary.
+    pub fn name(&self, id: TermId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Document frequency of a term.
+    ///
+    /// # Panics
+    /// Panics if `id` is not from this vocabulary.
+    pub fn df(&self, id: TermId) -> u32 {
+        self.df[id.0 as usize]
+    }
+
+    /// Inverse document frequency: `ln(1 + N/df)`.
+    ///
+    /// This is the standard smoothed idf [Sin01]; for a term with df = 0
+    /// (interned but never in a document) it degenerates gracefully to the
+    /// maximum weight `ln(1 + N)`.
+    pub fn idf(&self, id: TermId) -> f64 {
+        let df = self.df(id).max(1) as f64;
+        (1.0 + self.num_docs as f64 / df).ln()
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no terms are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Number of documents registered.
+    pub fn num_docs(&self) -> u64 {
+        self.num_docs
+    }
+
+    /// Iterates `(TermId, term, df)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str, u32)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (TermId(i as u32), n.as_str(), self.df[i]))
+    }
+
+    /// Serializes the vocabulary (used by the database superblock so a
+    /// persisted database reopens with identical term ids).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.names.len() * 12);
+        out.extend_from_slice(&self.num_docs.to_le_bytes());
+        out.extend_from_slice(&(self.names.len() as u32).to_le_bytes());
+        for (i, name) in self.names.iter().enumerate() {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(&self.df[i].to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a vocabulary written by [`Vocabulary::encode`].
+    ///
+    /// Returns `None` on any structural corruption.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = buf.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let num_docs = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
+        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        let mut vocab = Vocabulary {
+            ids: HashMap::with_capacity(count),
+            names: Vec::with_capacity(count),
+            df: Vec::with_capacity(count),
+            num_docs,
+        };
+        for i in 0..count {
+            let len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().ok()?) as usize;
+            let name = std::str::from_utf8(take(&mut pos, len)?).ok()?.to_owned();
+            let df = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+            vocab.ids.insert(name.clone(), TermId(i as u32));
+            vocab.names.push(name);
+            vocab.df.push(df);
+        }
+        Some(vocab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.add_document(["internet", "pool", "spa"]);
+        v.add_document(["pool", "pets"]);
+        v.add_document(["pool"]);
+        v
+    }
+
+    #[test]
+    fn df_counts_documents_not_occurrences() {
+        let v = sample();
+        assert_eq!(v.num_docs(), 3);
+        assert_eq!(v.df(v.term_id("pool").unwrap()), 3);
+        assert_eq!(v.df(v.term_id("internet").unwrap()), 1);
+        assert_eq!(v.term_id("sauna"), None);
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn rarer_terms_weigh_more() {
+        let v = sample();
+        let idf_pool = v.idf(v.term_id("pool").unwrap());
+        let idf_internet = v.idf(v.term_id("internet").unwrap());
+        assert!(idf_internet > idf_pool);
+        assert!(idf_pool > 0.0);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut v = Vocabulary::new();
+        let a = v.intern("pool");
+        let b = v.intern("pool");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.name(a), "pool");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let v = sample();
+        let bytes = v.encode();
+        let back = Vocabulary::decode(&bytes).unwrap();
+        assert_eq!(back.num_docs(), v.num_docs());
+        assert_eq!(back.len(), v.len());
+        for (id, name, df) in v.iter() {
+            assert_eq!(back.term_id(name), Some(id));
+            assert_eq!(back.df(id), df);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncated_input() {
+        let v = sample();
+        let bytes = v.encode();
+        assert!(Vocabulary::decode(&bytes[..bytes.len() - 3]).is_none());
+        assert!(Vocabulary::decode(&[1, 2, 3]).is_none());
+    }
+}

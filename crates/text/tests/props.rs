@@ -1,0 +1,112 @@
+//! Property tests for the IR substrate: the upper-bound contract that the
+//! general IR²-Tree algorithm's correctness rests on.
+
+use ir2_text::{
+    tokenize, DecayRank, IrScorer, LinearRank, RankingFn, SaturatingTfIdf, TokenCounts, TokenSet,
+    Vocabulary,
+};
+use proptest::prelude::*;
+
+/// Small word pool so documents overlap heavily.
+fn arb_word() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "internet", "pool", "spa", "pets", "golf", "sauna", "suite", "gym", "bar", "wifi",
+    ])
+    .prop_map(str::to_owned)
+}
+
+fn arb_doc() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(arb_word(), 0..20)
+}
+
+fn build_vocab(docs: &[Vec<String>]) -> Vocabulary {
+    let mut v = Vocabulary::new();
+    for d in docs {
+        let mut distinct: Vec<&str> = d.iter().map(String::as_str).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        v.add_document(distinct);
+    }
+    v
+}
+
+proptest! {
+    /// For every document and every query, the scorer's upper bound over the
+    /// full query-term set dominates the document's actual score. This is the
+    /// invariant that lets the IR²-Tree emit results early without missing a
+    /// better one deeper in the tree.
+    #[test]
+    fn upper_bound_dominates_scores(docs in prop::collection::vec(arb_doc(), 1..12),
+                                    query in prop::collection::vec(arb_word(), 1..5)) {
+        let vocab = build_vocab(&docs);
+        let scorer = SaturatingTfIdf;
+        let mut qids: Vec<_> = query.iter().filter_map(|w| vocab.term_id(w)).collect();
+        qids.sort_unstable();
+        qids.dedup();
+        let ub = scorer.upper_bound(&vocab, &qids);
+        for d in &docs {
+            let doc = TokenCounts::from_text(&d.join(" "));
+            prop_assert!(scorer.score(&vocab, &qids, &doc) <= ub + 1e-12);
+        }
+    }
+
+    /// Upper bound is monotone in the matched set: matching fewer query terms
+    /// can only lower the bound (needed because deeper nodes match subsets).
+    #[test]
+    fn upper_bound_monotone_in_matched_set(docs in prop::collection::vec(arb_doc(), 1..12),
+                                           query in prop::collection::vec(arb_word(), 1..6),
+                                           keep in prop::collection::vec(any::<bool>(), 6)) {
+        let vocab = build_vocab(&docs);
+        let scorer = SaturatingTfIdf;
+        let mut qids: Vec<_> = query.iter().filter_map(|w| vocab.term_id(w)).collect();
+        qids.sort_unstable();
+        qids.dedup();
+        let subset: Vec<_> = qids.iter().zip(keep.iter().cycle()).filter(|(_, &k)| k).map(|(&t, _)| t).collect();
+        prop_assert!(scorer.upper_bound(&vocab, &subset) <= scorer.upper_bound(&vocab, &qids) + 1e-12);
+    }
+
+    /// Ranking functions are monotone: decreasing in distance, increasing in
+    /// IR score — the assumption Section 5.3 makes explicit.
+    #[test]
+    fn ranking_fns_are_monotone(d1 in 0.0f64..1e4, d2 in 0.0f64..1e4,
+                                s1 in 0.0f64..100.0, s2 in 0.0f64..100.0) {
+        let (dlo, dhi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let (slo, shi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        for f in [&LinearRank::default() as &dyn RankingFn, &DecayRank::default()] {
+            prop_assert!(f.combine(dlo, s1) >= f.combine(dhi, s1) - 1e-9);
+            prop_assert!(f.combine(d1, shi) >= f.combine(d1, slo) - 1e-9);
+        }
+    }
+
+    /// Tokenization is idempotent: tokenizing the join of tokens yields the
+    /// same tokens (tokens contain no separators).
+    #[test]
+    fn tokenize_idempotent(text in ".{0,80}") {
+        let once: Vec<String> = tokenize(&text).collect();
+        let twice: Vec<String> = tokenize(&once.join(" ")).collect();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// TokenSet::contains_all agrees with naive containment of each keyword.
+    #[test]
+    fn contains_all_agrees_with_naive(doc in arb_doc(), query in prop::collection::vec(arb_word(), 0..4)) {
+        let text = doc.join(" ");
+        let set = TokenSet::from_text(&text);
+        let naive = query.iter().all(|w| doc.iter().any(|t| t == w));
+        prop_assert_eq!(set.contains_all(&query), naive);
+    }
+
+    /// Vocabulary serialization round-trips.
+    #[test]
+    fn vocab_roundtrip(docs in prop::collection::vec(arb_doc(), 0..10)) {
+        let vocab = build_vocab(&docs);
+        let back = Vocabulary::decode(&vocab.encode()).unwrap();
+        prop_assert_eq!(back.num_docs(), vocab.num_docs());
+        prop_assert_eq!(back.len(), vocab.len());
+        for (id, name, df) in vocab.iter() {
+            prop_assert_eq!(back.term_id(name), Some(id));
+            prop_assert_eq!(back.df(id), df);
+            prop_assert!((back.idf(id) - vocab.idf(id)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Degenerate and adversarial datasets: the inputs that break naive index
+//! implementations. Every algorithm must stay correct (and finish) on all
+//! of them.
+
+use ir2tree::model::{DistanceFirstQuery, SpatialObject};
+use ir2tree::{Algorithm, DbConfig, DeviceSet, SpatialKeywordDb};
+
+fn cfg() -> DbConfig {
+    DbConfig {
+        capacity: Some(4),
+        sig_bytes: 8,
+        ..DbConfig::default()
+    }
+}
+
+fn check_all_algorithms(
+    db: &SpatialKeywordDb<ir2tree::storage::MemDevice>,
+    q: &DistanceFirstQuery<2>,
+    expected_len: usize,
+) {
+    for alg in Algorithm::ALL {
+        let rep = db.distance_first(alg, q).unwrap();
+        assert_eq!(rep.results.len(), expected_len, "{} on {:?}", alg.label(), q.keywords);
+        for w in rep.results.windows(2) {
+            assert!(w[0].1 <= w[1].1, "{}: non-decreasing distances", alg.label());
+        }
+        for (obj, _) in &rep.results {
+            assert!(obj.token_set().contains_all(&q.keywords), "{}", alg.label());
+        }
+    }
+}
+
+#[test]
+fn all_objects_at_the_same_point() {
+    // 100 objects stacked on one coordinate: every MBR is degenerate and
+    // every distance ties.
+    let objs: Vec<SpatialObject<2>> = (0..100)
+        .map(|i| {
+            SpatialObject::new(i, [5.0, 5.0], if i % 2 == 0 { "even pool" } else { "odd spa" })
+        })
+        .collect();
+    let db = SpatialKeywordDb::build(DeviceSet::in_memory(), objs, cfg()).unwrap();
+    check_all_algorithms(&db, &DistanceFirstQuery::new([5.0, 5.0], &["pool"], 50), 50);
+    check_all_algorithms(&db, &DistanceFirstQuery::new([0.0, 0.0], &["spa"], 10), 10);
+}
+
+#[test]
+fn all_objects_with_identical_text() {
+    // Signatures are identical everywhere: pruning is impossible, but
+    // correctness must hold and every algorithm still terminates.
+    let objs: Vec<SpatialObject<2>> = (0..80)
+        .map(|i| SpatialObject::new(i, [(i % 9) as f64, (i / 9) as f64], "same text everywhere"))
+        .collect();
+    let db = SpatialKeywordDb::build(DeviceSet::in_memory(), objs, cfg()).unwrap();
+    check_all_algorithms(&db, &DistanceFirstQuery::new([4.0, 4.0], &["same", "text"], 5), 5);
+    check_all_algorithms(&db, &DistanceFirstQuery::new([4.0, 4.0], &["different"], 5), 0);
+}
+
+#[test]
+fn single_object_database() {
+    let objs = vec![SpatialObject::new(42, [1.0, 2.0], "lonely pub quiz")];
+    let db = SpatialKeywordDb::build(DeviceSet::in_memory(), objs, cfg()).unwrap();
+    check_all_algorithms(&db, &DistanceFirstQuery::new([0.0, 0.0], &["pub"], 3), 1);
+    check_all_algorithms(&db, &DistanceFirstQuery::new([0.0, 0.0], &["club"], 3), 0);
+}
+
+#[test]
+fn very_long_single_document() {
+    // One object with thousands of distinct words (saturates its
+    // signature), surrounded by small ones.
+    let long_text: String = (0..3000).map(|i| format!("w{i} ")).collect();
+    let mut objs = vec![SpatialObject::new(0, [0.0, 0.0], long_text)];
+    for i in 1..40 {
+        objs.push(SpatialObject::new(i, [i as f64, 0.0], "short pool note"));
+    }
+    let db = SpatialKeywordDb::build(DeviceSet::in_memory(), objs, cfg()).unwrap();
+    // The long document matches any word it contains.
+    check_all_algorithms(&db, &DistanceFirstQuery::new([0.0, 0.0], &["w2999"], 5), 1);
+    // Saturated signature: the long doc is a false positive for absent
+    // words in the tree path, but never a false result.
+    check_all_algorithms(&db, &DistanceFirstQuery::new([0.0, 0.0], &["absent9"], 5), 0);
+    check_all_algorithms(&db, &DistanceFirstQuery::new([20.0, 0.0], &["pool"], 39), 39);
+}
+
+#[test]
+fn unicode_documents_and_keywords() {
+    let objs = vec![
+        SpatialObject::new(1, [0.0, 0.0], "Καφέ στην παραλία"),
+        SpatialObject::new(2, [1.0, 0.0], "кафе на пляже"),
+        SpatialObject::new(3, [2.0, 0.0], "日本のカフェ 東京"),
+        SpatialObject::new(4, [3.0, 0.0], "CAFÉ com açúcar"),
+    ];
+    let db = SpatialKeywordDb::build(DeviceSet::in_memory(), objs, cfg()).unwrap();
+    check_all_algorithms(&db, &DistanceFirstQuery::new([0.0, 0.0], &["кафе"], 4), 1);
+    check_all_algorithms(&db, &DistanceFirstQuery::new([0.0, 0.0], &["café"], 4), 1);
+    check_all_algorithms(&db, &DistanceFirstQuery::new([0.0, 0.0], &["東京"], 4), 1);
+}
+
+#[test]
+fn many_keywords_in_one_query() {
+    // A 30-keyword conjunction: only the object containing all matches.
+    let all_words: Vec<String> = (0..30).map(|i| format!("kw{i}")).collect();
+    let mut objs = vec![SpatialObject::new(0, [0.0, 0.0], all_words.join(" "))];
+    for i in 1..50 {
+        objs.push(SpatialObject::new(
+            i,
+            [i as f64, 0.0],
+            all_words[..(i as usize % 29)].join(" "),
+        ));
+    }
+    let db = SpatialKeywordDb::build(DeviceSet::in_memory(), objs, cfg()).unwrap();
+    let kws: Vec<&str> = all_words.iter().map(String::as_str).collect();
+    check_all_algorithms(&db, &DistanceFirstQuery::new([10.0, 0.0], &kws, 5), 1);
+}
+
+#[test]
+fn extreme_coordinates() {
+    let objs = vec![
+        SpatialObject::new(1, [1e15, 1e15], "far northeast pub"),
+        SpatialObject::new(2, [-1e15, -1e15], "far southwest pub"),
+        SpatialObject::new(3, [0.0, 0.0], "origin pub"),
+        SpatialObject::new(4, [1e-15, -1e-15], "epsilon pub"),
+    ];
+    let db = SpatialKeywordDb::build(DeviceSet::in_memory(), objs, cfg()).unwrap();
+    let rep = db
+        .distance_first(Algorithm::Ir2, &DistanceFirstQuery::new([1.0, 1.0], &["pub"], 4))
+        .unwrap();
+    assert_eq!(rep.results.len(), 4);
+    // The two origin-ish pubs come first, the 1e15 corners last.
+    assert!(rep.results[0].0.id == 3 || rep.results[0].0.id == 4);
+    assert!(rep.results[3].1 > 1e14);
+}
+
+#[test]
+fn repeated_build_delete_insert_cycles() {
+    let objs: Vec<SpatialObject<2>> = (0..60)
+        .map(|i| SpatialObject::new(i, [(i % 8) as f64, (i / 8) as f64], "cycling pool item"))
+        .collect();
+    let mut db = SpatialKeywordDb::build(DeviceSet::in_memory(), objs.clone(), cfg()).unwrap();
+    // Three churn cycles: delete a third, reinsert equivalents.
+    let mut ptrs = Vec::new();
+    for cycle in 0..3u64 {
+        for (i, obj) in objs.iter().enumerate().take(20) {
+            let q = DistanceFirstQuery::new(*obj.point.coords(), &["cycling"], 1);
+            let rep = db.distance_first(Algorithm::Ir2, &q).unwrap();
+            assert!(!rep.results.is_empty());
+            let _ = i;
+        }
+        for ptr in ptrs.drain(..) {
+            assert!(db.delete(ptr).unwrap());
+        }
+        for i in 0..15u64 {
+            let obj = SpatialObject::new(
+                1000 + cycle * 100 + i,
+                [i as f64 * 0.5, cycle as f64],
+                "churned pool extra",
+            );
+            ptrs.push(db.insert(&obj).unwrap());
+        }
+        let q = DistanceFirstQuery::new([0.0, cycle as f64], &["churned"], 50);
+        let rep = db.distance_first(Algorithm::Mir2, &q).unwrap();
+        assert_eq!(rep.results.len(), 15, "cycle {cycle}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Larger-scale smoke tests (tens of thousands of objects) validating that
+//! the paper's qualitative claims emerge at scale. Kept below a minute in
+//! debug builds; the full-scale runs live in the benchmark harness.
+
+use ir2_datagen::{DatasetSpec, DatasetStats};
+use ir2tree::model::DistanceFirstQuery;
+use ir2tree::{Algorithm, DbConfig, DeviceSet, SpatialKeywordDb};
+
+fn build(spec: &DatasetSpec, config: DbConfig) -> SpatialKeywordDb<ir2tree::storage::MemDevice> {
+    SpatialKeywordDb::build(DeviceSet::in_memory(), spec.generate(), config).unwrap()
+}
+
+#[test]
+fn restaurants_20k_full_pipeline() {
+    let spec = DatasetSpec::restaurants().scaled(20_000.0 / 456_288.0);
+    let db = build(&spec, DbConfig::restaurants());
+
+    // Table 1 shape: statistics match the spec.
+    let stats = db.build_stats();
+    assert_eq!(stats.objects, 20_000);
+    assert!((stats.avg_unique_words - 14.0).abs() < 1.5);
+
+    // All four algorithms agree on a realistic query mix.
+    for (r1, r2, k) in [(4, 9, 1), (10, 25, 10), (40, 100, 50)] {
+        let q = DistanceFirstQuery::new(
+            [25.0, -80.0],
+            &[spec.keyword_of_rank(r1), spec.keyword_of_rank(r2)],
+            k,
+        );
+        let reference = db.distance_first(Algorithm::RTree, &q).unwrap();
+        for alg in [Algorithm::Iio, Algorithm::Ir2, Algorithm::Mir2] {
+            let got = db.distance_first(alg, &q).unwrap();
+            assert_eq!(got.results.len(), reference.results.len(), "{}", alg.label());
+            for ((_, a), (_, b)) in got.results.iter().zip(reference.results.iter()) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    // Table 2 shape at scale.
+    let sizes = db.index_sizes();
+    assert!(sizes.rtree < sizes.ir2);
+    assert!(sizes.ir2 <= sizes.mir2);
+
+    // Fig 9/12 shape: signature trees beat the baseline on random accesses
+    // (averaged over queries to smooth noise).
+    let mut base_io = 0;
+    let mut ir2_io = 0;
+    for rank in [15, 35, 75, 150, 300] {
+        let q = DistanceFirstQuery::new(
+            [0.0, 0.0],
+            &[spec.keyword_of_rank(rank), spec.keyword_of_rank(rank + 5)],
+            10,
+        );
+        base_io += db.distance_first(Algorithm::RTree, &q).unwrap().io.random();
+        ir2_io += db.distance_first(Algorithm::Ir2, &q).unwrap().io.random();
+    }
+    assert!(
+        ir2_io < base_io,
+        "IR² random accesses {ir2_io} must beat baseline {base_io}"
+    );
+}
+
+#[test]
+fn hotels_5k_with_long_signatures() {
+    let spec = DatasetSpec::hotels().scaled(5_000.0 / 129_319.0);
+    let db = build(&spec, DbConfig::hotels());
+    let stats = db.build_stats();
+    assert!((stats.avg_unique_words - 35.0).abs() < 3.0);
+    assert!(stats.avg_blocks_per_object >= 1.0);
+
+    // Long (189 B) signatures at this document size produce essentially no
+    // false positives on selective conjunctions.
+    let q = DistanceFirstQuery::new(
+        [10.0, 10.0],
+        &[spec.keyword_of_rank(20), spec.keyword_of_rank(45)],
+        10,
+    );
+    let rep = db.distance_first(Algorithm::Ir2, &q).unwrap();
+    let checked = rep.counters.candidates_checked;
+    let fp = rep.counters.false_positives;
+    assert!(
+        fp * 5 <= checked.max(1),
+        "false positives {fp} of {checked} candidates"
+    );
+}
+
+#[test]
+fn generated_dataset_statistics_are_stable() {
+    // The statistics the experiments assume hold for an independent sample.
+    let spec = DatasetSpec::restaurants().scaled(0.02);
+    let objs: Vec<_> = spec.generate().collect();
+    let stats = DatasetStats::measure(&objs);
+    assert!((stats.avg_unique_words - 14.0).abs() < 1.0);
+    // Zipf text: the most common word covers a large fraction of objects.
+    let common = spec.keyword_of_rank(0);
+    let df = objs.iter().filter(|o| o.token_set().contains(&common)).count();
+    assert!(df * 5 > objs.len(), "rank-0 word in {df}/{} objects", objs.len());
+}
