@@ -14,19 +14,15 @@ fn bench_keywords(c: &mut Criterion) {
     for kw in [1usize, 2, 3, 5] {
         let queries = workload(&spec, 8, kw, 10);
         for alg in Algorithm::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(alg.label(), kw),
-                &queries,
-                |b, queries| {
-                    b.iter(|| {
-                        let mut total = 0usize;
-                        for q in queries {
-                            total += bench.db.distance_first(alg, q).unwrap().results.len();
-                        }
-                        total
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(alg.label(), kw), &queries, |b, queries| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for q in queries {
+                        total += bench.db.distance_first(alg, q).unwrap().results.len();
+                    }
+                    total
+                })
+            });
         }
     }
     group.finish();

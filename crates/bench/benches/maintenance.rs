@@ -14,7 +14,10 @@ use ir2tree::storage::MemDevice;
 
 const N: usize = 1_500;
 
-fn fixture() -> (Arc<ObjectStore<2, MemDevice>>, Vec<(ObjPtr, SpatialObject<2>)>) {
+fn fixture() -> (
+    Arc<ObjectStore<2, MemDevice>>,
+    Vec<(ObjPtr, SpatialObject<2>)>,
+) {
     let spec = DatasetSpec::restaurants().scaled(N as f64 / 456_288.0);
     let store = Arc::new(ObjectStore::<2, _>::create(MemDevice::new()));
     let items: Vec<_> = spec
@@ -28,15 +31,21 @@ fn fixture() -> (Arc<ObjectStore<2, MemDevice>>, Vec<(ObjPtr, SpatialObject<2>)>
 fn bench_maintenance(c: &mut Criterion) {
     let (store, items) = fixture();
     let cfg = RTreeConfig::for_dims::<2>();
-    let schemes =
-        || MultiLevelScheme::new(8, 4, 1, cfg.max_entries, 14.0, 20_000);
+    let schemes = || MultiLevelScheme::new(8, 4, 1, cfg.max_entries, 14.0, 20_000);
 
     let mut group = c.benchmark_group("maintenance_insert_all");
     group.sample_size(10);
 
     group.bench_function("ir2", |b| {
         b.iter_batched(
-            || RTree::create(MemDevice::new(), cfg, Ir2Payload::new(SignatureScheme::from_bytes_len(8, 4, 1))).unwrap(),
+            || {
+                RTree::create(
+                    MemDevice::new(),
+                    cfg,
+                    Ir2Payload::new(SignatureScheme::from_bytes_len(8, 4, 1)),
+                )
+                .unwrap()
+            },
             |tree| {
                 for (p, o) in &items {
                     insert_object(&tree, *p, o).unwrap();

@@ -36,7 +36,10 @@ fn bench_nn(c: &mut Criterion) {
     let tree = RTree::create(MemDevice::new(), RTreeConfig::for_dims::<2>(), UnitPayload).unwrap();
     let items: Vec<_> = (0..20_000u64)
         .map(|i| {
-            let p = Point::new([((i * 7919) % 10_000) as f64, ((i * 104_729) % 10_000) as f64]);
+            let p = Point::new([
+                ((i * 7919) % 10_000) as f64,
+                ((i * 104_729) % 10_000) as f64,
+            ]);
             (i, Rect::from_point(p), vec![])
         })
         .collect();
@@ -94,7 +97,11 @@ fn bench_block_io(c: &mut Criterion) {
         })
     });
     c.bench_function("storage/extent_read_4_blocks", |b| {
-        b.iter(|| ir2tree::storage::extent::read_extent(&dev, 100, 4).unwrap().len())
+        b.iter(|| {
+            ir2tree::storage::extent::read_extent(&dev, 100, 4)
+                .unwrap()
+                .len()
+        })
     });
     let _ = BLOCK_SIZE;
 }

@@ -16,19 +16,15 @@ fn bench_topk(c: &mut Criterion) {
     for k in [1usize, 10, 50] {
         let queries = workload(&spec, 8, 2, k);
         for alg in Algorithm::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(alg.label(), k),
-                &queries,
-                |b, queries| {
-                    b.iter(|| {
-                        let mut total = 0usize;
-                        for q in queries {
-                            total += bench.db.distance_first(alg, q).unwrap().results.len();
-                        }
-                        total
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(alg.label(), k), &queries, |b, queries| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for q in queries {
+                        total += bench.db.distance_first(alg, q).unwrap().results.len();
+                    }
+                    total
+                })
+            });
         }
     }
     group.finish();

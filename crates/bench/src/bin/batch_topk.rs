@@ -1,0 +1,162 @@
+//! Throughput benchmark for the concurrent batch query engine
+//! (`SpatialKeywordDb::batch_topk`): queries/second versus worker thread
+//! count, per algorithm.
+//!
+//! This is beyond the paper's evaluation (which is single-query, I/O-cost
+//! centric): it measures how far concurrent read-only queries scale once
+//! the structures are shared across threads and the buffer pool is
+//! sharded. Results are printed as a table and written to
+//! `BENCH_batch_topk.json` for the record in `EXPERIMENTS.md`.
+//!
+//! Usage:
+//!   batch_topk [--scale F] [--queries N] [--k K] [--reps R] [--out FILE]
+//!
+//! Defaults: `--scale 0.02` (≈9 000 restaurants), `--queries 96`, `--k 10`,
+//! `--reps 3` (best of R per point), `--out BENCH_batch_topk.json`.
+
+use std::time::Instant;
+
+use ir2_bench::{build_db, workload};
+use ir2_datagen::DatasetSpec;
+use ir2tree::Algorithm;
+
+const RESTAURANTS_SIG_DEFAULT: usize = 8;
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+struct Args {
+    scale: f64,
+    queries: usize,
+    k: usize,
+    reps: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.02,
+        queries: 96,
+        k: 10,
+        reps: 3,
+        out: "BENCH_batch_topk.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut next = |what: &str| it.next().unwrap_or_else(|| panic!("{arg} needs {what}"));
+        match arg.as_str() {
+            "--scale" => args.scale = next("F").parse().expect("scale factor"),
+            "--queries" => args.queries = next("N").parse().expect("query count"),
+            "--k" => args.k = next("K").parse().expect("k"),
+            "--reps" => args.reps = next("R").parse().expect("rep count"),
+            "--out" => args.out = next("FILE"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    args
+}
+
+struct Point {
+    threads: usize,
+    qps: f64,
+    wall_ms: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = DatasetSpec::restaurants().scaled(args.scale);
+    eprintln!(
+        "[build] {} ({} objects, sig {} B)…",
+        spec.name, spec.num_objects, RESTAURANTS_SIG_DEFAULT
+    );
+    let bench = build_db(&spec, RESTAURANTS_SIG_DEFAULT);
+    let queries = workload(&spec, args.queries, 2, args.k);
+
+    println!("# batch_topk throughput (queries/sec vs threads)");
+    println!(
+        "{} objects, {} queries x k={}, best of {} reps, {} hardware threads",
+        spec.num_objects,
+        queries.len(),
+        args.k,
+        args.reps,
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+
+    let mut json_algs = Vec::new();
+    for alg in Algorithm::ALL {
+        // Correctness gate: concurrent results must be byte-identical to
+        // the sequential path before any number is worth reporting.
+        let batch = bench.db.batch_topk(alg, &queries, 4).expect("batch");
+        for (q, got) in queries.iter().zip(&batch) {
+            let seq = bench.db.distance_first(alg, q).expect("query");
+            let g: Vec<(u64, u64)> = got
+                .results
+                .iter()
+                .map(|(o, d)| (o.id, d.to_bits()))
+                .collect();
+            let s: Vec<(u64, u64)> = seq
+                .results
+                .iter()
+                .map(|(o, d)| (o.id, d.to_bits()))
+                .collect();
+            assert_eq!(g, s, "{}: concurrent != sequential", alg.label());
+        }
+
+        println!("\n### {}\n", alg.label());
+        println!(
+            "{:>8} | {:>12} | {:>10} | {:>8}",
+            "threads", "queries/sec", "wall (ms)", "speedup"
+        );
+        println!("{}", "-".repeat(48));
+        let mut points: Vec<Point> = Vec::new();
+        for threads in THREAD_SWEEP {
+            let mut best_wall = f64::INFINITY;
+            for _ in 0..args.reps.max(1) {
+                let t0 = Instant::now();
+                let reports = bench.db.batch_topk(alg, &queries, threads).expect("batch");
+                let wall = t0.elapsed().as_secs_f64();
+                assert_eq!(reports.len(), queries.len());
+                best_wall = best_wall.min(wall);
+            }
+            let qps = queries.len() as f64 / best_wall;
+            let speedup = points.first().map_or(1.0, |base| qps / base.qps);
+            println!(
+                "{threads:>8} | {qps:>12.0} | {:>10.1} | {speedup:>7.2}x",
+                best_wall * 1e3
+            );
+            points.push(Point {
+                threads,
+                qps,
+                wall_ms: best_wall * 1e3,
+                speedup,
+            });
+        }
+
+        let rows: Vec<String> = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"threads\": {}, \"qps\": {:.1}, \"wall_ms\": {:.2}, \"speedup\": {:.3}}}",
+                    p.threads, p.qps, p.wall_ms, p.speedup
+                )
+            })
+            .collect();
+        json_algs.push(format!(
+            "    \"{}\": [\n      {}\n    ]",
+            alg.label(),
+            rows.join(",\n      ")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"batch_topk\",\n  \"dataset\": \"{}\",\n  \"objects\": {},\n  \"queries\": {},\n  \"k\": {},\n  \"reps\": {},\n  \"hardware_threads\": {},\n  \"throughput\": {{\n{}\n  }}\n}}\n",
+        spec.name,
+        spec.num_objects,
+        queries.len(),
+        args.k,
+        args.reps,
+        std::thread::available_parallelism().map_or(0, usize::from),
+        json_algs.join(",\n")
+    );
+    std::fs::write(&args.out, json).expect("write json");
+    eprintln!("[out] wrote {}", args.out);
+}

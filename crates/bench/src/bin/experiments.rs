@@ -47,7 +47,13 @@ fn parse_args() -> Args {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--scale" => scale = it.next().expect("--scale F").parse().expect("scale factor"),
-            "--queries" => queries = it.next().expect("--queries N").parse().expect("query count"),
+            "--queries" => {
+                queries = it
+                    .next()
+                    .expect("--queries N")
+                    .parse()
+                    .expect("query count")
+            }
             other => {
                 which.insert(other.to_string());
             }
@@ -135,7 +141,11 @@ fn main() {
                 restaurants.get(),
                 args.queries,
             ),
-            "fig10" => vary_keywords("Figure 10: varying #keywords — Hotels", hotels.get(), args.queries),
+            "fig10" => vary_keywords(
+                "Figure 10: varying #keywords — Hotels",
+                hotels.get(),
+                args.queries,
+            ),
             "fig13" => vary_keywords(
                 "Figure 13: varying #keywords — Restaurants",
                 restaurants.get(),
@@ -225,9 +235,27 @@ fn vary_k(title: &str, bench: &BenchDb, queries: usize) {
             .collect();
         rows.push((k.to_string(), cols));
     }
-    ir2_bench::print_table(&format!("{title} (a) execution time"), "k", &rows, |m| m.time_ms, "simulated ms");
-    ir2_bench::print_table(&format!("{title} (b) random block accesses"), "k", &rows, |m| m.random, "blocks");
-    ir2_bench::print_table(&format!("{title} (b) sequential block accesses"), "k", &rows, |m| m.sequential, "blocks");
+    ir2_bench::print_table(
+        &format!("{title} (a) execution time"),
+        "k",
+        &rows,
+        |m| m.time_ms,
+        "simulated ms",
+    );
+    ir2_bench::print_table(
+        &format!("{title} (b) random block accesses"),
+        "k",
+        &rows,
+        |m| m.random,
+        "blocks",
+    );
+    ir2_bench::print_table(
+        &format!("{title} (b) sequential block accesses"),
+        "k",
+        &rows,
+        |m| m.sequential,
+        "blocks",
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -244,9 +272,27 @@ fn vary_keywords(title: &str, bench: &BenchDb, queries: usize) {
             .collect();
         rows.push((kw.to_string(), cols));
     }
-    ir2_bench::print_table(&format!("{title} (a) execution time"), "#keywords", &rows, |m| m.time_ms, "simulated ms");
-    ir2_bench::print_table(&format!("{title} (b) random block accesses"), "#keywords", &rows, |m| m.random, "blocks");
-    ir2_bench::print_table(&format!("{title} (b) sequential block accesses"), "#keywords", &rows, |m| m.sequential, "blocks");
+    ir2_bench::print_table(
+        &format!("{title} (a) execution time"),
+        "#keywords",
+        &rows,
+        |m| m.time_ms,
+        "simulated ms",
+    );
+    ir2_bench::print_table(
+        &format!("{title} (b) random block accesses"),
+        "#keywords",
+        &rows,
+        |m| m.random,
+        "blocks",
+    );
+    ir2_bench::print_table(
+        &format!("{title} (b) sequential block accesses"),
+        "#keywords",
+        &rows,
+        |m| m.sequential,
+        "blocks",
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -265,8 +311,20 @@ fn vary_siglen(title: &str, spec: &DatasetSpec, sweep: &[usize], queries: usize)
             .collect();
         rows.push((format!("{sig} B"), cols));
     }
-    ir2_bench::print_table(&format!("{title} (a) execution time"), "sig len", &rows, |m| m.time_ms, "simulated ms");
-    ir2_bench::print_table(&format!("{title} (b) object accesses"), "sig len", &rows, |m| m.object_loads, "objects");
+    ir2_bench::print_table(
+        &format!("{title} (a) execution time"),
+        "sig len",
+        &rows,
+        |m| m.time_ms,
+        "simulated ms",
+    );
+    ir2_bench::print_table(
+        &format!("{title} (b) object accesses"),
+        "sig len",
+        &rows,
+        |m| m.object_loads,
+        "objects",
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -351,7 +409,8 @@ fn ablation_maintenance(spec: &DatasetSpec) {
     {
         let tracked = TrackedDevice::new(MemDevice::new());
         let stats = tracked.stats();
-        let ops = MirPayload::new(mk_schemes(), Arc::clone(&store) as Arc<dyn ObjectSource<2>>).strict();
+        let ops =
+            MirPayload::new(mk_schemes(), Arc::clone(&store) as Arc<dyn ObjectSource<2>>).strict();
         let tree = RTree::create(tracked, cfg, ops).unwrap();
         let before_loads = store.loads();
         let t = Instant::now();
@@ -398,7 +457,8 @@ fn ablation_buffer(bench: &BenchDb, queries: usize) {
         let stats = tracked.stats();
         let pool = BufferPool::new(tracked, pool_blocks);
         let scheme = SignatureScheme::from_bytes_len(RESTAURANTS_SIG_DEFAULT, 4, 1);
-        let tree = RTree::create(pool, RTreeConfig::for_dims::<2>(), Ir2Payload::new(scheme)).unwrap();
+        let tree =
+            RTree::create(pool, RTreeConfig::for_dims::<2>(), Ir2Payload::new(scheme)).unwrap();
         ir2tree::irtree::bulk_load_objects(&tree, items.clone()).unwrap();
         stats.reset();
         for q in &w {
@@ -428,7 +488,9 @@ fn ablation_grid(spec: &DatasetSpec, queries: usize) {
     let n = spec.num_objects.min(40_000);
     println!("\n### Ablation A4: uniform grid (related work) vs IR2-Tree ({n} objects)\n");
     let objs: Vec<SpatialObject<2>> = spec.generate().take(n).collect();
-    let store = Arc::new(ObjectStore::<2, _>::create(TrackedDevice::new(MemDevice::new())));
+    let store = Arc::new(ObjectStore::<2, _>::create(TrackedDevice::new(
+        MemDevice::new(),
+    )));
     let mut items = Vec::with_capacity(n);
     for o in &objs {
         let ptr = store.append(o).unwrap();
@@ -453,7 +515,12 @@ fn ablation_grid(spec: &DatasetSpec, queries: usize) {
     // IR²-Tree with the same scheme over the same store.
     let tree_dev = TrackedDevice::new(MemDevice::new());
     let tree_stats = tree_dev.stats();
-    let tree = RTree::create(tree_dev, RTreeConfig::for_dims::<2>(), Ir2Payload::new(scheme)).unwrap();
+    let tree = RTree::create(
+        tree_dev,
+        RTreeConfig::for_dims::<2>(),
+        Ir2Payload::new(scheme),
+    )
+    .unwrap();
     tree.bulk_load(
         items
             .iter()

@@ -12,11 +12,15 @@ USAGE:
   ir2 build    --tsv FILE.tsv --db DIR [--sig-bytes N] [--capacity N] [--incremental]
   ir2 query    --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N]
                [--alg <rtree|iio|ir2|mir2>] [--area LAT1,LON1,LAT2,LON2]
+  ir2 batch    --db DIR --queries FILE [--threads N] [--k N]
+               [--alg <rtree|iio|ir2|mir2>]
   ir2 ranked   --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N] [--dist-weight W]
   ir2 stats    --db DIR
 
 Databases are directories of 4096-byte block-device files; every query
-reports its (simulated) disk I/O alongside the results.";
+reports its (simulated) disk I/O alongside the results. A batch query
+file holds one `LAT,LON keywords…` query per line (# comments allowed);
+the batch runs concurrently with exact per-query I/O attribution.";
 
 /// Parsed `--flag value` pairs.
 pub struct Flags {
@@ -80,8 +84,14 @@ pub fn parse_point(s: &str) -> Result<[f64; 2], String> {
     if parts.len() != 2 {
         return Err(format!("expected LAT,LON, got `{s}`"));
     }
-    let lat = parts[0].trim().parse().map_err(|e| format!("bad latitude: {e}"))?;
-    let lon = parts[1].trim().parse().map_err(|e| format!("bad longitude: {e}"))?;
+    let lat = parts[0]
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad latitude: {e}"))?;
+    let lon = parts[1]
+        .trim()
+        .parse()
+        .map_err(|e| format!("bad longitude: {e}"))?;
     Ok([lat, lon])
 }
 
@@ -93,7 +103,10 @@ pub fn parse_area(s: &str) -> Result<([f64; 2], [f64; 2]), String> {
     }
     let mut v = [0.0f64; 4];
     for (slot, p) in v.iter_mut().zip(&parts) {
-        *slot = p.trim().parse().map_err(|e| format!("bad coordinate: {e}"))?;
+        *slot = p
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad coordinate: {e}"))?;
     }
     Ok(([v[0], v[1]], [v[2], v[3]]))
 }

@@ -78,7 +78,8 @@ pub fn build(args: &[String], out: &mut impl Write) -> CliResult {
     let t0 = std::time::Instant::now();
     let devices = DeviceSet::create_in_dir(db_dir).map_err(io_err)?;
     let db = SpatialKeywordDb::build(devices, objects, config).map_err(io_err)?;
-    say!(out, 
+    say!(
+        out,
         "built {n} objects into {db_dir} in {:.1}s (vocabulary: {} words)",
         t0.elapsed().as_secs_f64(),
         db.build_stats().unique_words
@@ -108,7 +109,7 @@ fn print_report(out: &mut impl Write, report: &QueryReport) -> CliResult {
     if report.results.is_empty() {
         say!(out, "  (no results)");
     }
-    say!(out, 
+    say!(out,
         "  [{} random + {} sequential block accesses, {} object loads, {:.1} ms simulated disk time]",
         report.io.random(),
         report.io.sequential(),
@@ -118,25 +119,32 @@ fn print_report(out: &mut impl Write, report: &QueryReport) -> CliResult {
     Ok(())
 }
 
+fn parse_alg(f: &Flags) -> Result<Algorithm, String> {
+    match f.optional("alg").unwrap_or("ir2") {
+        "rtree" => Ok(Algorithm::RTree),
+        "iio" => Ok(Algorithm::Iio),
+        "ir2" => Ok(Algorithm::Ir2),
+        "mir2" => Ok(Algorithm::Mir2),
+        other => Err(format!("unknown algorithm `{other}` (rtree|iio|ir2|mir2)")),
+    }
+}
+
 /// `ir2 query` — distance-first top-k (point- or area-anchored).
 pub fn query(args: &[String], out: &mut impl Write) -> CliResult {
     let f = Flags::parse(args)?;
     let db = open_db(&f)?;
     let keywords = keywords_of(&f)?;
     let k: usize = f.get_or("k", 10)?;
-    let alg = match f.optional("alg").unwrap_or("ir2") {
-        "rtree" => Algorithm::RTree,
-        "iio" => Algorithm::Iio,
-        "ir2" => Algorithm::Ir2,
-        "mir2" => Algorithm::Mir2,
-        other => return Err(format!("unknown algorithm `{other}` (rtree|iio|ir2|mir2)")),
-    };
+    let alg = parse_alg(&f)?;
 
     let report = if let Some(area) = f.optional("area") {
         let (a, b) = parse_area(area)?;
-        let region: QueryRegion<2> =
-            Rect::from_corners(Point::new(a), Point::new(b)).into();
-        say!(out, "top-{k} {keywords:?} in/near area {a:?}..{b:?} via {}:", alg.label());
+        let region: QueryRegion<2> = Rect::from_corners(Point::new(a), Point::new(b)).into();
+        say!(
+            out,
+            "top-{k} {keywords:?} in/near area {a:?}..{b:?} via {}:",
+            alg.label()
+        );
         db.distance_first_region(alg, region, &keywords, k)
             .map_err(io_err)?
     } else {
@@ -146,6 +154,76 @@ pub fn query(args: &[String], out: &mut impl Write) -> CliResult {
         db.distance_first(alg, &q).map_err(io_err)?
     };
     print_report(out, &report)?;
+    Ok(())
+}
+
+/// Parses a batch query file: one query per line, `LAT,LON` followed by
+/// whitespace and the keywords. Blank lines and `#` comments are skipped.
+fn parse_batch_file(path: &str, k: usize) -> Result<Vec<DistanceFirstQuery<2>>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |m: String| format!("{path}:{}: {m}", lineno + 1);
+        let (point, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| bad("expected `LAT,LON keywords…`".into()))?;
+        let at = parse_point(point).map_err(bad)?;
+        let keywords: Vec<&str> = rest.split_whitespace().collect();
+        queries.push(DistanceFirstQuery::new(at, &keywords, k));
+    }
+    if queries.is_empty() {
+        return Err(format!("{path}: no queries"));
+    }
+    Ok(queries)
+}
+
+/// `ir2 batch` — run a file of distance-first queries concurrently and
+/// report per-query results plus batch throughput.
+pub fn batch(args: &[String], out: &mut impl Write) -> CliResult {
+    let f = Flags::parse(args)?;
+    let db = open_db(&f)?;
+    let alg = parse_alg(&f)?;
+    let k: usize = f.get_or("k", 10)?;
+    let threads: usize = f.get_or("threads", 4)?;
+    let queries = parse_batch_file(f.required("queries")?, k)?;
+
+    let t0 = std::time::Instant::now();
+    let reports = db.batch_topk(alg, &queries, threads).map_err(io_err)?;
+    let wall = t0.elapsed();
+
+    say!(
+        out,
+        "batch of {} top-{k} queries via {} on {threads} threads:",
+        queries.len(),
+        alg.label()
+    );
+    for (i, (q, r)) in queries.iter().zip(&reports).enumerate() {
+        let top = r
+            .results
+            .first()
+            .map(|(o, d)| format!("#{} at {d:.4}", o.id))
+            .unwrap_or_else(|| "no results".into());
+        say!(
+            out,
+            "  [{i:>3}] {:?} {:?}: {} hits ({top}); {} random + {} sequential accesses",
+            q.point.coords(),
+            q.keywords,
+            r.results.len(),
+            r.io.random(),
+            r.io.sequential()
+        );
+    }
+    let total_io: u64 = reports.iter().map(|r| r.io.total()).sum();
+    let qps = queries.len() as f64 / wall.as_secs_f64();
+    say!(out,
+        "  [{} queries in {:.1} ms wall — {qps:.0} queries/sec; {total_io} attributed block accesses]",
+        queries.len(),
+        wall.as_secs_f64() * 1e3
+    );
     Ok(())
 }
 
@@ -166,18 +244,26 @@ pub fn ranked(args: &[String], out: &mut impl Write) -> CliResult {
     let report = db
         .general_ranked(Algorithm::Ir2, &q, &SaturatingTfIdf, &rank)
         .map_err(io_err)?;
-    say!(out, "ranked top-{k} {keywords:?} near {at:?} (relevance − {dist_weight}·distance):");
+    say!(
+        out,
+        "ranked top-{k} {keywords:?} near {at:?} (relevance − {dist_weight}·distance):"
+    );
     for r in &report.results {
         let preview: String = r.object.text.chars().take(50).collect();
-        say!(out, 
+        say!(
+            out,
             "  #{:<8} score {:>7.3} (dist {:>8.3}, rel {:>5.2})  {preview}",
-            r.object.id, r.score, r.distance, r.ir_score
+            r.object.id,
+            r.score,
+            r.distance,
+            r.ir_score
         );
     }
     if report.results.is_empty() {
         say!(out, "  (no results)");
     }
-    say!(out, 
+    say!(
+        out,
         "  [{} random + {} sequential block accesses, {:.1} ms simulated]",
         report.io.random(),
         report.io.sequential(),
@@ -194,7 +280,11 @@ pub fn stats(args: &[String], out: &mut impl Write) -> CliResult {
     say!(out, "objects:            {}", s.objects);
     say!(out, "avg words/object:   {:.1}", s.avg_unique_words);
     say!(out, "vocabulary:         {}", s.unique_words);
-    say!(out, "object file:        {:.1} MB", s.object_file_bytes as f64 / 1_048_576.0);
+    say!(
+        out,
+        "object file:        {:.1} MB",
+        s.object_file_bytes as f64 / 1_048_576.0
+    );
     say!(out, "avg blocks/object:  {:.2}", s.avg_blocks_per_object);
     say!(out, "tree fanout:        {}", db.tree_config().max_entries);
     print_sizes(out, &db.index_sizes())?;
@@ -204,7 +294,11 @@ pub fn stats(args: &[String], out: &mut impl Write) -> CliResult {
 fn print_sizes(out: &mut impl Write, sizes: &ir2tree::IndexSizes) -> CliResult {
     say!(out, "index sizes (MB):");
     say!(out, "  inverted index:   {:.1}", IndexSizes::mb(sizes.iio));
-    say!(out, "  R-Tree:           {:.1}", IndexSizes::mb(sizes.rtree));
+    say!(
+        out,
+        "  R-Tree:           {:.1}",
+        IndexSizes::mb(sizes.rtree)
+    );
     say!(out, "  IR2-Tree:         {:.1}", IndexSizes::mb(sizes.ir2));
     say!(out, "  MIR2-Tree:        {:.1}", IndexSizes::mb(sizes.mir2));
     Ok(())

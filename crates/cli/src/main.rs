@@ -4,6 +4,7 @@
 //! ir2 generate --preset restaurants --count 10000 --out pois.tsv
 //! ir2 build --tsv pois.tsv --db ./mydb [--sig-bytes 8] [--capacity 102]
 //! ir2 query --db ./mydb --at 25.77,-80.19 --keywords "cafe wifi" [--k 10] [--alg ir2]
+//! ir2 batch --db ./mydb --queries q.txt [--threads 4] [--k 10] [--alg ir2]
 //! ir2 ranked --db ./mydb --at 25.77,-80.19 --keywords "cafe wifi" [--k 10]
 //! ir2 stats --db ./mydb
 //! ```
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         "generate" => commands::generate(rest, &mut out),
         "build" => commands::build(rest, &mut out),
         "query" => commands::query(rest, &mut out),
+        "batch" => commands::batch(rest, &mut out),
         "ranked" => commands::ranked(rest, &mut out),
         "stats" => commands::stats(rest, &mut out),
         "help" | "--help" | "-h" => {

@@ -28,16 +28,40 @@ fn full_pipeline() {
     let dir = workdir("pipeline");
     let gen = ir2(
         &dir,
-        &["generate", "--preset", "restaurants", "--count", "800", "--out", "pois.tsv"],
+        &[
+            "generate",
+            "--preset",
+            "restaurants",
+            "--count",
+            "800",
+            "--out",
+            "pois.tsv",
+        ],
     );
-    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
     assert!(dir.join("pois.tsv").exists());
 
     let build = ir2(
         &dir,
-        &["build", "--tsv", "pois.tsv", "--db", "db", "--sig-bytes", "8"],
+        &[
+            "build",
+            "--tsv",
+            "pois.tsv",
+            "--db",
+            "db",
+            "--sig-bytes",
+            "8",
+        ],
     );
-    assert!(build.status.success(), "{}", String::from_utf8_lossy(&build.stderr));
+    assert!(
+        build.status.success(),
+        "{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
     assert!(stdout(&build).contains("built 800 objects"));
 
     let stats = ir2(&dir, &["stats", "--db", "db"]);
@@ -51,22 +75,91 @@ fn full_pipeline() {
         let q = ir2(
             &dir,
             &[
-                "query", "--db", "db", "--at", "0,0", "--keywords", "ba", "--k", "3", "--alg", alg,
+                "query",
+                "--db",
+                "db",
+                "--at",
+                "0,0",
+                "--keywords",
+                "ba",
+                "--k",
+                "3",
+                "--alg",
+                alg,
             ],
         );
-        assert!(q.status.success(), "{alg}: {}", String::from_utf8_lossy(&q.stderr));
+        assert!(
+            q.status.success(),
+            "{alg}: {}",
+            String::from_utf8_lossy(&q.stderr)
+        );
         assert!(stdout(&q).contains("block accesses"), "{alg}");
     }
+
+    // Concurrent batch: a query file answered on 4 threads.
+    std::fs::write(
+        dir.join("queries.txt"),
+        "# point keywords\n0,0 ba\n5,5 ce\n\n-10,10 ba ce\n20,-20 ba\n",
+    )
+    .unwrap();
+    let batch = ir2(
+        &dir,
+        &[
+            "batch",
+            "--db",
+            "db",
+            "--queries",
+            "queries.txt",
+            "--threads",
+            "4",
+            "--k",
+            "3",
+        ],
+    );
+    assert!(
+        batch.status.success(),
+        "{}",
+        String::from_utf8_lossy(&batch.stderr)
+    );
+    let b = stdout(&batch);
+    assert!(b.contains("batch of 4 top-3 queries"), "{b}");
+    assert!(b.contains("queries/sec"), "{b}");
+
+    // A malformed batch file is reported with its line number.
+    std::fs::write(dir.join("bad.txt"), "not-a-point ba\n").unwrap();
+    let bad = ir2(&dir, &["batch", "--db", "db", "--queries", "bad.txt"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("bad.txt:1"));
 
     // Area query and ranked query.
     let area = ir2(
         &dir,
-        &["query", "--db", "db", "--area", "-20,-20,20,20", "--keywords", "ba", "--k", "2"],
+        &[
+            "query",
+            "--db",
+            "db",
+            "--area",
+            "-20,-20,20,20",
+            "--keywords",
+            "ba",
+            "--k",
+            "2",
+        ],
     );
     assert!(area.status.success());
     let ranked = ir2(
         &dir,
-        &["ranked", "--db", "db", "--at", "0,0", "--keywords", "ba ce", "--k", "3"],
+        &[
+            "ranked",
+            "--db",
+            "db",
+            "--at",
+            "0,0",
+            "--keywords",
+            "ba ce",
+            "--k",
+            "3",
+        ],
     );
     assert!(ranked.status.success());
     assert!(stdout(&ranked).contains("score"));

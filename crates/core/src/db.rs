@@ -2,6 +2,7 @@
 //! queries — the paper's experimental apparatus as a library.
 
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -15,8 +16,8 @@ use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectSource, ObjectStore, SpatialOb
 use ir2_rtree::{RTree, RTreeConfig, UnitPayload};
 use ir2_sigfile::{MultiLevelScheme, SignatureScheme};
 use ir2_storage::{
-    BlockDevice, FileDevice, IoSnapshot, IoStats, MemDevice, Result, StorageError, TrackedDevice,
-    BLOCK_SIZE,
+    BlockDevice, FileDevice, IoScope, IoSnapshot, IoStats, MemDevice, Result, StorageError,
+    TrackedDevice, BLOCK_SIZE,
 };
 
 /// Magic prefix of the catalog extent.
@@ -104,6 +105,82 @@ struct IoHandles {
     inverted: Arc<IoStats>,
 }
 
+/// An [`ObjectSource`] adapter that counts loads locally, so a query
+/// running inside the batch engine gets an exact per-query load count
+/// (the store's own counter is shared by every concurrent query).
+struct CountingSource<'a, const N: usize> {
+    inner: &'a dyn ObjectSource<N>,
+    count: AtomicU64,
+}
+
+impl<'a, const N: usize> CountingSource<'a, N> {
+    fn new(inner: &'a dyn ObjectSource<N>) -> Self {
+        Self {
+            inner,
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<const N: usize> ObjectSource<N> for CountingSource<'_, N> {
+    fn load(&self, ptr: ObjPtr) -> Result<SpatialObject<N>> {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.load(ptr)
+    }
+
+    fn loads(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+/// Fans `queries` over `threads` scoped workers (work-stealing: each worker
+/// claims the next unclaimed index) and returns per-query outputs in input
+/// order. The first query error aborts the claiming of further work and is
+/// returned after in-flight queries finish.
+fn run_batch<Q: Sync, R: Send + Sync>(
+    queries: &[Q],
+    threads: usize,
+    run: impl Fn(&Q) -> Result<R> + Sync,
+) -> Result<Vec<R>> {
+    let threads = threads.clamp(1, queries.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::OnceLock<R>> = (0..queries.len())
+        .map(|_| std::sync::OnceLock::new())
+        .collect();
+    let first_error: std::sync::Mutex<Option<StorageError>> = std::sync::Mutex::new(None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
+                }
+                match run(&queries[i]) {
+                    Ok(r) => {
+                        let inserted = slots[i].set(r).is_ok();
+                        debug_assert!(inserted, "each query index runs once");
+                    }
+                    Err(e) => {
+                        first_error.lock().expect("poison-free").get_or_insert(e);
+                        // Park the claim counter so other workers stop too.
+                        next.store(queries.len(), Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = first_error.into_inner().expect("poison-free") {
+        return Err(e);
+    }
+    Ok(slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every query ran"))
+        .collect())
+}
+
 /// A spatial keyword database: the object file plus all four access
 /// methods of the paper's evaluation, instrumented for I/O accounting.
 ///
@@ -170,7 +247,9 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         store.flush()?;
         let n = meta.len() as u64;
         if n == 0 {
-            return Err(StorageError::Corrupt("cannot build an empty database".into()));
+            return Err(StorageError::Corrupt(
+                "cannot build an empty database".into(),
+            ));
         }
         let avg_words = config
             .avg_words_hint
@@ -181,7 +260,8 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             Some(c) => RTreeConfig::with_max(c),
             None => RTreeConfig::for_dims::<2>(),
         };
-        let ir2_scheme = SignatureScheme::from_bytes_len(config.sig_bytes, config.sig_k, config.seed);
+        let ir2_scheme =
+            SignatureScheme::from_bytes_len(config.sig_bytes, config.sig_k, config.seed);
         let mir_schemes = MultiLevelScheme::new(
             config.sig_bytes,
             config.sig_k,
@@ -190,10 +270,8 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             avg_words,
             vocab.len(),
         );
-        let mut mir_payload = MirPayload::new(
-            mir_schemes,
-            Arc::clone(&store) as Arc<dyn ObjectSource<2>>,
-        );
+        let mut mir_payload =
+            MirPayload::new(mir_schemes, Arc::clone(&store) as Arc<dyn ObjectSource<2>>);
         if config.mir_strict {
             mir_payload = mir_payload.strict();
         }
@@ -228,9 +306,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             )?;
             ir2.bulk_load(
                 meta.iter()
-                    .map(|(p, pt, ids)| {
-                        (p.0, Rect::from_point(*pt), sign_leaf(&ir2_scheme, ids))
-                    })
+                    .map(|(p, pt, ids)| (p.0, Rect::from_point(*pt), sign_leaf(&ir2_scheme, ids)))
                     .collect(),
             )?;
             let mir_leaf_scheme = *ir2_irtree::SigPayload::leaf_scheme(mir2.ops());
@@ -386,7 +462,9 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             .ok_or_else(|| StorageError::Corrupt("catalog vocabulary corrupt".into()))?;
         let tail = &records[3];
         if tail.len() < 72 {
-            return Err(StorageError::Corrupt("catalog stats record too short".into()));
+            return Err(StorageError::Corrupt(
+                "catalog stats record too short".into(),
+            ));
         }
         let u = |i: usize| u64::from_le_bytes(tail[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
         let f = |i: usize| f64::from_le_bytes(tail[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
@@ -418,7 +496,8 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             Some(c) => RTreeConfig::with_max(c),
             None => RTreeConfig::for_dims::<2>(),
         };
-        let ir2_scheme = SignatureScheme::from_bytes_len(config.sig_bytes, config.sig_k, config.seed);
+        let ir2_scheme =
+            SignatureScheme::from_bytes_len(config.sig_bytes, config.sig_k, config.seed);
         let mir_schemes = MultiLevelScheme::new(
             config.sig_bytes,
             config.sig_k,
@@ -427,10 +506,8 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             avg_words,
             vocab.len(),
         );
-        let mut mir_payload = MirPayload::new(
-            mir_schemes,
-            Arc::clone(&store) as Arc<dyn ObjectSource<2>>,
-        );
+        let mut mir_payload =
+            MirPayload::new(mir_schemes, Arc::clone(&store) as Arc<dyn ObjectSource<2>>);
         if config.mir_strict {
             mir_payload = mir_payload.strict();
         }
@@ -524,80 +601,122 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         })
     }
 
+    /// One distance-first query with per-thread I/O attribution: everything
+    /// the query reads is tallied in an [`IoScope`] (deterministic under
+    /// concurrency) and loads are counted through a query-local
+    /// [`CountingSource`], so the returned report is identical whether the
+    /// query runs alone or inside a concurrent batch.
+    fn scoped_distance_first(
+        &self,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+    ) -> Result<QueryReport> {
+        let src = CountingSource::new(self.objects.as_ref() as &dyn ObjectSource<2>);
+        let scope = IoScope::enter();
+        let t0 = Instant::now();
+        let out = match alg {
+            Algorithm::RTree => rtree_baseline_topk(&self.rtree, &src, query),
+            Algorithm::Ir2 => distance_first_topk(&self.ir2, &src, query),
+            Algorithm::Mir2 => distance_first_topk(&self.mir2, &src, query),
+            Algorithm::Iio => iio_topk(&self.inverted, &self.vocab, &src, query)
+                .map(|r| (r, SearchCounters::default())),
+        };
+        let wall = t0.elapsed();
+        let scoped = scope.finish();
+        let (results, counters) = out?;
+        let index_io = scoped.for_stats(self.stats_of(alg));
+        let object_io = scoped.for_stats(&self.io.objects);
+        let io = index_io + object_io;
+        Ok(QueryReport {
+            results,
+            index_io,
+            object_io,
+            io,
+            object_loads: src.loads(),
+            counters,
+            simulated: self.config.cost_model.time(io),
+            wall,
+        })
+    }
+
     /// Answers a batch of distance-first queries concurrently on `threads`
     /// worker threads (the index structures support any number of
-    /// concurrent readers).
+    /// concurrent readers; the buffer pool, when present, is sharded so
+    /// readers of different blocks do not serialize).
     ///
-    /// Returns the per-query results in input order plus the batch's
-    /// aggregate I/O. Per-query I/O attribution is not possible here —
-    /// concurrent queries interleave on the shared counters — so use
-    /// [`distance_first`](SpatialKeywordDb::distance_first) when measuring
-    /// a single query.
+    /// Returns one full [`QueryReport`] per query, in input order. Each
+    /// report's I/O delta is *correctly attributed to that query* even
+    /// though queries interleave on the shared devices: every query runs
+    /// entirely on one worker thread inside an [`IoScope`], which tallies
+    /// only that thread's accesses against a per-thread disk-arm position.
+    /// Consequently a query's report here matches what
+    /// [`distance_first`](SpatialKeywordDb::distance_first) reports for the
+    /// same query run alone (results byte-identical; I/O identical up to
+    /// the buffer pool's interleaving-dependent cache hits, i.e. exactly
+    /// identical in the paper's uncached configuration).
+    pub fn batch_topk(
+        &self,
+        alg: Algorithm,
+        queries: &[DistanceFirstQuery<2>],
+        threads: usize,
+    ) -> Result<Vec<QueryReport>> {
+        run_batch(queries, threads, |q| self.scoped_distance_first(alg, q))
+    }
+
+    /// Answers a batch of general (ranked) top-k queries concurrently, with
+    /// the same per-query I/O attribution as
+    /// [`batch_topk`](SpatialKeywordDb::batch_topk). Signature-tree
+    /// algorithms only, like
+    /// [`general_ranked`](SpatialKeywordDb::general_ranked).
+    pub fn batch_general_topk(
+        &self,
+        alg: Algorithm,
+        queries: &[GeneralQuery<2>],
+        scorer: &dyn IrScorer,
+        rank: &dyn RankingFn,
+        threads: usize,
+    ) -> Result<Vec<GeneralReport>> {
+        run_batch(queries, threads, |query| {
+            let src = CountingSource::new(self.objects.as_ref() as &dyn ObjectSource<2>);
+            let scope = IoScope::enter();
+            let t0 = Instant::now();
+            let out = match alg {
+                Algorithm::Ir2 => general_topk(&self.ir2, &src, &self.vocab, scorer, rank, query),
+                Algorithm::Mir2 => general_topk(&self.mir2, &src, &self.vocab, scorer, rank, query),
+                other => Err(StorageError::Corrupt(format!(
+                    "general ranked queries need a signature tree, not {}",
+                    other.label()
+                ))),
+            };
+            let wall = t0.elapsed();
+            let scoped = scope.finish();
+            let results = out?;
+            let io = scoped.for_stats(self.stats_of(alg)) + scoped.for_stats(&self.io.objects);
+            Ok(GeneralReport {
+                results,
+                io,
+                object_loads: src.loads(),
+                simulated: self.config.cost_model.time(io),
+                wall,
+            })
+        })
+    }
+
+    /// Answers a batch of distance-first queries concurrently and folds the
+    /// per-query reports of [`batch_topk`](SpatialKeywordDb::batch_topk)
+    /// into one aggregate [`BatchReport`] (results in input order, I/O
+    /// summed over queries).
     pub fn batch_distance_first(
         &self,
         alg: Algorithm,
         queries: &[DistanceFirstQuery<2>],
         threads: usize,
     ) -> Result<BatchReport> {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-
-        let threads = threads.clamp(1, queries.len().max(1));
-        let before = self.stats_of(alg).snapshot() + self.io.objects.snapshot();
         let t0 = Instant::now();
-        let next = AtomicUsize::new(0);
-        let results: Vec<std::sync::OnceLock<Vec<(SpatialObject<2>, f64)>>> =
-            (0..queries.len()).map(|_| std::sync::OnceLock::new()).collect();
-        let first_error: std::sync::Mutex<Option<StorageError>> = std::sync::Mutex::new(None);
-
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= queries.len() {
-                        break;
-                    }
-                    let run = || -> Result<Vec<(SpatialObject<2>, f64)>> {
-                        Ok(match alg {
-                            Algorithm::RTree => {
-                                rtree_baseline_topk(&self.rtree, self.objects.as_ref(), &queries[i])?.0
-                            }
-                            Algorithm::Ir2 => {
-                                distance_first_topk(&self.ir2, self.objects.as_ref(), &queries[i])?.0
-                            }
-                            Algorithm::Mir2 => {
-                                distance_first_topk(&self.mir2, self.objects.as_ref(), &queries[i])?.0
-                            }
-                            Algorithm::Iio => iio_topk(
-                                &self.inverted,
-                                &self.vocab,
-                                self.objects.as_ref(),
-                                &queries[i],
-                            )?,
-                        })
-                    };
-                    match run() {
-                        Ok(r) => {
-                            results[i].set(r).expect("each query index runs once");
-                        }
-                        Err(e) => {
-                            first_error.lock().expect("poison-free").get_or_insert(e);
-                            break;
-                        }
-                    }
-                });
-            }
-        })
-        .expect("batch workers must not panic");
-
-        if let Some(e) = first_error.into_inner().expect("poison-free") {
-            return Err(e);
-        }
-        let io = (self.stats_of(alg).snapshot() + self.io.objects.snapshot()) - before;
+        let reports = self.batch_topk(alg, queries, threads)?;
+        let io: IoSnapshot = reports.iter().map(|r| r.io).sum();
         Ok(BatchReport {
-            results: results
-                .into_iter()
-                .map(|s| s.into_inner().expect("every query ran"))
-                .collect(),
+            results: reports.into_iter().map(|r| r.results).collect(),
             io,
             simulated: self.config.cost_model.time(io),
             wall: t0.elapsed(),
@@ -761,8 +880,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
     pub fn insert(&mut self, obj: &SpatialObject<2>) -> Result<ObjPtr> {
         let ptr = self.objects.append(obj)?;
         self.objects.flush()?;
-        self.rtree
-            .insert(ptr.0, Rect::from_point(obj.point), &[])?;
+        self.rtree.insert(ptr.0, Rect::from_point(obj.point), &[])?;
         insert_object(&self.ir2, ptr, obj)?;
         insert_object(&self.mir2, ptr, obj)?;
         self.build_stats.objects += 1;
@@ -872,3 +990,27 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         self.objects.reset_loads();
     }
 }
+
+// ----------------------------------------------------------------------
+// Concurrency contract.
+// ----------------------------------------------------------------------
+
+// The batch engine hands `&SpatialKeywordDb` to scoped worker threads, so
+// the facade — and therefore every structure inside it — must be `Sync`
+// (and `Send`, for callers that move a database into a thread). Assert the
+// whole stack at compile time for both device families rather than letting
+// the auto traits silently regress: a future `Cell`/`Rc`/raw-pointer field
+// anywhere in the stack turns these lines into build errors instead of
+// into a runtime data race.
+const _: () = {
+    const fn shareable<T: Send + Sync + ?Sized>() {}
+    shareable::<SpatialKeywordDb<MemDevice>>();
+    shareable::<SpatialKeywordDb<FileDevice>>();
+    shareable::<RTree<2, TrackedDevice<MemDevice>, UnitPayload>>();
+    shareable::<RTree<2, TrackedDevice<MemDevice>, Ir2Payload>>();
+    shareable::<RTree<2, TrackedDevice<MemDevice>, MirPayload<2>>>();
+    shareable::<ObjectStore<2, TrackedDevice<MemDevice>>>();
+    shareable::<InvertedIndex<TrackedDevice<MemDevice>>>();
+    shareable::<dyn ObjectSource<2>>();
+    shareable::<ir2_storage::BufferPool<MemDevice>>();
+};

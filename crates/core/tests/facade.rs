@@ -78,8 +78,12 @@ fn general_ranked_queries_work_on_both_trees() {
     let q = ir2tree::irtree::GeneralQuery::new([3.0, 1.0], &["coffee", "music"], 6);
     let scorer = SaturatingTfIdf;
     let rank = DecayRank { scale: 20.0 };
-    let a = db.general_ranked(Algorithm::Ir2, &q, &scorer, &rank).unwrap();
-    let b = db.general_ranked(Algorithm::Mir2, &q, &scorer, &rank).unwrap();
+    let a = db
+        .general_ranked(Algorithm::Ir2, &q, &scorer, &rank)
+        .unwrap();
+    let b = db
+        .general_ranked(Algorithm::Mir2, &q, &scorer, &rank)
+        .unwrap();
     assert_eq!(a.results.len(), b.results.len());
     for (x, y) in a.results.iter().zip(b.results.iter()) {
         assert!((x.score - y.score).abs() < 1e-9);
@@ -107,8 +111,18 @@ fn index_sizes_report_table2_shape() {
     assert!(sizes.rtree > 0 && sizes.iio > 0);
     // Signatures make the IR²-Tree strictly larger than the R-Tree, and the
     // MIR²-Tree at least as large as the IR²-Tree (longer upper levels).
-    assert!(sizes.ir2 > sizes.rtree, "ir2 {} rtree {}", sizes.ir2, sizes.rtree);
-    assert!(sizes.mir2 >= sizes.ir2, "mir2 {} ir2 {}", sizes.mir2, sizes.ir2);
+    assert!(
+        sizes.ir2 > sizes.rtree,
+        "ir2 {} rtree {}",
+        sizes.ir2,
+        sizes.rtree
+    );
+    assert!(
+        sizes.mir2 >= sizes.ir2,
+        "mir2 {} ir2 {}",
+        sizes.mir2,
+        sizes.ir2
+    );
 }
 
 #[test]
@@ -124,8 +138,7 @@ fn build_stats_match_input() {
 
 #[test]
 fn insert_and_delete_maintain_all_trees() {
-    let mut db =
-        SpatialKeywordDb::build(DeviceSet::in_memory(), town(60), small_config()).unwrap();
+    let mut db = SpatialKeywordDb::build(DeviceSet::in_memory(), town(60), small_config()).unwrap();
     let new_obj = SpatialObject::new(999, [2.0, 2.0], "secret speakeasy coffee");
     let ptr = db.insert(&new_obj).unwrap();
 
@@ -147,7 +160,8 @@ fn insert_and_delete_maintain_all_trees() {
 #[test]
 fn incremental_build_matches_bulk_build() {
     let objs = town(180);
-    let bulk = SpatialKeywordDb::build(DeviceSet::in_memory(), objs.clone(), small_config()).unwrap();
+    let bulk =
+        SpatialKeywordDb::build(DeviceSet::in_memory(), objs.clone(), small_config()).unwrap();
     let incr = SpatialKeywordDb::build(
         DeviceSet::in_memory(),
         objs,
@@ -155,7 +169,12 @@ fn incremental_build_matches_bulk_build() {
     )
     .unwrap();
     let q = DistanceFirstQuery::new([11.0, 4.0], &["pizza"], 7);
-    for alg in [Algorithm::RTree, Algorithm::Ir2, Algorithm::Mir2, Algorithm::Iio] {
+    for alg in [
+        Algorithm::RTree,
+        Algorithm::Ir2,
+        Algorithm::Mir2,
+        Algorithm::Iio,
+    ] {
         let a = bulk.distance_first(alg, &q).unwrap();
         let b = incr.distance_first(alg, &q).unwrap();
         let da: Vec<f64> = a.results.iter().map(|(_, d)| *d).collect();
@@ -200,7 +219,11 @@ fn empty_build_is_rejected() {
 fn k_zero_and_oversized_k() {
     let db = SpatialKeywordDb::build(DeviceSet::in_memory(), town(30), small_config()).unwrap();
     let q0 = DistanceFirstQuery::new([0.0, 0.0], &["coffee"], 0);
-    assert!(db.distance_first(Algorithm::Ir2, &q0).unwrap().results.is_empty());
+    assert!(db
+        .distance_first(Algorithm::Ir2, &q0)
+        .unwrap()
+        .results
+        .is_empty());
     let qbig = DistanceFirstQuery::new([0.0, 0.0], &["coffee"], 10_000);
     let rep = db.distance_first(Algorithm::Ir2, &qbig).unwrap();
     // 2 of 6 themes contain "coffee": 10 objects.

@@ -173,7 +173,11 @@ impl DatasetStats {
         }
         Self {
             objects: n,
-            avg_unique_words: if n == 0 { 0.0 } else { words_total as f64 / n as f64 },
+            avg_unique_words: if n == 0 {
+                0.0
+            } else {
+                words_total as f64 / n as f64
+            },
             unique_words: vocab.len() as u64,
             text_bytes: bytes,
         }
@@ -220,7 +224,10 @@ mod tests {
         );
         // Hotels records are ~2.5x Restaurants records, the ratio that
         // drives the paper's per-dataset signature-length choices.
-        let rest: Vec<_> = DatasetSpec::restaurants().scaled(2000.0 / 456_288.0).generate().collect();
+        let rest: Vec<_> = DatasetSpec::restaurants()
+            .scaled(2000.0 / 456_288.0)
+            .generate()
+            .collect();
         let rest_stats = DatasetStats::measure(&rest);
         assert!(stats.avg_unique_words > 2.0 * rest_stats.avg_unique_words);
     }
@@ -231,11 +238,7 @@ mod tests {
         let objs: Vec<_> = spec.generate().collect();
         let common = spec.keyword_of_rank(1);
         let rare = spec.keyword_of_rank(2000);
-        let df = |w: &str| {
-            objs.iter()
-                .filter(|o| o.token_set().contains(w))
-                .count()
-        };
+        let df = |w: &str| objs.iter().filter(|o| o.token_set().contains(w)).count();
         assert!(
             df(&common) > df(&rare) * 3,
             "common {} rare {}",

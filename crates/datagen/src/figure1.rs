@@ -10,13 +10,21 @@ use ir2_model::SpatialObject;
 /// Examples 1–3 traces.
 pub fn figure1_hotels() -> Vec<SpatialObject<2>> {
     let rows: [(f64, f64, &str); 8] = [
-        (25.4, -80.1, "Hotel A tennis court, gift shop, spa, Internet"),
+        (
+            25.4,
+            -80.1,
+            "Hotel A tennis court, gift shop, spa, Internet",
+        ),
         (47.3, -122.2, "Hotel B wireless Internet, pool, golf course"),
         (35.5, 139.4, "Hotel C spa, continental suites, pool"),
         (39.5, 116.2, "Hotel D sauna, pool, conference rooms"),
         (51.3, -0.5, "Hotel E dry cleaning, free lunch, pets"),
         (40.4, -73.5, "Hotel F safe box, concierge, internet, pets"),
-        (-33.2, -70.4, "Hotel G Internet, airport transportation, pool"),
+        (
+            -33.2,
+            -70.4,
+            "Hotel G Internet, airport transportation, pool",
+        ),
         (-41.1, 174.4, "Hotel H wake up service, no pets, pool"),
     ];
     rows.iter()

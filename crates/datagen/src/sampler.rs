@@ -22,7 +22,10 @@ impl AliasTable {
     pub fn new(weights: &[f64]) -> Self {
         assert!(!weights.is_empty(), "alias table needs at least one weight");
         let total: f64 = weights.iter().sum();
-        assert!(total > 0.0, "alias table weights must sum to a positive value");
+        assert!(
+            total > 0.0,
+            "alias table weights must sum to a positive value"
+        );
         let n = weights.len();
         let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
         let mut alias = vec![0u32; n];

@@ -6,8 +6,8 @@ use crate::AliasTable;
 
 /// Syllables used to synthesize pronounceable, distinct words.
 const SYLLABLES: [&str; 20] = [
-    "ba", "ce", "di", "fo", "gu", "ha", "ke", "li", "mo", "nu", "pa", "re", "si", "to", "vu",
-    "wa", "ze", "cho", "pli", "gra",
+    "ba", "ce", "di", "fo", "gu", "ha", "ke", "li", "mo", "nu", "pa", "re", "si", "to", "vu", "wa",
+    "ze", "cho", "pli", "gra",
 ];
 
 /// A synthetic vocabulary with Zipf-distributed word frequencies.
@@ -67,11 +67,7 @@ impl WordModel {
 
     /// Draws a document of approximately `target_distinct` distinct words
     /// (uniform jitter of ±50 %), returning the distinct ranks sampled.
-    pub fn sample_document<R: Rng>(
-        &self,
-        rng: &mut R,
-        target_distinct: usize,
-    ) -> Vec<usize> {
+    pub fn sample_document<R: Rng>(&self, rng: &mut R, target_distinct: usize) -> Vec<usize> {
         let target = if target_distinct <= 1 {
             1
         } else {

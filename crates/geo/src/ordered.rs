@@ -49,7 +49,9 @@ mod tests {
         for v in [3.0, 1.0, 2.0] {
             h.push(Reverse(OrderedF64(v)));
         }
-        let drained: Vec<f64> = std::iter::from_fn(|| h.pop()).map(|Reverse(o)| o.0).collect();
+        let drained: Vec<f64> = std::iter::from_fn(|| h.pop())
+            .map(|Reverse(o)| o.0)
+            .collect();
         assert_eq!(drained, vec![1.0, 2.0, 3.0]);
     }
 

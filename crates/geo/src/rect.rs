@@ -64,8 +64,8 @@ impl<const N: usize> Rect<N> {
     /// Center point of the rectangle.
     pub fn center(&self) -> Point<N> {
         let mut c = [0.0; N];
-        for d in 0..N {
-            c[d] = 0.5 * (self.lo.coord(d) + self.hi.coord(d));
+        for (d, slot) in c.iter_mut().enumerate() {
+            *slot = 0.5 * (self.lo.coord(d) + self.hi.coord(d));
         }
         Point::new(c)
     }
@@ -108,12 +108,14 @@ impl<const N: usize> Rect<N> {
 
     /// True if the rectangles share at least one point (closed intervals).
     pub fn intersects(&self, other: &Self) -> bool {
-        (0..N).all(|d| self.lo.coord(d) <= other.hi.coord(d) && other.lo.coord(d) <= self.hi.coord(d))
+        (0..N)
+            .all(|d| self.lo.coord(d) <= other.hi.coord(d) && other.lo.coord(d) <= self.hi.coord(d))
     }
 
     /// True if `other` lies entirely inside `self` (closed intervals).
     pub fn contains(&self, other: &Self) -> bool {
-        (0..N).all(|d| self.lo.coord(d) <= other.lo.coord(d) && other.hi.coord(d) <= self.hi.coord(d))
+        (0..N)
+            .all(|d| self.lo.coord(d) <= other.lo.coord(d) && other.hi.coord(d) <= self.hi.coord(d))
     }
 
     /// True if the point lies inside `self` (closed intervals).
@@ -170,7 +172,9 @@ impl<const N: usize> Rect<N> {
         let mut acc = 0.0;
         for d in 0..N {
             let c = p.coord(d);
-            let far = (c - self.lo.coord(d)).abs().max((c - self.hi.coord(d)).abs());
+            let far = (c - self.lo.coord(d))
+                .abs()
+                .max((c - self.hi.coord(d)).abs());
             acc += far * far;
         }
         acc.sqrt()

@@ -75,7 +75,9 @@ impl<D: BlockDevice> GridIndex<D> {
         items: &[(ObjPtr, Point<2>, Vec<String>)],
     ) -> Result<Self> {
         if items.is_empty() {
-            return Err(StorageError::Corrupt("cannot grid an empty collection".into()));
+            return Err(StorageError::Corrupt(
+                "cannot grid an empty collection".into(),
+            ));
         }
         let mut bbox = Rect::from_point(items[0].1);
         for (_, p, _) in items {
@@ -163,7 +165,7 @@ impl<D: BlockDevice> GridIndex<D> {
             // Termination: once k results are held and even the nearest
             // point of the next ring is farther than the k-th best, no
             // closer result can exist.
-            if heap.len() == query.k as usize {
+            if heap.len() == query.k {
                 let kth = heap.peek().expect("k results held").0 .0;
                 if ring > 0 && self.ring_min_dist(qcx, qcy, ring, &query.point) > kth {
                     break;
@@ -193,9 +195,7 @@ impl<D: BlockDevice> GridIndex<D> {
                     let p = Point::<2>::decode(&entry[8..24]);
                     let d = p.distance(&query.point);
                     // Candidate only if it could enter the top-k.
-                    if heap.len() == query.k as usize
-                        && d > heap.peek().expect("nonempty").0 .0
-                    {
+                    if heap.len() == query.k && d > heap.peek().expect("nonempty").0 .0 {
                         continue;
                     }
                     counters.candidates_checked += 1;
@@ -206,7 +206,7 @@ impl<D: BlockDevice> GridIndex<D> {
                     }
                     kept.insert(ptr, obj);
                     heap.push((OrderedF64(d), ptr));
-                    if heap.len() > query.k as usize {
+                    if heap.len() > query.k {
                         if let Some((_, evicted)) = heap.pop() {
                             kept.remove(&evicted);
                         }
@@ -350,7 +350,10 @@ mod tests {
         let q = DistanceFirstQuery::new([10.0, 10.0], &["nonexistent"], 5);
         let (got, counters) = grid.topk(store.as_ref(), &q).unwrap();
         assert!(got.is_empty());
-        assert!(counters.cells_pruned > 0, "signatures must prune empty-match cells");
+        assert!(
+            counters.cells_pruned > 0,
+            "signatures must prune empty-match cells"
+        );
         let q0 = DistanceFirstQuery::new([10.0, 10.0], &["cafe"], 0);
         assert!(grid.topk(store.as_ref(), &q0).unwrap().0.is_empty());
     }

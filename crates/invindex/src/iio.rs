@@ -56,7 +56,8 @@ pub fn iio_topk<const N: usize, D: BlockDevice>(
     // Lines 4-9: load candidates, keep the k nearest in a bounded max-heap
     // (objects are retained so line 10 needs no second disk pass).
     let mut heap: BinaryHeap<(OrderedF64, u64)> = BinaryHeap::with_capacity(query.k + 1);
-    let mut kept: std::collections::HashMap<u64, SpatialObject<N>> = std::collections::HashMap::new();
+    let mut kept: std::collections::HashMap<u64, SpatialObject<N>> =
+        std::collections::HashMap::new();
     for ptr in candidates {
         let obj = objects.load(ptr)?;
         let d = obj.point.distance(&query.point);
@@ -74,7 +75,12 @@ pub fn iio_topk<const N: usize, D: BlockDevice>(
     picked.sort_by_key(|&(d, p)| (d, p));
     Ok(picked
         .into_iter()
-        .map(|(d, p)| (kept.remove(&p).expect("kept object for every heap entry"), d.0))
+        .map(|(d, p)| {
+            (
+                kept.remove(&p).expect("kept object for every heap entry"),
+                d.0,
+            )
+        })
         .collect())
 }
 
@@ -105,13 +111,21 @@ mod tests {
         Vocabulary,
     ) {
         let rows: [(f64, f64, &str); 8] = [
-            (25.4, -80.1, "Hotel A tennis court, gift shop, spa, Internet"),
+            (
+                25.4,
+                -80.1,
+                "Hotel A tennis court, gift shop, spa, Internet",
+            ),
             (47.3, -122.2, "Hotel B wireless Internet, pool, golf course"),
             (35.5, 139.4, "Hotel C spa, continental suites, pool"),
             (39.5, 116.2, "Hotel D sauna, pool, conference rooms"),
             (51.3, -0.5, "Hotel E dry cleaning, free lunch, pets"),
             (40.4, -73.5, "Hotel F safe box, concierge, internet, pets"),
-            (-33.2, -70.4, "Hotel G Internet, airport transportation, pool"),
+            (
+                -33.2,
+                -70.4,
+                "Hotel G Internet, airport transportation, pool",
+            ),
             (-41.1, 174.4, "Hotel H wake up service, no pets, pool"),
         ];
         let store = ObjectStore::<2, _>::create(MemDevice::new());

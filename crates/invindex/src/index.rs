@@ -1,7 +1,5 @@
 //! Disk-resident inverted index.
 
-
-
 use ir2_model::ObjPtr;
 use ir2_storage::{BlockDevice, RecordFile, RecordPtr, Result, StorageError};
 use ir2_text::{TermId, Vocabulary};
@@ -117,14 +115,18 @@ impl<D: BlockDevice> InvertedIndex<D> {
         let mut dict = Vec::with_capacity(count);
         let mut pos = 16;
         for _ in 0..count {
-            let tag = *dict_buf.get(pos).ok_or_else(|| corrupt("truncated entry"))?;
+            let tag = *dict_buf
+                .get(pos)
+                .ok_or_else(|| corrupt("truncated entry"))?;
             pos += 1;
             if tag == 0 {
                 dict.push(None);
                 continue;
             }
             let end = pos + 12;
-            let slice = dict_buf.get(pos..end).ok_or_else(|| corrupt("truncated entry"))?;
+            let slice = dict_buf
+                .get(pos..end)
+                .ok_or_else(|| corrupt("truncated entry"))?;
             let ptr = RecordPtr::from_le_bytes(slice[..8].try_into().expect("8 bytes"));
             let n = u32::from_le_bytes(slice[8..12].try_into().expect("4 bytes"));
             dict.push(Some((ptr, n)));
@@ -320,8 +322,7 @@ mod tests {
             })
             .collect();
         let dict = {
-            let idx =
-                InvertedIndex::build(std::sync::Arc::clone(&dev), &vocab, entries).unwrap();
+            let idx = InvertedIndex::build(std::sync::Arc::clone(&dev), &vocab, entries).unwrap();
             idx.encode_dictionary()
         };
         let idx = InvertedIndex::open(dev, &vocab, &dict).unwrap();

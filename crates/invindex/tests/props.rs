@@ -44,7 +44,12 @@ fn build(docs: &[Doc]) -> Fixture {
     let mut objs = Vec::new();
     let mut ptrs = Vec::new();
     for (i, d) in docs.iter().enumerate() {
-        let text = d.words.iter().map(|&w| WORDS[w]).collect::<Vec<_>>().join(" ");
+        let text = d
+            .words
+            .iter()
+            .map(|&w| WORDS[w])
+            .collect::<Vec<_>>()
+            .join(" ");
         let obj = SpatialObject::new(i as u64, d.point, text);
         let ptr = store.append(&obj).unwrap();
         let mut terms: Vec<String> = tokenize(&obj.text).collect();

@@ -85,11 +85,18 @@ mod tests {
     use ir2_storage::MemDevice;
     use std::sync::Arc;
 
-    fn corpus(n: u64) -> (Arc<ObjectStore<2, MemDevice>>, Vec<(ir2_model::ObjPtr, SpatialObject<2>)>) {
+    fn corpus(
+        n: u64,
+    ) -> (
+        Arc<ObjectStore<2, MemDevice>>,
+        Vec<(ir2_model::ObjPtr, SpatialObject<2>)>,
+    ) {
         let store = Arc::new(ObjectStore::<2, _>::create(MemDevice::new()));
         let items: Vec<_> = (0..n)
             .map(|i| {
-                let text: String = (0..8).map(|j| format!("w{} ", (i * 13 + j * 7) % 500)).collect();
+                let text: String = (0..8)
+                    .map(|j| format!("w{} ", (i * 13 + j * 7) % 500))
+                    .collect();
                 let obj = SpatialObject::new(i, [(i % 17) as f64, (i / 17) as f64], text);
                 (store.append(&obj).unwrap(), obj)
             })

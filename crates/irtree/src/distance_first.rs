@@ -80,7 +80,12 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload> DistanceFirstIter<'a, N,
         objects: &'a dyn ObjectSource<N>,
         query: DistanceFirstQuery<N>,
     ) -> Self {
-        Self::with_region(tree, objects, QueryRegion::Point(query.point), query.keywords)
+        Self::with_region(
+            tree,
+            objects,
+            QueryRegion::Point(query.point),
+            query.keywords,
+        )
     }
 
     /// Starts an incremental search anchored at an arbitrary region — the
@@ -114,15 +119,6 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload> DistanceFirstIter<'a, N,
         self.counters
     }
 
-    fn query_sig(&mut self, level: u16) -> &Signature {
-        let ops = self.tree.ops();
-        let keywords = &self.keywords;
-        self.query_sigs.entry(level).or_insert_with(|| {
-            ops.scheme_at(level)
-                .sign_terms(keywords.iter().map(String::as_str))
-        })
-    }
-
     fn step(&mut self) -> Result<Option<(SpatialObject<N>, f64)>> {
         while let Some(Reverse((dist, _, item))) = self.heap.pop() {
             match item {
@@ -139,26 +135,42 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload> DistanceFirstIter<'a, N,
                 Item::Node(id) => {
                     let node = self.tree.read_node(id)?;
                     self.counters.nodes_read += 1;
-                    let qsig = self.query_sig(node.level).clone();
+                    // Borrow the cached query signature for this level
+                    // instead of cloning it per node (signatures are heap
+                    // buffers; at hundreds of bits each, a clone per node
+                    // read dominated small-query allocations). The
+                    // destructuring gives the cache a borrow disjoint from
+                    // the counters/heap the entry loop mutates.
+                    let Self {
+                        tree,
+                        region,
+                        keywords,
+                        query_sigs,
+                        heap,
+                        seq,
+                        counters,
+                        ..
+                    } = self;
+                    let scheme = tree.ops().scheme_at(node.level);
+                    let qsig = query_sigs
+                        .entry(node.level)
+                        .or_insert_with(|| scheme.sign_terms(keywords.iter().map(String::as_str)));
                     for e in &node.entries {
                         // "if s matches w": drop entries whose signature
                         // does not contain the query signature.
-                        let esig = Signature::from_bytes(
-                            self.tree.ops().scheme_at(node.level).bits(),
-                            &e.payload,
-                        );
-                        if !esig.contains(&qsig) {
-                            self.counters.pruned_by_signature += 1;
+                        let esig = Signature::from_bytes(scheme.bits(), &e.payload);
+                        if !esig.contains(qsig) {
+                            counters.pruned_by_signature += 1;
                             continue;
                         }
-                        let d = OrderedF64(self.region.min_dist(&e.rect));
+                        let d = OrderedF64(region.min_dist(&e.rect));
                         let item = if node.is_leaf() {
                             Item::Object(e.child)
                         } else {
                             Item::Node(e.child)
                         };
-                        self.heap.push(Reverse((d, self.seq, item)));
-                        self.seq += 1;
+                        heap.push(Reverse((d, *seq, item)));
+                        *seq += 1;
                     }
                 }
             }

@@ -116,10 +116,10 @@ pub fn general_topk<const N: usize, D: BlockDevice, P: SigPayload>(
     let mut items: HashMap<u64, GItem<N>> = HashMap::new();
     let mut seq: u64 = 0;
     let push = |heap: &mut BinaryHeap<_>,
-                    items: &mut HashMap<u64, GItem<N>>,
-                    seq: &mut u64,
-                    upper: f64,
-                    item: GItem<N>| {
+                items: &mut HashMap<u64, GItem<N>>,
+                seq: &mut u64,
+                upper: f64,
+                item: GItem<N>| {
         let id = *seq;
         *seq += 1;
         items.insert(id, item);
@@ -127,7 +127,13 @@ pub fn general_topk<const N: usize, D: BlockDevice, P: SigPayload>(
     };
 
     if let Some(root) = tree.root() {
-        push(&mut heap, &mut items, &mut seq, f64::INFINITY, GItem::Node(root));
+        push(
+            &mut heap,
+            &mut items,
+            &mut seq,
+            f64::INFINITY,
+            GItem::Node(root),
+        );
     }
 
     let mut out: Vec<ScoredResult<N>> = Vec::with_capacity(query.k);
@@ -156,17 +162,29 @@ pub fn general_topk<const N: usize, D: BlockDevice, P: SigPayload>(
                     ir_score,
                 };
                 // Emit if the actual score dominates everything unseen.
-                let best_remaining = heap.peek().map(|(u, _, _)| u.0).unwrap_or(f64::NEG_INFINITY);
+                let best_remaining = heap
+                    .peek()
+                    .map(|(u, _, _)| u.0)
+                    .unwrap_or(f64::NEG_INFINITY);
                 if score >= best_remaining {
                     out.push(res);
                 } else {
-                    push(&mut heap, &mut items, &mut seq, score, GItem::Loaded(Box::new(res)));
+                    push(
+                        &mut heap,
+                        &mut items,
+                        &mut seq,
+                        score,
+                        GItem::Loaded(Box::new(res)),
+                    );
                 }
             }
             GItem::Node(node_id) => {
                 let node = tree.read_node(node_id)?;
                 let level = node.level;
                 let ops = tree.ops();
+                // Borrowed for the whole entry loop — per-node signature
+                // clones would allocate on every node read (the bug fixed
+                // in `DistanceFirstIter::step`).
                 let sigs = keyword_sigs.entry(level).or_insert_with(|| {
                     terms
                         .iter()

@@ -257,9 +257,7 @@ mod tests {
     #[test]
     fn mir_cannot_fold_across_growing_levels() {
         let (ops, _) = mir_fixture();
-        assert!(ops
-            .summarize_entries(0, &mut std::iter::empty())
-            .is_none());
+        assert!(ops.summarize_entries(0, &mut std::iter::empty()).is_none());
     }
 
     #[test]
@@ -270,7 +268,10 @@ mod tests {
             let sum = ops.summarize_objects(level, &mut ptrs.clone().into_iter());
             let sig = Signature::from_bytes(scheme.bits(), &sum);
             for term in ["internet", "pool", "spa", "sauna", "golf", "pets"] {
-                assert!(sig.contains(&scheme.sign_term(term)), "level {level} term {term}");
+                assert!(
+                    sig.contains(&scheme.sign_term(term)),
+                    "level {level} term {term}"
+                );
             }
         }
     }

@@ -137,7 +137,10 @@ mod tests {
         let (store, tree, objs) = fixture();
         let window = Rect::from_corners(Point::new([0.0, 0.0]), Point::new([2.0, 2.0]));
         let (got, _) = keyword_window_query(&tree, store.as_ref(), &window, &[]).unwrap();
-        let want = objs.iter().filter(|o| window.contains_point(&o.point)).count();
+        let want = objs
+            .iter()
+            .filter(|o| window.contains_point(&o.point))
+            .count();
         assert_eq!(got.len(), want);
     }
 

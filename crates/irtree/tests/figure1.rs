@@ -14,13 +14,21 @@ use ir2_storage::MemDevice;
 use ir2_text::{tokenize, DecayRank, SaturatingTfIdf, Vocabulary};
 
 const HOTELS: [(f64, f64, &str); 8] = [
-    (25.4, -80.1, "Hotel A tennis court, gift shop, spa, Internet"),
+    (
+        25.4,
+        -80.1,
+        "Hotel A tennis court, gift shop, spa, Internet",
+    ),
     (47.3, -122.2, "Hotel B wireless Internet, pool, golf course"),
     (35.5, 139.4, "Hotel C spa, continental suites, pool"),
     (39.5, 116.2, "Hotel D sauna, pool, conference rooms"),
     (51.3, -0.5, "Hotel E dry cleaning, free lunch, pets"),
     (40.4, -73.5, "Hotel F safe box, concierge, internet, pets"),
-    (-33.2, -70.4, "Hotel G Internet, airport transportation, pool"),
+    (
+        -33.2,
+        -70.4,
+        "Hotel G Internet, airport transportation, pool",
+    ),
     (-41.1, 174.4, "Hotel H wake up service, no pets, pool"),
 ];
 
@@ -66,7 +74,10 @@ fn mir2_tree(f: &Fixture) -> RTree<2, MemDevice, MirPayload<2>> {
     let tree = RTree::create(
         MemDevice::new(),
         RTreeConfig::with_max(4),
-        MirPayload::new(schemes, Arc::clone(&f.store) as Arc<dyn ir2_model::ObjectSource<2>>),
+        MirPayload::new(
+            schemes,
+            Arc::clone(&f.store) as Arc<dyn ir2_model::ObjectSource<2>>,
+        ),
     )
     .unwrap();
     for (ptr, (i, row)) in f.ptrs.iter().zip(HOTELS.iter().enumerate()) {
@@ -130,7 +141,12 @@ fn baseline_agrees_with_ir2() {
             .unwrap();
         let _ = i;
     }
-    for keywords in [vec!["pool"], vec!["internet", "pool"], vec!["pets"], vec!["nowhere"]] {
+    for keywords in [
+        vec!["pool"],
+        vec!["internet", "pool"],
+        vec!["pets"],
+        vec!["nowhere"],
+    ] {
         let q = DistanceFirstQuery::new([30.5, 100.0], &keywords, 8);
         let (a, ca) = distance_first_topk(&ir2, f.store.as_ref(), &q).unwrap();
         let (b, cb) = rtree_baseline_topk(&plain, f.store.as_ref(), &q).unwrap();
@@ -257,7 +273,12 @@ fn bulk_loaded_ir2_answers_identically() {
         .ptrs
         .iter()
         .zip(HOTELS.iter().enumerate())
-        .map(|(ptr, (i, row))| (*ptr, SpatialObject::new(i as u64 + 1, [row.0, row.1], row.2)))
+        .map(|(ptr, (i, row))| {
+            (
+                *ptr,
+                SpatialObject::new(i as u64 + 1, [row.0, row.1], row.2),
+            )
+        })
         .collect();
     bulk_load_objects(&bulk, items).unwrap();
 

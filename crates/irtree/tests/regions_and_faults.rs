@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use ir2_geo::{Point, Rect};
-use ir2_irtree::{
-    distance_first_region_topk, insert_object, DistanceFirstIter, Ir2Payload,
-};
+use ir2_irtree::{distance_first_region_topk, insert_object, DistanceFirstIter, Ir2Payload};
 use ir2_model::{ObjectSource, ObjectStore, QueryRegion, SpatialObject};
 use ir2_rtree::{RTree, RTreeConfig};
 use ir2_sigfile::SignatureScheme;
@@ -56,7 +54,10 @@ fn area_query_returns_contained_objects_first() {
         .filter(|o| area.contains_point(&o.point) && o.token_set().contains("cafe"))
         .map(|o| o.id)
         .collect();
-    assert!(!inside.is_empty(), "fixture must place cafes inside the area");
+    assert!(
+        !inside.is_empty(),
+        "fixture must place cafes inside the area"
+    );
     let zero_dist: Vec<u64> = hits
         .iter()
         .take_while(|(_, d)| *d == 0.0)

@@ -83,10 +83,7 @@ mod tests {
     #[test]
     fn roundtrip_with_empty_text_and_unicode() {
         let empty = SpatialObject::<2>::new(1, [0.0, 0.0], "");
-        assert_eq!(
-            SpatialObject::<2>::decode(&empty.encode()).unwrap(),
-            empty
-        );
+        assert_eq!(SpatialObject::<2>::decode(&empty.encode()).unwrap(), empty);
         let uni = SpatialObject::<2>::new(2, [1.0, 2.0], "café – 24h ✓");
         assert_eq!(SpatialObject::<2>::decode(&uni.encode()).unwrap(), uni);
     }

@@ -87,7 +87,8 @@ impl<const N: usize, D: BlockDevice> ObjectStore<N, D> {
     /// Sequentially scans all objects in file order — used to build every
     /// index structure.
     pub fn scan(&self, mut f: impl FnMut(ObjPtr, SpatialObject<N>) -> Result<()>) -> Result<()> {
-        self.file.scan(|ptr, bytes| f(ptr, SpatialObject::decode(bytes)?))
+        self.file
+            .scan(|ptr, bytes| f(ptr, SpatialObject::decode(bytes)?))
     }
 
     /// Resets the load counter (between experiment runs).
@@ -113,7 +114,11 @@ mod tests {
     use ir2_storage::{IoSnapshot, MemDevice, TrackedDevice};
 
     fn sample(i: u64) -> SpatialObject<2> {
-        SpatialObject::new(i, [i as f64, -(i as f64)], format!("object number {i} pool"))
+        SpatialObject::new(
+            i,
+            [i as f64, -(i as f64)],
+            format!("object number {i} pool"),
+        )
     }
 
     #[test]

@@ -73,7 +73,13 @@ pub fn write_tsv<'a, const N: usize, W: Write>(
         let clean: String = obj
             .text
             .chars()
-            .map(|c| if c == '\t' || c == '\n' || c == '\r' { ' ' } else { c })
+            .map(|c| {
+                if c == '\t' || c == '\n' || c == '\r' {
+                    ' '
+                } else {
+                    c
+                }
+            })
             .collect();
         writeln!(out, "\t{clean}")?;
     }

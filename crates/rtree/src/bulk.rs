@@ -24,7 +24,9 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
     /// Returns an error if the tree is not empty.
     pub fn bulk_load(&self, mut items: Vec<Item<N>>) -> Result<()> {
         if self.root().is_some() {
-            return Err(StorageError::Corrupt("bulk_load requires an empty tree".into()));
+            return Err(StorageError::Corrupt(
+                "bulk_load requires an empty tree".into(),
+            ));
         }
         if items.is_empty() {
             return Ok(());
@@ -154,7 +156,8 @@ mod tests {
     #[test]
     fn bulk_load_rejects_nonempty_tree() {
         let tree = RTree::create(MemDevice::new(), RTreeConfig::with_max(8), UnitPayload).unwrap();
-        tree.insert(0, Rect::from_point(Point::new([0.0, 0.0])), &[]).unwrap();
+        tree.insert(0, Rect::from_point(Point::new([0.0, 0.0])), &[])
+            .unwrap();
         assert!(tree.bulk_load(items(10)).is_err());
     }
 
@@ -165,10 +168,8 @@ mod tests {
         tree.bulk_load(data.clone()).unwrap();
         let q = Point::new([100.0, 100.0]);
         let got: Vec<u64> = tree.nearest(q).take(10).map(|r| r.unwrap().child).collect();
-        let mut brute: Vec<(f64, u64)> = data
-            .iter()
-            .map(|(c, r, _)| (r.min_dist(&q), *c))
-            .collect();
+        let mut brute: Vec<(f64, u64)> =
+            data.iter().map(|(c, r, _)| (r.min_dist(&q), *c)).collect();
         brute.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let brute_top: Vec<f64> = brute.iter().take(10).map(|(d, _)| *d).collect();
         // Compare by distance (ties may order differently).

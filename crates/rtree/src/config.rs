@@ -94,13 +94,17 @@ mod tests {
         let cfg = RTreeConfig::for_dims::<2>();
         assert_eq!(cfg.max_entries, 102);
         // A full node must fit in one block.
-        assert!(NODE_HEADER_LEN + cfg.max_entries * (REF_LEN + Rect::<2>::ENCODED_LEN) <= BLOCK_SIZE);
+        assert!(
+            NODE_HEADER_LEN + cfg.max_entries * (REF_LEN + Rect::<2>::ENCODED_LEN) <= BLOCK_SIZE
+        );
         assert!(cfg.min_entries >= 2 && cfg.min_entries <= cfg.max_entries / 2);
     }
 
     #[test]
     fn higher_dims_lower_capacity() {
-        assert!(RTreeConfig::for_dims::<3>().max_entries < RTreeConfig::for_dims::<2>().max_entries);
+        assert!(
+            RTreeConfig::for_dims::<3>().max_entries < RTreeConfig::for_dims::<2>().max_entries
+        );
     }
 
     #[test]

@@ -128,14 +128,14 @@ mod tests {
     /// The paper's Figure 1 hotel coordinates.
     fn hotels() -> Vec<[f64; 2]> {
         vec![
-            [25.4, -80.1],   // H1
-            [47.3, -122.2],  // H2
-            [35.5, 139.4],   // H3
-            [39.5, 116.2],   // H4
-            [51.3, -0.5],    // H5
-            [40.4, -73.5],   // H6
-            [-33.2, -70.4],  // H7
-            [-41.1, 174.4],  // H8
+            [25.4, -80.1],  // H1
+            [47.3, -122.2], // H2
+            [35.5, 139.4],  // H3
+            [39.5, 116.2],  // H4
+            [51.3, -0.5],   // H5
+            [40.4, -73.5],  // H6
+            [-33.2, -70.4], // H7
+            [-41.1, 174.4], // H8
         ]
     }
 
@@ -198,6 +198,9 @@ mod tests {
         stats.reset();
         let _all: Vec<_> = tree.nearest(Point::new([500.0, 500.0])).collect();
         let all = stats.snapshot().total();
-        assert!(one * 5 < all, "top-1 ({one} blocks) should read far less than full ({all})");
+        assert!(
+            one * 5 < all,
+            "top-1 ({one} blocks) should read far less than full ({all})"
+        );
     }
 }

@@ -122,7 +122,10 @@ impl<const N: usize> Node<N> {
             return Err(StorageError::Corrupt("bad node magic".into()));
         }
         if buf[1] != VERSION {
-            return Err(StorageError::Corrupt(format!("bad node version {}", buf[1])));
+            return Err(StorageError::Corrupt(format!(
+                "bad node version {}",
+                buf[1]
+            )));
         }
         let level = u16::from_le_bytes(buf[2..4].try_into().expect("2 bytes"));
         let count = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes"));
@@ -171,8 +174,11 @@ mod tests {
     fn encode_decode_roundtrip_with_payload() {
         let mut node = Node::<2>::new(5, 1);
         for i in 0..7u64 {
-            node.entries
-                .push(Entry::new(100 + i, rect(i as f64, -(i as f64)), vec![i as u8; 9]));
+            node.entries.push(Entry::new(
+                100 + i,
+                rect(i as f64, -(i as f64)),
+                vec![i as u8; 9],
+            ));
         }
         let bytes = node.encode(9, 2);
         let back = Node::<2>::decode(5, &bytes, 9).unwrap();

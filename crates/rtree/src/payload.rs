@@ -109,7 +109,10 @@ mod tests {
         let p = UnitPayload;
         assert_eq!(p.entry_size(0), 0);
         assert_eq!(p.entry_size(7), 0);
-        assert_eq!(p.summarize_entries(0, &mut std::iter::empty()), Some(vec![]));
+        assert_eq!(
+            p.summarize_entries(0, &mut std::iter::empty()),
+            Some(vec![])
+        );
         assert_eq!(p.summarize_objects(1, &mut std::iter::empty()), vec![]);
         assert_eq!(p.lift_object(1, &[], 3), vec![]);
         assert!(!p.strict_maintenance());

@@ -140,8 +140,9 @@ mod tests {
         let tree = grid_tree(20);
         let far = Rect::from_corners(Point::new([50.0, 50.0]), Point::new([60.0, 60.0]));
         assert!(tree.window_objects(&far).unwrap().is_empty());
-        let empty = RTree::<2, _, _>::create(MemDevice::new(), RTreeConfig::with_max(4), UnitPayload)
-            .unwrap();
+        let empty =
+            RTree::<2, _, _>::create(MemDevice::new(), RTreeConfig::with_max(4), UnitPayload)
+                .unwrap();
         assert!(empty.window_objects(&far).unwrap().is_empty());
         assert_eq!(empty.stats().unwrap(), TreeStats::default());
     }

@@ -206,7 +206,12 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         }
         let mut buf = vec![0u8; nblocks as usize * BLOCK_SIZE];
         buf[..BLOCK_SIZE].copy_from_slice(&first[..]);
-        extent::read_extent_into(&self.dev, id + 1, nblocks as u32 - 1, &mut buf[BLOCK_SIZE..])?;
+        extent::read_extent_into(
+            &self.dev,
+            id + 1,
+            nblocks as u32 - 1,
+            &mut buf[BLOCK_SIZE..],
+        )?;
         Node::decode(id, &buf, payload_size)
     }
 
@@ -287,14 +292,19 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         leaf_payload: &[u8],
         bump_count: bool,
     ) -> Result<()> {
-        debug_assert_eq!(leaf_payload.len(), self.ops.entry_size(0), "leaf payload size");
+        debug_assert_eq!(
+            leaf_payload.len(),
+            self.ops.entry_size(0),
+            "leaf payload size"
+        );
         if bump_count {
             meta.count += 1;
         }
         let Some(root_id) = meta.root else {
             let id = self.alloc_node(0)?;
             let mut node = Node::new(id, 0);
-            node.entries.push(Entry::new(child, rect, leaf_payload.to_vec()));
+            node.entries
+                .push(Entry::new(child, rect, leaf_payload.to_vec()));
             self.write_node(&node)?;
             meta.root = Some(id);
             meta.height = 1;
@@ -310,7 +320,8 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
             path.push((node, idx));
             node = self.read_node(next)?;
         }
-        node.entries.push(Entry::new(child, rect, leaf_payload.to_vec()));
+        node.entries
+            .push(Entry::new(child, rect, leaf_payload.to_vec()));
 
         // Resolve overflow at the leaf, then walk the path upward adjusting
         // MBRs and payloads (the paper's AdjustTree "modified to also
@@ -578,8 +589,7 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         let fill_ok = if is_root {
             !node.entries.is_empty() || node.is_leaf()
         } else {
-            node.entries.len() >= self.cfg.min_entries
-                && node.entries.len() <= self.cfg.max_entries
+            node.entries.len() >= self.cfg.min_entries && node.entries.len() <= self.cfg.max_entries
         };
         if !fill_ok {
             return Err(StorageError::Corrupt(format!(
@@ -630,9 +640,7 @@ fn choose_subtree<const N: usize>(node: &Node<N>, rect: &Rect<N>) -> usize {
     for (i, e) in node.entries.iter().enumerate() {
         let enlargement = e.rect.enlargement(rect);
         let area = e.rect.area();
-        if enlargement < best_enlargement
-            || (enlargement == best_enlargement && area < best_area)
-        {
+        if enlargement < best_enlargement || (enlargement == best_enlargement && area < best_area) {
             best = i;
             best_enlargement = enlargement;
             best_area = area;
@@ -860,10 +868,13 @@ mod tests {
         // Drive enough deletes to trigger CondenseTree orphan reinsertion.
         let tree = small_tree();
         for i in 0..60u64 {
-            tree.insert(i, pt_rect((i % 8) as f64, (i / 8) as f64), &[]).unwrap();
+            tree.insert(i, pt_rect((i % 8) as f64, (i / 8) as f64), &[])
+                .unwrap();
         }
         for i in (0..60u64).step_by(2) {
-            assert!(tree.delete(i, &pt_rect((i % 8) as f64, (i / 8) as f64)).unwrap());
+            assert!(tree
+                .delete(i, &pt_rect((i % 8) as f64, (i / 8) as f64))
+                .unwrap());
         }
         assert_eq!(tree.len(), 30);
         assert_eq!(tree.check_invariants(|_, _, _| true).unwrap(), 30);
@@ -874,23 +885,28 @@ mod tests {
             .collect();
         let mut found_sorted = found.clone();
         found_sorted.sort_unstable();
-        assert_eq!(found_sorted, (0..60).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+        assert_eq!(
+            found_sorted,
+            (0..60).filter(|i| i % 2 == 1).collect::<Vec<_>>()
+        );
     }
 
     #[test]
     fn persistence_roundtrip() {
         let dev = std::sync::Arc::new(MemDevice::new());
         {
-            let tree =
-                RTree::<2, _, _>::create(std::sync::Arc::clone(&dev), RTreeConfig::with_max(4), UnitPayload)
-                    .unwrap();
+            let tree = RTree::<2, _, _>::create(
+                std::sync::Arc::clone(&dev),
+                RTreeConfig::with_max(4),
+                UnitPayload,
+            )
+            .unwrap();
             for i in 0..20u64 {
                 tree.insert(i, pt_rect(i as f64, 0.0), &[]).unwrap();
             }
             tree.flush().unwrap();
         }
-        let tree =
-            RTree::<2, _, _>::open(dev, RTreeConfig::with_max(4), UnitPayload).unwrap();
+        let tree = RTree::<2, _, _>::open(dev, RTreeConfig::with_max(4), UnitPayload).unwrap();
         assert_eq!(tree.len(), 20);
         assert_eq!(tree.check_invariants(|_, _, _| true).unwrap(), 20);
     }
@@ -899,9 +915,12 @@ mod tests {
     fn open_rejects_mismatched_config() {
         let dev = std::sync::Arc::new(MemDevice::new());
         {
-            let tree =
-                RTree::<2, _, _>::create(std::sync::Arc::clone(&dev), RTreeConfig::with_max(4), UnitPayload)
-                    .unwrap();
+            let tree = RTree::<2, _, _>::create(
+                std::sync::Arc::clone(&dev),
+                RTreeConfig::with_max(4),
+                UnitPayload,
+            )
+            .unwrap();
             tree.flush().unwrap();
         }
         assert!(RTree::<2, _, _>::open(dev, RTreeConfig::with_max(8), UnitPayload).is_err());
@@ -953,7 +972,8 @@ mod tests {
         )
         .unwrap();
         for i in 0..80u64 {
-            tree.insert(i, pt_rect((i % 9) as f64, (i / 9) as f64), &[]).unwrap();
+            tree.insert(i, pt_rect((i % 9) as f64, (i / 9) as f64), &[])
+                .unwrap();
         }
         assert_eq!(tree.check_invariants(|_, _, _| true).unwrap(), 80);
         let order: Vec<u64> = tree

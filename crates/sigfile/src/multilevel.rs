@@ -134,7 +134,10 @@ mod tests {
         // Level 1 covers 20·10 = 200 words: m = ⌈4·200/ln2⌉ bits.
         let expected = crate::optimal_bits(200, 4);
         let got = ml.scheme(1).bits();
-        assert!(got >= expected && got <= expected + 8, "got {got}, expected {expected}");
+        assert!(
+            got >= expected && got <= expected + 8,
+            "got {got}, expected {expected}"
+        );
         // Level 2 covers 2000 words: ~10x level 1.
         let ratio = ml.scheme(2).bits() as f64 / ml.scheme(1).bits() as f64;
         assert!((ratio - 10.0).abs() < 0.5, "ratio {ratio}");
@@ -157,7 +160,10 @@ mod tests {
             let s = ml.scheme(level);
             let node_sig = s.sign_terms(words);
             for w in words {
-                assert!(node_sig.contains(&s.sign_term(w)), "level {level}, word {w}");
+                assert!(
+                    node_sig.contains(&s.sign_term(w)),
+                    "level {level}, word {w}"
+                );
             }
         }
     }

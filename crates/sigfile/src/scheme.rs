@@ -142,7 +142,10 @@ pub fn optimal_bits(distinct_terms: usize, k: u32) -> usize {
 /// single-term probe: at the optimal operating point the false-drop rate is
 /// `2^(−k)`, so `k = ⌈log₂(1/fp)⌉` and the length follows [`optimal_bits`].
 pub fn optimal_params(distinct_terms: usize, fp: f64) -> (usize, u32) {
-    assert!(fp > 0.0 && fp < 1.0, "false-positive target must be in (0, 1)");
+    assert!(
+        fp > 0.0 && fp < 1.0,
+        "false-positive target must be in (0, 1)"
+    );
     let k = (1.0 / fp).log2().ceil().max(1.0) as u32;
     (optimal_bits(distinct_terms, k), k)
 }
@@ -193,10 +196,7 @@ mod tests {
     #[test]
     fn duplicates_do_not_change_the_signature() {
         let s = SignatureScheme::new(256, 3, 0);
-        assert_eq!(
-            s.sign_terms(["pool", "pool", "pool"]),
-            s.sign_term("pool")
-        );
+        assert_eq!(s.sign_terms(["pool", "pool", "pool"]), s.sign_term("pool"));
     }
 
     #[test]

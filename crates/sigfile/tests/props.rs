@@ -9,7 +9,8 @@ fn arb_terms() -> impl Strategy<Value = Vec<String>> {
 }
 
 fn arb_scheme() -> impl Strategy<Value = SignatureScheme> {
-    (8usize..2048, 1u32..8, any::<u64>()).prop_map(|(bits, k, seed)| SignatureScheme::new(bits, k, seed))
+    (8usize..2048, 1u32..8, any::<u64>())
+        .prop_map(|(bits, k, seed)| SignatureScheme::new(bits, k, seed))
 }
 
 proptest! {

@@ -155,10 +155,8 @@ impl<D: BlockDevice> SignatureFile<D> {
                 }
                 scanned += 1;
                 let off = e * entry_len;
-                let sig = Signature::from_bytes(
-                    self.scheme.bits(),
-                    &block[off + 8..off + entry_len],
-                );
+                let sig =
+                    Signature::from_bytes(self.scheme.bits(), &block[off + 8..off + entry_len]);
                 if sig.contains(query) {
                     let ptr = u64::from_le_bytes(block[off..off + 8].try_into().expect("8 bytes"));
                     f(ObjPtr(ptr));
@@ -215,7 +213,6 @@ impl<D: BlockDevice> SignatureFile<D> {
             .collect();
         Ok((out, counters))
     }
-
 }
 
 #[cfg(test)]
@@ -226,7 +223,9 @@ mod tests {
     use ir2_text::tokenize;
     use std::sync::Arc;
 
-    fn fixture(n: u64) -> (
+    fn fixture(
+        n: u64,
+    ) -> (
         Arc<ObjectStore<2, MemDevice>>,
         SignatureFile<TrackedDevice<MemDevice>>,
         Vec<SpatialObject<2>>,
@@ -261,7 +260,11 @@ mod tests {
     #[test]
     fn topk_matches_brute_force() {
         let (store, ssf, objs) = fixture(500);
-        for (kw, k) in [(vec!["cafe"], 7), (vec!["cafe", "wifi"], 3), (vec!["pool"], 100)] {
+        for (kw, k) in [
+            (vec!["cafe"], 7),
+            (vec!["cafe", "wifi"], 3),
+            (vec!["pool"], 100),
+        ] {
             let q = DistanceFirstQuery::new([5.0, 5.0], &kw, k);
             let (got, counters) = ssf.topk(store.as_ref(), &q).unwrap();
             let mut want: Vec<(u64, f64)> = objs
@@ -275,7 +278,10 @@ mod tests {
             for ((_, d), (_, wd)) in got.iter().zip(want.iter()) {
                 assert!((d - wd).abs() < 1e-9);
             }
-            assert_eq!(counters.signatures_scanned, 500, "SSF always scans everything");
+            assert_eq!(
+                counters.signatures_scanned, 500,
+                "SSF always scans everything"
+            );
         }
     }
 
@@ -341,7 +347,10 @@ mod tests {
         let (store, ssf, objs) = fixture(200);
         let q = DistanceFirstQuery::new([0.0, 0.0], &["books"], 1000);
         let (got, _) = ssf.topk(store.as_ref(), &q).unwrap();
-        let want = objs.iter().filter(|o| o.token_set().contains("books")).count();
+        let want = objs
+            .iter()
+            .filter(|o| o.token_set().contains("books"))
+            .count();
         assert_eq!(got.len(), want);
     }
 }

@@ -9,7 +9,9 @@ use ir2_storage::MemDevice;
 use ir2_text::tokenize;
 use proptest::prelude::*;
 
-const WORDS: [&str; 8] = ["cafe", "wifi", "pool", "grill", "books", "bar", "spa", "gym"];
+const WORDS: [&str; 8] = [
+    "cafe", "wifi", "pool", "grill", "books", "bar", "spa", "gym",
+];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

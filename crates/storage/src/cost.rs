@@ -78,7 +78,10 @@ mod tests {
 
     #[test]
     fn zero_io_costs_nothing() {
-        assert_eq!(CostModel::default().time(IoSnapshot::default()), Duration::ZERO);
+        assert_eq!(
+            CostModel::default().time(IoSnapshot::default()),
+            Duration::ZERO
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ pub fn read_extent_into(
     nblocks: u32,
     buf: &mut [u8],
 ) -> Result<()> {
-    assert!(buf.len() >= nblocks as usize * BLOCK_SIZE, "extent buffer too small");
+    assert!(
+        buf.len() >= nblocks as usize * BLOCK_SIZE,
+        "extent buffer too small"
+    );
     for i in 0..nblocks as usize {
         let chunk: &mut [u8; BLOCK_SIZE] = (&mut buf[i * BLOCK_SIZE..(i + 1) * BLOCK_SIZE])
             .try_into()
@@ -106,7 +109,10 @@ mod tests {
         write_extent(&dev, first, &[0x11u8; 100]).unwrap();
         let back = read_extent(&dev, first, 1).unwrap();
         assert!(back[..100].iter().all(|&b| b == 0x11));
-        assert!(back[100..].iter().all(|&b| b == 0), "stale bytes must be zeroed");
+        assert!(
+            back[100..].iter().all(|&b| b == 0),
+            "stale bytes must be zeroed"
+        );
     }
 
     #[test]

@@ -37,9 +37,9 @@ mod tracking;
 pub use cost::CostModel;
 pub use device::{BlockDevice, FileDevice, MemDevice};
 pub use error::{Result, StorageError};
-pub use pool::BufferPool;
+pub use pool::{BufferPool, DEFAULT_POOL_SHARDS};
 pub use records::{RecordFile, RecordPtr};
-pub use tracking::{IoSnapshot, IoStats, TrackedDevice};
+pub use tracking::{IoScope, IoSnapshot, IoStats, ScopedIo, TrackedDevice};
 
 /// Disk block size in bytes.
 ///

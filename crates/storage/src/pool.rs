@@ -1,4 +1,4 @@
-//! LRU buffer pool.
+//! Sharded LRU buffer pool.
 //!
 //! The paper measures raw disk accesses with no caching, so the experiment
 //! defaults bypass the pool (capacity 0 constructs a pass-through). The
@@ -6,10 +6,28 @@
 //! query algorithms and the tracked device to show how quickly a modest
 //! cache erodes the baseline algorithms' disadvantage.
 //!
-//! Policy: least-recently-used eviction, write-through (a write updates the
-//! cached copy and the device immediately), implemented with a hash map into
-//! a slab of frames linked in an intrusive LRU list — no per-access
-//! allocation.
+//! Policy: least-recently-used eviction per shard, write-through (a write
+//! updates the cached copy and the device immediately), implemented with a
+//! hash map into a slab of frames linked in an intrusive LRU list — no
+//! per-access allocation.
+//!
+//! # Sharding
+//!
+//! The frame table is split into N independent shards, each behind its own
+//! mutex, selected by `block_id % N`. Concurrent readers touching different
+//! blocks therefore take different locks instead of serializing on one —
+//! the property the concurrent batch query engine
+//! (`SpatialKeywordDb::batch_topk`) relies on. Adjacent block ids land in
+//! different shards, so a sequential scan round-robins the locks rather
+//! than hammering one.
+//!
+//! Sharding makes eviction *local*: each shard runs LRU over its own
+//! `capacity / N` frames, so the global eviction order can differ from a
+//! single LRU list (a hot shard evicts blocks that a colder shard would
+//! have kept). Reads remain observationally equivalent to the bare device
+//! — property-tested in `tests/props.rs` — and a single-shard pool
+//! (`with_shards(.., 1)`) reproduces exact global LRU for tests that need
+//! it.
 
 use std::collections::HashMap;
 
@@ -18,6 +36,10 @@ use parking_lot::Mutex;
 use crate::{BlockDevice, BlockId, Result, BLOCK_SIZE};
 
 const NIL: usize = usize::MAX;
+
+/// Default shard count for [`BufferPool::new`]: enough parallelism for the
+/// batch engine's default thread counts without splintering tiny pools.
+pub const DEFAULT_POOL_SHARDS: usize = 8;
 
 struct Frame {
     block: BlockId,
@@ -38,6 +60,17 @@ struct PoolState {
 }
 
 impl PoolState {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity),
+            frames: Vec::with_capacity(capacity),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
     fn detach(&mut self, idx: usize) {
         let (prev, next) = (self.frames[idx].prev, self.frames[idx].next);
         if prev != NIL {
@@ -72,32 +105,81 @@ impl PoolState {
             self.push_front(idx);
         }
     }
+
+    /// Installs `data` as the cached copy of `block`, evicting this shard's
+    /// LRU victim if the shard is full.
+    fn install(&mut self, capacity: usize, block: BlockId, data: &[u8; BLOCK_SIZE]) {
+        if let Some(&idx) = self.map.get(&block) {
+            self.frames[idx].data.copy_from_slice(data);
+            self.touch(idx);
+            return;
+        }
+        let idx = if self.frames.len() < capacity {
+            self.frames.push(Frame {
+                block,
+                data: crate::zeroed_block(),
+                prev: NIL,
+                next: NIL,
+            });
+            self.frames.len() - 1
+        } else {
+            // Evict the LRU frame and reuse it.
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "capacity > 0 implies a tail");
+            self.detach(victim);
+            let old = self.frames[victim].block;
+            self.map.remove(&old);
+            self.frames[victim].block = block;
+            victim
+        };
+        self.frames[idx].data.copy_from_slice(data);
+        self.map.insert(block, idx);
+        self.push_front(idx);
+    }
 }
 
-/// An LRU block cache in front of a [`BlockDevice`].
+/// A sharded LRU block cache in front of a [`BlockDevice`].
 ///
 /// Implements `BlockDevice` itself, so it can be dropped transparently into
-/// any structure. Capacity is in blocks; capacity 0 disables caching.
+/// any structure, and is safe to share across query threads: each shard has
+/// its own lock, so concurrent accesses to different blocks do not
+/// serialize. Capacity is in blocks; capacity 0 disables caching.
 pub struct BufferPool<D> {
     inner: D,
-    capacity: usize,
-    state: Mutex<PoolState>,
+    /// Frames per shard (0 disables caching).
+    shard_capacity: usize,
+    /// Empty when caching is disabled.
+    shards: Box<[Mutex<PoolState>]>,
 }
 
 impl<D: BlockDevice> BufferPool<D> {
-    /// Wraps `inner` with an LRU cache of `capacity` blocks.
+    /// Wraps `inner` with an LRU cache of at least `capacity` blocks split
+    /// over [`DEFAULT_POOL_SHARDS`] shards (fewer for tiny capacities).
     pub fn new(inner: D, capacity: usize) -> Self {
+        Self::with_shards(inner, capacity, DEFAULT_POOL_SHARDS)
+    }
+
+    /// Wraps `inner` with an LRU cache of at least `capacity` blocks split
+    /// over `shards` independent locks.
+    ///
+    /// `shards` is clamped to `[1, capacity]` so every shard owns at least
+    /// one frame; the per-shard capacity is `capacity / shards` rounded up,
+    /// so the pool holds at least `capacity` blocks in total. One shard
+    /// gives exact global LRU; more shards trade strict LRU order for lock
+    /// independence.
+    pub fn with_shards(inner: D, capacity: usize, shards: usize) -> Self {
+        let (shard_capacity, nshards) = if capacity == 0 {
+            (0, 0)
+        } else {
+            let nshards = shards.clamp(1, capacity);
+            (capacity.div_ceil(nshards), nshards)
+        };
         Self {
             inner,
-            capacity,
-            state: Mutex::new(PoolState {
-                map: HashMap::with_capacity(capacity),
-                frames: Vec::with_capacity(capacity),
-                head: NIL,
-                tail: NIL,
-                hits: 0,
-                misses: 0,
-            }),
+            shard_capacity,
+            shards: (0..nshards)
+                .map(|_| Mutex::new(PoolState::with_capacity(shard_capacity)))
+                .collect(),
         }
     }
 
@@ -106,60 +188,59 @@ impl<D: BlockDevice> BufferPool<D> {
         &self.inner
     }
 
-    /// `(hits, misses)` observed on reads so far.
+    /// Number of independent shards (0 when caching is disabled).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total frame capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * self.shards.len()
+    }
+
+    #[inline]
+    fn shard(&self, block: BlockId) -> &Mutex<PoolState> {
+        // Modulo keeps adjacent blocks on different locks (sequential scans
+        // round-robin the shards) and is trivially predictable in tests.
+        &self.shards[(block % self.shards.len() as u64) as usize]
+    }
+
+    /// Aggregate `(hits, misses)` observed on reads so far, summed over all
+    /// shards.
     pub fn hit_stats(&self) -> (u64, u64) {
-        let s = self.state.lock();
+        self.shards.iter().fold((0, 0), |(h, m), shard| {
+            let s = shard.lock();
+            (h + s.hits, m + s.misses)
+        })
+    }
+
+    /// `(hits, misses)` of one shard (indexes follow `block % num_shards`).
+    ///
+    /// Panics if `shard >= num_shards()`.
+    pub fn shard_hit_stats(&self, shard: usize) -> (u64, u64) {
+        let s = self.shards[shard].lock();
         (s.hits, s.misses)
     }
 
     /// Drops every cached block (counters are kept).
     pub fn clear(&self) {
-        let mut s = self.state.lock();
-        s.map.clear();
-        s.frames.clear();
-        s.head = NIL;
-        s.tail = NIL;
-    }
-
-    /// Installs `data` as the cached copy of `block`, evicting the LRU
-    /// victim if the pool is full.
-    fn install(&self, s: &mut PoolState, block: BlockId, data: &[u8; BLOCK_SIZE]) {
-        if self.capacity == 0 {
-            return;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            s.map.clear();
+            s.frames.clear();
+            s.head = NIL;
+            s.tail = NIL;
         }
-        if let Some(&idx) = s.map.get(&block) {
-            s.frames[idx].data.copy_from_slice(data);
-            s.touch(idx);
-            return;
-        }
-        let idx = if s.frames.len() < self.capacity {
-            s.frames.push(Frame {
-                block,
-                data: crate::zeroed_block(),
-                prev: NIL,
-                next: NIL,
-            });
-            s.frames.len() - 1
-        } else {
-            // Evict the LRU frame and reuse it.
-            let victim = s.tail;
-            debug_assert_ne!(victim, NIL, "capacity > 0 implies a tail");
-            s.detach(victim);
-            let old = s.frames[victim].block;
-            s.map.remove(&old);
-            s.frames[victim].block = block;
-            victim
-        };
-        s.frames[idx].data.copy_from_slice(data);
-        s.map.insert(block, idx);
-        s.push_front(idx);
     }
 }
 
 impl<D: BlockDevice> BlockDevice for BufferPool<D> {
     fn read_block(&self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
+        if self.shards.is_empty() {
+            return self.inner.read_block(id, buf);
+        }
         {
-            let mut s = self.state.lock();
+            let mut s = self.shard(id).lock();
             if let Some(&idx) = s.map.get(&id) {
                 buf.copy_from_slice(&*s.frames[idx].data);
                 s.touch(idx);
@@ -168,13 +249,15 @@ impl<D: BlockDevice> BlockDevice for BufferPool<D> {
             }
             s.misses += 1;
         }
-        // Miss: fetch outside the lock would race a concurrent write-through
-        // of the same block, so re-lock around the install with the freshly
-        // read data. Reads of the device may run concurrently; correctness
-        // only needs the cache to hold *some* post-write value.
+        // Miss: fetch outside the lock (other shards — and this one — stay
+        // available to concurrent readers), then re-lock around the install
+        // with the freshly read data. A concurrent write-through of the
+        // same block may interleave; correctness only needs the cache to
+        // hold *some* post-write value, which `install` guarantees because
+        // the device read completed before the re-lock.
         self.inner.read_block(id, buf)?;
-        let mut s = self.state.lock();
-        self.install(&mut s, id, buf);
+        let mut s = self.shard(id).lock();
+        s.install(self.shard_capacity, id, buf);
         Ok(())
     }
 
@@ -182,8 +265,11 @@ impl<D: BlockDevice> BlockDevice for BufferPool<D> {
         // Write-through: device first (so a device error leaves the cache
         // consistent with disk), then cache.
         self.inner.write_block(id, data)?;
-        let mut s = self.state.lock();
-        self.install(&mut s, id, data);
+        if self.shards.is_empty() {
+            return Ok(());
+        }
+        let mut s = self.shard(id).lock();
+        s.install(self.shard_capacity, id, data);
         Ok(())
     }
 
@@ -229,7 +315,8 @@ mod tests {
 
     #[test]
     fn lru_evicts_least_recently_used() {
-        let pool = BufferPool::new(MemDevice::new(), 2);
+        // Single shard: exact global LRU.
+        let pool = BufferPool::with_shards(MemDevice::new(), 2, 1);
         pool.allocate(3).unwrap();
         for (id, byte) in [(0u64, 1u8), (1, 2), (2, 3)] {
             pool.write_block(id, &block_of(byte)).unwrap();
@@ -248,7 +335,8 @@ mod tests {
 
     #[test]
     fn touch_on_read_protects_from_eviction() {
-        let pool = BufferPool::new(MemDevice::new(), 2);
+        // Single shard: exact global LRU.
+        let pool = BufferPool::with_shards(MemDevice::new(), 2, 1);
         pool.allocate(3).unwrap();
         pool.write_block(0, &block_of(1)).unwrap();
         pool.write_block(1, &block_of(2)).unwrap();
@@ -265,12 +353,18 @@ mod tests {
         let tracked = TrackedDevice::new(MemDevice::new());
         let stats = tracked.stats();
         let pool = BufferPool::new(tracked, 0);
+        assert_eq!(pool.num_shards(), 0);
+        assert_eq!(pool.capacity(), 0);
         pool.allocate(1).unwrap();
         pool.write_block(0, &block_of(9)).unwrap();
         let mut buf = crate::zeroed_block();
         pool.read_block(0, &mut buf).unwrap();
         pool.read_block(0, &mut buf).unwrap();
-        assert_eq!(stats.snapshot().total(), 3, "every access reaches the device");
+        assert_eq!(
+            stats.snapshot().total(),
+            3,
+            "every access reaches the device"
+        );
     }
 
     #[test]
@@ -295,5 +389,53 @@ mod tests {
         pool.read_block(0, &mut buf).unwrap();
         assert_eq!(pool.hit_stats().1, m0 + 1, "read after clear is a miss");
         assert_eq!(buf[0], 1);
+    }
+
+    #[test]
+    fn shards_clamp_to_capacity() {
+        let pool = BufferPool::with_shards(MemDevice::new(), 3, 16);
+        assert_eq!(pool.num_shards(), 3, "no shard may own zero frames");
+        assert_eq!(pool.capacity(), 3);
+        let pool = BufferPool::new(MemDevice::new(), 64);
+        assert_eq!(pool.num_shards(), DEFAULT_POOL_SHARDS);
+        assert_eq!(pool.capacity(), 64);
+    }
+
+    #[test]
+    fn blocks_land_on_their_shard() {
+        let pool = BufferPool::with_shards(MemDevice::new(), 8, 4);
+        pool.allocate(8).unwrap();
+        // Blocks 0 and 4 share shard 0; 1 goes to shard 1.
+        pool.write_block(0, &block_of(1)).unwrap();
+        pool.write_block(4, &block_of(2)).unwrap();
+        pool.write_block(1, &block_of(3)).unwrap();
+        let mut buf = crate::zeroed_block();
+        pool.read_block(0, &mut buf).unwrap();
+        pool.read_block(4, &mut buf).unwrap();
+        pool.read_block(1, &mut buf).unwrap();
+        assert_eq!(pool.shard_hit_stats(0), (2, 0));
+        assert_eq!(pool.shard_hit_stats(1), (1, 0));
+        assert_eq!(pool.shard_hit_stats(2), (0, 0));
+        assert_eq!(pool.hit_stats(), (3, 0));
+    }
+
+    #[test]
+    fn per_shard_lru_is_independent() {
+        // 2 shards x 1 frame. Evictions in shard 0 must not disturb
+        // shard 1's resident block.
+        let pool = BufferPool::with_shards(MemDevice::new(), 2, 2);
+        pool.allocate(6).unwrap();
+        pool.write_block(1, &block_of(7)).unwrap(); // shard 1
+        pool.write_block(0, &block_of(1)).unwrap(); // shard 0
+        pool.write_block(2, &block_of(2)).unwrap(); // shard 0, evicts 0
+        pool.write_block(4, &block_of(3)).unwrap(); // shard 0, evicts 2
+        let mut buf = crate::zeroed_block();
+        let (h0, _) = pool.hit_stats();
+        pool.read_block(1, &mut buf).unwrap(); // still cached in shard 1
+        assert_eq!(pool.hit_stats().0, h0 + 1);
+        assert_eq!(buf[0], 7);
+        pool.read_block(0, &mut buf).unwrap(); // evicted from shard 0
+        assert_eq!(pool.shard_hit_stats(0).1, 1, "block 0 was evicted");
+        assert_eq!(buf[0], 1, "device still serves the evicted block");
     }
 }

@@ -237,8 +237,8 @@ impl<D: BlockDevice> RecordFile<D> {
         let mut block = crate::zeroed_block();
         self.dev.read_block(first_block, &mut block)?;
 
-        let len = u32::from_le_bytes(block[off..off + LEN_PREFIX].try_into().expect("4 bytes"))
-            as usize;
+        let len =
+            u32::from_le_bytes(block[off..off + LEN_PREFIX].try_into().expect("4 bytes")) as usize;
         if len == 0 {
             return Err(StorageError::Corrupt(format!(
                 "record pointer {ptr:?} points at padding"

@@ -97,7 +97,10 @@ mod tests {
         dev.write_block(0, &buf).unwrap(); // 2
         let mut out = crate::zeroed_block();
         dev.read_block(0, &mut out).unwrap(); // 3
-        assert!(matches!(dev.read_block(0, &mut out), Err(StorageError::Io(_))));
+        assert!(matches!(
+            dev.read_block(0, &mut out),
+            Err(StorageError::Io(_))
+        ));
         assert_eq!(dev.remaining(), 0);
     }
 

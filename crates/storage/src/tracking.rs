@@ -10,6 +10,8 @@
 //! sequential; anything else (including re-reading the same block) requires
 //! a seek and counts as random.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -22,6 +24,24 @@ const NO_PREV: u64 = u64::MAX;
 ///
 /// Cloneable handles (via `Arc`) let the query layer snapshot counters
 /// before and after a query and report the delta.
+///
+/// # Concurrency and classification
+///
+/// The counter *totals* are exact under concurrency (plain atomic
+/// increments). The random/sequential *split*, however, models a single
+/// disk arm via one shared `last_block` register: when several threads
+/// interleave accesses on the same device, thread A's access can be
+/// classified against thread B's arm position, so per-access
+/// classification is only meaningful for single-threaded (or externally
+/// serialized) workloads — which is how the paper's experiments run.
+/// Subtracting two global snapshots taken around one query while other
+/// queries run is worse still: the delta includes every concurrent
+/// thread's traffic.
+///
+/// Concurrent engines that want *per-query* attribution should wrap each
+/// query in an [`IoScope`], which keeps per-thread counters and a
+/// per-thread arm position per device, and therefore stays deterministic
+/// no matter how threads interleave.
 #[derive(Debug, Default)]
 pub struct IoStats {
     random_reads: AtomicU64,
@@ -41,6 +61,12 @@ impl IoStats {
     }
 
     /// Records an access to `id`, classifying it against the previous one.
+    ///
+    /// Note: `last_block` is shared across threads, so under concurrent
+    /// access the random/sequential split of the *global* counters is
+    /// interleaving-dependent (see the type-level docs). The active
+    /// [`IoScope`], if any, classifies the same access against a
+    /// per-thread arm position instead.
     #[inline]
     pub fn record(&self, id: BlockId, write: bool) {
         let prev = self.last_block.swap(id, Ordering::Relaxed);
@@ -52,6 +78,7 @@ impl IoStats {
             (true, true) => &self.seq_writes,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        scope_record(self as *const Self as usize, id, write);
     }
 
     /// Current counter values.
@@ -141,6 +168,128 @@ impl std::ops::Add for IoSnapshot {
 impl std::iter::Sum for IoSnapshot {
     fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
         iter.fold(Self::default(), |a, b| a + b)
+    }
+}
+
+thread_local! {
+    /// Per-thread attribution scope, keyed by `IoStats` instance address so
+    /// one scope can observe several devices (index, objects, ...) at once.
+    static ACTIVE_SCOPE: RefCell<Option<ScopeState>> = const { RefCell::new(None) };
+}
+
+struct ScopeState {
+    /// Accumulated per-device deltas, keyed by `IoStats` address.
+    counts: HashMap<usize, IoSnapshot>,
+    /// Per-device arm position as seen by *this thread only*.
+    last: HashMap<usize, BlockId>,
+}
+
+/// Feeds one access into the current thread's scope, if one is active.
+#[inline]
+fn scope_record(stats_addr: usize, id: BlockId, write: bool) {
+    ACTIVE_SCOPE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let Some(state) = slot.as_mut() else { return };
+        let prev = state.last.insert(stats_addr, id);
+        let sequential = prev.is_some_and(|p| id == p.wrapping_add(1));
+        let snap = state.counts.entry(stats_addr).or_default();
+        match (write, sequential) {
+            (false, false) => snap.random_reads += 1,
+            (false, true) => snap.seq_reads += 1,
+            (true, false) => snap.random_writes += 1,
+            (true, true) => snap.seq_writes += 1,
+        }
+    });
+}
+
+/// Deterministic per-thread I/O attribution.
+///
+/// While a scope is active on a thread, every [`IoStats::record`] call made
+/// *from that thread* is additionally tallied into the scope, classified
+/// against a per-thread, per-device arm position. Other threads' traffic is
+/// invisible to the scope, so the delta returned by [`IoScope::finish`] is
+/// exactly the I/O the enclosed code performed — the property the batch
+/// query engine needs to attribute I/O to individual queries running
+/// concurrently (global before/after snapshot subtraction would lump every
+/// in-flight query together).
+///
+/// The trade-off: the per-thread arm model treats each thread as having
+/// its own disk arm, so a scoped query's random/sequential split matches
+/// what the same query reports when run alone, not the seek pattern a
+/// single shared arm would produce under interleaving.
+///
+/// Scopes do not nest; entering a second scope on the same thread panics.
+///
+/// ```
+/// # use ir2_storage::{BlockDevice, IoScope, MemDevice, TrackedDevice};
+/// let dev = TrackedDevice::new(MemDevice::new());
+/// dev.allocate(4).unwrap();
+/// let mut buf = ir2_storage::zeroed_block();
+/// let scope = IoScope::enter();
+/// dev.read_block(0, &mut buf).unwrap();
+/// dev.read_block(1, &mut buf).unwrap();
+/// let io = scope.finish().for_stats(&dev.stats());
+/// assert_eq!((io.random_reads, io.seq_reads), (1, 1));
+/// ```
+#[must_use = "a scope that is never finished records nothing useful"]
+pub struct IoScope {
+    /// Prevents `Send`: the scope must be finished on the entering thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl IoScope {
+    /// Starts attributing this thread's I/O. Panics if a scope is already
+    /// active on this thread.
+    pub fn enter() -> Self {
+        ACTIVE_SCOPE.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            assert!(slot.is_none(), "IoScope does not nest");
+            *slot = Some(ScopeState {
+                counts: HashMap::new(),
+                last: HashMap::new(),
+            });
+        });
+        Self {
+            _not_send: std::marker::PhantomData,
+        }
+    }
+
+    /// Ends the scope and returns everything it observed.
+    pub fn finish(self) -> ScopedIo {
+        let state = ACTIVE_SCOPE.with(|cell| cell.borrow_mut().take());
+        std::mem::forget(self); // Drop would otherwise clear an already-taken slot.
+        let state = state.expect("scope state present until finish");
+        ScopedIo {
+            counts: state.counts,
+        }
+    }
+}
+
+impl Drop for IoScope {
+    fn drop(&mut self) {
+        ACTIVE_SCOPE.with(|cell| cell.borrow_mut().take());
+    }
+}
+
+/// The I/O observed by one [`IoScope`], broken down per device.
+#[derive(Debug, Default, Clone)]
+pub struct ScopedIo {
+    counts: HashMap<usize, IoSnapshot>,
+}
+
+impl ScopedIo {
+    /// The delta attributed to the device whose counters are `stats`
+    /// (zero if the scope never saw that device).
+    pub fn for_stats(&self, stats: &IoStats) -> IoSnapshot {
+        self.counts
+            .get(&(stats as *const IoStats as usize))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Sum over every device the scope observed.
+    pub fn total(&self) -> IoSnapshot {
+        self.counts.values().copied().sum()
     }
 }
 
@@ -254,6 +403,69 @@ mod tests {
         assert_eq!(delta.random_reads, 1);
         assert_eq!(delta.seq_reads, 1);
         assert_eq!(delta.bytes(), 2 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn scope_attributes_only_this_thread() {
+        let dev = Arc::new(TrackedDevice::new(MemDevice::new()));
+        dev.allocate(64).unwrap();
+        // Background noise from other threads must not leak into the scope.
+        std::thread::scope(|s| {
+            let noisy = Arc::clone(&dev);
+            let stop = Arc::new(AtomicU64::new(0));
+            let stop2 = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut buf = crate::zeroed_block();
+                while stop2.load(Ordering::Relaxed) == 0 {
+                    noisy.read_block(63, &mut buf).unwrap();
+                }
+            });
+            let mut buf = crate::zeroed_block();
+            let scope = IoScope::enter();
+            dev.read_block(0, &mut buf).unwrap();
+            dev.read_block(1, &mut buf).unwrap();
+            dev.read_block(10, &mut buf).unwrap();
+            let io = scope.finish().for_stats(&dev.stats());
+            stop.store(1, Ordering::Relaxed);
+            assert_eq!(io.random_reads, 2);
+            assert_eq!(io.seq_reads, 1);
+            assert_eq!(io.total(), 3);
+        });
+    }
+
+    #[test]
+    fn scope_separates_devices() {
+        let a = TrackedDevice::new(MemDevice::new());
+        let b = TrackedDevice::new(MemDevice::new());
+        a.allocate(4).unwrap();
+        b.allocate(4).unwrap();
+        let mut buf = crate::zeroed_block();
+        let scope = IoScope::enter();
+        a.read_block(0, &mut buf).unwrap();
+        a.read_block(1, &mut buf).unwrap();
+        b.read_block(2, &mut buf).unwrap();
+        let io = scope.finish();
+        assert_eq!(io.for_stats(&a.stats()).total(), 2);
+        assert_eq!(io.for_stats(&b.stats()).total(), 1);
+        // Device b's access is random in b's own arm model even though it
+        // would have been sequential on a shared arm (a ended at block 1).
+        assert_eq!(io.for_stats(&b.stats()).random_reads, 1);
+        assert_eq!(io.total().total(), 3);
+    }
+
+    #[test]
+    fn dropped_scope_deactivates() {
+        let dev = TrackedDevice::new(MemDevice::new());
+        dev.allocate(2).unwrap();
+        let mut buf = crate::zeroed_block();
+        {
+            let _scope = IoScope::enter();
+            dev.read_block(0, &mut buf).unwrap();
+            // Dropped without finish(): attribution simply stops.
+        }
+        let scope = IoScope::enter(); // must not panic — slot was cleared
+        dev.read_block(1, &mut buf).unwrap();
+        assert_eq!(scope.finish().total().total(), 1);
     }
 
     #[test]

@@ -49,6 +49,65 @@ proptest! {
         }
     }
 
+    /// The sharded pool's per-op hit/miss behavior equals N independent
+    /// naive LRU lists, one per shard (`block % num_shards`), under
+    /// write-through installs.
+    #[test]
+    fn sharded_pool_matches_naive_lru_model(
+        ops in arb_ops(16),
+        capacity in 1usize..12,
+        shards in 1usize..5,
+    ) {
+        use std::collections::VecDeque;
+
+        let pool = BufferPool::with_shards(MemDevice::with_blocks(16), capacity, shards);
+        let nshards = pool.num_shards() as u64;
+        let per_shard = pool.capacity() / pool.num_shards();
+        let mut models: Vec<VecDeque<u64>> = vec![VecDeque::new(); pool.num_shards()];
+        let mut buf = ir2_storage::zeroed_block();
+
+        for op in ops {
+            let (block, is_read) = match op {
+                Op::Read { block } => (block as u64, true),
+                Op::Write { block, .. } => (block as u64, false),
+            };
+            // Model step: MRU-front list per shard, install on any access.
+            let model = &mut models[(block % nshards) as usize];
+            let was_resident = match model.iter().position(|&b| b == block) {
+                Some(i) => {
+                    model.remove(i);
+                    true
+                }
+                None => {
+                    if model.len() == per_shard {
+                        model.pop_back();
+                    }
+                    false
+                }
+            };
+            model.push_front(block);
+
+            let before = pool.hit_stats();
+            match op {
+                Op::Write { block, byte } => {
+                    let mut data = ir2_storage::zeroed_block();
+                    data.fill(byte);
+                    pool.write_block(block as u64, &data).unwrap();
+                }
+                Op::Read { block } => {
+                    pool.read_block(block as u64, &mut buf).unwrap();
+                }
+            }
+            let after = pool.hit_stats();
+            let expect = match (is_read, was_resident) {
+                (false, _) => (0, 0), // writes never count as read hits
+                (true, true) => (1, 0),
+                (true, false) => (0, 1),
+            };
+            prop_assert_eq!((after.0 - before.0, after.1 - before.1), expect);
+        }
+    }
+
     /// Random/sequential classification: total accesses always equals the
     /// number of operations, and a strictly ascending scan from block 0 is
     /// one random access plus all-sequential.

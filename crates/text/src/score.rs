@@ -104,7 +104,11 @@ mod tests {
         let s = SaturatingTfIdf;
         let query = q(&v, &["pool"]);
         let idf = v.idf(query[0]);
-        let many = s.score(&v, &query, &TokenCounts::from_text("pool pool pool pool pool"));
+        let many = s.score(
+            &v,
+            &query,
+            &TokenCounts::from_text("pool pool pool pool pool"),
+        );
         let once = s.score(&v, &query, &TokenCounts::from_text("pool"));
         assert!(once < many);
         assert!(many < idf, "tf component must saturate below 1");

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Phase 1: build on disk, query, drop.
     let answer_before = {
-        println!("Building {} objects under {}…", spec.num_objects, dir.display());
+        println!(
+            "Building {} objects under {}…",
+            spec.num_objects,
+            dir.display()
+        );
         let devices = DeviceSet::create_in_dir(&dir)?;
         let db = SpatialKeywordDb::build(devices, spec.generate(), DbConfig::restaurants())?;
         let report = db.distance_first(Algorithm::Ir2, &query)?;
@@ -50,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {:<10} -> {ids:?}", alg.label());
         assert_eq!(
             ids,
-            answer_before.results.iter().map(|(o, _)| o.id).collect::<Vec<_>>(),
+            answer_before
+                .results
+                .iter()
+                .map(|(o, _)| o.id)
+                .collect::<Vec<_>>(),
             "reopened database must answer identically"
         );
     }

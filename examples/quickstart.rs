@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let db = SpatialKeywordDb::build(DeviceSet::in_memory(), figure1_hotels(), config)?;
 
-    println!("Indexed {} hotels from the paper's Figure 1.\n", db.build_stats().objects);
+    println!(
+        "Indexed {} hotels from the paper's Figure 1.\n",
+        db.build_stats().objects
+    );
 
     // The paper's running query (Examples 2 and 3).
     let query = DistanceFirstQuery::new([30.5, 100.0], &["internet", "pool"], 2);

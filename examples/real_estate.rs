@@ -93,7 +93,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // A decay ranking: relevance halves every 3 distance units.
-    show(&db, "DecayRank (relevance / (1 + distance/3))", &DecayRank { scale: 3.0 }, &query)?;
+    show(
+        &db,
+        "DecayRank (relevance / (1 + distance/3))",
+        &DecayRank { scale: 3.0 },
+        &query,
+    )?;
 
     println!("Note how DecayRank favors nearby partial matches while LinearRank");
     println!("reaches farther for listings matching more preferences.");

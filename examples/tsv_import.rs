@@ -60,7 +60,10 @@ fn main() -> Result<()> {
     tsv::write_tsv(&mut out, &objects)?;
     let reparsed = tsv::read_tsv::<2, _>(BufReader::new(&out[..])).collect::<Result<Vec<_>>>()?;
     assert_eq!(reparsed, objects);
-    println!("\nExport/import round-trip verified ({} bytes of TSV).", out.len());
+    println!(
+        "\nExport/import round-trip verified ({} bytes of TSV).",
+        out.len()
+    );
 
     std::fs::remove_file(&path)?;
     Ok(())

@@ -20,9 +20,19 @@ fn check_all_algorithms(
 ) {
     for alg in Algorithm::ALL {
         let rep = db.distance_first(alg, q).unwrap();
-        assert_eq!(rep.results.len(), expected_len, "{} on {:?}", alg.label(), q.keywords);
+        assert_eq!(
+            rep.results.len(),
+            expected_len,
+            "{} on {:?}",
+            alg.label(),
+            q.keywords
+        );
         for w in rep.results.windows(2) {
-            assert!(w[0].1 <= w[1].1, "{}: non-decreasing distances", alg.label());
+            assert!(
+                w[0].1 <= w[1].1,
+                "{}: non-decreasing distances",
+                alg.label()
+            );
         }
         for (obj, _) in &rep.results {
             assert!(obj.token_set().contains_all(&q.keywords), "{}", alg.label());
@@ -36,7 +46,11 @@ fn all_objects_at_the_same_point() {
     // every distance ties.
     let objs: Vec<SpatialObject<2>> = (0..100)
         .map(|i| {
-            SpatialObject::new(i, [5.0, 5.0], if i % 2 == 0 { "even pool" } else { "odd spa" })
+            SpatialObject::new(
+                i,
+                [5.0, 5.0],
+                if i % 2 == 0 { "even pool" } else { "odd spa" },
+            )
         })
         .collect();
     let db = SpatialKeywordDb::build(DeviceSet::in_memory(), objs, cfg()).unwrap();
@@ -52,8 +66,16 @@ fn all_objects_with_identical_text() {
         .map(|i| SpatialObject::new(i, [(i % 9) as f64, (i / 9) as f64], "same text everywhere"))
         .collect();
     let db = SpatialKeywordDb::build(DeviceSet::in_memory(), objs, cfg()).unwrap();
-    check_all_algorithms(&db, &DistanceFirstQuery::new([4.0, 4.0], &["same", "text"], 5), 5);
-    check_all_algorithms(&db, &DistanceFirstQuery::new([4.0, 4.0], &["different"], 5), 0);
+    check_all_algorithms(
+        &db,
+        &DistanceFirstQuery::new([4.0, 4.0], &["same", "text"], 5),
+        5,
+    );
+    check_all_algorithms(
+        &db,
+        &DistanceFirstQuery::new([4.0, 4.0], &["different"], 5),
+        0,
+    );
 }
 
 #[test]
@@ -78,8 +100,16 @@ fn very_long_single_document() {
     check_all_algorithms(&db, &DistanceFirstQuery::new([0.0, 0.0], &["w2999"], 5), 1);
     // Saturated signature: the long doc is a false positive for absent
     // words in the tree path, but never a false result.
-    check_all_algorithms(&db, &DistanceFirstQuery::new([0.0, 0.0], &["absent9"], 5), 0);
-    check_all_algorithms(&db, &DistanceFirstQuery::new([20.0, 0.0], &["pool"], 39), 39);
+    check_all_algorithms(
+        &db,
+        &DistanceFirstQuery::new([0.0, 0.0], &["absent9"], 5),
+        0,
+    );
+    check_all_algorithms(
+        &db,
+        &DistanceFirstQuery::new([20.0, 0.0], &["pool"], 39),
+        39,
+    );
 }
 
 #[test]
@@ -123,7 +153,10 @@ fn extreme_coordinates() {
     ];
     let db = SpatialKeywordDb::build(DeviceSet::in_memory(), objs, cfg()).unwrap();
     let rep = db
-        .distance_first(Algorithm::Ir2, &DistanceFirstQuery::new([1.0, 1.0], &["pub"], 4))
+        .distance_first(
+            Algorithm::Ir2,
+            &DistanceFirstQuery::new([1.0, 1.0], &["pub"], 4),
+        )
         .unwrap();
     assert_eq!(rep.results.len(), 4);
     // The two origin-ish pubs come first, the 1e15 corners last.

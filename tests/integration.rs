@@ -6,7 +6,10 @@ use ir2_datagen::{figure1_hotels, DatasetSpec};
 use ir2tree::model::{DistanceFirstQuery, SpatialObject};
 use ir2tree::{Algorithm, DbConfig, DeviceSet, SpatialKeywordDb};
 
-fn build_sample(n: usize, sig_bytes: usize) -> (SpatialKeywordDb<ir2tree::storage::MemDevice>, DatasetSpec) {
+fn build_sample(
+    n: usize,
+    sig_bytes: usize,
+) -> (SpatialKeywordDb<ir2tree::storage::MemDevice>, DatasetSpec) {
     let spec = DatasetSpec::restaurants().scaled(n as f64 / 456_288.0);
     let db = SpatialKeywordDb::build(
         DeviceSet::in_memory(),
@@ -48,8 +51,14 @@ fn four_algorithms_agree_across_many_random_queries() {
     // Query keywords of varied selectivity, query points across the map.
     let cases = [
         (vec![spec.keyword_of_rank(3)], [0.0, 0.0]),
-        (vec![spec.keyword_of_rank(3), spec.keyword_of_rank(15)], [40.0, -70.0]),
-        (vec![spec.keyword_of_rank(50), spec.keyword_of_rank(200)], [-30.0, 120.0]),
+        (
+            vec![spec.keyword_of_rank(3), spec.keyword_of_rank(15)],
+            [40.0, -70.0],
+        ),
+        (
+            vec![spec.keyword_of_rank(50), spec.keyword_of_rank(200)],
+            [-30.0, 120.0],
+        ),
         (
             vec![
                 spec.keyword_of_rank(5),
@@ -120,8 +129,16 @@ fn mir2_never_reads_more_nodes_than_ir2() {
             &[spec.keyword_of_rank(rank), spec.keyword_of_rank(rank + 3)],
             10,
         );
-        ir2_nodes += db.distance_first(Algorithm::Ir2, &q).unwrap().counters.nodes_read;
-        mir2_nodes += db.distance_first(Algorithm::Mir2, &q).unwrap().counters.nodes_read;
+        ir2_nodes += db
+            .distance_first(Algorithm::Ir2, &q)
+            .unwrap()
+            .counters
+            .nodes_read;
+        mir2_nodes += db
+            .distance_first(Algorithm::Mir2, &q)
+            .unwrap()
+            .counters
+            .nodes_read;
     }
     assert!(
         mir2_nodes <= ir2_nodes,
@@ -157,7 +174,11 @@ fn mixed_workload_with_updates_stays_consistent() {
     )
     .unwrap();
     // Insert a distinctive object, query it, delete it, re-query.
-    let special = SpatialObject::new(1_000_000, [33.0, 33.0], "uniquely flavored unobtanium bistro");
+    let special = SpatialObject::new(
+        1_000_000,
+        [33.0, 33.0],
+        "uniquely flavored unobtanium bistro",
+    );
     let ptr = db.insert(&special).unwrap();
     let q = DistanceFirstQuery::new([33.0, 33.0], &["unobtanium"], 3);
     for alg in [Algorithm::RTree, Algorithm::Ir2, Algorithm::Mir2] {
@@ -187,10 +208,15 @@ fn concurrent_queries_are_safe_and_consistent() {
         .map(|(o, _)| o.id)
         .collect();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..8 {
-            scope.spawn(|_| {
-                for alg in [Algorithm::Ir2, Algorithm::Mir2, Algorithm::RTree, Algorithm::Iio] {
+            scope.spawn(|| {
+                for alg in [
+                    Algorithm::Ir2,
+                    Algorithm::Mir2,
+                    Algorithm::RTree,
+                    Algorithm::Iio,
+                ] {
                     let ids: Vec<u64> = db
                         .distance_first(alg, &q)
                         .unwrap()
@@ -204,8 +230,7 @@ fn concurrent_queries_are_safe_and_consistent() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 }
 
 #[test]
@@ -260,6 +285,83 @@ fn batch_queries_match_sequential_queries() {
             }
         }
     }
+}
+
+#[test]
+fn batch_topk_attribution_matches_sequential() {
+    let (db, spec) = build_sample(2_500, 8);
+    let queries: Vec<DistanceFirstQuery<2>> = (0..16)
+        .map(|i| {
+            DistanceFirstQuery::new(
+                [(i * 13 % 50) as f64 - 25.0, (i * 29 % 50) as f64 - 25.0],
+                &[spec.keyword_of_rank(2 + i), spec.keyword_of_rank(18 + i)],
+                8,
+            )
+        })
+        .collect();
+    for alg in Algorithm::ALL {
+        let batch = db.batch_topk(alg, &queries, 4).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        // Same workload on 1 thread: per-query attribution must be fully
+        // deterministic, i.e. independent of interleaving.
+        let solo = db.batch_topk(alg, &queries, 1).unwrap();
+        for (q, (got, alone)) in queries.iter().zip(batch.iter().zip(&solo)) {
+            let seq = db.distance_first(alg, q).unwrap();
+            // Results byte-identical to the sequential path.
+            let g: Vec<(u64, f64)> = got.results.iter().map(|(o, d)| (o.id, *d)).collect();
+            let s: Vec<(u64, f64)> = seq.results.iter().map(|(o, d)| (o.id, *d)).collect();
+            assert_eq!(g, s, "{}", alg.label());
+            // I/O totals attributed to this query match the query run
+            // alone (the random/sequential split may differ only in the
+            // first access per device: a scope starts with a fresh arm).
+            assert_eq!(got.io.total(), seq.io.total(), "{}", alg.label());
+            assert_eq!(got.object_loads, seq.object_loads, "{}", alg.label());
+            assert_eq!(
+                got.counters.nodes_read,
+                seq.counters.nodes_read,
+                "{}",
+                alg.label()
+            );
+            // And thread count must not change attribution at all.
+            assert_eq!(got.io, alone.io, "{}", alg.label());
+            assert_eq!(got.index_io, alone.index_io, "{}", alg.label());
+            assert_eq!(got.object_io, alone.object_io, "{}", alg.label());
+        }
+    }
+}
+
+#[test]
+fn batch_general_topk_matches_general_ranked() {
+    use ir2tree::text::{LinearRank, SaturatingTfIdf};
+    let (db, spec) = build_sample(2_000, 8);
+    let scorer = SaturatingTfIdf;
+    let rank = LinearRank::default();
+    let queries: Vec<ir2tree::irtree::GeneralQuery<2>> = (0..6)
+        .map(|i| {
+            ir2tree::irtree::GeneralQuery::new(
+                [(i * 9 % 30) as f64, (i * 17 % 30) as f64],
+                &[spec.keyword_of_rank(4 + i), spec.keyword_of_rank(25 + i)],
+                5,
+            )
+        })
+        .collect();
+    for alg in [Algorithm::Ir2, Algorithm::Mir2] {
+        let batch = db
+            .batch_general_topk(alg, &queries, &scorer, &rank, 4)
+            .unwrap();
+        for (q, got) in queries.iter().zip(&batch) {
+            let seq = db.general_ranked(alg, q, &scorer, &rank).unwrap();
+            assert_eq!(got.results.len(), seq.results.len(), "{}", alg.label());
+            for (a, b) in got.results.iter().zip(&seq.results) {
+                assert_eq!(a.object.id, b.object.id, "{}", alg.label());
+                assert!((a.score - b.score).abs() < 1e-12, "{}", alg.label());
+            }
+            assert_eq!(got.io.total(), seq.io.total(), "{}", alg.label());
+        }
+    }
+    assert!(db
+        .batch_general_topk(Algorithm::RTree, &queries, &scorer, &rank, 2)
+        .is_err());
 }
 
 #[test]

@@ -30,7 +30,12 @@ fn restaurants_20k_full_pipeline() {
         let reference = db.distance_first(Algorithm::RTree, &q).unwrap();
         for alg in [Algorithm::Iio, Algorithm::Ir2, Algorithm::Mir2] {
             let got = db.distance_first(alg, &q).unwrap();
-            assert_eq!(got.results.len(), reference.results.len(), "{}", alg.label());
+            assert_eq!(
+                got.results.len(),
+                reference.results.len(),
+                "{}",
+                alg.label()
+            );
             for ((_, a), (_, b)) in got.results.iter().zip(reference.results.iter()) {
                 assert!((a - b).abs() < 1e-9);
             }
@@ -94,6 +99,13 @@ fn generated_dataset_statistics_are_stable() {
     assert!((stats.avg_unique_words - 14.0).abs() < 1.0);
     // Zipf text: the most common word covers a large fraction of objects.
     let common = spec.keyword_of_rank(0);
-    let df = objs.iter().filter(|o| o.token_set().contains(&common)).count();
-    assert!(df * 5 > objs.len(), "rank-0 word in {df}/{} objects", objs.len());
+    let df = objs
+        .iter()
+        .filter(|o| o.token_set().contains(&common))
+        .count();
+    assert!(
+        df * 5 > objs.len(),
+        "rank-0 word in {df}/{} objects",
+        objs.len()
+    );
 }

@@ -1,0 +1,240 @@
+//! Offline mini-`criterion`.
+//!
+//! The build container cannot reach crates.io, so this crate provides the
+//! subset of the `criterion` API the workspace's benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`, `Bencher`
+//! with `iter` / `iter_batched`, `BenchmarkId`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs a short warmup,
+//! then `sample_size` timed samples (auto-scaled iteration counts), and the
+//! median ns/iter is printed. There is no statistical analysis, HTML
+//! report, or baseline comparison — enough to compare alternatives locally
+//! and to keep `cargo bench` runnable offline.
+
+use std::time::{Duration, Instant};
+
+/// Target wall time per benchmark (warmup + measurement).
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+
+/// Drives and records benchmark runs.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` / `cargo test --benches` pass through
+        // flags we don't implement; keep the first bare word as a name
+        // filter and ignore the rest (notably `--test`, under which we run
+        // each benchmark exactly once).
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Upstream's CLI hook; flags are already handled in `default()`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn test_mode() -> bool {
+        std::env::args().any(|a| a == "--test")
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.enabled(name) {
+            run_one(name, 10, &mut f);
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark identified by a [`BenchmarkId`], passing `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.enabled(&full) {
+            run_one(&full, self.sample_size, &mut |b| f(b, input));
+        }
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        if self.criterion.enabled(&full) {
+            run_one(&full, self.sample_size, &mut f);
+        }
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; we have none).
+    pub fn finish(self) {}
+}
+
+/// A benchmark name with a parameter, e.g. `alg/10`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Combines a function name with a parameter value.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+}
+
+/// How much setup output `iter_batched` amortizes per batch. The shim runs
+/// one setup per iteration regardless, so the variants only exist for API
+/// compatibility.
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Times closures; handed to every benchmark body.
+pub struct Bencher {
+    /// Iterations the closure should be driven for this sample.
+    iters: u64,
+    /// Measured time for those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    if Criterion::test_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {name} ... ok (bench ran once)");
+        return;
+    }
+    // Calibrate: one iteration to size the samples.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budget_per_sample = MEASURE_BUDGET / sample_size.max(1) as u32;
+    let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!("{name:<50} median {median:>12.1} ns/iter  (min {lo:.1}, max {hi:.1}, {sample_size} samples x {iters} iters)");
+}
+
+/// Declares a group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion { filter: None };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,638 @@
+//! Offline mini-`proptest`.
+//!
+//! The build container cannot reach crates.io, so this crate implements the
+//! subset of the `proptest` API the workspace's property tests use:
+//! [`Strategy`] with `prop_map`, range / tuple / array / collection /
+//! sample strategies, `any::<T>()`, the [`proptest!`] macro (including
+//! `#![proptest_config(...)]`), and the `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports the exact generated inputs
+//!   (via `Debug`) and the RNG seed, which is enough to reproduce: runs are
+//!   fully deterministic per test name, so re-running the test replays the
+//!   same cases.
+//! * **Panic-based assertions.** `prop_assert!` panics like `assert!`
+//!   instead of returning `Err(TestCaseError)`; inside `proptest!` bodies
+//!   the observable behavior is the same.
+//! * **Case count** defaults to 64 (upstream: 256) and honors the
+//!   `PROPTEST_CASES` environment variable, keeping suite runtime bounded.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies while generating a case.
+pub type TestRng = StdRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream `Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (upstream `Strategy::boxed`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value (upstream `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges as strategies.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::SampleRange::sample(self.clone(), rng)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::SampleRange::sample(self.clone(), rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+// Signed / float inclusive ranges fall out of the rand shim's impls; the
+// macro above only requires `SampleRange` to exist for the pairing, so any
+// missing combination fails at compile time rather than at run time.
+
+// ---------------------------------------------------------------------------
+// String patterns as strategies (regex-lite: the subset used in this repo).
+// ---------------------------------------------------------------------------
+
+/// Characters `.` may generate: printable ASCII plus a few non-ASCII
+/// letters, so tokenizer tests see multi-byte UTF-8.
+const ANY_CHAR_POOL: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 \t,.!?'\"-_()[]{}:;/àéüß漢字中êñ";
+
+#[derive(Debug)]
+enum PatternAtom {
+    /// One char drawn from this pool.
+    Class(Vec<char>),
+    /// A literal char.
+    Literal(char),
+}
+
+/// A parsed string pattern: atoms with `{m,n}` / `{n}` repetition.
+#[derive(Debug)]
+struct Pattern {
+    parts: Vec<(PatternAtom, usize, usize)>,
+}
+
+fn parse_pattern(pat: &str) -> Pattern {
+    let mut chars = pat.chars().peekable();
+    let mut parts = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut pool = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {pat:?}"));
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().expect("checked");
+                            let hi = chars.next().expect("peeked");
+                            // `lo` was already pushed as a literal; extend
+                            // with the rest of the range.
+                            for u in (lo as u32 + 1)..=(hi as u32) {
+                                if let Some(ch) = char::from_u32(u) {
+                                    pool.push(ch);
+                                }
+                            }
+                        }
+                        _ => {
+                            pool.push(c);
+                            prev = Some(c);
+                        }
+                    }
+                }
+                assert!(!pool.is_empty(), "empty character class in {pat:?}");
+                PatternAtom::Class(pool)
+            }
+            '.' => PatternAtom::Class(ANY_CHAR_POOL.chars().collect()),
+            '\\' => PatternAtom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pat:?}")),
+            ),
+            lit => PatternAtom::Literal(lit),
+        };
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            match spec.split_once(',') {
+                Some((a, b)) => (
+                    a.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pat:?}")),
+                    b.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pat:?}")),
+                ),
+                None => {
+                    let n = spec
+                        .trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad repeat in {pat:?}"));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(lo <= hi, "inverted repeat in {pat:?}");
+        parts.push((atom, lo, hi));
+    }
+    Pattern { parts }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        use rand::RngExt;
+        let pattern = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &pattern.parts {
+            let n = rng.random_range(*lo..=*hi);
+            for _ in 0..n {
+                match atom {
+                    PatternAtom::Class(pool) => out.push(pool[rng.random_range(0..pool.len())]),
+                    PatternAtom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples of strategies are strategies.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// `any::<T>()`.
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draws a value from the type's whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                use rand::Rng;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        use rand::Rng;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for crate::sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        use rand::Rng;
+        crate::sample::Index(rng.next_u64())
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (upstream `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// `prop::` modules.
+// ---------------------------------------------------------------------------
+
+/// Fixed-size array strategies (upstream `proptest::array`).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    macro_rules! uniform {
+        ($fname:ident, $n:expr) => {
+            /// An `[T; N]` strategy drawing each element from `strategy`.
+            pub fn $fname<S: Strategy>(strategy: S) -> Uniform<S, $n> {
+                Uniform(strategy)
+            }
+        };
+    }
+
+    /// Strategy for `[T; N]` arrays.
+    pub struct Uniform<S, const N: usize>(S);
+
+    impl<S: Strategy, const N: usize> Strategy for Uniform<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+
+    uniform!(uniform1, 1);
+    uniform!(uniform2, 2);
+    uniform!(uniform3, 3);
+    uniform!(uniform4, 4);
+}
+
+/// Collection strategies (upstream `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// A length specification: fixed, exclusive range, or inclusive range
+    /// (upstream `SizeRange`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty length range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty length range");
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// A `Vec<T>` strategy: length uniform in `len`, elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.random_range(self.len.lo..=self.len.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies (upstream `proptest::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+
+    /// An index into a collection whose length is only known at use time
+    /// (upstream `proptest::sample::Index`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// Maps this abstract index onto `[0, len)`. Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.0 as u128 * len as u128) >> 64) as usize
+        }
+    }
+
+    /// Strategy choosing uniformly among `options` (upstream `select`).
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Uniform choice from a non-empty vector.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select on empty options");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.random_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// One-of combination support for [`prop_oneof!`].
+pub struct OneOf<T> {
+    /// The competing strategies.
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::RngExt;
+        self.options[rng.random_range(0..self.options.len())].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner configuration.
+// ---------------------------------------------------------------------------
+
+/// Number of cases to run per property (upstream `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Cases generated per property test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        Self { cases }
+    }
+}
+
+/// Drives the cases of one property test. Used by the [`proptest!`]
+/// expansion; not part of the public upstream API.
+#[doc(hidden)]
+pub fn run_cases<G, R>(test_name: &str, config: &ProptestConfig, strategy: &G, body: R)
+where
+    G: Strategy,
+    G::Value: std::fmt::Debug,
+    R: Fn(G::Value),
+{
+    // Deterministic per test name: failures replay on re-run.
+    let base = fnv1a(test_name.as_bytes());
+    for case in 0..config.cases {
+        let mut rng =
+            TestRng::seed_from_u64(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let value = strategy.generate(&mut rng);
+        let shown = format!("{value:?}");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest case {case}/{} of `{test_name}` failed\n  inputs: {shown}\n  (deterministic; re-running the test replays this case)",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+/// Defines property tests (the subset of upstream `proptest!` used here).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::run_cases(stringify!($name), &__config, &__strategy, |__value| {
+                let ($($pat,)+) = __value;
+                $body
+            });
+        }
+        $crate::__proptest_items!(($cfg); $($rest)*);
+    };
+    (($cfg:expr);) => {};
+}
+
+/// Asserts a condition inside a property body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality inside a property body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Asserts inequality inside a property body (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Combines heterogeneous strategies over one value type by uniform choice.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf { options: vec![$($crate::Strategy::boxed($strat)),+] }
+    };
+}
+
+/// The usual glob import (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+
+    /// The `prop::` module alias upstream exposes in its prelude.
+    pub mod prop {
+        pub use crate::{array, collection, sample};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_in_bounds() {
+        let cfg = ProptestConfig::with_cases(32);
+        let strat = (
+            prop::array::uniform2(-5.0f64..5.0),
+            prop::collection::vec(0usize..10, 1..4),
+            prop::sample::select(vec!["a", "b"]),
+        );
+        crate::run_cases(
+            "strategies_generate_in_bounds",
+            &cfg,
+            &(strat,),
+            |((arr, v, s),)| {
+                assert!(arr.iter().all(|x| (-5.0..5.0).contains(x)));
+                assert!((1..4).contains(&v.len()) && v.iter().all(|&x| x < 10));
+                assert!(s == "a" || s == "b");
+            },
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_binds_patterns((a, b) in (0u64..10, 10u64..20), idx in any::<prop::sample::Index>()) {
+            prop_assert!(a < 10 && (10..20).contains(&b));
+            prop_assert!(idx.index(7) < 7);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn oneof_picks_every_arm(x in prop_oneof![0u64..1, 5u64..6]) {
+            prop_assert!(x == 0 || x == 5);
+        }
+    }
+
+    #[test]
+    fn index_is_uniformish() {
+        use rand::SeedableRng;
+        let mut rng = crate::TestRng::seed_from_u64(9);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            let i = crate::Arbitrary::arbitrary(&mut rng);
+            let i: crate::sample::Index = i;
+            counts[i.index(4)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 700), "{counts:?}");
+    }
+}
