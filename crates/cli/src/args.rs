@@ -16,6 +16,7 @@ USAGE:
                [--alg <rtree|iio|ir2|mir2>]
   ir2 ranked   --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N] [--dist-weight W]
   ir2 stats    --db DIR
+  ir2 check    --db DIR
 
 Databases are directories of 4096-byte block-device files; every query
 reports its (simulated) disk I/O alongside the results. A batch query

@@ -272,6 +272,39 @@ pub fn ranked(args: &[String], out: &mut impl Write) -> CliResult {
     Ok(())
 }
 
+/// `ir2 check` — fsck-style offline integrity check: verifies the catalog
+/// (shadow epoch + checksums), re-reads every object record (per-record
+/// CRCs), and walks all three trees validating page checksums, MBR
+/// containment, and signature containment. Nonzero exit on any corruption.
+pub fn check(args: &[String], out: &mut impl Write) -> CliResult {
+    let f = Flags::parse(args)?;
+    let dir = f.required("db")?;
+    let devices = DeviceSet::open_dir(dir).map_err(io_err)?;
+    let db = match SpatialKeywordDb::open(devices) {
+        Ok(db) => db,
+        Err(e) => {
+            say!(out, "catalog  FAIL  {e}");
+            return Err("database failed integrity check".into());
+        }
+    };
+    let report = db.check_integrity();
+    say!(out, "catalog  OK    epoch {}", report.catalog_epoch);
+    for s in &report.structures {
+        say!(
+            out,
+            "{:<8} {}  {}",
+            s.name,
+            if s.ok { "OK  " } else { "FAIL" },
+            s.detail
+        );
+    }
+    if report.ok() {
+        Ok(())
+    } else {
+        Err("database failed integrity check".into())
+    }
+}
+
 /// `ir2 stats` — Table-1/Table-2 style report for a database directory.
 pub fn stats(args: &[String], out: &mut impl Write) -> CliResult {
     let f = Flags::parse(args)?;

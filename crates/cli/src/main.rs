@@ -33,6 +33,7 @@ fn main() -> ExitCode {
         "batch" => commands::batch(rest, &mut out),
         "ranked" => commands::ranked(rest, &mut out),
         "stats" => commands::stats(rest, &mut out),
+        "check" => commands::check(rest, &mut out),
         "help" | "--help" | "-h" => {
             println!("{}", args::USAGE);
             Ok(())

@@ -16,12 +16,9 @@ use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectSource, ObjectStore, SpatialOb
 use ir2_rtree::{RTree, RTreeConfig, UnitPayload};
 use ir2_sigfile::{MultiLevelScheme, SignatureScheme};
 use ir2_storage::{
-    BlockDevice, FileDevice, IoScope, IoSnapshot, IoStats, MemDevice, Result, StorageError,
-    TrackedDevice, BLOCK_SIZE,
+    BlockDevice, FileDevice, IoScope, IoSnapshot, IoStats, MemDevice, Result, ShadowPair,
+    StorageError, TrackedDevice, BLOCK_SIZE, RECORD_HEADER_LEN,
 };
-
-/// Magic prefix of the catalog extent.
-const CATALOG_MAGIC: &[u8; 4] = b"IR2C";
 use ir2_text::{tokenize, IrScorer, RankingFn, TermId, Vocabulary};
 
 use crate::{Algorithm, BatchReport, BuildStats, DbConfig, GeneralReport, IndexSizes, QueryReport};
@@ -198,9 +195,38 @@ pub struct SpatialKeywordDb<D: BlockDevice + 'static> {
     ir2: RTree<2, TrackedDevice<D>, Ir2Payload>,
     mir2: RTree<2, TrackedDevice<D>, MirPayload<2>>,
     inverted: InvertedIndex<TrackedDevice<D>>,
-    catalog: D,
+    catalog: ShadowPair<D>,
     io: IoHandles,
     build_stats: BuildStats,
+}
+
+/// Outcome of checking one structure in
+/// [`check_integrity`](SpatialKeywordDb::check_integrity).
+#[derive(Debug, Clone)]
+pub struct StructureCheck {
+    /// Structure name (`objects`, `rtree`, `ir2`, `mir2`).
+    pub name: &'static str,
+    /// Human-readable summary (entry count, or the corruption found).
+    pub detail: String,
+    /// Whether the structure passed.
+    pub ok: bool,
+}
+
+/// Full-database integrity report from
+/// [`check_integrity`](SpatialKeywordDb::check_integrity).
+#[derive(Debug, Clone)]
+pub struct IntegrityReport {
+    /// Epoch of the catalog version the database opened with.
+    pub catalog_epoch: u64,
+    /// Per-structure results.
+    pub structures: Vec<StructureCheck>,
+}
+
+impl IntegrityReport {
+    /// Whether every structure passed.
+    pub fn ok(&self) -> bool {
+        self.structures.iter().all(|s| s.ok)
+    }
 }
 
 impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
@@ -231,7 +257,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         for obj in objects {
             let encoded_len = 8 + 32 + obj.text.len() as u64; // id + point + text
             let ptr = store.append(&obj)?;
-            let end = ptr.0 + 4 + encoded_len;
+            let end = ptr.0 + RECORD_HEADER_LEN as u64 + encoded_len;
             blocks_total += end.div_ceil(BLOCK_SIZE as u64) - ptr.0 / BLOCK_SIZE as u64;
             let mut terms: Vec<String> = tokenize(&obj.text).collect();
             terms.sort_unstable();
@@ -333,9 +359,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             meta.iter().map(|(p, _, ids)| (*p, ids.clone())),
         )?;
 
-        rtree.flush()?;
-        ir2.flush()?;
-        mir2.flush()?;
+        let catalog = ShadowPair::create(devices.catalog)?;
 
         let build_stats = BuildStats {
             objects: n,
@@ -356,7 +380,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             ir2,
             mir2,
             inverted,
-            catalog: devices.catalog,
+            catalog,
             io,
             build_stats,
         };
@@ -367,13 +391,28 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
     /// Persists the cross-structure metadata to the catalog device. Called
     /// automatically by [`build`](SpatialKeywordDb::build); call again
     /// after maintenance to refresh.
+    ///
+    /// This is the database's *commit point*, and it is atomic: the object
+    /// file and every tree are made durable first, then the catalog — which
+    /// records each tree's root/height/count — flips to a new shadow epoch
+    /// in one checksummed step. A crash anywhere in between leaves the
+    /// previous catalog epoch intact, and every block it references is
+    /// still valid because tree extents freed since then are only recycled
+    /// *after* the flip succeeds.
     pub fn save_catalog(&self) -> Result<()> {
-        // Catalog layout, written as one extent from block 0:
-        // magic | payload length | four length-prefixed chunks in order
-        // (config, vocabulary, inverted dictionary, store state + stats).
+        // Make everything the new catalog will point at durable.
+        self.objects.flush()?;
+        self.objects.device().sync()?;
+        self.rtree.checkpoint()?;
+        self.ir2.checkpoint()?;
+        self.mir2.checkpoint()?;
+
+        // Catalog payload: four length-prefixed chunks in order (config,
+        // vocabulary, inverted dictionary, store state + stats + tree
+        // metadata). Framing and integrity live in the shadow layer.
         let (len, records) = self.objects.state();
         let s = &self.build_stats;
-        let mut tail = Vec::with_capacity(80);
+        let mut tail = Vec::with_capacity(144);
         for v in [len, records, s.objects, s.unique_words, s.object_file_bytes] {
             tail.extend_from_slice(&v.to_le_bytes());
         }
@@ -381,6 +420,15 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         tail.extend_from_slice(&s.avg_blocks_per_object.to_le_bytes());
         tail.extend_from_slice(&self.avg_words.to_le_bytes());
         tail.extend_from_slice(&(s.build_time.as_micros() as u64).to_le_bytes());
+        for (root, height, count) in [
+            self.rtree.meta_state(),
+            self.ir2.meta_state(),
+            self.mir2.meta_state(),
+        ] {
+            tail.extend_from_slice(&root.unwrap_or(u64::MAX).to_le_bytes());
+            tail.extend_from_slice(&(height as u64).to_le_bytes());
+            tail.extend_from_slice(&count.to_le_bytes());
+        }
 
         let chunks = [
             self.config.encode(),
@@ -389,55 +437,35 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             tail,
         ];
         let mut payload = Vec::new();
-        payload.extend_from_slice(CATALOG_MAGIC);
-        let body_len: usize = chunks.iter().map(|c| 4 + c.len()).sum();
-        payload.extend_from_slice(&(body_len as u64).to_le_bytes());
         for c in &chunks {
             payload.extend_from_slice(&(c.len() as u32).to_le_bytes());
             payload.extend_from_slice(c);
         }
-        let need = ir2_storage::extent::blocks_for(payload.len()) as u64;
-        let have = self.catalog.num_blocks();
-        if have < need {
-            self.catalog.allocate(need - have)?;
-        }
-        ir2_storage::extent::write_extent(&self.catalog, 0, &payload)?;
-        self.catalog.sync()?;
-        self.rtree.flush()?;
-        self.ir2.flush()?;
-        self.mir2.flush()?;
-        self.objects.flush()?;
+        self.catalog.save(&payload)?;
+
+        // The flip is durable: extents freed before it are now safe to
+        // recycle.
+        self.rtree.commit_frees();
+        self.ir2.commit_frees();
+        self.mir2.commit_frees();
         Ok(())
     }
 
-    /// Reads the catalog chunks back (config, vocab, dictionary, stats).
-    fn read_catalog(catalog: &D) -> Result<Vec<Vec<u8>>> {
+    /// Splits a catalog payload back into its chunks (config, vocab,
+    /// dictionary, stats).
+    fn parse_catalog(payload: &[u8]) -> Result<Vec<Vec<u8>>> {
         let corrupt = |m: &str| StorageError::Corrupt(format!("catalog: {m}"));
-        if catalog.num_blocks() == 0 {
-            return Err(corrupt("empty device"));
-        }
-        let mut first = ir2_storage::zeroed_block();
-        catalog.read_block(0, &mut first)?;
-        if &first[..4] != CATALOG_MAGIC {
-            return Err(corrupt("bad magic"));
-        }
-        let body_len = u64::from_le_bytes(first[4..12].try_into().expect("8 bytes")) as usize;
-        let total = 12 + body_len;
-        let nblocks = ir2_storage::extent::blocks_for(total);
-        if (nblocks as u64) > catalog.num_blocks() {
-            return Err(corrupt("truncated"));
-        }
-        let raw = ir2_storage::extent::read_extent(catalog, 0, nblocks)?;
         let mut chunks = Vec::with_capacity(4);
-        let mut pos = 12;
-        while pos < total {
+        let mut pos = 0;
+        while pos < payload.len() {
             let len = u32::from_le_bytes(
-                raw.get(pos..pos + 4)
+                payload
+                    .get(pos..pos + 4)
                     .ok_or_else(|| corrupt("chunk header"))?
                     .try_into()
                     .expect("4 bytes"),
             ) as usize;
-            let chunk = raw
+            let chunk = payload
                 .get(pos + 4..pos + 4 + len)
                 .ok_or_else(|| corrupt("chunk body"))?;
             chunks.push(chunk.to_vec());
@@ -449,8 +477,10 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
     /// Reopens a database persisted by [`build`](SpatialKeywordDb::build) /
     /// [`save_catalog`](SpatialKeywordDb::save_catalog).
     pub fn open(devices: DeviceSet<D>) -> Result<Self> {
-        // Read the catalog chunks in layout order.
-        let records = Self::read_catalog(&devices.catalog)?;
+        // The shadow pair yields the newest intact catalog version; its
+        // chunks come back in layout order.
+        let (catalog, payload) = ShadowPair::open(devices.catalog)?;
+        let records = Self::parse_catalog(&payload)?;
         if records.len() != 4 {
             return Err(StorageError::Corrupt(format!(
                 "catalog has {} records, expected 4",
@@ -461,7 +491,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         let vocab = Vocabulary::decode(&records[1])
             .ok_or_else(|| StorageError::Corrupt("catalog vocabulary corrupt".into()))?;
         let tail = &records[3];
-        if tail.len() < 72 {
+        if tail.len() < 144 {
             return Err(StorageError::Corrupt(
                 "catalog stats record too short".into(),
             ));
@@ -469,6 +499,16 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         let u = |i: usize| u64::from_le_bytes(tail[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
         let f = |i: usize| f64::from_le_bytes(tail[i * 8..i * 8 + 8].try_into().expect("8 bytes"));
         let (store_len, store_records) = (u(0), u(1));
+        // Tree metadata: the catalog, not the superblocks, is authoritative.
+        let tree_meta = |base: usize| -> (Option<u64>, u16, u64) {
+            let root = u(base);
+            (
+                (root != u64::MAX).then_some(root),
+                u(base + 1) as u16,
+                u(base + 2),
+            )
+        };
+        let (rtree_meta, ir2_meta, mir2_meta) = (tree_meta(9), tree_meta(12), tree_meta(15));
         let build_stats = BuildStats {
             objects: u(2),
             unique_words: u(3),
@@ -512,20 +552,29 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             mir_payload = mir_payload.strict();
         }
 
-        let rtree = RTree::open(
+        let rtree = RTree::open_with_meta(
             TrackedDevice::with_stats(devices.rtree, Arc::clone(&io.rtree)),
             tree_cfg,
             UnitPayload,
+            rtree_meta.0,
+            rtree_meta.1,
+            rtree_meta.2,
         )?;
-        let ir2 = RTree::open(
+        let ir2 = RTree::open_with_meta(
             TrackedDevice::with_stats(devices.ir2, Arc::clone(&io.ir2)),
             tree_cfg,
             Ir2Payload::new(ir2_scheme),
+            ir2_meta.0,
+            ir2_meta.1,
+            ir2_meta.2,
         )?;
-        let mir2 = RTree::open(
+        let mir2 = RTree::open_with_meta(
             TrackedDevice::with_stats(devices.mir2, Arc::clone(&io.mir2)),
             tree_cfg,
             mir_payload,
+            mir2_meta.0,
+            mir2_meta.1,
+            mir2_meta.2,
         )?;
         let inverted = InvertedIndex::open(
             TrackedDevice::with_stats(devices.inverted, Arc::clone(&io.inverted)),
@@ -543,7 +592,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             ir2,
             mir2,
             inverted,
-            catalog: devices.catalog,
+            catalog,
             io,
             build_stats,
         })
@@ -907,6 +956,87 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
     // ------------------------------------------------------------------
     // Introspection.
     // ------------------------------------------------------------------
+
+    /// Epoch of the catalog version currently durable (increments on every
+    /// [`save_catalog`](SpatialKeywordDb::save_catalog)).
+    pub fn catalog_epoch(&self) -> u64 {
+        self.catalog.epoch()
+    }
+
+    /// Walks every structure end to end, validating integrity — the engine
+    /// behind `ir2 check`:
+    ///
+    /// * **objects**: every record is re-read, which verifies its per-record
+    ///   CRC, and the record count is cross-checked against the catalog;
+    /// * **rtree / ir2 / mir2**: every node page is re-read (verifying its
+    ///   block checksums), leaf depth is uniform, parent MBRs equal child
+    ///   MBRs, entry counts match the catalog, and — on the signature
+    ///   trees — every parent signature contains all of its child's bits.
+    ///
+    /// Minimum-fill factors are *not* enforced (bulk-loaded trees
+    /// legitimately leave underfull tail nodes). A flipped byte anywhere in
+    /// a node page, catalog extent, or object record surfaces here as a
+    /// failed [`StructureCheck`], never a panic.
+    pub fn check_integrity(&self) -> IntegrityReport {
+        let mut structures = Vec::new();
+
+        let (_, expect_records) = self.objects.state();
+        let mut seen = 0u64;
+        let objects = match self.objects.scan(|_, _| {
+            seen += 1;
+            Ok(())
+        }) {
+            Ok(()) if seen == expect_records => StructureCheck {
+                name: "objects",
+                detail: format!("{seen} records, all CRCs valid"),
+                ok: true,
+            },
+            Ok(()) => StructureCheck {
+                name: "objects",
+                detail: format!("scanned {seen} records, catalog says {expect_records}"),
+                ok: false,
+            },
+            Err(e) => StructureCheck {
+                name: "objects",
+                detail: format!("scan failed after {seen} records: {e}"),
+                ok: false,
+            },
+        };
+        structures.push(objects);
+
+        let sig_contains = |_l: u16, parent: &[u8], summary: &[u8]| {
+            parent.iter().zip(summary).all(|(p, s)| p & s == *s)
+        };
+        let tree_check = |name: &'static str, r: Result<u64>| match r {
+            Ok(n) => StructureCheck {
+                name,
+                detail: format!("{n} entries, checksums and invariants valid"),
+                ok: true,
+            },
+            Err(e) => StructureCheck {
+                name,
+                detail: e.to_string(),
+                ok: false,
+            },
+        };
+        structures.push(tree_check(
+            "rtree",
+            self.rtree.check_invariants_with(false, |_, _, _| true),
+        ));
+        structures.push(tree_check(
+            "ir2",
+            self.ir2.check_invariants_with(false, sig_contains),
+        ));
+        structures.push(tree_check(
+            "mir2",
+            self.mir2.check_invariants_with(false, sig_contains),
+        ));
+
+        IntegrityReport {
+            catalog_epoch: self.catalog.epoch(),
+            structures,
+        }
+    }
 
     /// Table 2: per-structure sizes in bytes.
     pub fn index_sizes(&self) -> IndexSizes {

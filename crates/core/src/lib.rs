@@ -42,7 +42,7 @@ mod db;
 mod report;
 
 pub use config::DbConfig;
-pub use db::{DeviceSet, SpatialKeywordDb};
+pub use db::{DeviceSet, IntegrityReport, SpatialKeywordDb, StructureCheck};
 pub use report::{Algorithm, BatchReport, BuildStats, GeneralReport, IndexSizes, QueryReport};
 
 pub use ir2_geo as geo;

@@ -342,3 +342,95 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Signature maintenance under random insert/delete interleavings: on
+    /// the IR²-Tree every ancestor signature stays *exactly* the OR of its
+    /// descendants (CondenseTree recomputes, it does not merely shrink),
+    /// and on the MIR²-Tree the lifted signatures stay conservative.
+    /// `action` per document: 0 = keep, 1 = delete, 2 = delete then
+    /// reinsert.
+    #[test]
+    fn signatures_stay_exact_under_interleaving(
+        docs in arb_docs(),
+        actions in prop::collection::vec(0u8..3, 60),
+        seed in 0u64..500,
+    ) {
+        let db = build_db(&docs);
+        let ir2 = ir2_of(&db, 2, seed);
+        let mir2 = mir2_of(&db, 2, seed);
+
+        let exact = |_l: u16, parent: &[u8], summary: &[u8]| parent == summary;
+        let contains = |_l: u16, parent: &[u8], summary: &[u8]| {
+            parent.iter().zip(summary.iter()).all(|(p, s)| p & s == *s)
+        };
+        prop_assert_eq!(ir2.check_invariants(exact).unwrap(), docs.len() as u64);
+
+        // Phase 1: delete every document whose action is nonzero.
+        for (i, (ptr, obj)) in db.objects.iter().enumerate() {
+            if actions[i % actions.len()] != 0 {
+                prop_assert!(delete_object(&ir2, *ptr, obj).unwrap());
+                prop_assert!(delete_object(&mir2, *ptr, obj).unwrap());
+            }
+        }
+        ir2.check_invariants(exact).unwrap();
+        mir2.check_invariants(contains).unwrap();
+
+        // Phase 2: reinsert the action-2 documents.
+        let mut survivors = Vec::new();
+        for (i, (ptr, obj)) in db.objects.iter().enumerate() {
+            match actions[i % actions.len()] {
+                0 => survivors.push((*ptr, obj.clone())),
+                2 => {
+                    insert_object(&ir2, *ptr, obj).unwrap();
+                    insert_object(&mir2, *ptr, obj).unwrap();
+                    survivors.push((*ptr, obj.clone()));
+                }
+                _ => {}
+            }
+        }
+        let n = survivors.len() as u64;
+        prop_assert_eq!(ir2.check_invariants(exact).unwrap(), n);
+        prop_assert_eq!(mir2.check_invariants(contains).unwrap(), n);
+    }
+
+    /// Delete + reinsert round-trips query results: after removing a random
+    /// subset and putting it back, both trees answer distance-first queries
+    /// exactly as brute force over the full collection.
+    #[test]
+    fn delete_reinsert_roundtrips_query_results(
+        docs in arb_docs(),
+        delete_mask in prop::collection::vec(any::<bool>(), 60),
+        qpoint in prop::array::uniform2(-60.0f64..60.0),
+        kw in prop::collection::vec(0..WORDS.len(), 1..3),
+        k in 1usize..10,
+        seed in 0u64..500,
+    ) {
+        let db = build_db(&docs);
+        let ir2 = ir2_of(&db, 2, seed);
+        let mir2 = mir2_of(&db, 2, seed);
+
+        for (i, (ptr, obj)) in db.objects.iter().enumerate() {
+            if delete_mask[i % delete_mask.len()] {
+                prop_assert!(delete_object(&ir2, *ptr, obj).unwrap());
+                prop_assert!(delete_object(&mir2, *ptr, obj).unwrap());
+            }
+        }
+        for (i, (ptr, obj)) in db.objects.iter().enumerate() {
+            if delete_mask[i % delete_mask.len()] {
+                insert_object(&ir2, *ptr, obj).unwrap();
+                insert_object(&mir2, *ptr, obj).unwrap();
+            }
+        }
+
+        let kws: Vec<&str> = kw.iter().map(|&i| WORDS[i]).collect();
+        let q = DistanceFirstQuery::new(qpoint, &kws, k);
+        let want = brute_distance_first(&db, &q);
+        let (got_ir2, _) = distance_first_topk(&ir2, db.store.as_ref(), &q).unwrap();
+        assert_distance_first_matches(&got_ir2, &want, &q.keywords);
+        let (got_mir2, _) = distance_first_topk(&mir2, db.store.as_ref(), &q).unwrap();
+        assert_distance_first_matches(&got_mir2, &want, &q.keywords);
+    }
+}

@@ -1,7 +1,7 @@
 //! Tree configuration: fanout and fill factors.
 
 use ir2_geo::Rect;
-use ir2_storage::BLOCK_SIZE;
+use ir2_storage::PAGE_PAYLOAD;
 
 use crate::node::{NODE_HEADER_LEN, REF_LEN};
 
@@ -42,14 +42,16 @@ pub struct RTreeConfig {
 
 impl RTreeConfig {
     /// Derives the capacity that packs a *plain* `N`-dimensional R-Tree
-    /// node into one 4096-byte block, with 40 % minimum fill.
+    /// node into one 4096-byte block, with 40 % minimum fill. Node pages
+    /// are checksummed, so only [`PAGE_PAYLOAD`] bytes of the block carry
+    /// node data.
     ///
-    /// For `N = 2`: `(4096 − 8) / (8 + 32) = 102` children per node (the
+    /// For `N = 2`: `(4088 − 8) / (8 + 32) = 102` children per node (the
     /// paper's 113 reflects its Java record layout; the block-filling
     /// principle is the same).
     pub fn for_dims<const N: usize>() -> Self {
         let entry = REF_LEN + Rect::<N>::ENCODED_LEN;
-        let max = (BLOCK_SIZE - NODE_HEADER_LEN) / entry;
+        let max = (PAGE_PAYLOAD - NODE_HEADER_LEN) / entry;
         Self::with_max(max)
     }
 
@@ -93,9 +95,9 @@ mod tests {
     fn two_dim_capacity_fills_a_block() {
         let cfg = RTreeConfig::for_dims::<2>();
         assert_eq!(cfg.max_entries, 102);
-        // A full node must fit in one block.
+        // A full node must fit in one sealed block's payload.
         assert!(
-            NODE_HEADER_LEN + cfg.max_entries * (REF_LEN + Rect::<2>::ENCODED_LEN) <= BLOCK_SIZE
+            NODE_HEADER_LEN + cfg.max_entries * (REF_LEN + Rect::<2>::ENCODED_LEN) <= PAGE_PAYLOAD
         );
         assert!(cfg.min_entries >= 2 && cfg.min_entries <= cfg.max_entries / 2);
     }

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use ir2_geo::Rect;
-use ir2_storage::{extent, BlockDevice, Result, StorageError, BLOCK_SIZE};
+use ir2_storage::{extent, page, BlockDevice, Result, StorageError, PAGE_PAYLOAD};
 use parking_lot::Mutex;
 
 use crate::node::{Entry, Node, NodeId, NODE_HEADER_LEN};
@@ -19,6 +19,43 @@ struct Meta {
     /// Number of levels: 0 = empty, 1 = root is a leaf.
     height: u16,
     count: u64,
+}
+
+/// Free extents in two stages. Extents freed by a mutation may still be
+/// referenced by the last *durable* tree image (the superblock or an
+/// external catalog), so they sit in `pending` until that image is replaced
+/// — only then is overwriting them safe.
+#[derive(Default)]
+struct FreeLists {
+    /// Safe to overwrite: not referenced by any durable or in-memory state.
+    reusable: HashMap<u16, Vec<NodeId>>,
+    /// Freed since the last checkpoint; recycled by
+    /// [`RTree::commit_frees`].
+    pending: HashMap<u16, Vec<NodeId>>,
+}
+
+/// Staging area for one mutation: the metadata copy it edits and the
+/// extents it frees/allocates. Nothing reaches shared state until the
+/// whole operation succeeds, so a failed insert or delete leaves the
+/// in-memory tree exactly as it was — and, because every node write is
+/// copy-on-write, the on-disk tree too.
+struct MutCtx {
+    meta: Meta,
+    /// `(first_block, extent_blocks)` of extents this op released.
+    freed: Vec<(NodeId, u16)>,
+    /// Extents this op allocated — returned to the reusable pool if the op
+    /// fails (the op's writes only ever touch these, never live nodes).
+    allocated: Vec<(NodeId, u16)>,
+}
+
+impl MutCtx {
+    fn new(meta: Meta) -> Self {
+        Self {
+            meta,
+            freed: Vec::new(),
+            allocated: Vec::new(),
+        }
+    }
 }
 
 /// A height-balanced, disk-resident R-Tree over `N`-dimensional rectangles,
@@ -58,7 +95,7 @@ pub struct RTree<const N: usize, D, P> {
     cfg: RTreeConfig,
     meta: Mutex<Meta>,
     /// Freed node extents by extent size, reused before growing the device.
-    free: Mutex<HashMap<u16, Vec<NodeId>>>,
+    free: Mutex<FreeLists>,
 }
 
 impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
@@ -75,18 +112,18 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
                 height: 0,
                 count: 0,
             }),
-            free: Mutex::new(HashMap::new()),
+            free: Mutex::new(FreeLists::default()),
         };
         tree.write_meta()?;
         Ok(tree)
     }
 
-    /// Opens a tree persisted on `dev` (the caller supplies the same `cfg`
-    /// and `ops` the tree was created with; `cfg` is validated against the
-    /// superblock).
-    pub fn open(dev: D, cfg: RTreeConfig, ops: P) -> Result<Self> {
+    /// Reads and checksum-verifies the superblock:
+    /// `(root_raw, height, count, max_entries, dims)`.
+    fn load_superblock(dev: &D) -> Result<(u64, u16, u64, usize, usize)> {
         let mut block = ir2_storage::zeroed_block();
         dev.read_block(0, &mut block)?;
+        page::verify(&block).map_err(|e| StorageError::Corrupt(format!("tree superblock: {e}")))?;
         if &block[..4] != META_MAGIC {
             return Err(StorageError::Corrupt("bad tree superblock magic".into()));
         }
@@ -95,12 +132,25 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         let count = u64::from_le_bytes(block[14..22].try_into().expect("8 bytes"));
         let max = u32::from_le_bytes(block[22..26].try_into().expect("4 bytes")) as usize;
         let dims = u16::from_le_bytes(block[26..28].try_into().expect("2 bytes")) as usize;
+        Ok((root, height, count, max, dims))
+    }
+
+    fn check_shape(cfg: &RTreeConfig, max: usize, dims: usize) -> Result<()> {
         if max != cfg.max_entries || dims != N {
             return Err(StorageError::Corrupt(format!(
                 "superblock mismatch: stored M={max}, dims={dims}; expected M={}, dims={N}",
                 cfg.max_entries
             )));
         }
+        Ok(())
+    }
+
+    /// Opens a tree persisted on `dev` (the caller supplies the same `cfg`
+    /// and `ops` the tree was created with; `cfg` is validated against the
+    /// superblock).
+    pub fn open(dev: D, cfg: RTreeConfig, ops: P) -> Result<Self> {
+        let (root, height, count, max, dims) = Self::load_superblock(&dev)?;
+        Self::check_shape(&cfg, max, dims)?;
         Ok(Self {
             dev,
             ops,
@@ -110,15 +160,89 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
                 height,
                 count,
             }),
-            free: Mutex::new(HashMap::new()),
+            free: Mutex::new(FreeLists::default()),
         })
     }
 
-    /// Persists the superblock (free-list extents are not persisted; a
-    /// reopened tree simply allocates fresh extents).
+    /// Opens a tree whose metadata is supplied by an external catalog (the
+    /// database's atomic catalog is the source of truth for `root`,
+    /// `height` and `count`; the superblock only cross-checks the shape).
+    ///
+    /// A torn superblock — e.g. a crash during
+    /// [`checkpoint`](RTree::checkpoint) after the catalog's last flip — is
+    /// repaired in place from the caller's metadata instead of failing the
+    /// open.
+    pub fn open_with_meta(
+        dev: D,
+        cfg: RTreeConfig,
+        ops: P,
+        root: Option<NodeId>,
+        height: u16,
+        count: u64,
+    ) -> Result<Self> {
+        let repair = match Self::load_superblock(&dev) {
+            Ok((_, _, _, max, dims)) => {
+                Self::check_shape(&cfg, max, dims)?;
+                false
+            }
+            Err(StorageError::Corrupt(_)) => true,
+            Err(e) => return Err(e),
+        };
+        let tree = Self {
+            dev,
+            ops,
+            cfg,
+            meta: Mutex::new(Meta {
+                root,
+                height,
+                count,
+            }),
+            free: Mutex::new(FreeLists::default()),
+        };
+        if repair {
+            tree.write_meta()?;
+        }
+        Ok(tree)
+    }
+
+    /// Persists the superblock and recycles extents freed by committed
+    /// mutations — the standalone commit point for trees used without an
+    /// external catalog. (Free-list extents are not persisted; a reopened
+    /// tree simply allocates fresh ones.)
     pub fn flush(&self) -> Result<()> {
+        self.checkpoint()?;
+        self.commit_frees();
+        Ok(())
+    }
+
+    /// Persists the superblock and syncs, *without* recycling freed
+    /// extents. Callers whose commit point lives elsewhere (the database
+    /// catalog) checkpoint every tree first, flip the catalog, and only
+    /// then call [`commit_frees`](RTree::commit_frees) — so a crash
+    /// between the two leaves every extent the old catalog references
+    /// untouched.
+    pub fn checkpoint(&self) -> Result<()> {
         self.write_meta()?;
         self.dev.sync()
+    }
+
+    /// Moves extents freed by committed mutations into the reusable pool.
+    /// Call only once the current metadata is durable (after
+    /// [`checkpoint`](RTree::checkpoint), or after an external catalog
+    /// referencing the current root has committed).
+    pub fn commit_frees(&self) {
+        let mut free = self.free.lock();
+        let pending = std::mem::take(&mut free.pending);
+        for (nblocks, mut ids) in pending {
+            free.reusable.entry(nblocks).or_default().append(&mut ids);
+        }
+    }
+
+    /// Current metadata as persisted by an external catalog:
+    /// `(root, height, count)` for [`open_with_meta`](RTree::open_with_meta).
+    pub fn meta_state(&self) -> (Option<NodeId>, u16, u64) {
+        let meta = self.meta.lock();
+        (meta.root, meta.height, meta.count)
     }
 
     fn write_meta(&self) -> Result<()> {
@@ -130,6 +254,7 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         block[14..22].copy_from_slice(&meta.count.to_le_bytes());
         block[22..26].copy_from_slice(&(self.cfg.max_entries as u32).to_le_bytes());
         block[26..28].copy_from_slice(&(N as u16).to_le_bytes());
+        page::seal(&mut block);
         self.dev.write_block(0, &block)
     }
 
@@ -176,41 +301,76 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
     /// Extent size (blocks) of a node at `level`. A plain R-Tree node is
     /// one block; payload-carrying nodes keep the fanout and spill onto
     /// additional blocks — the paper's "two or more disk blocks per node".
+    /// Blocks are sealed, so each carries `PAGE_PAYLOAD` node bytes.
     pub fn node_blocks(&self, level: u16) -> u16 {
         let entry = Node::<N>::entry_encoded_len(self.ops.entry_size(level));
-        extent::blocks_for(NODE_HEADER_LEN + self.cfg.max_entries * entry) as u16
+        extent::sealed_blocks_for(NODE_HEADER_LEN + self.cfg.max_entries * entry) as u16
     }
 
     pub(crate) fn alloc_node(&self, level: u16) -> Result<NodeId> {
         let nblocks = self.node_blocks(level);
-        if let Some(id) = self.free.lock().get_mut(&nblocks).and_then(Vec::pop) {
+        if let Some(id) = self
+            .free
+            .lock()
+            .reusable
+            .get_mut(&nblocks)
+            .and_then(Vec::pop)
+        {
             return Ok(id);
         }
         self.dev.allocate(nblocks as u64)
     }
 
-    fn free_node(&self, id: NodeId, level: u16) {
-        let nblocks = self.node_blocks(level);
-        self.free.lock().entry(nblocks).or_default().push(id);
+    /// Allocates a node extent within a mutation, recording it for rollback.
+    fn alloc_node_ctx(&self, ctx: &mut MutCtx, level: u16) -> Result<NodeId> {
+        let id = self.alloc_node(level)?;
+        ctx.allocated.push((id, self.node_blocks(level)));
+        Ok(id)
+    }
+
+    /// Stages a node extent as freed; it reaches the pending list only if
+    /// the mutation commits.
+    fn stage_free(&self, ctx: &mut MutCtx, id: NodeId, level: u16) {
+        ctx.freed.push((id, self.node_blocks(level)));
+    }
+
+    /// Publishes a successful mutation: its metadata becomes the tree's,
+    /// its freed extents become pending.
+    fn commit_ctx(&self, ctx: MutCtx, meta: &mut Meta) {
+        *meta = ctx.meta;
+        let mut free = self.free.lock();
+        for (id, nblocks) in ctx.freed {
+            free.pending.entry(nblocks).or_default().push(id);
+        }
+    }
+
+    /// Discards a failed mutation: extents it allocated (which are the only
+    /// ones it wrote to) return to the reusable pool; metadata and staged
+    /// frees are dropped.
+    fn rollback_ctx(&self, ctx: MutCtx) {
+        let mut free = self.free.lock();
+        for (id, nblocks) in ctx.allocated {
+            free.reusable.entry(nblocks).or_default().push(id);
+        }
     }
 
     /// Reads the node at `id` (one random block access plus sequential ones
-    /// for multi-block nodes).
+    /// for multi-block nodes), verifying every block's checksum.
     pub fn read_node(&self, id: NodeId) -> Result<Node<N>> {
         let mut first = ir2_storage::zeroed_block();
-        self.dev.read_block(id, &mut first)?;
-        let (level, _count, nblocks) = Node::<N>::decode_header(&first[..])?;
+        extent::read_sealed_block(&self.dev, id, &mut first)?;
+        let (level, _count, nblocks) = Node::<N>::decode_header(&first[..PAGE_PAYLOAD])?;
         let payload_size = self.ops.entry_size(level);
         if nblocks <= 1 {
-            return Node::decode(id, &first[..], payload_size);
+            return Node::decode(id, &first[..PAGE_PAYLOAD], payload_size);
         }
-        let mut buf = vec![0u8; nblocks as usize * BLOCK_SIZE];
-        buf[..BLOCK_SIZE].copy_from_slice(&first[..]);
-        extent::read_extent_into(
+        let mut buf = vec![0u8; nblocks as usize * PAGE_PAYLOAD];
+        buf[..PAGE_PAYLOAD].copy_from_slice(&first[..PAGE_PAYLOAD]);
+        extent::read_extent_sealed_into(
             &self.dev,
             id + 1,
             nblocks as u32 - 1,
-            &mut buf[BLOCK_SIZE..],
+            &mut buf[PAGE_PAYLOAD..],
         )?;
         Node::decode(id, &buf, payload_size)
     }
@@ -225,10 +385,21 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         let nblocks = self.node_blocks(node.level);
         let bytes = node.encode(self.ops.entry_size(node.level), nblocks);
         // Always write the full extent so stale entries cannot resurface.
-        let mut padded = vec![0u8; nblocks as usize * BLOCK_SIZE];
+        let mut padded = vec![0u8; nblocks as usize * PAGE_PAYLOAD];
         padded[..bytes.len()].copy_from_slice(&bytes);
-        extent::write_extent(&self.dev, node.id, &padded)?;
+        extent::write_extent_sealed(&self.dev, node.id, &padded)?;
         Ok(())
+    }
+
+    /// Copy-on-write: writes `node` at a freshly allocated extent, staging
+    /// its previous extent as freed and updating `node.id`. Live on-disk
+    /// nodes are therefore never overwritten mid-operation — a crash or
+    /// I/O error leaves the last committed tree image fully intact.
+    fn write_node_cow(&self, ctx: &mut MutCtx, node: &mut Node<N>) -> Result<()> {
+        let old = node.id;
+        node.id = self.alloc_node_ctx(ctx, node.level)?;
+        self.stage_free(ctx, old, node.level);
+        self.write_node(node)
     }
 
     /// The parent-entry payload summarizing `node`, via entry folding when
@@ -279,14 +450,28 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
 
     /// Inserts an object reference with its MBR and leaf payload
     /// (`Insert(ObjPtr, MBR, S)` in the paper's Figure 5).
+    ///
+    /// Atomic in memory and on disk: an I/O error mid-insert leaves both
+    /// the metadata and the last committed tree image unchanged (all node
+    /// writes are copy-on-write into fresh extents).
     pub fn insert(&self, child: u64, rect: Rect<N>, leaf_payload: &[u8]) -> Result<()> {
         let mut meta = self.meta.lock();
-        self.insert_inner(&mut meta, child, rect, leaf_payload, true)
+        let mut ctx = MutCtx::new(*meta);
+        match self.insert_inner(&mut ctx, child, rect, leaf_payload, true) {
+            Ok(()) => {
+                self.commit_ctx(ctx, &mut meta);
+                Ok(())
+            }
+            Err(e) => {
+                self.rollback_ctx(ctx);
+                Err(e)
+            }
+        }
     }
 
     fn insert_inner(
         &self,
-        meta: &mut Meta,
+        ctx: &mut MutCtx,
         child: u64,
         rect: Rect<N>,
         leaf_payload: &[u8],
@@ -298,16 +483,16 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
             "leaf payload size"
         );
         if bump_count {
-            meta.count += 1;
+            ctx.meta.count += 1;
         }
-        let Some(root_id) = meta.root else {
-            let id = self.alloc_node(0)?;
+        let Some(root_id) = ctx.meta.root else {
+            let id = self.alloc_node_ctx(ctx, 0)?;
             let mut node = Node::new(id, 0);
             node.entries
                 .push(Entry::new(child, rect, leaf_payload.to_vec()));
             self.write_node(&node)?;
-            meta.root = Some(id);
-            meta.height = 1;
+            ctx.meta.root = Some(id);
+            ctx.meta.height = 1;
             return Ok(());
         };
 
@@ -325,12 +510,15 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
 
         // Resolve overflow at the leaf, then walk the path upward adjusting
         // MBRs and payloads (the paper's AdjustTree "modified to also
-        // maintain the signatures of the modified nodes").
+        // maintain the signatures of the modified nodes"). Copy-on-write
+        // relocates every modified node, so each ancestor must be rewritten
+        // with its child's new id — the old "stop when nothing changed"
+        // shortcut no longer applies.
         let mut pending_split: Option<(Entry<N>, Entry<N>)> = None;
         if node.entries.len() > self.cfg.max_entries {
-            pending_split = Some(self.split_node(node.clone())?);
+            pending_split = Some(self.split_node(ctx, node.clone())?);
         } else {
-            self.write_node(&node)?;
+            self.write_node_cow(ctx, &mut node)?;
         }
         let mut below = node;
 
@@ -339,70 +527,65 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
                 parent.entries[idx] = ea;
                 parent.entries.push(eb);
                 if parent.entries.len() > self.cfg.max_entries {
-                    pending_split = Some(self.split_node(parent.clone())?);
+                    pending_split = Some(self.split_node(ctx, parent.clone())?);
                     below = parent;
                     continue;
                 }
-                self.write_node(&parent)?;
+                self.write_node_cow(ctx, &mut parent)?;
                 below = parent;
                 continue;
             }
 
             // Plain adjustment: refresh the parent entry describing `below`.
             let e = &mut parent.entries[idx];
-            let new_rect = below.mbr();
-            let rect_changed = e.rect != new_rect;
-            e.rect = new_rect;
-            let payload_changed = if self.ops.strict_maintenance() {
-                let fresh = self.summary_of_node(&below)?;
-                let changed = e.payload != fresh;
-                e.payload = fresh;
-                changed
+            e.child = below.id;
+            e.rect = below.mbr();
+            if self.ops.strict_maintenance() {
+                e.payload = self.summary_of_node(&below)?;
             } else {
                 let lifted = self.ops.lift_object(child, leaf_payload, parent.level);
-                let before = e.payload.clone();
                 self.ops.merge(parent.level, &mut e.payload, &lifted);
-                e.payload != before
-            };
-            if rect_changed || payload_changed {
-                self.write_node(&parent)?;
-                below = parent;
-            } else {
-                // Nothing changed here, so nothing can change above.
-                return Ok(());
             }
+            self.write_node_cow(ctx, &mut parent)?;
+            below = parent;
         }
 
-        // A split propagated past the old root: grow the tree.
         if let Some((ea, eb)) = pending_split {
-            let level = meta.height; // old root level + 1
-            let id = self.alloc_node(level)?;
+            // A split propagated past the old root: grow the tree.
+            let level = ctx.meta.height; // old root level + 1
+            let id = self.alloc_node_ctx(ctx, level)?;
             let mut new_root = Node::new(id, level);
             new_root.entries.push(ea);
             new_root.entries.push(eb);
             self.write_node(&new_root)?;
-            meta.root = Some(id);
-            meta.height += 1;
+            ctx.meta.root = Some(id);
+            ctx.meta.height += 1;
+        } else {
+            // The root was rewritten (copy-on-write) at a new extent.
+            ctx.meta.root = Some(below.id);
         }
         Ok(())
     }
 
     /// Quadratic split [Gut84]: distributes an overflowing node's entries
-    /// into two nodes, writes both, and returns the parent entries that
-    /// describe them (with freshly computed summaries).
-    fn split_node(&self, node: Node<N>) -> Result<(Entry<N>, Entry<N>)> {
+    /// into two *fresh* nodes (the overflowing extent is staged as freed),
+    /// writes both, and returns the parent entries that describe them
+    /// (with freshly computed summaries).
+    fn split_node(&self, ctx: &mut MutCtx, node: Node<N>) -> Result<(Entry<N>, Entry<N>)> {
         let level = node.level;
+        self.stage_free(ctx, node.id, level);
         let (group_a, group_b) = match self.cfg.split {
             SplitStrategy::Quadratic => quadratic_split(node.entries, self.cfg.min_entries),
             SplitStrategy::Linear => linear_split(node.entries, self.cfg.min_entries),
         };
 
+        let id_a = self.alloc_node_ctx(ctx, level)?;
         let node_a = Node {
-            id: node.id,
+            id: id_a,
             level,
             entries: group_a,
         };
-        let id_b = self.alloc_node(level)?;
+        let id_b = self.alloc_node_ctx(ctx, level)?;
         let node_b = Node {
             id: id_b,
             level,
@@ -422,9 +605,32 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
 
     /// Deletes the entry for object `child` with MBR `rect`. Returns
     /// whether the entry existed.
+    ///
+    /// Atomic like [`insert`](RTree::insert): metadata changes and block
+    /// frees are staged and only published if every I/O step (including
+    /// CondenseTree's orphan reinsertion) succeeds; a failure mid-way
+    /// leaves the in-memory meta and the committed on-disk image intact.
     pub fn delete(&self, child: u64, rect: &Rect<N>) -> Result<bool> {
         let mut meta = self.meta.lock();
-        let Some(root_id) = meta.root else {
+        let mut ctx = MutCtx::new(*meta);
+        match self.delete_inner(&mut ctx, child, rect) {
+            Ok(found) => {
+                if found {
+                    self.commit_ctx(ctx, &mut meta);
+                } else {
+                    self.rollback_ctx(ctx);
+                }
+                Ok(found)
+            }
+            Err(e) => {
+                self.rollback_ctx(ctx);
+                Err(e)
+            }
+        }
+    }
+
+    fn delete_inner(&self, ctx: &mut MutCtx, child: u64, rect: &Rect<N>) -> Result<bool> {
+        let Some(root_id) = ctx.meta.root else {
             return Ok(false);
         };
 
@@ -435,7 +641,7 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         };
         let (mut leaf, entry_idx) = path.pop().expect("find_leaf returns the leaf last");
         leaf.entries.remove(entry_idx);
-        meta.count -= 1;
+        ctx.meta.count -= 1;
 
         // CondenseTree, "modified to maintain the signatures of updated
         // nodes": under-full nodes dissolve (their leaf entries are
@@ -446,10 +652,11 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         while let Some((mut parent, idx)) = path.pop() {
             if cur.entries.len() < self.cfg.min_entries {
                 parent.entries.remove(idx);
-                self.gather_and_free(&cur, &mut orphaned)?;
+                self.gather_and_free(ctx, &cur, &mut orphaned)?;
             } else {
-                self.write_node(&cur)?;
+                self.write_node_cow(ctx, &mut cur)?;
                 let e = &mut parent.entries[idx];
+                e.child = cur.id;
                 e.rect = cur.mbr();
                 e.payload = self.summary_of_node(&cur)?;
             }
@@ -457,35 +664,33 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         }
 
         // `cur` is the root. Shrink it as needed.
-        if cur.is_leaf() {
-            if cur.entries.is_empty() {
-                self.free_node(cur.id, cur.level);
-                meta.root = None;
-                meta.height = 0;
-            } else {
-                self.write_node(&cur)?;
+        if cur.entries.is_empty() {
+            // Empty leaf root, or every child dissolved (the orphans below
+            // will rebuild).
+            self.stage_free(ctx, cur.id, cur.level);
+            ctx.meta.root = None;
+            ctx.meta.height = 0;
+        } else if !cur.is_leaf() && cur.entries.len() == 1 {
+            // The root chains down through single children: each such level
+            // dissolves and the first real node becomes the root. The
+            // surviving child already carries this op's updates (its entry
+            // in `cur` was refreshed above), so only metadata changes.
+            let mut node = cur;
+            while !node.is_leaf() && node.entries.len() == 1 {
+                let child_id = node.entries[0].child;
+                self.stage_free(ctx, node.id, node.level);
+                node = self.read_node(child_id)?;
+                ctx.meta.height -= 1;
             }
-        } else if cur.entries.is_empty() {
-            // Every child dissolved; the orphans below will rebuild.
-            self.free_node(cur.id, cur.level);
-            meta.root = None;
-            meta.height = 0;
+            ctx.meta.root = Some(node.id);
         } else {
-            self.write_node(&cur)?;
-            // If the root has a single child, make that child the root.
-            let mut root = cur;
-            while !root.is_leaf() && root.entries.len() == 1 {
-                let child_id = root.entries[0].child;
-                self.free_node(root.id, root.level);
-                root = self.read_node(child_id)?;
-                meta.root = Some(root.id);
-                meta.height -= 1;
-            }
+            self.write_node_cow(ctx, &mut cur)?;
+            ctx.meta.root = Some(cur.id);
         }
 
         // Reinsert orphaned objects (without recounting them).
         for (c, r, payload) in orphaned {
-            self.insert_inner(&mut meta, c, r, &payload, false)?;
+            self.insert_inner(ctx, c, r, &payload, false)?;
         }
         Ok(true)
     }
@@ -521,9 +726,10 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
     }
 
     /// Collects every leaf entry of the subtree rooted at `node` into
-    /// `out`, freeing all subtree nodes.
+    /// `out`, staging all subtree nodes for freeing.
     fn gather_and_free(
         &self,
+        ctx: &mut MutCtx,
         node: &Node<N>,
         out: &mut Vec<(u64, Rect<N>, Vec<u8>)>,
     ) -> Result<()> {
@@ -534,10 +740,10 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         } else {
             for e in &node.entries {
                 let sub = self.read_node(e.child)?;
-                self.gather_and_free(&sub, out)?;
+                self.gather_and_free(ctx, &sub, out)?;
             }
         }
-        self.free_node(node.id, node.level);
+        self.stage_free(ctx, node.id, node.level);
         Ok(())
     }
 
@@ -554,6 +760,18 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
     /// via `check_payload(parent_entry_payload, child_node_summary)`.
     pub fn check_invariants(
         &self,
+        check_payload: impl FnMut(u16, &[u8], &[u8]) -> bool,
+    ) -> Result<u64> {
+        self.check_invariants_with(true, check_payload)
+    }
+
+    /// [`check_invariants`](RTree::check_invariants) with the minimum-fill
+    /// check optional: bulk-loaded trees legitimately leave a tail of
+    /// underfull nodes, so integrity checking (`ir2 check`) validates
+    /// structure and checksums without enforcing fill factors.
+    pub fn check_invariants_with(
+        &self,
+        enforce_fill: bool,
         mut check_payload: impl FnMut(u16, &[u8], &[u8]) -> bool,
     ) -> Result<u64> {
         let meta = *self.meta.lock();
@@ -570,7 +788,7 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
                 root.level, meta.height
             )));
         }
-        let count = self.check_node(&root, true, &mut check_payload)?;
+        let count = self.check_node(&root, true, enforce_fill, &mut check_payload)?;
         if count != meta.count {
             return Err(StorageError::Corrupt(format!(
                 "counted {count} leaf entries, meta says {}",
@@ -584,12 +802,15 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         &self,
         node: &Node<N>,
         is_root: bool,
+        enforce_fill: bool,
         check_payload: &mut impl FnMut(u16, &[u8], &[u8]) -> bool,
     ) -> Result<u64> {
         let fill_ok = if is_root {
             !node.entries.is_empty() || node.is_leaf()
-        } else {
+        } else if enforce_fill {
             node.entries.len() >= self.cfg.min_entries && node.entries.len() <= self.cfg.max_entries
+        } else {
+            !node.entries.is_empty() && node.entries.len() <= self.cfg.max_entries
         };
         if !fill_ok {
             return Err(StorageError::Corrupt(format!(
@@ -625,7 +846,7 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
                     node.id, child.id
                 )));
             }
-            total += self.check_node(&child, false, check_payload)?;
+            total += self.check_node(&child, false, enforce_fill, check_payload)?;
         }
         Ok(total)
     }

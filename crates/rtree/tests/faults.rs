@@ -1,0 +1,93 @@
+//! Fault injection over `RTree::delete`: every mutation is staged and only
+//! published when all its I/O succeeds, so a device failure at *any* point
+//! during a delete workload must leave the tree consistent — the committed
+//! prefix of deletes applied, the failed one fully rolled back, structural
+//! invariants intact, and every surviving object still findable.
+
+use ir2_geo::{Point, Rect};
+use ir2_rtree::{RTree, RTreeConfig, UnitPayload};
+use ir2_storage::testing::FlakyDevice;
+use ir2_storage::MemDevice;
+
+const N: usize = 24;
+
+fn rects() -> Vec<Rect<2>> {
+    (0..N)
+        .map(|i| Rect::from_point(Point::new([i as f64, (i * 7 % 13) as f64])))
+        .collect()
+}
+
+/// Sweeps the I/O budget from zero upward: each iteration rebuilds the same
+/// tree, then runs the delete workload until the budget runs dry. Whatever
+/// the failure point, the tree must be exactly "all objects minus the
+/// deletes that returned Ok".
+#[test]
+fn delete_is_atomic_at_every_io_failure_point() {
+    let all = rects();
+    let world = Rect::new(Point::new([-1.0, -1.0]), Point::new([100.0, 100.0]));
+    let mut budget = 0u64;
+    loop {
+        let dev = FlakyDevice::new(MemDevice::new(), u64::MAX);
+        let tree = RTree::create(dev, RTreeConfig::with_max(4), UnitPayload).unwrap();
+        for (i, r) in all.iter().enumerate() {
+            tree.insert(i as u64, *r, &[]).unwrap();
+        }
+        tree.device().refill(budget);
+
+        let mut deleted: Vec<u64> = Vec::new();
+        let mut failed = false;
+        for (i, r) in all.iter().enumerate() {
+            match tree.delete(i as u64, r) {
+                Ok(true) => deleted.push(i as u64),
+                Ok(false) => panic!("existing object {i} reported missing"),
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+
+        // Restore the device and audit the survivors.
+        tree.device().refill(u64::MAX);
+        assert_eq!(
+            tree.len(),
+            (N - deleted.len()) as u64,
+            "budget {budget}: count out of step with committed deletes"
+        );
+        tree.check_invariants(|_, _, _| true)
+            .unwrap_or_else(|e| panic!("budget {budget}: invariants broken: {e}"));
+        let mut got = tree.window_objects(&world).unwrap();
+        got.sort_unstable();
+        let expect: Vec<u64> = (0..N as u64).filter(|id| !deleted.contains(id)).collect();
+        assert_eq!(got, expect, "budget {budget}: wrong surviving set");
+
+        if !failed {
+            assert_eq!(tree.len(), 0);
+            break;
+        }
+        budget += 1;
+    }
+}
+
+/// A delete that fails must not leak or double-free blocks: retrying the
+/// same delete after restoring the device succeeds and the tree stays
+/// consistent.
+#[test]
+fn failed_delete_can_be_retried() {
+    let all = rects();
+    let dev = FlakyDevice::new(MemDevice::new(), u64::MAX);
+    let tree = RTree::create(dev, RTreeConfig::with_max(4), UnitPayload).unwrap();
+    for (i, r) in all.iter().enumerate() {
+        tree.insert(i as u64, *r, &[]).unwrap();
+    }
+
+    // Fail the delete somewhere in the middle of its I/O.
+    tree.device().refill(3);
+    assert!(tree.delete(5, &all[5]).is_err());
+    tree.device().refill(u64::MAX);
+    assert_eq!(tree.len(), N as u64, "failed delete must not change count");
+
+    assert!(tree.delete(5, &all[5]).unwrap());
+    assert_eq!(tree.len(), N as u64 - 1);
+    tree.check_invariants(|_, _, _| true).unwrap();
+}

@@ -48,8 +48,15 @@ impl CostModel {
     };
 
     /// Simulated time for the accesses recorded in `io`.
+    ///
+    /// Computed in u128 nanoseconds: access counts are u64, and both the
+    /// old `as u32` truncation and `Duration * u32` overflow panics would
+    /// corrupt multi-billion-access runs.
     pub fn time(&self, io: IoSnapshot) -> Duration {
-        self.random_access * io.random() as u32 + self.sequential_access * io.sequential() as u32
+        let nanos = self.random_access.as_nanos() * io.random() as u128
+            + self.sequential_access.as_nanos() * io.sequential() as u128;
+        let secs = u64::try_from(nanos / 1_000_000_000).unwrap_or(u64::MAX);
+        Duration::new(secs, (nanos % 1_000_000_000) as u32)
     }
 
     /// Simulated time in fractional milliseconds — the unit of the paper's
@@ -74,6 +81,21 @@ mod tests {
         // 10 * 8ms = 80ms random, 100 * 0.06ms = 6ms sequential.
         assert_eq!(t, Duration::from_micros(10 * 8000 + 100 * 60));
         assert!(CostModel::HDD_10K.time_ms(io) > 80.0);
+    }
+
+    #[test]
+    fn counts_beyond_u32_neither_truncate_nor_panic() {
+        // 5 billion random accesses: `as u32` would truncate to ~0.7 billion
+        // and `Duration * u32` could not even represent the count.
+        let io = IoSnapshot {
+            random_reads: 5_000_000_000,
+            seq_reads: u32::MAX as u64 + 17,
+            ..Default::default()
+        };
+        let t = CostModel::HDD_10K.time(io);
+        let expected = Duration::from_micros(8000).as_nanos() * 5_000_000_000u128
+            + Duration::from_micros(60).as_nanos() * (u32::MAX as u128 + 17);
+        assert_eq!(t.as_nanos(), expected);
     }
 
     #[test]

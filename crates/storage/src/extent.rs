@@ -8,12 +8,94 @@
 //! underneath, these helpers produce exactly that accounting because they
 //! touch blocks in ascending id order.
 
+use crate::page::{self, PAGE_PAYLOAD};
 use crate::{BlockDevice, BlockId, Result, StorageError, BLOCK_SIZE};
 
 /// Number of blocks needed to hold `bytes` bytes (at least 1).
 #[inline]
 pub fn blocks_for(bytes: usize) -> u32 {
     (bytes.max(1)).div_ceil(BLOCK_SIZE) as u32
+}
+
+/// Number of *sealed* blocks needed to hold `bytes` payload bytes — each
+/// block only carries [`PAGE_PAYLOAD`] bytes, the rest being the checksum
+/// trailer.
+#[inline]
+pub fn sealed_blocks_for(bytes: usize) -> u32 {
+    (bytes.max(1)).div_ceil(PAGE_PAYLOAD) as u32
+}
+
+/// Reads and checksum-verifies one sealed block, leaving the trailer in
+/// `buf` (callers use `buf[..PAGE_PAYLOAD]`).
+pub fn read_sealed_block(
+    dev: &impl BlockDevice,
+    id: BlockId,
+    buf: &mut [u8; BLOCK_SIZE],
+) -> Result<()> {
+    dev.read_block(id, buf)?;
+    page::verify(buf).map_err(|e| StorageError::Corrupt(format!("block {id}: {e}")))
+}
+
+/// Reads a sealed extent, verifying every block's checksum, and returns the
+/// concatenated payloads (`nblocks * PAGE_PAYLOAD` bytes).
+pub fn read_extent_sealed(dev: &impl BlockDevice, first: BlockId, nblocks: u32) -> Result<Vec<u8>> {
+    let mut out = vec![0u8; nblocks as usize * PAGE_PAYLOAD];
+    read_extent_sealed_into(dev, first, nblocks, &mut out)?;
+    Ok(out)
+}
+
+/// Reads a sealed extent into a caller-provided payload buffer of at least
+/// `nblocks * PAGE_PAYLOAD` bytes.
+///
+/// # Panics
+/// Panics if `buf` is shorter than `nblocks * PAGE_PAYLOAD`.
+pub fn read_extent_sealed_into(
+    dev: &impl BlockDevice,
+    first: BlockId,
+    nblocks: u32,
+    buf: &mut [u8],
+) -> Result<()> {
+    assert!(
+        buf.len() >= nblocks as usize * PAGE_PAYLOAD,
+        "sealed extent buffer too small"
+    );
+    let mut block = [0u8; BLOCK_SIZE];
+    for i in 0..nblocks as usize {
+        read_sealed_block(dev, first + i as u64, &mut block)?;
+        buf[i * PAGE_PAYLOAD..(i + 1) * PAGE_PAYLOAD].copy_from_slice(&block[..PAGE_PAYLOAD]);
+    }
+    Ok(())
+}
+
+/// Writes `data` over the extent starting at `first` as sealed blocks,
+/// zero-padding the last payload and giving every block a checksum trailer.
+/// Returns the number of blocks written.
+///
+/// Returns [`StorageError::Corrupt`] if `data` is empty.
+pub fn write_extent_sealed(dev: &impl BlockDevice, first: BlockId, data: &[u8]) -> Result<u32> {
+    if data.is_empty() {
+        return Err(StorageError::Corrupt("empty extent write".into()));
+    }
+    let nblocks = sealed_blocks_for(data.len());
+    let mut block = [0u8; BLOCK_SIZE];
+    for i in 0..nblocks as usize {
+        let start = i * PAGE_PAYLOAD;
+        let end = ((i + 1) * PAGE_PAYLOAD).min(data.len());
+        block[..end - start].copy_from_slice(&data[start..end]);
+        block[end - start..PAGE_PAYLOAD].fill(0);
+        page::seal(&mut block);
+        dev.write_block(first + i as u64, &block)?;
+    }
+    Ok(nblocks)
+}
+
+/// Allocates a sealed extent for `data` and writes it, returning the first
+/// block id and the block count.
+pub fn append_extent_sealed(dev: &impl BlockDevice, data: &[u8]) -> Result<(BlockId, u32)> {
+    let nblocks = sealed_blocks_for(data.len());
+    let first = dev.allocate(nblocks as u64)?;
+    write_extent_sealed(dev, first, data)?;
+    Ok((first, nblocks))
 }
 
 /// Reads `nblocks` consecutive blocks starting at `first` into one buffer.
@@ -120,6 +202,51 @@ mod tests {
         let dev = MemDevice::new();
         dev.allocate(1).unwrap();
         assert!(write_extent(&dev, 0, &[]).is_err());
+    }
+
+    #[test]
+    fn sealed_extent_roundtrip() {
+        let dev = MemDevice::new();
+        let data: Vec<u8> = (0..(PAGE_PAYLOAD + 77)).map(|i| (i % 253) as u8).collect();
+        let (first, n) = append_extent_sealed(&dev, &data).unwrap();
+        assert_eq!(n, 2);
+        let back = read_extent_sealed(&dev, first, n).unwrap();
+        assert_eq!(&back[..data.len()], &data[..]);
+        assert!(back[data.len()..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn sealed_read_detects_flipped_byte_in_any_block() {
+        let dev = MemDevice::new();
+        let data = vec![0xABu8; 2 * PAGE_PAYLOAD];
+        let (first, n) = append_extent_sealed(&dev, &data).unwrap();
+        for victim in 0..n as u64 {
+            let mut raw = crate::zeroed_block();
+            dev.read_block(first + victim, &mut raw).unwrap();
+            raw[100] ^= 0x01;
+            dev.write_block(first + victim, &raw).unwrap();
+            assert!(
+                matches!(
+                    read_extent_sealed(&dev, first, n),
+                    Err(StorageError::Corrupt(_))
+                ),
+                "flip in block {victim} must fail the read"
+            );
+            raw[100] ^= 0x01; // restore for the next iteration
+            dev.write_block(first + victim, &raw).unwrap();
+        }
+        read_extent_sealed(&dev, first, n).unwrap();
+    }
+
+    #[test]
+    fn sealed_read_rejects_unsealed_blocks() {
+        let dev = MemDevice::new();
+        let first = dev.allocate(1).unwrap();
+        write_extent(&dev, first, &[1u8; 64]).unwrap(); // plain, no trailer
+        assert!(matches!(
+            read_extent_sealed(&dev, first, 1),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 
     #[test]

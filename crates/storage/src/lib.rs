@@ -29,16 +29,20 @@ mod cost;
 mod device;
 mod error;
 pub mod extent;
+pub mod page;
 mod pool;
 mod records;
+mod shadow;
 pub mod testing;
 mod tracking;
 
 pub use cost::CostModel;
 pub use device::{BlockDevice, FileDevice, MemDevice};
 pub use error::{Result, StorageError};
+pub use page::{PAGE_PAYLOAD, PAGE_TRAILER_LEN, PAGE_VERSION};
 pub use pool::{BufferPool, DEFAULT_POOL_SHARDS};
-pub use records::{RecordFile, RecordPtr};
+pub use records::{RecordFile, RecordPtr, RECORD_HEADER_LEN};
+pub use shadow::ShadowPair;
 pub use tracking::{IoScope, IoSnapshot, IoStats, ScopedIo, TrackedDevice};
 
 /// Disk block size in bytes.

@@ -379,6 +379,32 @@ mod tests {
     }
 
     #[test]
+    fn failed_write_leaves_cached_copy_unchanged() {
+        // Write-through ordering regression: the cache must never get ahead
+        // of the disk, so a failed device write must not install the new
+        // bytes in a frame.
+        use crate::testing::FlakyDevice;
+        let mem = std::sync::Arc::new(MemDevice::new());
+        let flaky = FlakyDevice::new(std::sync::Arc::clone(&mem), u64::MAX);
+        let pool = BufferPool::new(flaky, 4);
+        pool.allocate(1).unwrap();
+        pool.write_block(0, &block_of(0xAA)).unwrap(); // cached + on disk
+
+        pool.inner().refill(0);
+        assert!(pool.write_block(0, &block_of(0xBB)).is_err());
+
+        // The cached copy still holds the last successfully written bytes…
+        let (h0, _) = pool.hit_stats();
+        let mut buf = crate::zeroed_block();
+        pool.read_block(0, &mut buf).unwrap();
+        assert_eq!(pool.hit_stats().0, h0 + 1, "read must be a cache hit");
+        assert_eq!(buf[0], 0xAA, "cache must not be ahead of the device");
+        // …and matches the device exactly.
+        mem.read_block(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xAA);
+    }
+
+    #[test]
     fn clear_forgets_cached_blocks() {
         let pool = BufferPool::new(MemDevice::new(), 4);
         pool.allocate(1).unwrap();

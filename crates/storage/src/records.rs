@@ -8,18 +8,24 @@
 //! remaining blocks need — which is how the paper's "average # disk blocks
 //! per object" (Table 1) enters the measurements.
 //!
-//! Layout: records are packed back to back; each record is a 4-byte
-//! little-endian length followed by the payload. A length prefix never
-//! straddles a block boundary (the writer pads with zero bytes instead), so
-//! a reader can always parse the length from the first block it fetches. A
-//! zero length marks padding, which is unambiguous because empty records
-//! are rejected.
+//! Layout: records are packed back to back; each record is an 8-byte
+//! header — a 4-byte little-endian length followed by a CRC32 of the
+//! payload — then the payload itself. The checksum is verified on every
+//! [`get`](RecordFile::get) and [`scan`](RecordFile::scan), so a torn or
+//! bit-flipped record surfaces as [`StorageError::Corrupt`] instead of
+//! silently wrong object data. A header never straddles a block boundary
+//! (the writer pads with zero bytes instead), so a reader can always parse
+//! it from the first block it fetches. A zero length marks padding, which
+//! is unambiguous because empty records are rejected.
 
 use parking_lot::Mutex;
 
+use crate::page::crc32;
 use crate::{BlockDevice, BlockId, Result, StorageError, BLOCK_SIZE};
 
-const LEN_PREFIX: usize = 4;
+/// Per-record header: length (u32 LE) + CRC32 of the payload (u32 LE).
+pub const RECORD_HEADER_LEN: usize = 8;
+const LEN_PREFIX: usize = RECORD_HEADER_LEN;
 
 /// Pointer to a record: its byte offset in the record file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -168,6 +174,7 @@ impl<D: BlockDevice> RecordFile<D> {
         let ptr = RecordPtr(s.len);
         s.tail_dirty = true;
         s.tail.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        s.tail.extend_from_slice(&crc32(data).to_le_bytes());
         s.tail.extend_from_slice(data);
         s.len += (LEN_PREFIX + data.len()) as u64;
         s.records += 1;
@@ -237,8 +244,8 @@ impl<D: BlockDevice> RecordFile<D> {
         let mut block = crate::zeroed_block();
         self.dev.read_block(first_block, &mut block)?;
 
-        let len =
-            u32::from_le_bytes(block[off..off + LEN_PREFIX].try_into().expect("4 bytes")) as usize;
+        let len = u32::from_le_bytes(block[off..off + 4].try_into().expect("4 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(block[off + 4..off + 8].try_into().expect("4 bytes"));
         if len == 0 {
             return Err(StorageError::Corrupt(format!(
                 "record pointer {ptr:?} points at padding"
@@ -259,6 +266,11 @@ impl<D: BlockDevice> RecordFile<D> {
             let take = (len - out.len()).min(BLOCK_SIZE);
             out.extend_from_slice(&block[..take]);
             next_block += 1;
+        }
+        if crc32(&out) != stored_crc {
+            return Err(StorageError::Corrupt(format!(
+                "record at {ptr:?} failed its checksum"
+            )));
         }
         Ok(out)
     }
@@ -296,8 +308,8 @@ impl<D: BlockDevice> RecordFile<D> {
                 loaded_block = Some(block_id);
             }
             let rec_len =
-                u32::from_le_bytes(block[off..off + LEN_PREFIX].try_into().expect("4 bytes"))
-                    as usize;
+                u32::from_le_bytes(block[off..off + 4].try_into().expect("4 bytes")) as usize;
+            let rec_crc = u32::from_le_bytes(block[off + 4..off + 8].try_into().expect("4 bytes"));
             if rec_len == 0 {
                 // Padding: skip to the next block boundary.
                 pos = (block_id + 1) * BLOCK_SIZE as u64;
@@ -317,6 +329,11 @@ impl<D: BlockDevice> RecordFile<D> {
                 let take = (rec_len - payload.len()).min(BLOCK_SIZE - o);
                 payload.extend_from_slice(&block[o..o + take]);
                 cursor += take as u64;
+            }
+            if crc32(&payload) != rec_crc {
+                return Err(StorageError::Corrupt(format!(
+                    "record at {ptr:?} failed its checksum"
+                )));
             }
             f(ptr, &payload)?;
             pos = cursor;
@@ -362,8 +379,8 @@ mod tests {
     fn header_never_straddles_blocks() {
         let rf = RecordFile::create(MemDevice::new());
         // Leave exactly 3 bytes free in the first block:
-        // 4 (len) + payload = BLOCK_SIZE - 3  =>  payload = BLOCK_SIZE - 7.
-        let filler = vec![1u8; BLOCK_SIZE - 7];
+        // 8 (header) + payload = BLOCK_SIZE - 3  =>  payload = BLOCK_SIZE - 11.
+        let filler = vec![1u8; BLOCK_SIZE - 11];
         rf.append(&filler).unwrap();
         let p = rf.append(b"next").unwrap();
         // The pointer must have been pushed to the block boundary.
@@ -422,6 +439,24 @@ mod tests {
         assert_eq!(rf.num_records(), 2);
         // Original record still intact.
         assert_eq!(rf.get(p1).unwrap(), b"persisted");
+    }
+
+    #[test]
+    fn flipped_byte_fails_get_and_scan() {
+        let dev = std::sync::Arc::new(MemDevice::new());
+        let rf = RecordFile::create(std::sync::Arc::clone(&dev));
+        let p = rf.append(&vec![0x5Au8; 600]).unwrap();
+        rf.flush().unwrap();
+        // Garble one payload byte on the device, past the header.
+        let mut block = crate::zeroed_block();
+        dev.read_block(0, &mut block).unwrap();
+        block[100] ^= 0x08;
+        dev.write_block(0, &block).unwrap();
+        assert!(matches!(rf.get(p), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            rf.scan(|_, _| Ok(())),
+            Err(StorageError::Corrupt(_))
+        ));
     }
 
     #[test]

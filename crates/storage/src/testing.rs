@@ -1,13 +1,21 @@
-//! Fault-injection test double.
+//! Fault-injection test doubles.
 //!
 //! Real disks fail; a database library must surface those failures as
-//! errors, never panics or silent corruption. [`FlakyDevice`] wraps any
-//! device and starts failing I/O after a configurable number of
-//! operations, letting every layer's error path be exercised determin-
-//! istically. It lives in the library (not `#[cfg(test)]`) so downstream
-//! crates' tests can use it too.
+//! errors, never panics or silent corruption. Two injectors live here (in
+//! the library, not `#[cfg(test)]`, so downstream crates' tests can use
+//! them too):
+//!
+//! * [`FlakyDevice`] wraps one device and starts failing I/O after a
+//!   configurable budget of operations — exercising every error path.
+//! * [`CrashPoint`] / [`TornWriteDevice`] simulate a *crash*: at a chosen
+//!   global I/O index the in-flight write is torn (truncated or garbled)
+//!   and every subsequent operation fails, as if the machine lost power.
+//!   One `CrashPoint` can wrap several devices that share the operation
+//!   counter, so a whole database's I/O stream has a single crash index —
+//!   the basis of the crash-point sweep harness.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::{BlockDevice, BlockId, Result, StorageError, BLOCK_SIZE};
 
@@ -84,6 +92,149 @@ impl<D: BlockDevice> BlockDevice for FlakyDevice<D> {
     }
 }
 
+/// How the in-flight write is damaged when the crash point fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TornWrite {
+    /// Only the first half of the block reaches the disk; the rest keeps
+    /// its previous contents.
+    Truncated,
+    /// The block lands whole but with a burst of flipped bits.
+    Garbled,
+}
+
+struct CrashState {
+    next_op: AtomicU64,
+    crash_at: u64,
+    mode: TornWrite,
+    dead: AtomicBool,
+}
+
+/// A simulated power-cut shared by any number of [`TornWriteDevice`]s.
+///
+/// Counts read/write/allocate operations across every wrapped device; the
+/// operation with global index `crash_at` (0-based) is the crash: if it is
+/// a write, a torn version of the block reaches the inner device, then the
+/// operation — and all later ones — fail with [`StorageError::Io`].
+pub struct CrashPoint {
+    state: Arc<CrashState>,
+}
+
+impl CrashPoint {
+    /// A crash at global operation index `crash_at`; `u64::MAX` never
+    /// crashes (useful for counting a workload's operations).
+    pub fn new(crash_at: u64, mode: TornWrite) -> Self {
+        Self {
+            state: Arc::new(CrashState {
+                next_op: AtomicU64::new(0),
+                crash_at,
+                mode,
+                dead: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Wraps a device; all wrappers from one `CrashPoint` share the
+    /// operation counter and die together.
+    pub fn wrap<D: BlockDevice>(&self, inner: D) -> TornWriteDevice<D> {
+        TornWriteDevice {
+            inner,
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.state.next_op.load(Ordering::Relaxed)
+    }
+
+    /// Whether the crash point has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.dead.load(Ordering::Relaxed)
+    }
+}
+
+/// A device wrapped by a [`CrashPoint`]; see there.
+pub struct TornWriteDevice<D> {
+    inner: D,
+    state: Arc<CrashState>,
+}
+
+impl<D: BlockDevice> TornWriteDevice<D> {
+    fn injected() -> StorageError {
+        StorageError::Io(std::io::Error::other("injected crash"))
+    }
+
+    /// `Ok(true)` means "this operation is the crash"; `Err` means the
+    /// device already died.
+    fn step(&self) -> Result<bool> {
+        if self.state.dead.load(Ordering::Relaxed) {
+            return Err(Self::injected());
+        }
+        let n = self.state.next_op.fetch_add(1, Ordering::Relaxed);
+        if n >= self.state.crash_at {
+            self.state.dead.store(true, Ordering::Relaxed);
+            if n == self.state.crash_at {
+                return Ok(true);
+            }
+            return Err(Self::injected());
+        }
+        Ok(false)
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for TornWriteDevice<D> {
+    fn read_block(&self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
+        if self.step()? {
+            return Err(Self::injected());
+        }
+        self.inner.read_block(id, buf)
+    }
+
+    fn write_block(&self, id: BlockId, data: &[u8; BLOCK_SIZE]) -> Result<()> {
+        if self.step()? {
+            // The crash lands mid-write: a damaged version of the block
+            // reaches the platter before the error is reported.
+            let mut torn = *data;
+            match self.state.mode {
+                TornWrite::Truncated => {
+                    let mut old = [0u8; BLOCK_SIZE];
+                    if self.inner.read_block(id, &mut old).is_ok() {
+                        torn[BLOCK_SIZE / 2..].copy_from_slice(&old[BLOCK_SIZE / 2..]);
+                    } else {
+                        torn[BLOCK_SIZE / 2..].fill(0);
+                    }
+                }
+                TornWrite::Garbled => {
+                    for b in &mut torn[256..272] {
+                        *b ^= 0xA5;
+                    }
+                }
+            }
+            let _ = self.inner.write_block(id, &torn);
+            return Err(Self::injected());
+        }
+        self.inner.write_block(id, data)
+    }
+
+    fn allocate(&self, n: u64) -> Result<BlockId> {
+        if self.step()? {
+            return Err(Self::injected());
+        }
+        self.inner.allocate(n)
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn sync(&self) -> Result<()> {
+        if self.state.dead.load(Ordering::Relaxed) {
+            return Err(Self::injected());
+        }
+        self.inner.sync()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,5 +263,62 @@ mod tests {
         assert!(dev.read_block(0, &mut out).is_err());
         dev.refill(2);
         assert!(dev.read_block(0, &mut out).is_ok());
+    }
+
+    #[test]
+    fn crash_tears_the_write_then_kills_the_device() {
+        let mem = Arc::new(MemDevice::new());
+        mem.allocate(1).unwrap();
+        mem.write_block(0, &[0xFFu8; BLOCK_SIZE]).unwrap();
+
+        // Op 0 is the write: it must land truncated and fail.
+        let cp = CrashPoint::new(0, TornWrite::Truncated);
+        let dev = cp.wrap(Arc::clone(&mem));
+        assert!(dev.write_block(0, &[0x11u8; BLOCK_SIZE]).is_err());
+        assert!(cp.crashed());
+        let mut out = crate::zeroed_block();
+        assert!(dev.read_block(0, &mut out).is_err(), "device is dead");
+        assert!(dev.sync().is_err(), "sync after the crash fails too");
+
+        mem.read_block(0, &mut out).unwrap();
+        assert!(out[..BLOCK_SIZE / 2].iter().all(|&b| b == 0x11));
+        assert!(out[BLOCK_SIZE / 2..].iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn garble_mode_flips_a_burst() {
+        let mem = Arc::new(MemDevice::new());
+        mem.allocate(1).unwrap();
+        let cp = CrashPoint::new(0, TornWrite::Garbled);
+        let dev = cp.wrap(Arc::clone(&mem));
+        assert!(dev.write_block(0, &[0u8; BLOCK_SIZE]).is_err());
+        let mut out = crate::zeroed_block();
+        mem.read_block(0, &mut out).unwrap();
+        assert!(out[256..272].iter().all(|&b| b == 0xA5));
+        assert!(out[..256].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn wrappers_share_one_op_counter() {
+        let cp = CrashPoint::new(2, TornWrite::Garbled);
+        let a = cp.wrap(MemDevice::new());
+        let b = cp.wrap(MemDevice::new());
+        a.allocate(1).unwrap(); // op 0
+        b.allocate(1).unwrap(); // op 1
+        assert!(a.allocate(1).is_err()); // op 2: crash
+        assert!(b.allocate(1).is_err()); // dead: rejected without counting
+        assert_eq!(cp.ops(), 3);
+    }
+
+    #[test]
+    fn max_crash_index_never_fires() {
+        let cp = CrashPoint::new(u64::MAX, TornWrite::Garbled);
+        let dev = cp.wrap(MemDevice::new());
+        dev.allocate(8).unwrap();
+        for i in 0..8 {
+            dev.write_block(i, &[i as u8; BLOCK_SIZE]).unwrap();
+        }
+        assert!(!cp.crashed());
+        assert_eq!(cp.ops(), 9);
     }
 }
