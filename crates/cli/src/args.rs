@@ -15,7 +15,9 @@ USAGE:
   ir2 batch    --db DIR --queries FILE [--threads N] [--k N]
                [--alg <rtree|iio|ir2|mir2>]
   ir2 ranked   --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N] [--dist-weight W]
-  ir2 stats    --db DIR
+  ir2 trace    --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N]
+               [--alg <rtree|iio|ir2|mir2>] [--steps N]
+  ir2 stats    --db DIR [--prometheus]
   ir2 check    --db DIR
 
 Databases are directories of 4096-byte block-device files; every query

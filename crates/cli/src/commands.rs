@@ -4,7 +4,7 @@ use std::io::{BufReader, BufWriter, Write};
 
 use ir2_datagen::DatasetSpec;
 use ir2tree::geo::{Point, Rect};
-use ir2tree::irtree::GeneralQuery;
+use ir2tree::irtree::{density_profile, GeneralQuery, TraceEvent, VecSink};
 use ir2tree::model::{tsv, DistanceFirstQuery, QueryRegion};
 use ir2tree::storage::FileDevice;
 use ir2tree::text::{LinearRank, SaturatingTfIdf};
@@ -272,6 +272,119 @@ pub fn ranked(args: &[String], out: &mut impl Write) -> CliResult {
     Ok(())
 }
 
+/// `ir2 trace` — run one distance-first query with full event tracing:
+/// prints the step log (node pops, signature tests, object fetches), a
+/// per-level pruning table comparing the *observed* signature match rate
+/// against the `density_profile` *prediction* (the paper's Section VI
+/// false-positive tables), then the usual result report.
+pub fn trace(args: &[String], out: &mut impl Write) -> CliResult {
+    let f = Flags::parse(args)?;
+    let db = open_db(&f)?;
+    let keywords = keywords_of(&f)?;
+    let k: usize = f.get_or("k", 10)?;
+    let alg = parse_alg(&f)?;
+    let at = parse_point(f.required("at")?)?;
+    let limit: usize = f.get_or("steps", 40)?;
+
+    let q = DistanceFirstQuery::new(at, &keywords, k);
+    let mut sink = VecSink::new();
+    let report = db
+        .distance_first_traced(alg, &q, &mut sink)
+        .map_err(io_err)?;
+
+    say!(
+        out,
+        "trace of top-{k} {keywords:?} near {at:?} via {}:",
+        alg.label()
+    );
+    for (i, e) in sink.events.iter().take(limit).enumerate() {
+        match e {
+            TraceEvent::NodeVisited {
+                node,
+                level,
+                mindist,
+                entries,
+                heap_size,
+            } => say!(
+                out,
+                "  [{i:>4}] visit node {node} (level {level}) mindist {mindist:.4}, \
+                 {entries} entries, frontier {heap_size}"
+            ),
+            TraceEvent::SignatureTest { level, matched } => say!(
+                out,
+                "  [{i:>4}] sig test @ level {level}: {}",
+                if *matched { "match" } else { "pruned" }
+            ),
+            TraceEvent::ObjectFetched {
+                ptr,
+                distance,
+                matched,
+            } => say!(
+                out,
+                "  [{i:>4}] fetch object @{ptr} dist {distance:.4}: {}",
+                if *matched {
+                    "verified"
+                } else {
+                    "false positive"
+                }
+            ),
+        }
+    }
+    if sink.events.len() > limit {
+        say!(
+            out,
+            "  … {} more events (raise --steps to see them)",
+            sink.events.len() - limit
+        );
+    }
+
+    let stats = sink.stats();
+    say!(
+        out,
+        "summary: {} nodes visited, {} entries scanned, {} signature tests \
+         ({} pruned), {} objects fetched ({} false positives), max frontier {}",
+        stats.nodes_visited,
+        stats.entries_scanned,
+        stats.sig_tests,
+        stats.pruned_by_signature(),
+        stats.objects_fetched,
+        stats.false_positives,
+        stats.max_heap
+    );
+
+    let profile = match alg {
+        Algorithm::Ir2 => Some(density_profile(db.ir2_tree()).map_err(io_err)?),
+        Algorithm::Mir2 => Some(density_profile(db.mir2_tree()).map_err(io_err)?),
+        _ => None,
+    };
+    if let Some(profile) = profile {
+        say!(
+            out,
+            "level  bits  density  predicted-fp  sig-tests  matched  observed"
+        );
+        for ld in &profile {
+            let lp = stats
+                .per_level
+                .get(ld.level as usize)
+                .copied()
+                .unwrap_or_default();
+            say!(
+                out,
+                "{:>5}  {:>4}  {:>7.4}  {:>12.4}  {:>9}  {:>7}  {:>8.4}",
+                ld.level,
+                ld.bits,
+                ld.mean_density,
+                ld.expected_fp,
+                lp.tests,
+                lp.matched,
+                lp.match_rate()
+            );
+        }
+    }
+    print_report(out, &report)?;
+    Ok(())
+}
+
 /// `ir2 check` — fsck-style offline integrity check: verifies the catalog
 /// (shadow epoch + checksums), re-reads every object record (per-record
 /// CRCs), and walks all three trees validating page checksums, MBR
@@ -306,9 +419,16 @@ pub fn check(args: &[String], out: &mut impl Write) -> CliResult {
 }
 
 /// `ir2 stats` — Table-1/Table-2 style report for a database directory.
+/// With `--prometheus`, emits the metrics registry in Prometheus text
+/// exposition format instead (gauges carry the dataset and per-device I/O
+/// totals of this process; query counters accumulate as queries run).
 pub fn stats(args: &[String], out: &mut impl Write) -> CliResult {
     let f = Flags::parse(args)?;
     let db = open_db(&f)?;
+    if f.switch("prometheus") {
+        write!(out, "{}", db.metrics_prometheus()).map_err(io_err)?;
+        return Ok(());
+    }
     let s = db.build_stats();
     say!(out, "objects:            {}", s.objects);
     say!(out, "avg words/object:   {:.1}", s.avg_unique_words);

@@ -6,7 +6,8 @@
 //! ir2 query --db ./mydb --at 25.77,-80.19 --keywords "cafe wifi" [--k 10] [--alg ir2]
 //! ir2 batch --db ./mydb --queries q.txt [--threads 4] [--k 10] [--alg ir2]
 //! ir2 ranked --db ./mydb --at 25.77,-80.19 --keywords "cafe wifi" [--k 10]
-//! ir2 stats --db ./mydb
+//! ir2 trace --db ./mydb --at 25.77,-80.19 --keywords "cafe wifi" [--alg ir2]
+//! ir2 stats --db ./mydb [--prometheus]
 //! ```
 //!
 //! Databases are directories of block-device files (see
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "query" => commands::query(rest, &mut out),
         "batch" => commands::batch(rest, &mut out),
         "ranked" => commands::ranked(rest, &mut out),
+        "trace" => commands::trace(rest, &mut out),
         "stats" => commands::stats(rest, &mut out),
         "check" => commands::check(rest, &mut out),
         "help" | "--help" | "-h" => {

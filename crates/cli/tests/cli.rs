@@ -131,6 +131,48 @@ fn full_pipeline() {
     assert!(!bad.status.success());
     assert!(String::from_utf8_lossy(&bad.stderr).contains("bad.txt:1"));
 
+    // Traced query: step log plus the observed-vs-predicted pruning table.
+    for alg in ["ir2", "mir2", "rtree"] {
+        let t = ir2(
+            &dir,
+            &[
+                "trace",
+                "--db",
+                "db",
+                "--at",
+                "0,0",
+                "--keywords",
+                "ba",
+                "--k",
+                "3",
+                "--alg",
+                alg,
+            ],
+        );
+        assert!(
+            t.status.success(),
+            "{alg}: {}",
+            String::from_utf8_lossy(&t.stderr)
+        );
+        let s = stdout(&t);
+        assert!(s.contains("summary:"), "{alg}: {s}");
+        assert!(!s.contains("NaN"), "{alg}: {s}");
+        if alg != "rtree" {
+            assert!(s.contains("predicted-fp"), "{alg}: {s}");
+            assert!(s.contains("sig test"), "{alg}: {s}");
+        }
+    }
+
+    // Prometheus exposition: well-formed, finite numbers only.
+    let prom = ir2(&dir, &["stats", "--db", "db", "--prometheus"]);
+    assert!(prom.status.success());
+    let p = stdout(&prom);
+    assert!(p.contains("# TYPE"), "{p}");
+    assert!(p.contains("device_read_blocks{device=\"objects\"}"), "{p}");
+    assert!(p.contains("db_objects 800"), "{p}");
+    assert!(!p.contains("NaN"), "{p}");
+    assert!(!p.contains("inf"), "{p}");
+
     // Area query and ranked query.
     let area = ir2(
         &dir,

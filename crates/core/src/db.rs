@@ -9,15 +9,16 @@ use std::time::{Duration, Instant};
 use ir2_geo::Rect;
 use ir2_invindex::{iio_topk, InvertedIndex};
 use ir2_irtree::{
-    distance_first_topk, general_topk, insert_object, rtree_baseline_topk, GeneralQuery,
-    Ir2Payload, MirPayload, SearchCounters,
+    distance_first_region_topk_traced, distance_first_topk_traced, general_topk, insert_object,
+    rtree_baseline_topk_traced, GeneralQuery, Ir2Payload, MirPayload, SearchCounters, StatsSink,
+    TraceSink, TraceStats,
 };
 use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectSource, ObjectStore, SpatialObject};
 use ir2_rtree::{RTree, RTreeConfig, UnitPayload};
 use ir2_sigfile::{MultiLevelScheme, SignatureScheme};
 use ir2_storage::{
-    BlockDevice, FileDevice, IoScope, IoSnapshot, IoStats, MemDevice, Result, ShadowPair,
-    StorageError, TrackedDevice, BLOCK_SIZE, RECORD_HEADER_LEN,
+    BlockDevice, FileDevice, Histogram, IoScope, IoSnapshot, IoStats, MemDevice, MetricsRegistry,
+    Result, ShadowPair, StorageError, TrackedDevice, BLOCK_SIZE, RECORD_HEADER_LEN,
 };
 use ir2_text::{tokenize, IrScorer, RankingFn, TermId, Vocabulary};
 
@@ -197,6 +198,7 @@ pub struct SpatialKeywordDb<D: BlockDevice + 'static> {
     inverted: InvertedIndex<TrackedDevice<D>>,
     catalog: ShadowPair<D>,
     io: IoHandles,
+    metrics: Arc<MetricsRegistry>,
     build_stats: BuildStats,
 }
 
@@ -382,6 +384,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             inverted,
             catalog,
             io,
+            metrics: Arc::new(MetricsRegistry::new()),
             build_stats,
         };
         db.save_catalog()?;
@@ -594,6 +597,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             inverted,
             catalog,
             io,
+            metrics: Arc::new(MetricsRegistry::new()),
             build_stats,
         })
     }
@@ -611,12 +615,62 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         }
     }
 
+    /// Folds one finished query's report into the metrics registry. Called
+    /// once per query, outside any concurrent phase.
+    fn publish_query_metrics(&self, alg: Algorithm, r: &QueryReport) {
+        let key = alg.key();
+        let m = &self.metrics;
+        m.add_counter(&format!("queries_total{{alg=\"{key}\"}}"), 1);
+        m.observe_io(&format!("{{alg=\"{key}\"}}"), r.io);
+        m.histogram(&format!("query_io_blocks{{alg=\"{key}\"}}"))
+            .observe(r.io.total());
+        m.histogram(&format!("query_object_loads{{alg=\"{key}\"}}"))
+            .observe(r.object_loads);
+        m.histogram(&format!("query_nodes_read{{alg=\"{key}\"}}"))
+            .observe(r.counters.nodes_read);
+        m.add_counter(
+            &format!("signature_tests_total{{alg=\"{key}\"}}"),
+            r.pruning.sig_tests,
+        );
+        m.add_counter(
+            &format!("signature_prunes_total{{alg=\"{key}\"}}"),
+            r.pruning.pruned_by_signature(),
+        );
+        m.add_counter(
+            &format!("object_false_positives_total{{alg=\"{key}\"}}"),
+            r.counters.false_positives,
+        );
+    }
+
     /// Answers a distance-first top-k spatial keyword query with the chosen
     /// algorithm, reporting results plus the I/O metrics the paper plots.
+    ///
+    /// Pruning statistics are collected through a [`StatsSink`] and the
+    /// query is published to the [`metrics`](SpatialKeywordDb::metrics)
+    /// registry.
     pub fn distance_first(
         &self,
         alg: Algorithm,
         query: &DistanceFirstQuery<2>,
+    ) -> Result<QueryReport> {
+        let mut sink = StatsSink::new();
+        let mut report = self.distance_first_traced(alg, query, &mut sink)?;
+        report.pruning = sink.into_stats();
+        self.publish_query_metrics(alg, &report);
+        Ok(report)
+    }
+
+    /// [`distance_first`](SpatialKeywordDb::distance_first) with every
+    /// execution step streamed to `sink` — the engine behind `ir2 trace`.
+    ///
+    /// The returned report's `pruning` field is left empty (the caller
+    /// holds the sink and can derive richer statistics from it), and the
+    /// query is *not* published to the metrics registry.
+    pub fn distance_first_traced<S: TraceSink>(
+        &self,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+        mut sink: S,
     ) -> Result<QueryReport> {
         let idx_stats = self.stats_of(alg);
         let idx_before = idx_stats.snapshot();
@@ -625,9 +679,15 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         let t0 = Instant::now();
 
         let (results, counters) = match alg {
-            Algorithm::RTree => rtree_baseline_topk(&self.rtree, self.objects.as_ref(), query)?,
-            Algorithm::Ir2 => distance_first_topk(&self.ir2, self.objects.as_ref(), query)?,
-            Algorithm::Mir2 => distance_first_topk(&self.mir2, self.objects.as_ref(), query)?,
+            Algorithm::RTree => {
+                rtree_baseline_topk_traced(&self.rtree, self.objects.as_ref(), query, &mut sink)?
+            }
+            Algorithm::Ir2 => {
+                distance_first_topk_traced(&self.ir2, self.objects.as_ref(), query, &mut sink)?
+            }
+            Algorithm::Mir2 => {
+                distance_first_topk_traced(&self.mir2, self.objects.as_ref(), query, &mut sink)?
+            }
             Algorithm::Iio => (
                 iio_topk(&self.inverted, &self.vocab, self.objects.as_ref(), query)?,
                 SearchCounters::default(),
@@ -645,6 +705,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             io,
             object_loads: self.objects.loads() - loads_before,
             counters,
+            pruning: TraceStats::default(),
             simulated: self.config.cost_model.time(io),
             wall,
         })
@@ -661,12 +722,13 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         query: &DistanceFirstQuery<2>,
     ) -> Result<QueryReport> {
         let src = CountingSource::new(self.objects.as_ref() as &dyn ObjectSource<2>);
+        let mut sink = StatsSink::new();
         let scope = IoScope::enter();
         let t0 = Instant::now();
         let out = match alg {
-            Algorithm::RTree => rtree_baseline_topk(&self.rtree, &src, query),
-            Algorithm::Ir2 => distance_first_topk(&self.ir2, &src, query),
-            Algorithm::Mir2 => distance_first_topk(&self.mir2, &src, query),
+            Algorithm::RTree => rtree_baseline_topk_traced(&self.rtree, &src, query, &mut sink),
+            Algorithm::Ir2 => distance_first_topk_traced(&self.ir2, &src, query, &mut sink),
+            Algorithm::Mir2 => distance_first_topk_traced(&self.mir2, &src, query, &mut sink),
             Algorithm::Iio => iio_topk(&self.inverted, &self.vocab, &src, query)
                 .map(|r| (r, SearchCounters::default())),
         };
@@ -683,6 +745,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             io,
             object_loads: src.loads(),
             counters,
+            pruning: sink.into_stats(),
             simulated: self.config.cost_model.time(io),
             wall,
         })
@@ -709,7 +772,14 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         queries: &[DistanceFirstQuery<2>],
         threads: usize,
     ) -> Result<Vec<QueryReport>> {
-        run_batch(queries, threads, |q| self.scoped_distance_first(alg, q))
+        let reports = run_batch(queries, threads, |q| self.scoped_distance_first(alg, q))?;
+        // Metrics are folded in *after* the concurrent phase: workers touch
+        // only their thread-local sinks, so the shared registry sees no
+        // query-path contention.
+        for r in &reports {
+            self.publish_query_metrics(alg, r);
+        }
+        Ok(reports)
     }
 
     /// Answers a batch of general (ranked) top-k queries concurrently, with
@@ -764,9 +834,20 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         let t0 = Instant::now();
         let reports = self.batch_topk(alg, queries, threads)?;
         let io: IoSnapshot = reports.iter().map(|r| r.io).sum();
+        let io_hist = Histogram::new();
+        let loads_hist = Histogram::new();
+        let mut pruning = TraceStats::default();
+        for r in &reports {
+            io_hist.observe(r.io.total());
+            loads_hist.observe(r.object_loads);
+            pruning.merge(&r.pruning);
+        }
         Ok(BatchReport {
             results: reports.into_iter().map(|r| r.results).collect(),
             io,
+            io_per_query: io_hist.summary(),
+            loads_per_query: loads_hist.summary(),
+            pruning,
             simulated: self.config.cost_model.time(io),
             wall: t0.elapsed(),
         })
@@ -787,22 +868,25 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         let idx_before = idx_stats.snapshot();
         let obj_before = self.io.objects.snapshot();
         let loads_before = self.objects.loads();
+        let mut sink = StatsSink::new();
         let t0 = Instant::now();
 
         let (results, counters) = match alg {
-            Algorithm::Ir2 => ir2_irtree::distance_first_region_topk(
+            Algorithm::Ir2 => distance_first_region_topk_traced(
                 &self.ir2,
                 self.objects.as_ref(),
                 region,
                 keywords,
                 k,
+                &mut sink,
             )?,
-            Algorithm::Mir2 => ir2_irtree::distance_first_region_topk(
+            Algorithm::Mir2 => distance_first_region_topk_traced(
                 &self.mir2,
                 self.objects.as_ref(),
                 region,
                 keywords,
                 k,
+                &mut sink,
             )?,
             other => {
                 return Err(StorageError::Corrupt(format!(
@@ -816,16 +900,19 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         let index_io = idx_stats.snapshot() - idx_before;
         let object_io = self.io.objects.snapshot() - obj_before;
         let io = index_io + object_io;
-        Ok(QueryReport {
+        let report = QueryReport {
             results,
             index_io,
             object_io,
             io,
             object_loads: self.objects.loads() - loads_before,
             counters,
+            pruning: sink.into_stats(),
             simulated: self.config.cost_model.time(io),
             wall,
-        })
+        };
+        self.publish_query_metrics(alg, &report);
+        Ok(report)
     }
 
     /// Boolean keyword query within a window (Section 2's `Ans(Q_w)`
@@ -1092,6 +1179,44 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
     /// The inverted index (baseline 2).
     pub fn inverted_index(&self) -> &InvertedIndex<TrackedDevice<D>> {
         &self.inverted
+    }
+
+    /// The live metrics registry: cumulative query counters and per-query
+    /// histograms, fed by every
+    /// [`distance_first`](SpatialKeywordDb::distance_first) /
+    /// [`batch_topk`](SpatialKeywordDb::batch_topk) /
+    /// [`distance_first_region`](SpatialKeywordDb::distance_first_region)
+    /// call. Snapshot/delta and Prometheus export live on the registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Prometheus text exposition of the registry, with point-in-time
+    /// gauges (per-device I/O totals, dataset size) refreshed first.
+    /// Every emitted value is finite — non-finite gauges clamp to zero.
+    pub fn metrics_prometheus(&self) -> String {
+        let (objects, rtree, ir2, mir2, inverted) = self.io_totals();
+        for (dev, io) in [
+            ("objects", objects),
+            ("rtree", rtree),
+            ("ir2", ir2),
+            ("mir2", mir2),
+            ("inverted", inverted),
+        ] {
+            self.metrics.set_gauge(
+                &format!("device_read_blocks{{device=\"{dev}\"}}"),
+                (io.random_reads + io.seq_reads) as f64,
+            );
+            self.metrics.set_gauge(
+                &format!("device_write_blocks{{device=\"{dev}\"}}"),
+                (io.random_writes + io.seq_writes) as f64,
+            );
+        }
+        self.metrics
+            .set_gauge("db_objects", self.build_stats.objects as f64);
+        self.metrics
+            .set_gauge("db_vocabulary_terms", self.build_stats.unique_words as f64);
+        self.metrics.export_prometheus()
     }
 
     /// Total I/O since the counters were last reset, per structure:

@@ -2,9 +2,9 @@
 
 use std::time::Duration;
 
-use ir2_irtree::{ScoredResult, SearchCounters};
+use ir2_irtree::{ScoredResult, SearchCounters, TraceStats};
 use ir2_model::SpatialObject;
-use ir2_storage::IoSnapshot;
+use ir2_storage::{HistogramSummary, IoSnapshot};
 
 /// Which access method answers a query — the four contenders of Section 6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,6 +37,17 @@ impl Algorithm {
             Algorithm::Mir2 => "MIR2-Tree",
         }
     }
+
+    /// Short lowercase identifier, used as the `alg` label value in
+    /// metrics and as the CLI's `--alg` argument.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Algorithm::RTree => "rtree",
+            Algorithm::Iio => "iio",
+            Algorithm::Ir2 => "ir2",
+            Algorithm::Mir2 => "mir2",
+        }
+    }
 }
 
 /// The outcome of one distance-first query: results plus every metric the
@@ -55,6 +66,11 @@ pub struct QueryReport {
     pub object_loads: u64,
     /// Traversal counters (nodes read, signature prunes, false positives).
     pub counters: SearchCounters,
+    /// Trace-derived pruning statistics: per-level signature tallies, heap
+    /// growth, entry scans. Always collected (the folding sink is cheap);
+    /// definitionally consistent with `counters` — see
+    /// [`TraceStats::matches_counters`].
+    pub pruning: TraceStats,
     /// Simulated disk time under the configured cost model — the
     /// hardware-independent stand-in for the paper's execution time.
     pub simulated: Duration,
@@ -85,6 +101,15 @@ pub struct BatchReport {
     /// Aggregate block accesses of the whole batch (per-query attribution
     /// is meaningless under concurrency).
     pub io: IoSnapshot,
+    /// Distribution of per-query **total block accesses** across the
+    /// batch (each query's count observed once, thread-locally attributed
+    /// via `IoScope`).
+    pub io_per_query: HistogramSummary,
+    /// Distribution of per-query **object loads** across the batch.
+    pub loads_per_query: HistogramSummary,
+    /// Trace-derived pruning statistics summed over all queries in the
+    /// batch (folded after the concurrent phase — no contention).
+    pub pruning: TraceStats,
     /// Simulated disk time for the aggregate I/O.
     pub simulated: Duration,
     /// Wall-clock time of the batch.

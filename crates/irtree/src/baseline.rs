@@ -4,6 +4,7 @@ use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectSource, SpatialObject};
 use ir2_rtree::{NnIter, RTree, UnitPayload};
 use ir2_storage::{BlockDevice, Result};
 
+use crate::trace::{NopSink, TraceEvent, TraceSink};
 use crate::SearchCounters;
 
 /// Incremental form of the paper's first baseline: plain Hjaltason–Samet
@@ -15,11 +16,12 @@ use crate::SearchCounters;
 /// result objects are found"; with selective keywords that is a long march
 /// of useless object loads, and "in the worst case … the entire tree has to
 /// be traversed".
-pub struct RtreeBaselineIter<'a, const N: usize, D> {
+pub struct RtreeBaselineIter<'a, const N: usize, D, S: TraceSink = NopSink> {
     nn: NnIter<'a, N, D, UnitPayload>,
     objects: &'a dyn ObjectSource<N>,
     keywords: Vec<String>,
     counters: SearchCounters,
+    sink: S,
 }
 
 impl<'a, const N: usize, D: BlockDevice> RtreeBaselineIter<'a, N, D> {
@@ -29,11 +31,28 @@ impl<'a, const N: usize, D: BlockDevice> RtreeBaselineIter<'a, N, D> {
         objects: &'a dyn ObjectSource<N>,
         query: &DistanceFirstQuery<N>,
     ) -> Self {
+        Self::with_sink(tree, objects, query, NopSink)
+    }
+}
+
+impl<'a, const N: usize, D: BlockDevice, S: TraceSink> RtreeBaselineIter<'a, N, D, S> {
+    /// Starts the incremental baseline search, reporting each object fetch
+    /// to `sink`. The baseline has no signatures and its node visits
+    /// happen inside the plain NN iterator, so the trace records
+    /// [`TraceEvent::ObjectFetched`] only — which is exactly its cost
+    /// story: the march of candidate loads.
+    pub fn with_sink(
+        tree: &'a RTree<N, D, UnitPayload>,
+        objects: &'a dyn ObjectSource<N>,
+        query: &DistanceFirstQuery<N>,
+        sink: S,
+    ) -> Self {
         Self {
             nn: tree.nearest(query.point),
             objects,
             keywords: query.keywords.clone(),
             counters: SearchCounters::default(),
+            sink,
         }
     }
 
@@ -49,7 +68,13 @@ impl<'a, const N: usize, D: BlockDevice> RtreeBaselineIter<'a, N, D> {
             let nn = nn?;
             self.counters.candidates_checked += 1;
             let obj = self.objects.load(ObjPtr(nn.child))?;
-            if obj.token_set().contains_all(&self.keywords) {
+            let matched = obj.token_set().contains_all(&self.keywords);
+            self.sink.record(&TraceEvent::ObjectFetched {
+                ptr: nn.child,
+                distance: nn.dist,
+                matched,
+            });
+            if matched {
                 return Ok(Some((obj, nn.dist)));
             }
             self.counters.false_positives += 1;
@@ -58,7 +83,7 @@ impl<'a, const N: usize, D: BlockDevice> RtreeBaselineIter<'a, N, D> {
     }
 }
 
-impl<const N: usize, D: BlockDevice> Iterator for RtreeBaselineIter<'_, N, D> {
+impl<const N: usize, D: BlockDevice, S: TraceSink> Iterator for RtreeBaselineIter<'_, N, D, S> {
     type Item = Result<(SpatialObject<N>, f64)>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -74,7 +99,17 @@ pub fn rtree_baseline_topk<const N: usize, D: BlockDevice>(
     objects: &dyn ObjectSource<N>,
     query: &DistanceFirstQuery<N>,
 ) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)> {
-    let mut iter = RtreeBaselineIter::new(tree, objects, query);
+    rtree_baseline_topk_traced(tree, objects, query, NopSink)
+}
+
+/// [`rtree_baseline_topk`] with every object fetch reported to `sink`.
+pub fn rtree_baseline_topk_traced<const N: usize, D: BlockDevice, S: TraceSink>(
+    tree: &RTree<N, D, UnitPayload>,
+    objects: &dyn ObjectSource<N>,
+    query: &DistanceFirstQuery<N>,
+    sink: S,
+) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)> {
+    let mut iter = RtreeBaselineIter::with_sink(tree, objects, query, sink);
     let mut out = Vec::with_capacity(query.k);
     while out.len() < query.k {
         match iter.step()? {

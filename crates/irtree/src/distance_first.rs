@@ -11,6 +11,7 @@ use ir2_rtree::RTree;
 use ir2_sigfile::Signature;
 use ir2_storage::{BlockDevice, Result};
 
+use crate::trace::{NopSink, TraceEvent, TraceSink};
 use crate::SigPayload;
 
 /// Counters the incremental search maintains, matching the metrics the
@@ -49,7 +50,12 @@ enum Item {
 /// matches, and the iterator degenerates to plain incremental NN — the
 /// IR²-Tree "facilitates both top-k spatial queries and top-k spatial
 /// keyword queries".
-pub struct DistanceFirstIter<'a, const N: usize, D, P: SigPayload> {
+///
+/// The `S` parameter is a [`TraceSink`] receiving one event per node
+/// visit, signature test, and object fetch; the default [`NopSink`]
+/// monomorphizes every `record` call to an inlined empty body, so the
+/// untraced iterator is byte-for-byte the pre-instrumentation code.
+pub struct DistanceFirstIter<'a, const N: usize, D, P: SigPayload, S: TraceSink = NopSink> {
     tree: &'a RTree<N, D, P>,
     objects: &'a dyn ObjectSource<N>,
     region: QueryRegion<N>,
@@ -60,6 +66,7 @@ pub struct DistanceFirstIter<'a, const N: usize, D, P: SigPayload> {
     heap: BinaryHeap<Reverse<(OrderedF64, u64, Item)>>,
     seq: u64,
     counters: SearchCounters,
+    sink: S,
 }
 
 impl Ord for Item {
@@ -98,6 +105,21 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload> DistanceFirstIter<'a, N,
         region: QueryRegion<N>,
         keywords: Vec<String>,
     ) -> Self {
+        Self::with_region_sink(tree, objects, region, keywords, NopSink)
+    }
+}
+
+impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
+    DistanceFirstIter<'a, N, D, P, S>
+{
+    /// Starts an incremental search that reports every step to `sink`.
+    pub fn with_region_sink(
+        tree: &'a RTree<N, D, P>,
+        objects: &'a dyn ObjectSource<N>,
+        region: QueryRegion<N>,
+        keywords: Vec<String>,
+        sink: S,
+    ) -> Self {
         let mut heap = BinaryHeap::new();
         if let Some(root) = tree.root() {
             heap.push(Reverse((OrderedF64(0.0), 0, Item::Node(root))));
@@ -111,12 +133,18 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload> DistanceFirstIter<'a, N,
             heap,
             seq: 1,
             counters: SearchCounters::default(),
+            sink,
         }
     }
 
     /// The search counters so far.
     pub fn counters(&self) -> SearchCounters {
         self.counters
+    }
+
+    /// Consumes the iterator, returning the trace sink.
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 
     fn step(&mut self) -> Result<Option<(SpatialObject<N>, f64)>> {
@@ -127,7 +155,13 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload> DistanceFirstIter<'a, N,
                     // positives are possible).
                     self.counters.candidates_checked += 1;
                     let obj = self.objects.load(ObjPtr(child))?;
-                    if obj.token_set().contains_all(&self.keywords) {
+                    let matched = obj.token_set().contains_all(&self.keywords);
+                    self.sink.record(&TraceEvent::ObjectFetched {
+                        ptr: child,
+                        distance: dist.0,
+                        matched,
+                    });
+                    if matched {
                         return Ok(Some((obj, dist.0)));
                     }
                     self.counters.false_positives += 1;
@@ -135,6 +169,13 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload> DistanceFirstIter<'a, N,
                 Item::Node(id) => {
                     let node = self.tree.read_node(id)?;
                     self.counters.nodes_read += 1;
+                    self.sink.record(&TraceEvent::NodeVisited {
+                        node: id,
+                        level: node.level,
+                        mindist: dist.0,
+                        entries: node.entries.len(),
+                        heap_size: self.heap.len(),
+                    });
                     // Borrow the cached query signature for this level
                     // instead of cloning it per node (signatures are heap
                     // buffers; at hundreds of bits each, a clone per node
@@ -149,6 +190,7 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload> DistanceFirstIter<'a, N,
                         heap,
                         seq,
                         counters,
+                        sink,
                         ..
                     } = self;
                     let scheme = tree.ops().scheme_at(node.level);
@@ -159,7 +201,12 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload> DistanceFirstIter<'a, N,
                         // "if s matches w": drop entries whose signature
                         // does not contain the query signature.
                         let esig = Signature::from_bytes(scheme.bits(), &e.payload);
-                        if !esig.contains(qsig) {
+                        let matched = esig.contains(qsig);
+                        sink.record(&TraceEvent::SignatureTest {
+                            level: node.level,
+                            matched,
+                        });
+                        if !matched {
                             counters.pruned_by_signature += 1;
                             continue;
                         }
@@ -179,7 +226,9 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload> DistanceFirstIter<'a, N,
     }
 }
 
-impl<const N: usize, D: BlockDevice, P: SigPayload> Iterator for DistanceFirstIter<'_, N, D, P> {
+impl<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink> Iterator
+    for DistanceFirstIter<'_, N, D, P, S>
+{
     type Item = Result<(SpatialObject<N>, f64)>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -224,6 +273,24 @@ pub fn distance_first_topk<const N: usize, D: BlockDevice, P: SigPayload>(
     collect_k(iter, query.k)
 }
 
+/// [`distance_first_topk`] with every execution step reported to `sink`
+/// (pass `&mut sink` to keep ownership — sinks are usable by reference).
+pub fn distance_first_topk_traced<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    query: &DistanceFirstQuery<N>,
+    sink: S,
+) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)> {
+    let iter = DistanceFirstIter::with_region_sink(
+        tree,
+        objects,
+        QueryRegion::Point(query.point),
+        query.keywords.clone(),
+        sink,
+    );
+    collect_k(iter, query.k)
+}
+
 /// Distance-first top-k anchored at an arbitrary [`QueryRegion`] (point or
 /// area). Keywords are normalized like [`DistanceFirstQuery::new`] does.
 pub fn distance_first_region_topk<const N: usize, D: BlockDevice, P: SigPayload>(
@@ -233,18 +300,35 @@ pub fn distance_first_region_topk<const N: usize, D: BlockDevice, P: SigPayload>
     keywords: &[String],
     k: usize,
 ) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)> {
+    distance_first_region_topk_traced(tree, objects, region, keywords, k, NopSink)
+}
+
+/// [`distance_first_region_topk`] with every step reported to `sink`.
+pub fn distance_first_region_topk_traced<
+    const N: usize,
+    D: BlockDevice,
+    P: SigPayload,
+    S: TraceSink,
+>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    region: QueryRegion<N>,
+    keywords: &[String],
+    k: usize,
+    sink: S,
+) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)> {
     let mut kws: Vec<String> = keywords
         .iter()
         .flat_map(|w| ir2_text::tokenize(w).collect::<Vec<_>>())
         .collect();
     kws.sort_unstable();
     kws.dedup();
-    let iter = DistanceFirstIter::with_region(tree, objects, region, kws);
+    let iter = DistanceFirstIter::with_region_sink(tree, objects, region, kws, sink);
     collect_k(iter, k)
 }
 
-fn collect_k<const N: usize, D: BlockDevice, P: SigPayload>(
-    mut iter: DistanceFirstIter<'_, N, D, P>,
+fn collect_k<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(
+    mut iter: DistanceFirstIter<'_, N, D, P, S>,
     k: usize,
 ) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)> {
     let mut out = Vec::with_capacity(k.min(1024));

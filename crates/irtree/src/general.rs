@@ -11,6 +11,7 @@ use ir2_sigfile::Signature;
 use ir2_storage::{BlockDevice, Result};
 use ir2_text::{tokenize, IrScorer, RankingFn, TermId, Vocabulary};
 
+use crate::trace::{NopSink, TraceEvent, TraceSink};
 use crate::SigPayload;
 
 /// A general top-k spatial keyword query: keywords are *preferences*, not a
@@ -100,6 +101,24 @@ pub fn general_topk<const N: usize, D: BlockDevice, P: SigPayload>(
     rank: &dyn RankingFn,
     query: &GeneralQuery<N>,
 ) -> Result<Vec<ScoredResult<N>>> {
+    general_topk_traced(tree, objects, vocab, scorer, rank, query, NopSink)
+}
+
+/// [`general_topk`] with every step reported to `sink`. Signature tests
+/// are recorded per *keyword* probe (the general algorithm tests each
+/// query keyword's signature individually to find the matched subset), and
+/// a visited node's `mindist` field carries its pop priority — the score
+/// upper bound `Upper(v)`, infinite for the root — since the traversal is
+/// ordered by score, not distance.
+pub fn general_topk_traced<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    vocab: &Vocabulary,
+    scorer: &dyn IrScorer,
+    rank: &dyn RankingFn,
+    query: &GeneralQuery<N>,
+    mut sink: S,
+) -> Result<Vec<ScoredResult<N>>> {
     // Query terms present in the corpus (absent terms can never contribute
     // to any document's score).
     let term_ids: Vec<TermId> = query
@@ -148,6 +167,11 @@ pub fn general_topk<const N: usize, D: BlockDevice, P: SigPayload>(
                 let obj = objects.load(ObjPtr(child))?;
                 let distance = obj.point.distance(&query.point);
                 let ir_score = scorer.score(vocab, &term_ids, &obj.token_counts());
+                sink.record(&TraceEvent::ObjectFetched {
+                    ptr: child,
+                    distance,
+                    matched: ir_score > 0.0,
+                });
                 // The verify-step analog of IR2TopK line 21: a signature
                 // false positive may surface an object that matches no
                 // query keyword; under `require_match` it is not a result.
@@ -181,6 +205,13 @@ pub fn general_topk<const N: usize, D: BlockDevice, P: SigPayload>(
             GItem::Node(node_id) => {
                 let node = tree.read_node(node_id)?;
                 let level = node.level;
+                sink.record(&TraceEvent::NodeVisited {
+                    node: node_id,
+                    level,
+                    mindist: upper.0,
+                    entries: node.entries.len(),
+                    heap_size: heap.len(),
+                });
                 let ops = tree.ops();
                 // Borrowed for the whole entry loop — per-node signature
                 // clones would allocate on every node read (the bug fixed
@@ -197,7 +228,14 @@ pub fn general_topk<const N: usize, D: BlockDevice, P: SigPayload>(
                     let matched: Vec<TermId> = term_ids
                         .iter()
                         .zip(sigs.iter())
-                        .filter(|(_, s)| esig.contains(s))
+                        .filter(|(_, s)| {
+                            let hit = esig.contains(s);
+                            sink.record(&TraceEvent::SignatureTest {
+                                level,
+                                matched: hit,
+                            });
+                            hit
+                        })
                         .map(|(&t, _)| t)
                         .collect();
                     if matched.is_empty() && query.require_match {

@@ -28,6 +28,11 @@
 //!
 //! Both query algorithms "can also operate on MIR²-Trees with no
 //! modification" — they are generic over the payload via [`SigPayload`].
+//!
+//! Every algorithm additionally accepts a [`TraceSink`] (`*_traced`
+//! variants) that receives one [`TraceEvent`] per node visit, signature
+//! test, and object fetch; the default [`NopSink`] makes the untraced
+//! paths compile to the uninstrumented code.
 
 mod baseline;
 mod diagnostics;
@@ -35,16 +40,19 @@ mod distance_first;
 mod general;
 mod objects;
 mod payloads;
+pub mod trace;
 mod window;
 
-pub use baseline::{rtree_baseline_topk, RtreeBaselineIter};
+pub use baseline::{rtree_baseline_topk, rtree_baseline_topk_traced, RtreeBaselineIter};
 pub use diagnostics::{density_profile, LevelDensity};
 pub use distance_first::{
-    distance_first_region_topk, distance_first_topk, DistanceFirstIter, SearchCounters,
+    distance_first_region_topk, distance_first_region_topk_traced, distance_first_topk,
+    distance_first_topk_traced, DistanceFirstIter, SearchCounters,
 };
-pub use general::{general_topk, GeneralQuery, ScoredResult};
+pub use general::{general_topk, general_topk_traced, GeneralQuery, ScoredResult};
 pub use objects::{bulk_load_objects, delete_object, insert_object};
 pub use payloads::{Ir2Payload, MirPayload, SigPayload};
+pub use trace::{LevelPruning, NopSink, StatsSink, TraceEvent, TraceSink, TraceStats, VecSink};
 pub use window::keyword_window_query;
 
 /// An IR²-Tree: an augmented R-Tree with uniform signatures.

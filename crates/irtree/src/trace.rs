@@ -1,0 +1,429 @@
+//! Per-query execution traces.
+//!
+//! The paper's Section VI tables are *per-query counts*: node accesses,
+//! signature false positives per level, objects verified. A [`TraceSink`]
+//! receives one [`TraceEvent`] per algorithm step so those counts (and
+//! full step logs) can be derived at query time instead of re-running the
+//! offline `diagnostics` walk:
+//!
+//! * [`NopSink`] — the default; every `record` call is an inlined empty
+//!   body, so the traced code monomorphizes to exactly the untraced code
+//!   (the `trace_overhead` bench guards this stays ≤ 5% on the batch
+//!   engine).
+//! * [`VecSink`] — keeps every event, for the `ir2 trace` step log.
+//! * [`StatsSink`] — folds events into [`TraceStats`] counters and
+//!   per-level pruning tallies without storing events.
+//!
+//! The derived [`TraceStats`] are definitionally consistent with the
+//! algorithms' own `SearchCounters` (`nodes_visited == nodes_read`,
+//! `objects_fetched == candidates_checked`, `sig_tests − sig_matched ==
+//! pruned_by_signature`) — an equivalence the core crate's observability
+//! integration test asserts bit-for-bit against `IoScope` attribution.
+
+use crate::distance_first::SearchCounters;
+
+/// One step of a spatial-keyword query's execution.
+///
+/// Events carry the quantities the paper reports (level, MINDIST,
+/// signature outcomes) plus the heap size, which exposes the frontier
+/// growth that distinguishes distance-first from depth-first traversal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// An internal or leaf node was popped from the frontier and its block
+    /// read (`nodes_read` in `SearchCounters`).
+    NodeVisited {
+        /// Block id of the node on its tree device.
+        node: u64,
+        /// Tree level (0 = leaf).
+        level: u16,
+        /// Pop priority of the node: MINDIST from the query region for
+        /// the distance-first algorithms, the score upper bound `Upper(v)`
+        /// (infinite at the root) for the general algorithm.
+        mindist: f64,
+        /// Number of entries scanned in the node.
+        entries: usize,
+        /// Frontier (heap) size immediately *before* expanding this node.
+        heap_size: usize,
+    },
+    /// A node or leaf entry's signature was tested against the query
+    /// signature at `level`.
+    SignatureTest {
+        /// Level whose signature scheme performed the test — the
+        /// *containing node's* level (so leaf-node tests of object
+        /// entries report level 0, matching `diagnostics::density_profile`
+        /// levels).
+        level: u16,
+        /// Whether the superimposed signature matched (matches include
+        /// false positives; a miss is a certain prune).
+        matched: bool,
+    },
+    /// A candidate object was fetched from the object file and verified
+    /// against the actual keyword set.
+    ObjectFetched {
+        /// Record pointer of the object (block ⊕ slot encoding).
+        ptr: u64,
+        /// Euclidean distance from the query point.
+        distance: f64,
+        /// Whether verification succeeded (false ⇒ the fetch was a
+        /// signature false positive).
+        matched: bool,
+    },
+}
+
+/// A receiver of [`TraceEvent`]s.
+///
+/// Query algorithms take `S: TraceSink` with a [`NopSink`] default, so
+/// tracing is opt-in per call and free when unused.
+pub trait TraceSink {
+    /// Receives one event. Implementations must be cheap: this is called
+    /// on the query hot path (once per node, per signature test, per
+    /// object fetch).
+    fn record(&mut self, event: &TraceEvent);
+}
+
+/// Sinks are usable through mutable references, so a caller can keep
+/// ownership while lending the sink to an iterator.
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    #[inline]
+    fn record(&mut self, event: &TraceEvent) {
+        (**self).record(event);
+    }
+}
+
+/// The default sink: ignores everything. With `NopSink` the traced code
+/// paths compile to the untraced code — `record` is an inlined empty
+/// function the optimizer deletes along with event construction.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NopSink;
+
+impl TraceSink for NopSink {
+    #[inline(always)]
+    fn record(&mut self, _event: &TraceEvent) {}
+}
+
+/// Stores every event in order — the full step log behind `ir2 trace`.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// Recorded events, in execution order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds the stored events into summary statistics.
+    pub fn stats(&self) -> TraceStats {
+        let mut stats = TraceStats::default();
+        for e in &self.events {
+            stats.absorb(e);
+        }
+        stats
+    }
+}
+
+impl TraceSink for VecSink {
+    #[inline]
+    fn record(&mut self, event: &TraceEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// Folds events into [`TraceStats`] as they arrive, storing nothing else —
+/// cheap enough to leave on for whole batch runs.
+#[derive(Debug, Default, Clone)]
+pub struct StatsSink {
+    /// Aggregated statistics so far.
+    pub stats: TraceStats,
+}
+
+impl StatsSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the sink, returning the aggregate.
+    pub fn into_stats(self) -> TraceStats {
+        self.stats
+    }
+}
+
+impl TraceSink for StatsSink {
+    #[inline]
+    fn record(&mut self, event: &TraceEvent) {
+        self.stats.absorb(event);
+    }
+}
+
+/// Signature-test tallies for one tree level.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LevelPruning {
+    /// Signature tests performed at this level.
+    pub tests: u64,
+    /// Tests that matched (and therefore were descended / fetched).
+    pub matched: u64,
+}
+
+impl LevelPruning {
+    /// Fraction of tests that matched, `0.0` when no tests ran.
+    pub fn match_rate(&self) -> f64 {
+        ir2_storage::ratio(self.matched, self.tests)
+    }
+
+    /// Tests that failed — certain prunes.
+    pub fn pruned(&self) -> u64 {
+        self.tests - self.matched
+    }
+}
+
+/// Aggregate statistics derived from a trace.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Nodes popped and expanded (= `SearchCounters::nodes_read`).
+    pub nodes_visited: u64,
+    /// Total entries scanned across visited nodes.
+    pub entries_scanned: u64,
+    /// Signature tests performed, all levels.
+    pub sig_tests: u64,
+    /// Signature tests that matched.
+    pub sig_matched: u64,
+    /// Objects fetched and verified (= `SearchCounters::candidates_checked`).
+    pub objects_fetched: u64,
+    /// Fetched objects that failed verification
+    /// (= `SearchCounters::false_positives`).
+    pub false_positives: u64,
+    /// Largest frontier (heap) size observed at a node expansion.
+    pub max_heap: u64,
+    /// Per-level signature tallies, indexed by tree level (0 = objects /
+    /// leaf entries). Missing levels were never tested.
+    pub per_level: Vec<LevelPruning>,
+}
+
+impl TraceStats {
+    /// Folds one event into the aggregate.
+    pub fn absorb(&mut self, event: &TraceEvent) {
+        match *event {
+            TraceEvent::NodeVisited {
+                entries, heap_size, ..
+            } => {
+                self.nodes_visited += 1;
+                self.entries_scanned += entries as u64;
+                self.max_heap = self.max_heap.max(heap_size as u64);
+            }
+            TraceEvent::SignatureTest { level, matched } => {
+                self.sig_tests += 1;
+                let level = level as usize;
+                if self.per_level.len() <= level {
+                    self.per_level.resize(level + 1, LevelPruning::default());
+                }
+                self.per_level[level].tests += 1;
+                if matched {
+                    self.sig_matched += 1;
+                    self.per_level[level].matched += 1;
+                }
+            }
+            TraceEvent::ObjectFetched { matched, .. } => {
+                self.objects_fetched += 1;
+                if !matched {
+                    self.false_positives += 1;
+                }
+            }
+        }
+    }
+
+    /// Entries pruned by signature mismatch (= `sig_tests − sig_matched`
+    /// = `SearchCounters::pruned_by_signature` for the signature-bearing
+    /// algorithms).
+    pub fn pruned_by_signature(&self) -> u64 {
+        self.sig_tests - self.sig_matched
+    }
+
+    /// Observed false-positive rate among fetched objects, `0.0` when no
+    /// object was fetched.
+    pub fn object_fp_rate(&self) -> f64 {
+        ir2_storage::ratio(self.false_positives, self.objects_fetched)
+    }
+
+    /// Merges another aggregate into this one (per-level tallies add
+    /// index-wise; used to fold per-thread sinks after a batch run).
+    pub fn merge(&mut self, other: &TraceStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.entries_scanned += other.entries_scanned;
+        self.sig_tests += other.sig_tests;
+        self.sig_matched += other.sig_matched;
+        self.objects_fetched += other.objects_fetched;
+        self.false_positives += other.false_positives;
+        self.max_heap = self.max_heap.max(other.max_heap);
+        if self.per_level.len() < other.per_level.len() {
+            self.per_level
+                .resize(other.per_level.len(), LevelPruning::default());
+        }
+        for (a, b) in self.per_level.iter_mut().zip(&other.per_level) {
+            a.tests += b.tests;
+            a.matched += b.matched;
+        }
+    }
+
+    /// True iff the aggregate is definitionally consistent with the
+    /// algorithm's own counters (see module docs for the mapping). The
+    /// pruning identity only binds when signature tests were recorded at
+    /// all — the plain R-Tree baseline performs none.
+    pub fn matches_counters(&self, c: &SearchCounters) -> bool {
+        self.nodes_visited == c.nodes_read
+            && self.objects_fetched == c.candidates_checked
+            && self.false_positives == c.false_positives
+            && (self.sig_tests == 0 || self.pruned_by_signature() == c.pruned_by_signature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::NodeVisited {
+                node: 7,
+                level: 1,
+                mindist: 0.0,
+                entries: 3,
+                heap_size: 1,
+            },
+            TraceEvent::SignatureTest {
+                level: 0,
+                matched: true,
+            },
+            TraceEvent::SignatureTest {
+                level: 0,
+                matched: false,
+            },
+            TraceEvent::SignatureTest {
+                level: 0,
+                matched: true,
+            },
+            TraceEvent::ObjectFetched {
+                ptr: 42,
+                distance: 1.5,
+                matched: true,
+            },
+            TraceEvent::ObjectFetched {
+                ptr: 43,
+                distance: 2.5,
+                matched: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn stats_sink_and_vec_sink_agree() {
+        let mut vs = VecSink::new();
+        let mut ss = StatsSink::new();
+        for e in sample_events() {
+            vs.record(&e);
+            ss.record(&e);
+        }
+        assert_eq!(vs.events.len(), 6);
+        assert_eq!(vs.stats(), ss.stats);
+        let s = ss.into_stats();
+        assert_eq!(s.nodes_visited, 1);
+        assert_eq!(s.entries_scanned, 3);
+        assert_eq!(s.sig_tests, 3);
+        assert_eq!(s.sig_matched, 2);
+        assert_eq!(s.pruned_by_signature(), 1);
+        assert_eq!(s.objects_fetched, 2);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.max_heap, 1);
+        assert_eq!(s.per_level.len(), 1);
+        assert_eq!(s.per_level[0].tests, 3);
+        assert_eq!(s.per_level[0].matched, 2);
+        assert_eq!(s.per_level[0].pruned(), 1);
+        assert!((s.per_level[0].match_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.object_fp_rate(), 0.5);
+    }
+
+    #[test]
+    fn empty_stats_rates_are_zero_not_nan() {
+        let s = TraceStats::default();
+        assert_eq!(s.object_fp_rate(), 0.0);
+        assert_eq!(LevelPruning::default().match_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_and_extends_levels() {
+        let mut a = StatsSink::new();
+        a.record(&TraceEvent::SignatureTest {
+            level: 0,
+            matched: true,
+        });
+        let mut b = StatsSink::new();
+        b.record(&TraceEvent::SignatureTest {
+            level: 2,
+            matched: false,
+        });
+        b.record(&TraceEvent::NodeVisited {
+            node: 1,
+            level: 2,
+            mindist: 0.5,
+            entries: 10,
+            heap_size: 9,
+        });
+        let mut m = a.stats.clone();
+        m.merge(&b.stats);
+        assert_eq!(m.sig_tests, 2);
+        assert_eq!(m.per_level.len(), 3);
+        assert_eq!(m.per_level[0].matched, 1);
+        assert_eq!(m.per_level[2].tests, 1);
+        assert_eq!(m.max_heap, 9);
+        assert_eq!(m.nodes_visited, 1);
+    }
+
+    #[test]
+    fn counter_equivalence_mapping() {
+        let mut ss = StatsSink::new();
+        for e in sample_events() {
+            ss.record(&e);
+        }
+        let c = SearchCounters {
+            nodes_read: 1,
+            pruned_by_signature: 1,
+            candidates_checked: 2,
+            false_positives: 1,
+        };
+        assert!(ss.stats.matches_counters(&c));
+        // The untested (R-Tree baseline) case binds only the object side.
+        let bare = TraceStats {
+            nodes_visited: 1,
+            objects_fetched: 2,
+            false_positives: 1,
+            ..Default::default()
+        };
+        assert!(bare.matches_counters(&SearchCounters {
+            nodes_read: 1,
+            pruned_by_signature: 0,
+            candidates_checked: 2,
+            false_positives: 1,
+        }));
+    }
+
+    #[test]
+    fn borrowed_sink_records_through() {
+        let mut vs = VecSink::new();
+        {
+            let borrowed: &mut VecSink = &mut vs;
+            borrowed.record(&TraceEvent::SignatureTest {
+                level: 1,
+                matched: true,
+            });
+        }
+        // And through a trait object.
+        let dynamic: &mut dyn TraceSink = &mut vs;
+        dynamic.record(&TraceEvent::SignatureTest {
+            level: 1,
+            matched: false,
+        });
+        assert_eq!(vs.events.len(), 2);
+    }
+}

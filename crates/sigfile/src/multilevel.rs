@@ -60,18 +60,31 @@ impl MultiLevelScheme {
         // to their word coverage D_ℓ = min(vocab, D₀·f^ℓ), never shrinking
         // below the leaf length. Growth stops once the vocabulary saturates.
         let max_bits = optimal_bits(vocab_size.max(1), k).max(leaf_bits);
+        // Byte-rounded saturation length (saturating: `optimal_bits` of an
+        // astronomical vocabulary can sit within 7 of `usize::MAX`).
+        let saturated_bits = max_bits.div_ceil(8).saturating_mul(8);
         let mut schemes = vec![SignatureScheme::new(leaf_bits, k, seed)];
         let mut dl = d0;
         for _ in 1..MAX_LEVELS {
             dl = (dl * fanout as f64).min(vocab_size as f64);
             let bits = optimal_bits(dl.ceil() as usize, k).clamp(leaf_bits, max_bits);
             // Round up to whole bytes, as signatures are stored by the byte.
-            let bits = bits.div_ceil(8) * 8;
+            let bits = bits.div_ceil(8).saturating_mul(8);
             schemes.push(SignatureScheme::new(bits, k, seed));
             if bits >= max_bits {
                 // Vocabulary saturated: every higher level reuses this scheme.
                 break;
             }
+        }
+        // `scheme()` sends levels beyond the ladder to the topmost entry
+        // (insert-driven root splits can raise tree height past what was
+        // computed at bulk-load time). That clamp is exact only if the
+        // topmost entry is the vocabulary-saturated scheme every higher
+        // level would get — guarantee it even when the bounded loop above
+        // runs out before saturating (possible only for vocabularies past
+        // `fanout^63 · D₀`, but the invariant must hold unconditionally).
+        if schemes.last().expect("ladder is non-empty").bits() < saturated_bits {
+            schemes.push(SignatureScheme::new(saturated_bits, k, seed));
         }
         Self { schemes }
     }
@@ -86,7 +99,15 @@ impl MultiLevelScheme {
     }
 
     /// The scheme for tree level `level` (0 = leaf entries / objects).
-    /// Levels beyond the computed ladder reuse the topmost scheme.
+    ///
+    /// Levels beyond the computed ladder reuse the topmost scheme. This
+    /// clamp is *exact*, not an approximation: [`MultiLevelScheme::new`]
+    /// guarantees the topmost entry is the vocabulary-saturated scheme —
+    /// the one the optimal rule would assign to every sufficiently high
+    /// level — so a root split that raises the tree past the ladder (see
+    /// the height-growth test in `ir2-irtree`) signs and queries new top
+    /// levels with the same scheme, on both the maintenance and the query
+    /// path.
     pub fn scheme(&self, level: u16) -> &SignatureScheme {
         let idx = (level as usize).min(self.schemes.len() - 1);
         &self.schemes[idx]
@@ -165,6 +186,32 @@ mod tests {
                     "level {level}, word {w}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn ladder_top_is_always_the_saturated_scheme() {
+        // Ordinary configurations saturate inside the bounded loop…
+        let ml = MultiLevelScheme::new(8, 4, 0, 100, 14.0, 73_855);
+        let top = ml.scheme(u16::MAX);
+        let expect = crate::optimal_bits(73_855, 4).div_ceil(8) * 8;
+        assert_eq!(top.bits(), expect);
+
+        // …but even a vocabulary too large for 63 fanout-2 doublings must
+        // end saturated: the clamp in `scheme()` is only exact if levels
+        // past the ladder get the same scheme maintenance would compute.
+        let ml = MultiLevelScheme::new(1, 1, 0, 2, 1.0, usize::MAX);
+        let top = ml.scheme(u16::MAX).bits();
+        let saturated = crate::optimal_bits(usize::MAX, 1)
+            .div_ceil(8)
+            .saturating_mul(8);
+        assert_eq!(top, saturated, "topmost scheme must be saturated");
+        // Monotone non-decreasing all the way up.
+        let mut prev = 0;
+        for level in 0..ml.num_levels() as u16 {
+            let bits = ml.scheme(level).bits();
+            assert!(bits >= prev);
+            prev = bits;
         }
     }
 

@@ -72,11 +72,19 @@ impl SignatureScheme {
     ///
     /// FNV-1a over the term bytes, mixed with the scheme seed, then a
     /// splitmix64 stream — deterministic across runs and platforms.
+    ///
+    /// Each 64-bit draw is mapped into `[0, bits)` with a widening
+    /// multiply (`state · bits >> 64`, Lemire's bounded reduction) rather
+    /// than `state % bits`: the modulo favors small positions whenever
+    /// `bits` does not divide 2⁶⁴ — and the optimal lengths
+    /// (`⌈k·D/ln 2⌉` rounded to bytes) almost never do — while the
+    /// multiply's bias is provably ≤ `bits/2⁶⁴` per position and it
+    /// avoids a hot-path integer division.
     pub fn positions(&self, term: &str) -> impl Iterator<Item = usize> + '_ {
         let mut state = fnv1a(term.as_bytes()) ^ self.seed;
         (0..self.k).map(move |_| {
             state = splitmix64(state);
-            (state % self.bits as u64) as usize
+            ((state as u128 * self.bits as u128) >> 64) as usize
         })
     }
 
@@ -222,6 +230,48 @@ mod tests {
         let fp_short = expected_false_positive(512, 4, 300);
         let fp_long = expected_false_positive(4096, 4, 300);
         assert!(fp_long < fp_short);
+    }
+
+    #[test]
+    fn probe_positions_are_uniform_chi_square() {
+        // `bits = 189 * 8 = 1512` (the paper's leaf signature length) is
+        // not a power of two, so the old `state % bits` mapping was
+        // modulo-biased. Pearson's chi-square over all positions drawn
+        // for many distinct terms must stay below the critical value.
+        let bits = 189 * 8;
+        let k = 4;
+        let s = SignatureScheme::new(bits, k, 7);
+        let mut counts = vec![0u64; bits];
+        let terms = 200_000usize;
+        for i in 0..terms {
+            let term = format!("term{i}");
+            for pos in s.positions(&term) {
+                counts[pos] += 1;
+            }
+        }
+        let n = (terms as u64 * k as u64) as f64;
+        let expected = n / bits as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // For df = 1511, chi2 is ~N(df, 2·df): mean 1511, sd ~55. The
+        // 99.99th percentile is ≈ 1720; a biased mapping (e.g. `% bits`
+        // over a *32-bit* state, or any systematic skew detectable at
+        // 800k draws) lands far beyond it.
+        let df = (bits - 1) as f64;
+        let crit = df + 3.9 * (2.0 * df).sqrt();
+        assert!(
+            chi2 < crit,
+            "chi-square {chi2:.1} exceeds {crit:.1} (df {df}): probe positions are not uniform"
+        );
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "some bit position is never chosen"
+        );
     }
 
     #[test]

@@ -27,10 +27,11 @@ pub struct Signature {
 impl Signature {
     /// An all-zero signature of `bits` bits.
     ///
-    /// # Panics
-    /// Panics if `bits` is zero.
+    /// `bits == 0` is allowed and yields the degenerate empty signature
+    /// (no storage, density 0.0, contains only itself) — useful as an
+    /// inert placeholder; [`SignatureScheme`](crate::SignatureScheme)
+    /// still rejects zero-length schemes at construction.
     pub fn zero(bits: usize) -> Self {
-        assert!(bits > 0, "signatures must have at least one bit");
         Self {
             bits,
             words: vec![0u64; bits.div_ceil(64)].into_boxed_slice(),
@@ -99,8 +100,16 @@ impl Signature {
 
     /// Fraction of bits set — the signature *weight*; superimposed-coding
     /// false-positive analysis says the optimum operating point is ~0.5.
+    ///
+    /// The degenerate 0-bit signature has density `0.0`, not `NaN` —
+    /// downstream density aggregation (diagnostics, exported metrics)
+    /// must stay finite.
     pub fn density(&self) -> f64 {
-        self.count_ones() as f64 / self.bits as f64
+        if self.bits == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.bits as f64
+        }
     }
 
     /// True if no bit is set.
@@ -150,6 +159,27 @@ impl fmt::Debug for Signature {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zero_bit_signature_is_inert_and_density_is_finite() {
+        let s = Signature::zero(0);
+        assert_eq!(s.bits(), 0);
+        assert_eq!(s.byte_len(), 0);
+        assert_eq!(s.count_ones(), 0);
+        assert!(s.is_zero());
+        assert_eq!(s.density(), 0.0, "0-bit density must be 0.0, not NaN");
+        assert!(s.density().is_finite());
+        assert!(s.contains(&Signature::zero(0)), "vacuous containment");
+    }
+
+    #[test]
+    fn density_counts_set_fraction() {
+        let mut s = Signature::zero(8);
+        assert_eq!(s.density(), 0.0);
+        s.set(0);
+        s.set(5);
+        assert_eq!(s.density(), 0.25);
+    }
 
     #[test]
     fn set_get_roundtrip() {

@@ -61,8 +61,24 @@ impl CostModel {
 
     /// Simulated time in fractional milliseconds — the unit of the paper's
     /// execution-time figures.
+    ///
+    /// An empty snapshot costs exactly `0.0` (no division is involved, so
+    /// there is no `NaN` path — asserted by a unit test because callers
+    /// feed this straight into reports and exported metrics).
     pub fn time_ms(&self, io: IoSnapshot) -> f64 {
         self.time(io).as_secs_f64() * 1e3
+    }
+
+    /// Mean simulated milliseconds per access, `0.0` for an empty snapshot.
+    ///
+    /// The guarded form of `time_ms / total()` used when summarizing
+    /// workloads: an empty workload has zero mean cost, never `NaN`.
+    pub fn mean_ms_per_access(&self, io: IoSnapshot) -> f64 {
+        if io.total() == 0 {
+            0.0
+        } else {
+            self.time_ms(io) / io.total() as f64
+        }
     }
 }
 
@@ -81,6 +97,29 @@ mod tests {
         // 10 * 8ms = 80ms random, 100 * 0.06ms = 6ms sequential.
         assert_eq!(t, Duration::from_micros(10 * 8000 + 100 * 60));
         assert!(CostModel::HDD_10K.time_ms(io) > 80.0);
+    }
+
+    #[test]
+    fn empty_snapshot_costs_exactly_zero() {
+        let io = IoSnapshot::default();
+        for model in [CostModel::HDD_10K, CostModel::SSD] {
+            assert_eq!(model.time(io), Duration::ZERO);
+            assert_eq!(model.time_ms(io), 0.0);
+            assert_eq!(model.mean_ms_per_access(io), 0.0, "no NaN on 0/0");
+        }
+    }
+
+    #[test]
+    fn mean_cost_per_access_is_finite_and_sensible() {
+        let io = IoSnapshot {
+            random_reads: 2,
+            seq_reads: 2,
+            ..Default::default()
+        };
+        let mean = CostModel::HDD_10K.mean_ms_per_access(io);
+        // (2*8ms + 2*0.06ms) / 4 = 4.03ms.
+        assert!((mean - 4.03).abs() < 1e-9);
+        assert!(mean.is_finite());
     }
 
     #[test]

@@ -24,11 +24,15 @@
 //!   disk blocks"; reading one costs 1 random + (n−1) sequential accesses).
 //! * [`RecordFile`] — the append-only record store used as the paper's
 //!   "plain text file" of objects that leaf entries point into.
+//! * [`MetricsRegistry`] — lock-free named counters/histograms with
+//!   snapshot/delta and Prometheus-style export, generalizing the
+//!   [`IoStats`]/[`IoScope`] accounting for the layers above.
 
 mod cost;
 mod device;
 mod error;
 pub mod extent;
+pub mod metrics;
 pub mod page;
 mod pool;
 mod records;
@@ -39,6 +43,9 @@ mod tracking;
 pub use cost::CostModel;
 pub use device::{BlockDevice, FileDevice, MemDevice};
 pub use error::{Result, StorageError};
+pub use metrics::{
+    ratio, Counter, Histogram, HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot,
+};
 pub use page::{PAGE_PAYLOAD, PAGE_TRAILER_LEN, PAGE_VERSION};
 pub use pool::{BufferPool, DEFAULT_POOL_SHARDS};
 pub use records::{RecordFile, RecordPtr, RECORD_HEADER_LEN};

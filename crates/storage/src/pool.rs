@@ -214,6 +214,16 @@ impl<D: BlockDevice> BufferPool<D> {
         })
     }
 
+    /// Fraction of reads served from the cache, in `[0.0, 1.0]`.
+    ///
+    /// Defined as `0.0` when no reads have happened yet (a pool that has
+    /// served nothing has no hit rate, not a `NaN` one) — including the
+    /// capacity-0 passthrough configuration, which never counts accesses.
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, misses) = self.hit_stats();
+        crate::metrics::ratio(hits, hits + misses)
+    }
+
     /// `(hits, misses)` of one shard (indexes follow `block % num_shards`).
     ///
     /// Panics if `shard >= num_shards()`.
@@ -311,6 +321,29 @@ mod tests {
         assert_eq!(buf[0], 0xAA);
         assert_eq!(stats.snapshot().total(), 0, "hit must not touch the device");
         assert_eq!(pool.hit_stats().0, 1);
+    }
+
+    #[test]
+    fn hit_rate_is_zero_before_any_read() {
+        let pool = BufferPool::new(MemDevice::new(), 4);
+        assert_eq!(pool.hit_rate(), 0.0, "0 accesses must not yield NaN");
+
+        // Capacity 0 (the paper's uncached configuration) never counts
+        // accesses at all; the rate stays a clean 0.0 forever.
+        let passthrough = BufferPool::new(MemDevice::new(), 0);
+        passthrough.allocate(1).unwrap();
+        let mut buf = crate::zeroed_block();
+        passthrough.read_block(0, &mut buf).unwrap();
+        assert_eq!(passthrough.hit_rate(), 0.0);
+
+        // And once reads happen, the rate is the hits fraction.
+        pool.allocate(1).unwrap();
+        pool.write_block(0, &block_of(1)).unwrap();
+        pool.read_block(0, &mut buf).unwrap(); // hit (write-through cached)
+        pool.clear();
+        pool.read_block(0, &mut buf).unwrap(); // miss
+        assert_eq!(pool.hit_rate(), 0.5);
+        assert!(pool.hit_rate().is_finite());
     }
 
     #[test]
