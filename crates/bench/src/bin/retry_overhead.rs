@@ -1,0 +1,155 @@
+//! Overhead guard for the retry layer's clean path.
+//!
+//! `RetryDevice` sits under every production device (`ir2 query`/`batch`
+//! wrap each file device in one), so its cost when nothing fails is pure
+//! tax: one closure call, one transience check on the error path that is
+//! never taken, and a breaker-map lookup per settled operation. This
+//! benchmark runs the same workload against two otherwise identical
+//! in-memory databases — one on bare devices, one with every device
+//! wrapped in a `RetryDevice` — and reports the wall-clock delta. The
+//! number EXPERIMENTS.md records (target ≤ 2%, like the trace
+//! instrumentation overhead); `--assert-max PCT` turns the run into a
+//! hard gate.
+//!
+//! Usage:
+//!   retry_overhead [--scale F] [--queries N] [--k K] [--reps R]
+//!                  [--assert-max PCT] [--out FILE]
+
+use std::time::Instant;
+
+use ir2_bench::workload;
+use ir2_datagen::DatasetSpec;
+use ir2tree::model::DistanceFirstQuery;
+use ir2tree::storage::MemDevice;
+use ir2tree::{Algorithm, DbConfig, DeviceSet, RetryDevice, RetryPolicy, SpatialKeywordDb};
+
+struct Args {
+    scale: f64,
+    queries: usize,
+    k: usize,
+    reps: usize,
+    assert_max: Option<f64>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.02,
+        queries: 96,
+        k: 10,
+        reps: 5,
+        assert_max: None,
+        out: "BENCH_retry_overhead.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut next = |what: &str| it.next().unwrap_or_else(|| panic!("{arg} needs {what}"));
+        match arg.as_str() {
+            "--scale" => args.scale = next("F").parse().expect("scale factor"),
+            "--queries" => args.queries = next("N").parse().expect("query count"),
+            "--k" => args.k = next("K").parse().expect("k"),
+            "--reps" => args.reps = next("R").parse().expect("rep count"),
+            "--assert-max" => args.assert_max = Some(next("PCT").parse().expect("percent")),
+            "--out" => args.out = next("FILE"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    args
+}
+
+/// Best-of-R wall time for one full pass of `queries` against `db`.
+fn measure<D: ir2tree::storage::BlockDevice + 'static>(
+    db: &SpatialKeywordDb<D>,
+    queries: &[DistanceFirstQuery<2>],
+    reps: usize,
+) -> f64 {
+    // Warm-up pass (first touch reads every block through the device).
+    for q in queries {
+        db.distance_first(Algorithm::Ir2, q).expect("query");
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        for q in queries {
+            let r = db.distance_first(Algorithm::Ir2, q).expect("query");
+            std::hint::black_box(r.results.len());
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = DatasetSpec::restaurants().scaled(args.scale);
+    let config = DbConfig {
+        sig_bytes: 8,
+        ..DbConfig::default()
+    };
+    eprintln!(
+        "[build] {} ({} objects) twice…",
+        spec.name, spec.num_objects
+    );
+    let bare = SpatialKeywordDb::build(DeviceSet::in_memory(), spec.generate(), config.clone())
+        .expect("bare build");
+    let wrapped = SpatialKeywordDb::build(
+        DeviceSet::in_memory().map(|_, d: MemDevice| RetryDevice::new(d)),
+        spec.generate(),
+        config,
+    )
+    .expect("wrapped build");
+    let queries = workload(&spec, args.queries, 2, args.k);
+
+    let t_bare = measure(&bare, &queries, args.reps);
+    let t_retry = measure(&wrapped, &queries, args.reps);
+    let pct = (t_retry / t_bare - 1.0) * 100.0;
+
+    // No fault was ever injected, so the clean path must not have retried
+    // (per-query attribution comes from `RetryScope`, active regardless of
+    // whether device metrics are registered).
+    let retries: u64 = queries
+        .iter()
+        .map(|q| {
+            wrapped
+                .distance_first(Algorithm::Ir2, q)
+                .expect("query")
+                .retries
+        })
+        .sum();
+    assert_eq!(retries, 0, "clean-path run must not retry");
+
+    println!(
+        "# retry-layer clean-path overhead ({} queries x k={}, best of {} reps)",
+        queries.len(),
+        args.k,
+        args.reps
+    );
+    println!("{:>8} | {:>10} | {:>9}", "device", "wall (ms)", "overhead");
+    println!("{}", "-".repeat(34));
+    println!("{:>8} | {:>10.2} | {:>8}", "bare", t_bare * 1e3, "—");
+    println!("{:>8} | {:>10.2} | {:>+8.1}%", "retry", t_retry * 1e3, pct);
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"retry_overhead\",\n  \"dataset\": \"{}\",\n  \"objects\": {},\n  \"queries\": {},\n  \"k\": {},\n  \"reps\": {},\n  \"policy\": {{\"max_retries\": {}, \"quarantine_after\": {}}},\n  \"wall_ms\": {{\"bare\": {:.3}, \"retry\": {:.3}}},\n  \"overhead_pct\": {:.2}\n}}\n",
+        spec.name,
+        spec.num_objects,
+        queries.len(),
+        args.k,
+        args.reps,
+        RetryPolicy::default().max_retries,
+        RetryPolicy::default().quarantine_after,
+        t_bare * 1e3,
+        t_retry * 1e3,
+        pct
+    );
+    std::fs::write(&args.out, json).expect("write json");
+    eprintln!("[out] wrote {}", args.out);
+
+    if let Some(max) = args.assert_max {
+        assert!(
+            pct <= max,
+            "retry-layer clean-path overhead {pct:.1}% exceeds the {max}% budget"
+        );
+        eprintln!("[gate] retry overhead {pct:.1}% ≤ {max}% — ok");
+    }
+}

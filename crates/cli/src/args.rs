@@ -12,8 +12,9 @@ USAGE:
   ir2 build    --tsv FILE.tsv --db DIR [--sig-bytes N] [--capacity N] [--incremental]
   ir2 query    --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N]
                [--alg <rtree|iio|ir2|mir2>] [--area LAT1,LON1,LAT2,LON2]
+               [--deadline-ms MS] [--io-budget BLOCKS]
   ir2 batch    --db DIR --queries FILE [--threads N] [--k N]
-               [--alg <rtree|iio|ir2|mir2>]
+               [--alg <rtree|iio|ir2|mir2>] [--deadline-ms MS] [--io-budget BLOCKS]
   ir2 ranked   --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N] [--dist-weight W]
   ir2 trace    --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N]
                [--alg <rtree|iio|ir2|mir2>] [--steps N]
@@ -23,7 +24,11 @@ USAGE:
 Databases are directories of 4096-byte block-device files; every query
 reports its (simulated) disk I/O alongside the results. A batch query
 file holds one `LAT,LON keywords…` query per line (# comments allowed);
-the batch runs concurrently with exact per-query I/O attribution.";
+the batch runs concurrently with exact per-query I/O attribution and
+per-query fault isolation. `--deadline-ms` (batch-wide) and
+`--io-budget` (per query) bound execution: a query that trips a limit
+is truncated, not failed — its results are the exact top-m prefix of
+the full answer.";
 
 /// Parsed `--flag value` pairs.
 pub struct Flags {

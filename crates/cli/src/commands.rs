@@ -1,14 +1,19 @@
 //! Command implementations.
 
 use std::io::{BufReader, BufWriter, Write};
+use std::sync::Arc;
+use std::time::Duration;
 
 use ir2_datagen::DatasetSpec;
 use ir2tree::geo::{Point, Rect};
 use ir2tree::irtree::{density_profile, GeneralQuery, TraceEvent, VecSink};
 use ir2tree::model::{tsv, DistanceFirstQuery, QueryRegion};
-use ir2tree::storage::FileDevice;
+use ir2tree::storage::{FileDevice, MetricsRegistry};
 use ir2tree::text::{LinearRank, SaturatingTfIdf};
-use ir2tree::{Algorithm, DbConfig, DeviceSet, IndexSizes, QueryReport, SpatialKeywordDb};
+use ir2tree::{
+    Algorithm, DbConfig, DeviceSet, IndexSizes, QueryLimits, QueryReport, RetryDevice, RetryPolicy,
+    SpatialKeywordDb,
+};
 
 use crate::args::{parse_area, parse_point, Flags};
 
@@ -88,10 +93,37 @@ pub fn build(args: &[String], out: &mut impl Write) -> CliResult {
     Ok(())
 }
 
-fn open_db(f: &Flags) -> Result<SpatialKeywordDb<FileDevice>, String> {
+/// Opens a database with every device wrapped in a [`RetryDevice`]:
+/// transient I/O faults (interrupted/timed-out reads) are absorbed by
+/// jittered exponential backoff, and blocks that keep failing permanently
+/// are quarantined. The retry layer shares the database's metrics
+/// registry, so `ir2 stats --prometheus` exposes per-device retry and
+/// quarantine counters next to the query metrics.
+fn open_db(f: &Flags) -> Result<SpatialKeywordDb<RetryDevice<FileDevice>>, String> {
     let dir = f.required("db")?;
-    let devices = DeviceSet::open_dir(dir).map_err(io_err)?;
-    SpatialKeywordDb::open(devices).map_err(io_err)
+    let registry = Arc::new(MetricsRegistry::new());
+    let devices = DeviceSet::open_dir(dir)
+        .map_err(io_err)?
+        .map(|name, d| RetryDevice::with_metrics(d, RetryPolicy::default(), &registry, name));
+    SpatialKeywordDb::open_with_registry(devices, registry).map_err(io_err)
+}
+
+/// Parses the shared execution-limit flags (`--deadline-ms`,
+/// `--io-budget`) into a [`QueryLimits`]. For a batch, the deadline is
+/// resolved here — once — so it bounds the whole batch, not each query.
+fn parse_limits(f: &Flags) -> Result<QueryLimits, String> {
+    let mut limits = QueryLimits::none();
+    if let Some(ms) = f.optional("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|e| format!("bad --deadline-ms: {e}"))?;
+        limits = limits.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(budget) = f.optional("io-budget") {
+        let budget: u64 = budget
+            .parse()
+            .map_err(|e| format!("bad --io-budget: {e}"))?;
+        limits = limits.with_io_budget(budget);
+    }
+    Ok(limits)
 }
 
 fn keywords_of(f: &Flags) -> Result<Vec<String>, String> {
@@ -116,6 +148,23 @@ fn print_report(out: &mut impl Write, report: &QueryReport) -> CliResult {
         report.object_loads,
         report.simulated.as_secs_f64() * 1e3
     );
+    if report.retries > 0 {
+        say!(
+            out,
+            "  [{} transient faults recovered by retry, {:.2} ms backoff]",
+            report.retries,
+            report.backoff.as_secs_f64() * 1e3
+        );
+    }
+    if let Some(reason) = report.outcome {
+        say!(
+            out,
+            "  ! truncated by {reason}: the {} results above are the exact \
+             top-{} prefix of the full answer",
+            report.results.len(),
+            report.results.len()
+        );
+    }
     Ok(())
 }
 
@@ -137,7 +186,16 @@ pub fn query(args: &[String], out: &mut impl Write) -> CliResult {
     let k: usize = f.get_or("k", 10)?;
     let alg = parse_alg(&f)?;
 
+    let limits = parse_limits(&f)?;
+
     let report = if let Some(area) = f.optional("area") {
+        if !limits.is_unlimited() {
+            return Err(
+                "--deadline-ms / --io-budget apply to point queries; area queries do not \
+                 support execution limits yet"
+                    .into(),
+            );
+        }
         let (a, b) = parse_area(area)?;
         let region: QueryRegion<2> = Rect::from_corners(Point::new(a), Point::new(b)).into();
         say!(
@@ -151,7 +209,11 @@ pub fn query(args: &[String], out: &mut impl Write) -> CliResult {
         let at = parse_point(f.required("at")?)?;
         say!(out, "top-{k} {keywords:?} near {at:?} via {}:", alg.label());
         let q = DistanceFirstQuery::new(at, &keywords, k);
-        db.distance_first(alg, &q).map_err(io_err)?
+        if limits.is_unlimited() {
+            db.distance_first(alg, &q).map_err(io_err)?
+        } else {
+            db.distance_first_limited(alg, &q, limits).map_err(io_err)?
+        }
     };
     print_report(out, &report)?;
     Ok(())
@@ -181,8 +243,13 @@ fn parse_batch_file(path: &str, k: usize) -> Result<Vec<DistanceFirstQuery<2>>, 
     Ok(queries)
 }
 
-/// `ir2 batch` — run a file of distance-first queries concurrently and
-/// report per-query results plus batch throughput.
+/// `ir2 batch` — run a file of distance-first queries concurrently on the
+/// fault-isolated batch engine and report per-query results plus batch
+/// throughput. `--deadline-ms` bounds the *whole batch* (queries past the
+/// deadline come back truncated with whatever exact prefix they reached);
+/// `--io-budget` bounds each query. A query that fails outright occupies
+/// only its own slot — siblings still complete — and makes the exit code
+/// nonzero.
 pub fn batch(args: &[String], out: &mut impl Write) -> CliResult {
     let f = Flags::parse(args)?;
     let db = open_db(&f)?;
@@ -190,9 +257,10 @@ pub fn batch(args: &[String], out: &mut impl Write) -> CliResult {
     let k: usize = f.get_or("k", 10)?;
     let threads: usize = f.get_or("threads", 4)?;
     let queries = parse_batch_file(f.required("queries")?, k)?;
+    let limits = parse_limits(&f)?;
 
     let t0 = std::time::Instant::now();
-    let reports = db.batch_topk(alg, &queries, threads).map_err(io_err)?;
+    let outcomes = db.batch_topk_isolated(alg, &queries, threads, limits);
     let wall = t0.elapsed();
 
     say!(
@@ -201,29 +269,63 @@ pub fn batch(args: &[String], out: &mut impl Write) -> CliResult {
         queries.len(),
         alg.label()
     );
-    for (i, (q, r)) in queries.iter().zip(&reports).enumerate() {
-        let top = r
-            .results
-            .first()
-            .map(|(o, d)| format!("#{} at {d:.4}", o.id))
-            .unwrap_or_else(|| "no results".into());
-        say!(
-            out,
-            "  [{i:>3}] {:?} {:?}: {} hits ({top}); {} random + {} sequential accesses",
-            q.point.coords(),
-            q.keywords,
-            r.results.len(),
-            r.io.random(),
-            r.io.sequential()
-        );
+    let (mut ok, mut truncated, mut failed) = (0u64, 0u64, 0u64);
+    let (mut total_io, mut retries) = (0u64, 0u64);
+    for (i, (q, outcome)) in queries.iter().zip(&outcomes).enumerate() {
+        match outcome {
+            Ok(r) => {
+                total_io += r.io.total();
+                retries += r.retries;
+                let top = r
+                    .results
+                    .first()
+                    .map(|(o, d)| format!("#{} at {d:.4}", o.id))
+                    .unwrap_or_else(|| "no results".into());
+                let status = match r.outcome {
+                    Some(reason) => {
+                        truncated += 1;
+                        format!("; truncated by {reason}")
+                    }
+                    None => {
+                        ok += 1;
+                        String::new()
+                    }
+                };
+                say!(
+                    out,
+                    "  [{i:>3}] {:?} {:?}: {} hits ({top}); {} random + {} sequential \
+                     accesses{status}",
+                    q.point.coords(),
+                    q.keywords,
+                    r.results.len(),
+                    r.io.random(),
+                    r.io.sequential()
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                say!(
+                    out,
+                    "  [{i:>3}] {:?} {:?}: FAILED — {e}",
+                    q.point.coords(),
+                    q.keywords
+                );
+            }
+        }
     }
-    let total_io: u64 = reports.iter().map(|r| r.io.total()).sum();
     let qps = queries.len() as f64 / wall.as_secs_f64();
     say!(out,
         "  [{} queries in {:.1} ms wall — {qps:.0} queries/sec; {total_io} attributed block accesses]",
         queries.len(),
         wall.as_secs_f64() * 1e3
     );
+    say!(
+        out,
+        "  [ok={ok} truncated={truncated} failed={failed} retries={retries}]"
+    );
+    if failed > 0 {
+        return Err(format!("{failed} of {} queries failed", queries.len()));
+    }
     Ok(())
 }
 

@@ -173,6 +173,118 @@ fn full_pipeline() {
     assert!(!p.contains("NaN"), "{p}");
     assert!(!p.contains("inf"), "{p}");
 
+    // Execution limits: an exhausted I/O budget truncates (exit 0, with a
+    // banner naming the limit) instead of failing.
+    let limited = ir2(
+        &dir,
+        &[
+            "query",
+            "--db",
+            "db",
+            "--at",
+            "0,0",
+            "--keywords",
+            "ba",
+            "--k",
+            "3",
+            "--io-budget",
+            "0",
+        ],
+    );
+    assert!(
+        limited.status.success(),
+        "{}",
+        String::from_utf8_lossy(&limited.stderr)
+    );
+    let l = stdout(&limited);
+    assert!(l.contains("truncated by io_budget"), "{l}");
+    assert!(l.contains("(no results)"), "{l}");
+
+    // A generous budget changes nothing.
+    let roomy = ir2(
+        &dir,
+        &[
+            "query",
+            "--db",
+            "db",
+            "--at",
+            "0,0",
+            "--keywords",
+            "ba",
+            "--k",
+            "3",
+            "--io-budget",
+            "1000000",
+            "--deadline-ms",
+            "60000",
+        ],
+    );
+    assert!(roomy.status.success());
+    assert!(!stdout(&roomy).contains("truncated"), "{}", stdout(&roomy));
+
+    // Batch under a batch-wide deadline: always exits 0 (truncation is not
+    // failure) and reports the truncation tally in its summary.
+    let dl = ir2(
+        &dir,
+        &[
+            "batch",
+            "--db",
+            "db",
+            "--queries",
+            "queries.txt",
+            "--threads",
+            "2",
+            "--k",
+            "3",
+            "--deadline-ms",
+            "60000",
+        ],
+    );
+    assert!(
+        dl.status.success(),
+        "{}",
+        String::from_utf8_lossy(&dl.stderr)
+    );
+    let d = stdout(&dl);
+    assert!(d.contains("truncated="), "{d}");
+    assert!(d.contains("failed=0"), "{d}");
+
+    // Every query truncated under a zero budget; still exit 0.
+    let starved = ir2(
+        &dir,
+        &[
+            "batch",
+            "--db",
+            "db",
+            "--queries",
+            "queries.txt",
+            "--k",
+            "3",
+            "--io-budget",
+            "0",
+        ],
+    );
+    assert!(starved.status.success());
+    let s = stdout(&starved);
+    assert!(s.contains("truncated=4"), "{s}");
+
+    // Limits are rejected on area queries rather than silently ignored.
+    let area_limited = ir2(
+        &dir,
+        &[
+            "query",
+            "--db",
+            "db",
+            "--area",
+            "-20,-20,20,20",
+            "--keywords",
+            "ba",
+            "--io-budget",
+            "5",
+        ],
+    );
+    assert!(!area_limited.status.success());
+
     // Area query and ranked query.
     let area = ir2(
         &dir,

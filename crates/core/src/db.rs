@@ -7,21 +7,25 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ir2_geo::Rect;
-use ir2_invindex::{iio_topk, InvertedIndex};
+use ir2_invindex::{iio_topk, iio_topk_limited, InvertedIndex};
 use ir2_irtree::{
-    distance_first_region_topk_traced, distance_first_topk_traced, general_topk, insert_object,
+    distance_first_region_topk_traced, distance_first_topk_limited_traced,
+    distance_first_topk_traced, general_topk, insert_object, rtree_baseline_topk_limited_traced,
     rtree_baseline_topk_traced, GeneralQuery, Ir2Payload, MirPayload, SearchCounters, StatsSink,
     TraceSink, TraceStats,
 };
-use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectSource, ObjectStore, SpatialObject};
+use ir2_model::{
+    DistanceFirstQuery, ObjPtr, ObjectSource, ObjectStore, QueryLimits, SpatialObject,
+};
 use ir2_rtree::{RTree, RTreeConfig, UnitPayload};
 use ir2_sigfile::{MultiLevelScheme, SignatureScheme};
 use ir2_storage::{
     BlockDevice, FileDevice, Histogram, IoScope, IoSnapshot, IoStats, MemDevice, MetricsRegistry,
-    Result, ShadowPair, StorageError, TrackedDevice, BLOCK_SIZE, RECORD_HEADER_LEN,
+    Result, RetryScope, ShadowPair, StorageError, TrackedDevice, BLOCK_SIZE, RECORD_HEADER_LEN,
 };
 use ir2_text::{tokenize, IrScorer, RankingFn, TermId, Vocabulary};
 
+use crate::report::QueryError;
 use crate::{Algorithm, BatchReport, BuildStats, DbConfig, GeneralReport, IndexSizes, QueryReport};
 
 /// One block device per structure (so sizes and I/O are attributable), plus
@@ -39,6 +43,24 @@ pub struct DeviceSet<D> {
     pub inverted: D,
     /// Device of the catalog (config, vocabulary, dictionaries).
     pub catalog: D,
+}
+
+impl<D> DeviceSet<D> {
+    /// Applies `f` to every device, preserving roles. The first argument
+    /// names the role (`"objects"`, `"rtree"`, `"ir2"`, `"mir2"`,
+    /// `"inverted"`, `"catalog"`) so wrappers can label themselves — e.g.
+    /// wrapping each device in a
+    /// [`RetryDevice`](ir2_storage::RetryDevice) with per-device metrics.
+    pub fn map<E>(self, mut f: impl FnMut(&'static str, D) -> E) -> DeviceSet<E> {
+        DeviceSet {
+            objects: f("objects", self.objects),
+            rtree: f("rtree", self.rtree),
+            ir2: f("ir2", self.ir2),
+            mir2: f("mir2", self.mir2),
+            inverted: f("inverted", self.inverted),
+            catalog: f("catalog", self.catalog),
+        }
+    }
 }
 
 impl DeviceSet<MemDevice> {
@@ -177,6 +199,52 @@ fn run_batch<Q: Sync, R: Send + Sync>(
         .into_iter()
         .map(|s| s.into_inner().expect("every query ran"))
         .collect())
+}
+
+/// [`run_batch`] with per-query fault isolation: a query that errors — or
+/// *panics* — produces its own [`QueryError`] slot and the batch marches
+/// on; siblings are never aborted and the shared structures stay usable
+/// (the buffer pool's locks come from `parking_lot`, which does not
+/// poison, and the thread-local I/O and retry scopes clear themselves on
+/// unwind).
+fn run_batch_isolated<Q: Sync, R: Send + Sync>(
+    queries: &[Q],
+    threads: usize,
+    run: impl Fn(&Q) -> std::result::Result<R, QueryError> + Sync,
+) -> Vec<std::result::Result<R, QueryError>> {
+    let threads = threads.clamp(1, queries.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::OnceLock<std::result::Result<R, QueryError>>> = (0..queries.len())
+        .map(|_| std::sync::OnceLock::new())
+        .collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= queries.len() {
+                    break;
+                }
+                let out =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&queries[i])))
+                        .unwrap_or_else(|payload| {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".into());
+                            Err(QueryError::Panic(msg))
+                        });
+                let inserted = slots[i].set(out).is_ok();
+                debug_assert!(inserted, "each query index runs once");
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every query ran"))
+        .collect()
 }
 
 /// A spatial keyword database: the object file plus all four access
@@ -391,6 +459,22 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         Ok(db)
     }
 
+    /// [`build`](SpatialKeywordDb::build) publishing into the caller's
+    /// metrics registry instead of a fresh one — so device-level metrics
+    /// (e.g. a [`RetryDevice`](ir2_storage::RetryDevice)'s retry and
+    /// quarantine counters) land beside the query metrics in one
+    /// exposition.
+    pub fn build_with_registry(
+        devices: DeviceSet<D>,
+        objects: impl IntoIterator<Item = SpatialObject<2>>,
+        config: DbConfig,
+        registry: Arc<MetricsRegistry>,
+    ) -> Result<Self> {
+        let mut db = Self::build(devices, objects, config)?;
+        db.metrics = registry;
+        Ok(db)
+    }
+
     /// Persists the cross-structure metadata to the catalog device. Called
     /// automatically by [`build`](SpatialKeywordDb::build); call again
     /// after maintenance to refresh.
@@ -602,6 +686,18 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         })
     }
 
+    /// [`open`](SpatialKeywordDb::open) publishing into the caller's
+    /// metrics registry; see
+    /// [`build_with_registry`](SpatialKeywordDb::build_with_registry).
+    pub fn open_with_registry(
+        devices: DeviceSet<D>,
+        registry: Arc<MetricsRegistry>,
+    ) -> Result<Self> {
+        let mut db = Self::open(devices)?;
+        db.metrics = registry;
+        Ok(db)
+    }
+
     // ------------------------------------------------------------------
     // Queries.
     // ------------------------------------------------------------------
@@ -640,6 +736,20 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             &format!("object_false_positives_total{{alg=\"{key}\"}}"),
             r.counters.false_positives,
         );
+        if let Some(reason) = r.outcome {
+            m.add_counter(
+                &format!(
+                    "queries_truncated_total{{alg=\"{key}\",reason=\"{}\"}}",
+                    reason.key()
+                ),
+                1,
+            );
+        }
+        if r.retries > 0 {
+            m.add_counter(&format!("query_retries_total{{alg=\"{key}\"}}"), r.retries);
+            m.histogram(&format!("query_backoff_us{{alg=\"{key}\"}}"))
+                .observe(r.backoff.as_micros() as u64);
+        }
     }
 
     /// Answers a distance-first top-k spatial keyword query with the chosen
@@ -656,6 +766,25 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         let mut sink = StatsSink::new();
         let mut report = self.distance_first_traced(alg, query, &mut sink)?;
         report.pruning = sink.into_stats();
+        self.publish_query_metrics(alg, &report);
+        Ok(report)
+    }
+
+    /// [`distance_first`](SpatialKeywordDb::distance_first) under
+    /// execution limits: a deadline, an I/O budget, and/or a frontier cap,
+    /// checked cooperatively between traversal steps. A tripped limit is
+    /// **not** an error — the report comes back with
+    /// [`outcome`](QueryReport::outcome) set and its results are the exact
+    /// top-m prefix of the full answer (Hjaltason–Samet emission order;
+    /// empty for IIO, which is non-incremental and degrades
+    /// all-or-nothing).
+    pub fn distance_first_limited(
+        &self,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+        limits: QueryLimits,
+    ) -> Result<QueryReport> {
+        let report = self.scoped_distance_first(alg, query, limits)?;
         self.publish_query_metrics(alg, &report);
         Ok(report)
     }
@@ -708,6 +837,9 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             pruning: TraceStats::default(),
             simulated: self.config.cost_model.time(io),
             wall,
+            outcome: None,
+            retries: 0,
+            backoff: Duration::ZERO,
         })
     }
 
@@ -715,26 +847,39 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
     /// the query reads is tallied in an [`IoScope`] (deterministic under
     /// concurrency) and loads are counted through a query-local
     /// [`CountingSource`], so the returned report is identical whether the
-    /// query runs alone or inside a concurrent batch.
+    /// query runs alone or inside a concurrent batch. A [`RetryScope`]
+    /// likewise attributes this query's transient-fault recoveries and
+    /// backoff sleep to its report.
     fn scoped_distance_first(
         &self,
         alg: Algorithm,
         query: &DistanceFirstQuery<2>,
+        limits: QueryLimits,
     ) -> Result<QueryReport> {
         let src = CountingSource::new(self.objects.as_ref() as &dyn ObjectSource<2>);
         let mut sink = StatsSink::new();
         let scope = IoScope::enter();
+        let retry_scope = RetryScope::enter();
         let t0 = Instant::now();
         let out = match alg {
-            Algorithm::RTree => rtree_baseline_topk_traced(&self.rtree, &src, query, &mut sink),
-            Algorithm::Ir2 => distance_first_topk_traced(&self.ir2, &src, query, &mut sink),
-            Algorithm::Mir2 => distance_first_topk_traced(&self.mir2, &src, query, &mut sink),
-            Algorithm::Iio => iio_topk(&self.inverted, &self.vocab, &src, query)
+            Algorithm::RTree => {
+                rtree_baseline_topk_limited_traced(&self.rtree, &src, query, limits, &mut sink)
+            }
+            Algorithm::Ir2 => {
+                distance_first_topk_limited_traced(&self.ir2, &src, query, limits, &mut sink)
+            }
+            Algorithm::Mir2 => {
+                distance_first_topk_limited_traced(&self.mir2, &src, query, limits, &mut sink)
+            }
+            Algorithm::Iio => iio_topk_limited(&self.inverted, &self.vocab, &src, query, limits)
                 .map(|r| (r, SearchCounters::default())),
         };
         let wall = t0.elapsed();
+        let retry_stats = retry_scope.finish();
         let scoped = scope.finish();
-        let (results, counters) = out?;
+        let (exec, counters) = out?;
+        let outcome = exec.truncation();
+        let results = exec.into_results();
         let index_io = scoped.for_stats(self.stats_of(alg));
         let object_io = scoped.for_stats(&self.io.objects);
         let io = index_io + object_io;
@@ -748,6 +893,9 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             pruning: sink.into_stats(),
             simulated: self.config.cost_model.time(io),
             wall,
+            outcome,
+            retries: retry_stats.retries,
+            backoff: retry_stats.backoff,
         })
     }
 
@@ -772,7 +920,9 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         queries: &[DistanceFirstQuery<2>],
         threads: usize,
     ) -> Result<Vec<QueryReport>> {
-        let reports = run_batch(queries, threads, |q| self.scoped_distance_first(alg, q))?;
+        let reports = run_batch(queries, threads, |q| {
+            self.scoped_distance_first(alg, q, QueryLimits::none())
+        })?;
         // Metrics are folded in *after* the concurrent phase: workers touch
         // only their thread-local sinks, so the shared registry sees no
         // query-path contention.
@@ -780,6 +930,50 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             self.publish_query_metrics(alg, r);
         }
         Ok(reports)
+    }
+
+    /// [`batch_topk`](SpatialKeywordDb::batch_topk) with per-query fault
+    /// isolation and execution limits — the resilient batch engine.
+    ///
+    /// Each query runs under `limits` (construct with a
+    /// [`QueryLimits::with_deadline`] to impose a **batch-wide** deadline:
+    /// the deadline instant is resolved once, before the workers start, so
+    /// every query in the batch races the same wall-clock point). A query
+    /// that trips a limit is *not* a failure — its report carries the
+    /// truncation outcome and the exact top-m prefix it reached.
+    ///
+    /// A query that errors or panics yields an `Err(`[`QueryError`]`)` in
+    /// its own slot and **nothing else**: siblings run to completion, the
+    /// shared buffer pool and index structures remain usable (their locks
+    /// do not poison), and subsequent queries on this database are
+    /// unaffected. Returns one entry per query, in input order.
+    pub fn batch_topk_isolated(
+        &self,
+        alg: Algorithm,
+        queries: &[DistanceFirstQuery<2>],
+        threads: usize,
+        limits: QueryLimits,
+    ) -> Vec<std::result::Result<QueryReport, QueryError>> {
+        let outcomes = run_batch_isolated(queries, threads, |q| {
+            self.scoped_distance_first(alg, q, limits)
+                .map_err(Into::into)
+        });
+        // Metrics fold in after the concurrent phase, like `batch_topk`.
+        let key = alg.key();
+        for out in &outcomes {
+            match out {
+                Ok(r) => self.publish_query_metrics(alg, r),
+                Err(QueryError::Storage(_)) => self.metrics.add_counter(
+                    &format!("batch_query_failures_total{{alg=\"{key}\",kind=\"storage\"}}"),
+                    1,
+                ),
+                Err(QueryError::Panic(_)) => self.metrics.add_counter(
+                    &format!("batch_query_failures_total{{alg=\"{key}\",kind=\"panic\"}}"),
+                    1,
+                ),
+            }
+        }
+        outcomes
     }
 
     /// Answers a batch of general (ranked) top-k queries concurrently, with
@@ -910,6 +1104,9 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             pruning: sink.into_stats(),
             simulated: self.config.cost_model.time(io),
             wall,
+            outcome: None,
+            retries: 0,
+            backoff: Duration::ZERO,
         };
         self.publish_query_metrics(alg, &report);
         Ok(report)

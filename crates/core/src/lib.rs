@@ -43,7 +43,12 @@ mod report;
 
 pub use config::DbConfig;
 pub use db::{DeviceSet, IntegrityReport, SpatialKeywordDb, StructureCheck};
-pub use report::{Algorithm, BatchReport, BuildStats, GeneralReport, IndexSizes, QueryReport};
+pub use report::{
+    Algorithm, BatchReport, BuildStats, GeneralReport, IndexSizes, QueryError, QueryReport,
+};
+
+pub use ir2_model::{ExecOutcome, QueryLimits, TruncateReason};
+pub use ir2_storage::{RetryDevice, RetryPolicy};
 
 pub use ir2_geo as geo;
 pub use ir2_invindex as invindex;

@@ -1,10 +1,11 @@
 //! Query reports: results plus the measurements the paper's figures plot.
 
+use std::fmt;
 use std::time::Duration;
 
 use ir2_irtree::{ScoredResult, SearchCounters, TraceStats};
-use ir2_model::SpatialObject;
-use ir2_storage::{HistogramSummary, IoSnapshot};
+use ir2_model::{SpatialObject, TruncateReason};
+use ir2_storage::{HistogramSummary, IoSnapshot, StorageError};
 
 /// Which access method answers a query — the four contenders of Section 6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,6 +77,51 @@ pub struct QueryReport {
     pub simulated: Duration,
     /// Wall-clock time of the in-memory run (CPU-bound component).
     pub wall: Duration,
+    /// `None` when the query ran to completion; otherwise the execution
+    /// limit that truncated it. A truncated report's `results` are still
+    /// the exact top-m prefix of the full answer (empty for IIO, which
+    /// degrades all-or-nothing).
+    pub outcome: Option<TruncateReason>,
+    /// Transient device faults absorbed by retry while this query ran
+    /// (attributed thread-locally; 0 when the devices have no retry layer).
+    pub retries: u64,
+    /// Total time the query spent sleeping in retry backoff.
+    pub backoff: Duration,
+}
+
+/// Why one query in a fault-isolated batch
+/// ([`SpatialKeywordDb::batch_topk_isolated`](crate::SpatialKeywordDb::batch_topk_isolated))
+/// failed. Failures are per-query: siblings in the batch are unaffected.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The storage layer returned an error retries could not absorb.
+    Storage(StorageError),
+    /// The query panicked; carries the panic payload's message.
+    Panic(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+            QueryError::Panic(msg) => write!(f, "query panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Storage(e) => Some(e),
+            QueryError::Panic(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
 }
 
 /// The outcome of a general (ranked) top-k query.

@@ -3,7 +3,7 @@
 use std::collections::BinaryHeap;
 
 use ir2_geo::OrderedF64;
-use ir2_model::{DistanceFirstQuery, ObjectSource, SpatialObject};
+use ir2_model::{DistanceFirstQuery, ExecOutcome, ObjectSource, QueryLimits, SpatialObject};
 use ir2_storage::{BlockDevice, Result, StorageError};
 use ir2_text::Vocabulary;
 
@@ -31,6 +31,25 @@ pub fn iio_topk<const N: usize, D: BlockDevice>(
     objects: &impl ObjectSource<N>,
     query: &DistanceFirstQuery<N>,
 ) -> Result<Vec<(SpatialObject<N>, f64)>> {
+    iio_topk_limited(index, vocab, objects, query, QueryLimits::none())
+        .map(ExecOutcome::into_results)
+}
+
+/// [`iio_topk`] under execution limits. IIO is non-incremental — nothing
+/// is rank-ordered until the whole candidate set has been scanned — so it
+/// degrades *all-or-nothing*: a tripped limit yields
+/// [`ExecOutcome::Truncated`] with an **empty** result set (trivially a
+/// prefix of the full answer; partial candidates would not be the true
+/// top-m). Charged I/O is one unit per postings list retrieved plus one
+/// per candidate object loaded; the frontier cap meters the bounded top-k
+/// heap, which never exceeds `k + 1`.
+pub fn iio_topk_limited<const N: usize, D: BlockDevice>(
+    index: &InvertedIndex<D>,
+    vocab: &Vocabulary,
+    objects: &impl ObjectSource<N>,
+    query: &DistanceFirstQuery<N>,
+    limits: QueryLimits,
+) -> Result<ExecOutcome<Vec<(SpatialObject<N>, f64)>>> {
     if query.keywords.is_empty() {
         // IIO has no spatial access path: with no keywords the candidate set
         // is the whole database, which this baseline cannot enumerate.
@@ -39,16 +58,28 @@ pub fn iio_topk<const N: usize, D: BlockDevice>(
         ));
     }
     if query.k == 0 {
-        return Ok(Vec::new());
+        return Ok(ExecOutcome::Complete(Vec::new()));
     }
 
-    // Lines 1-3: retrieve and intersect the postings lists.
+    let mut io_used: u64 = 0;
+
+    // Lines 1-3: retrieve and intersect the postings lists (one charged
+    // I/O unit per list).
     let mut lists = Vec::with_capacity(query.keywords.len());
     for w in &query.keywords {
+        if let Some(reason) = limits.check(io_used, 0) {
+            return Ok(ExecOutcome::Truncated {
+                reason,
+                results_so_far: Vec::new(),
+            });
+        }
         match vocab.term_id(w) {
-            Some(t) => lists.push(index.postings(t)?),
+            Some(t) => {
+                io_used += 1;
+                lists.push(index.postings(t)?);
+            }
             // A keyword occurring nowhere: the conjunction is empty.
-            None => return Ok(Vec::new()),
+            None => return Ok(ExecOutcome::Complete(Vec::new())),
         }
     }
     let candidates = intersect_sorted(lists);
@@ -59,6 +90,13 @@ pub fn iio_topk<const N: usize, D: BlockDevice>(
     let mut kept: std::collections::HashMap<u64, SpatialObject<N>> =
         std::collections::HashMap::new();
     for ptr in candidates {
+        if let Some(reason) = limits.check(io_used, heap.len()) {
+            return Ok(ExecOutcome::Truncated {
+                reason,
+                results_so_far: Vec::new(),
+            });
+        }
+        io_used += 1;
         let obj = objects.load(ptr)?;
         let d = obj.point.distance(&query.point);
         kept.insert(ptr.0, obj);
@@ -73,15 +111,17 @@ pub fn iio_topk<const N: usize, D: BlockDevice>(
     // Line 10: ascending by distance (ties by pointer for determinism).
     let mut picked: Vec<(OrderedF64, u64)> = heap.into_vec();
     picked.sort_by_key(|&(d, p)| (d, p));
-    Ok(picked
-        .into_iter()
-        .map(|(d, p)| {
-            (
-                kept.remove(&p).expect("kept object for every heap entry"),
-                d.0,
-            )
-        })
-        .collect())
+    Ok(ExecOutcome::Complete(
+        picked
+            .into_iter()
+            .map(|(d, p)| {
+                (
+                    kept.remove(&p).expect("kept object for every heap entry"),
+                    d.0,
+                )
+            })
+            .collect(),
+    ))
 }
 
 /// A convenience wrapper returning only `(object id, distance)` pairs.
@@ -202,5 +242,37 @@ mod tests {
         let (store, idx, vocab) = figure1();
         let q = DistanceFirstQuery::new([0.0, 0.0], &["pool"], 0);
         assert!(iio_topk(&idx, &vocab, &store, &q).unwrap().is_empty());
+    }
+
+    #[test]
+    fn limited_run_is_all_or_nothing() {
+        let (store, idx, vocab) = figure1();
+        let q = DistanceFirstQuery::new([30.5, 100.0], &["internet", "pool"], 2);
+        // Full cost: 2 postings lists + 2 candidate loads = 4 units.
+        for budget in 0..4 {
+            let out = iio_topk_limited(
+                &idx,
+                &vocab,
+                &store,
+                &q,
+                QueryLimits::none().with_io_budget(budget),
+            )
+            .unwrap();
+            assert!(out.is_truncated(), "budget {budget} must truncate");
+            assert!(
+                out.results().is_empty(),
+                "IIO degrades all-or-nothing: truncation yields no results"
+            );
+        }
+        let out = iio_topk_limited(
+            &idx,
+            &vocab,
+            &store,
+            &q,
+            QueryLimits::none().with_io_budget(4),
+        )
+        .unwrap();
+        assert!(!out.is_truncated(), "full budget completes");
+        assert_eq!(out.results().len(), 2);
     }
 }

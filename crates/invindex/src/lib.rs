@@ -22,5 +22,5 @@
 mod iio;
 mod index;
 
-pub use iio::{iio_topk, iio_topk_ids};
+pub use iio::{iio_topk, iio_topk_ids, iio_topk_limited};
 pub use index::InvertedIndex;

@@ -1,11 +1,14 @@
 //! The R-Tree baseline algorithm (Section 5.1).
 
-use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectSource, SpatialObject};
+use ir2_model::{
+    DistanceFirstQuery, ExecOutcome, ObjPtr, ObjectSource, QueryLimits, SpatialObject,
+    TruncateReason,
+};
 use ir2_rtree::{NnIter, RTree, UnitPayload};
 use ir2_storage::{BlockDevice, Result};
 
 use crate::trace::{NopSink, TraceEvent, TraceSink};
-use crate::SearchCounters;
+use crate::{LimitedTopk, SearchCounters};
 
 /// Incremental form of the paper's first baseline: plain Hjaltason–Samet
 /// nearest neighbor over an unaugmented R-Tree, loading **every** candidate
@@ -21,6 +24,8 @@ pub struct RtreeBaselineIter<'a, const N: usize, D, S: TraceSink = NopSink> {
     objects: &'a dyn ObjectSource<N>,
     keywords: Vec<String>,
     counters: SearchCounters,
+    limits: QueryLimits,
+    truncated: Option<TruncateReason>,
     sink: S,
 }
 
@@ -52,19 +57,49 @@ impl<'a, const N: usize, D: BlockDevice, S: TraceSink> RtreeBaselineIter<'a, N, 
             objects,
             keywords: query.keywords.clone(),
             counters: SearchCounters::default(),
+            limits: QueryLimits::none(),
+            truncated: None,
             sink,
         }
     }
 
+    /// Applies execution limits; see
+    /// [`DistanceFirstIter::limited`](crate::DistanceFirstIter::limited).
+    pub fn limited(mut self, limits: QueryLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
     /// The search counters so far (`pruned_by_signature` is always 0 — the
     /// baseline has no signatures; its `false_positives` count the loaded
-    /// objects that failed the keyword check).
+    /// objects that failed the keyword check). `nodes_read` stays 0 here:
+    /// node visits happen inside the plain NN iterator and are not part of
+    /// the baseline's trace — they are still *charged* against any
+    /// [`QueryLimits`] I/O budget via [`NnIter::nodes_read`].
     pub fn counters(&self) -> SearchCounters {
         self.counters
     }
 
+    /// Which limit stopped the search, if one did.
+    pub fn truncation(&self) -> Option<TruncateReason> {
+        self.truncated
+    }
+
     fn step(&mut self) -> Result<Option<(SpatialObject<N>, f64)>> {
-        for nn in self.nn.by_ref() {
+        loop {
+            // Cooperative limit check between candidates. Node reads happen
+            // inside the NN iterator, so the charged I/O is its node count
+            // plus the objects this wrapper loaded.
+            if self.truncated.is_none() && !self.limits.is_unlimited() {
+                let io_used = self.nn.nodes_read() + self.counters.candidates_checked;
+                self.truncated = self.limits.check(io_used, self.nn.frontier_len());
+            }
+            if self.truncated.is_some() {
+                return Ok(None);
+            }
+            let Some(nn) = self.nn.next() else {
+                return Ok(None);
+            };
             let nn = nn?;
             self.counters.candidates_checked += 1;
             let obj = self.objects.load(ObjPtr(nn.child))?;
@@ -79,7 +114,6 @@ impl<'a, const N: usize, D: BlockDevice, S: TraceSink> RtreeBaselineIter<'a, N, 
             }
             self.counters.false_positives += 1;
         }
-        Ok(None)
     }
 }
 
@@ -118,4 +152,44 @@ pub fn rtree_baseline_topk_traced<const N: usize, D: BlockDevice, S: TraceSink>(
         }
     }
     Ok((out, iter.counters()))
+}
+
+/// [`rtree_baseline_topk`] under execution limits; a tripped limit yields
+/// [`ExecOutcome::Truncated`] whose results are the exact top-m prefix of
+/// the full answer (candidates emerge in distance order).
+pub fn rtree_baseline_topk_limited<const N: usize, D: BlockDevice>(
+    tree: &RTree<N, D, UnitPayload>,
+    objects: &dyn ObjectSource<N>,
+    query: &DistanceFirstQuery<N>,
+    limits: QueryLimits,
+) -> Result<LimitedTopk<N>> {
+    rtree_baseline_topk_limited_traced(tree, objects, query, limits, NopSink)
+}
+
+/// [`rtree_baseline_topk_limited`] with every object fetch reported to
+/// `sink`.
+pub fn rtree_baseline_topk_limited_traced<const N: usize, D: BlockDevice, S: TraceSink>(
+    tree: &RTree<N, D, UnitPayload>,
+    objects: &dyn ObjectSource<N>,
+    query: &DistanceFirstQuery<N>,
+    limits: QueryLimits,
+    sink: S,
+) -> Result<LimitedTopk<N>> {
+    let mut iter = RtreeBaselineIter::with_sink(tree, objects, query, sink).limited(limits);
+    let mut out = Vec::with_capacity(query.k);
+    while out.len() < query.k {
+        match iter.step()? {
+            Some(hit) => out.push(hit),
+            None => break,
+        }
+    }
+    let counters = iter.counters();
+    let outcome = match iter.truncation() {
+        Some(reason) => ExecOutcome::Truncated {
+            reason,
+            results_so_far: out,
+        },
+        None => ExecOutcome::Complete(out),
+    };
+    Ok((outcome, counters))
 }

@@ -6,7 +6,10 @@ use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
 use ir2_geo::OrderedF64;
-use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectSource, QueryRegion, SpatialObject};
+use ir2_model::{
+    DistanceFirstQuery, ExecOutcome, ObjPtr, ObjectSource, QueryLimits, QueryRegion, SpatialObject,
+    TruncateReason,
+};
 use ir2_rtree::RTree;
 use ir2_sigfile::Signature;
 use ir2_storage::{BlockDevice, Result};
@@ -28,6 +31,10 @@ pub struct SearchCounters {
     /// signature false positives (line 21 of `IR2TopK` caught them).
     pub false_positives: u64,
 }
+
+/// What a limit-aware top-k run returns: the complete-or-truncated
+/// results plus the search counters of the run.
+pub type LimitedTopk<const N: usize> = (ExecOutcome<Vec<(SpatialObject<N>, f64)>>, SearchCounters);
 
 #[derive(PartialEq, Eq)]
 enum Item {
@@ -66,6 +73,8 @@ pub struct DistanceFirstIter<'a, const N: usize, D, P: SigPayload, S: TraceSink 
     heap: BinaryHeap<Reverse<(OrderedF64, u64, Item)>>,
     seq: u64,
     counters: SearchCounters,
+    limits: QueryLimits,
+    truncated: Option<TruncateReason>,
     sink: S,
 }
 
@@ -133,13 +142,30 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
             heap,
             seq: 1,
             counters: SearchCounters::default(),
+            limits: QueryLimits::none(),
+            truncated: None,
             sink,
         }
+    }
+
+    /// Applies execution limits: once a limit trips, the iterator stops
+    /// yielding ([`truncation`](Self::truncation) reports why). Everything
+    /// yielded before the cut is still the exact top-m prefix of the full
+    /// answer, because the traversal emits verified results in distance
+    /// order.
+    pub fn limited(mut self, limits: QueryLimits) -> Self {
+        self.limits = limits;
+        self
     }
 
     /// The search counters so far.
     pub fn counters(&self) -> SearchCounters {
         self.counters
+    }
+
+    /// Which limit stopped the search, if one did.
+    pub fn truncation(&self) -> Option<TruncateReason> {
+        self.truncated
     }
 
     /// Consumes the iterator, returning the trace sink.
@@ -148,7 +174,20 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
     }
 
     fn step(&mut self) -> Result<Option<(SpatialObject<N>, f64)>> {
-        while let Some(Reverse((dist, _, item))) = self.heap.pop() {
+        loop {
+            // Cooperative limit check before each unit of work; charged
+            // I/O is nodes read plus objects loaded, so an `io_budget` of
+            // zero stops the search before it touches the disk at all.
+            if self.truncated.is_none() && !self.limits.is_unlimited() {
+                let io_used = self.counters.nodes_read + self.counters.candidates_checked;
+                self.truncated = self.limits.check(io_used, self.heap.len());
+            }
+            if self.truncated.is_some() {
+                return Ok(None);
+            }
+            let Some(Reverse((dist, _, item))) = self.heap.pop() else {
+                return Ok(None);
+            };
             match item {
                 Item::Object(child) => {
                     // Line 20-21 of IR2TopK: load and verify (false
@@ -222,7 +261,6 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
                 }
             }
         }
-        Ok(None)
     }
 }
 
@@ -327,6 +365,69 @@ pub fn distance_first_region_topk_traced<
     collect_k(iter, k)
 }
 
+/// [`distance_first_topk`] under execution limits. A tripped limit yields
+/// [`ExecOutcome::Truncated`] whose `results_so_far` is the exact top-m
+/// prefix of the full answer (never an error).
+pub fn distance_first_topk_limited<const N: usize, D: BlockDevice, P: SigPayload>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    query: &DistanceFirstQuery<N>,
+    limits: QueryLimits,
+) -> Result<LimitedTopk<N>> {
+    let iter = DistanceFirstIter::new(tree, objects, query.clone()).limited(limits);
+    collect_k_limited(iter, query.k)
+}
+
+/// [`distance_first_topk_limited`] with every step reported to `sink`.
+pub fn distance_first_topk_limited_traced<
+    const N: usize,
+    D: BlockDevice,
+    P: SigPayload,
+    S: TraceSink,
+>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    query: &DistanceFirstQuery<N>,
+    limits: QueryLimits,
+    sink: S,
+) -> Result<LimitedTopk<N>> {
+    let iter = DistanceFirstIter::with_region_sink(
+        tree,
+        objects,
+        QueryRegion::Point(query.point),
+        query.keywords.clone(),
+        sink,
+    )
+    .limited(limits);
+    collect_k_limited(iter, query.k)
+}
+
+/// [`distance_first_region_topk_traced`] under execution limits.
+pub fn distance_first_region_topk_limited_traced<
+    const N: usize,
+    D: BlockDevice,
+    P: SigPayload,
+    S: TraceSink,
+>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    region: QueryRegion<N>,
+    keywords: &[String],
+    k: usize,
+    limits: QueryLimits,
+    sink: S,
+) -> Result<LimitedTopk<N>> {
+    let mut kws: Vec<String> = keywords
+        .iter()
+        .flat_map(|w| ir2_text::tokenize(w).collect::<Vec<_>>())
+        .collect();
+    kws.sort_unstable();
+    kws.dedup();
+    let iter =
+        DistanceFirstIter::with_region_sink(tree, objects, region, kws, sink).limited(limits);
+    collect_k_limited(iter, k)
+}
+
 fn collect_k<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(
     mut iter: DistanceFirstIter<'_, N, D, P, S>,
     k: usize,
@@ -339,4 +440,26 @@ fn collect_k<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(
         }
     }
     Ok((out, iter.counters()))
+}
+
+fn collect_k_limited<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(
+    mut iter: DistanceFirstIter<'_, N, D, P, S>,
+    k: usize,
+) -> Result<LimitedTopk<N>> {
+    let mut out = Vec::with_capacity(k.min(1024));
+    while out.len() < k {
+        match iter.step()? {
+            Some(hit) => out.push(hit),
+            None => break,
+        }
+    }
+    let counters = iter.counters();
+    let outcome = match iter.truncation() {
+        Some(reason) => ExecOutcome::Truncated {
+            reason,
+            results_so_far: out,
+        },
+        None => ExecOutcome::Complete(out),
+    };
+    Ok((outcome, counters))
 }

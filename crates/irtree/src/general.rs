@@ -5,7 +5,7 @@ use std::collections::BinaryHeap;
 use std::collections::HashMap;
 
 use ir2_geo::{OrderedF64, Point};
-use ir2_model::{ObjPtr, ObjectSource, SpatialObject};
+use ir2_model::{ExecOutcome, ObjPtr, ObjectSource, QueryLimits, SpatialObject};
 use ir2_rtree::RTree;
 use ir2_sigfile::Signature;
 use ir2_storage::{BlockDevice, Result};
@@ -117,8 +117,49 @@ pub fn general_topk_traced<const N: usize, D: BlockDevice, P: SigPayload, S: Tra
     scorer: &dyn IrScorer,
     rank: &dyn RankingFn,
     query: &GeneralQuery<N>,
-    mut sink: S,
+    sink: S,
 ) -> Result<Vec<ScoredResult<N>>> {
+    general_topk_limited_traced(
+        tree,
+        objects,
+        vocab,
+        scorer,
+        rank,
+        query,
+        QueryLimits::none(),
+        sink,
+    )
+    .map(ExecOutcome::into_results)
+}
+
+/// [`general_topk`] under execution limits.
+pub fn general_topk_limited<const N: usize, D: BlockDevice, P: SigPayload>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    vocab: &Vocabulary,
+    scorer: &dyn IrScorer,
+    rank: &dyn RankingFn,
+    query: &GeneralQuery<N>,
+    limits: QueryLimits,
+) -> Result<ExecOutcome<Vec<ScoredResult<N>>>> {
+    general_topk_limited_traced(tree, objects, vocab, scorer, rank, query, limits, NopSink)
+}
+
+/// [`general_topk_traced`] under execution limits, checked cooperatively
+/// before each heap pop. Results are emitted only when their actual score
+/// dominates every remaining upper bound, i.e. in final rank order — so a
+/// truncated run's results are the exact top-m prefix of the full answer.
+#[allow(clippy::too_many_arguments)]
+pub fn general_topk_limited_traced<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    vocab: &Vocabulary,
+    scorer: &dyn IrScorer,
+    rank: &dyn RankingFn,
+    query: &GeneralQuery<N>,
+    limits: QueryLimits,
+    mut sink: S,
+) -> Result<ExecOutcome<Vec<ScoredResult<N>>>> {
     // Query terms present in the corpus (absent terms can never contribute
     // to any document's score).
     let term_ids: Vec<TermId> = query
@@ -156,7 +197,18 @@ pub fn general_topk_traced<const N: usize, D: BlockDevice, P: SigPayload, S: Tra
     }
 
     let mut out: Vec<ScoredResult<N>> = Vec::with_capacity(query.k);
+    let mut nodes_read: u64 = 0;
+    let mut objects_loaded: u64 = 0;
+    let mut truncated = None;
     while out.len() < query.k {
+        // Cooperative limit check; charged I/O is nodes read plus objects
+        // loaded, mirroring `DistanceFirstIter`.
+        if !limits.is_unlimited() {
+            truncated = limits.check(nodes_read + objects_loaded, heap.len());
+            if truncated.is_some() {
+                break;
+            }
+        }
         let Some((upper, _, id)) = heap.pop() else {
             break;
         };
@@ -164,6 +216,7 @@ pub fn general_topk_traced<const N: usize, D: BlockDevice, P: SigPayload, S: Tra
         match item {
             GItem::Loaded(res) => out.push(*res),
             GItem::Candidate(child) => {
+                objects_loaded += 1;
                 let obj = objects.load(ObjPtr(child))?;
                 let distance = obj.point.distance(&query.point);
                 let ir_score = scorer.score(vocab, &term_ids, &obj.token_counts());
@@ -203,6 +256,7 @@ pub fn general_topk_traced<const N: usize, D: BlockDevice, P: SigPayload, S: Tra
                 }
             }
             GItem::Node(node_id) => {
+                nodes_read += 1;
                 let node = tree.read_node(node_id)?;
                 let level = node.level;
                 sink.record(&TraceEvent::NodeVisited {
@@ -254,5 +308,11 @@ pub fn general_topk_traced<const N: usize, D: BlockDevice, P: SigPayload, S: Tra
             }
         }
     }
-    Ok(out)
+    Ok(match truncated {
+        Some(reason) => ExecOutcome::Truncated {
+            reason,
+            results_so_far: out,
+        },
+        None => ExecOutcome::Complete(out),
+    })
 }

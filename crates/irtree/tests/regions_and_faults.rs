@@ -133,7 +133,7 @@ fn tree_device_failure_surfaces_as_error_not_panic() {
         ir2_model::DistanceFirstQuery::new([0.0, 0.0], &["pool"], 5),
     );
     match iter.next() {
-        Some(Err(StorageError::Io(_))) => {}
+        Some(Err(StorageError::Io { .. })) => {}
         other => panic!("expected injected Io error, got {other:?}"),
     }
 
@@ -171,7 +171,7 @@ fn object_store_failure_mid_verification_is_an_error() {
         flaky_store.as_ref(),
         &ir2_model::DistanceFirstQuery::new([0.0, 0.0], &["pool"], 3),
     );
-    assert!(matches!(res, Err(StorageError::Io(_))));
+    assert!(matches!(res, Err(StorageError::Io { .. })));
 }
 
 #[test]

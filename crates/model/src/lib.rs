@@ -18,12 +18,14 @@
 //! on it rather than on the concrete store, and it additionally counts
 //! object loads (the paper's object-access metric).
 
+mod limits;
 mod object;
 mod query;
 mod region;
 mod store;
 pub mod tsv;
 
+pub use limits::{ExecOutcome, QueryLimits, TruncateReason};
 pub use object::SpatialObject;
 pub use query::DistanceFirstQuery;
 pub use region::QueryRegion;

@@ -2,9 +2,25 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ir2_storage::{BlockDevice, RecordFile, Result};
+use ir2_storage::{BlockDevice, RecordFile, Result, StorageError};
 
 use crate::{ObjPtr, SpatialObject};
+
+/// Annotates a decode failure with the record pointer it happened at —
+/// `SpatialObject::decode` sees only bytes, so without this a corrupt
+/// record reports *what* is wrong but not *where* (the same pattern the
+/// R-Tree uses to prefix node errors with the node id).
+fn at_ptr<const N: usize>(
+    ptr: ObjPtr,
+    decoded: Result<SpatialObject<N>>,
+) -> Result<SpatialObject<N>> {
+    decoded.map_err(|e| match e {
+        StorageError::Corrupt(msg) => {
+            StorageError::Corrupt(format!("object at offset {}: {msg}", ptr.0))
+        }
+        other => other,
+    })
+}
 
 /// Anything that can load a [`SpatialObject`] by pointer.
 ///
@@ -88,7 +104,7 @@ impl<const N: usize, D: BlockDevice> ObjectStore<N, D> {
     /// index structure.
     pub fn scan(&self, mut f: impl FnMut(ObjPtr, SpatialObject<N>) -> Result<()>) -> Result<()> {
         self.file
-            .scan(|ptr, bytes| f(ptr, SpatialObject::decode(bytes)?))
+            .scan(|ptr, bytes| f(ptr, at_ptr(ptr, SpatialObject::decode(bytes))?))
     }
 
     /// Resets the load counter (between experiment runs).
@@ -100,7 +116,7 @@ impl<const N: usize, D: BlockDevice> ObjectStore<N, D> {
 impl<const N: usize, D: BlockDevice> ObjectSource<N> for ObjectStore<N, D> {
     fn load(&self, ptr: ObjPtr) -> Result<SpatialObject<N>> {
         self.loads.fetch_add(1, Ordering::Relaxed);
-        SpatialObject::decode(&self.file.get(ptr)?)
+        at_ptr(ptr, SpatialObject::decode(&self.file.get(ptr)?))
     }
 
     fn loads(&self) -> u64 {
@@ -163,6 +179,21 @@ mod tests {
         let s: IoSnapshot = stats.snapshot();
         assert_eq!(s.random_reads, 1);
         assert!(s.seq_reads >= 2, "10 KB object spans ≥3 blocks");
+    }
+
+    #[test]
+    fn decode_errors_name_the_record_offset() {
+        let dev = std::sync::Arc::new(MemDevice::new());
+        // Write a record too short to be an object through the raw record
+        // file, then read it back as an object.
+        let file = RecordFile::create(std::sync::Arc::clone(&dev));
+        let ptr = file.append(&[1, 2, 3]).unwrap();
+        file.flush().unwrap();
+        let (len, records) = file.state();
+        let store = ObjectStore::<2, _>::open(dev, len, records).unwrap();
+        let msg = store.load(ptr).unwrap_err().to_string();
+        assert!(msg.contains(&format!("offset {}", ptr.0)), "{msg}");
+        assert!(msg.contains("too short"), "{msg}");
     }
 
     #[test]

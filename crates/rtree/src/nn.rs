@@ -42,6 +42,7 @@ pub struct NnIter<'a, const N: usize, D, P> {
     query: Point<N>,
     heap: BinaryHeap<Reverse<(OrderedF64, u64, Item)>>,
     seq: u64,
+    nodes_read: u64,
 }
 
 // Items only compare through (dist, seq), which are unique per entry.
@@ -68,11 +69,23 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
             query,
             heap,
             seq: 1,
+            nodes_read: 0,
         }
     }
 }
 
 impl<const N: usize, D: BlockDevice, P: PayloadOps> NnIter<'_, N, D, P> {
+    /// Tree nodes read so far — the iterator's charged I/O, used by
+    /// limit-aware callers to meter the traversal.
+    pub fn nodes_read(&self) -> u64 {
+        self.nodes_read
+    }
+
+    /// Current search-frontier (priority queue) size.
+    pub fn frontier_len(&self) -> usize {
+        self.heap.len()
+    }
+
     fn step(&mut self) -> Result<Option<NnResult>> {
         while let Some(Reverse((dist, _, item))) = self.heap.pop() {
             match item {
@@ -84,6 +97,7 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> NnIter<'_, N, D, P> {
                 }
                 Item::Node(id) => {
                     let node = self.tree.read_node(id)?;
+                    self.nodes_read += 1;
                     for e in &node.entries {
                         let d = OrderedF64(e.rect.min_dist(&self.query));
                         let item = if node.is_leaf() {
@@ -172,6 +186,21 @@ mod tests {
         for (res, (bd, _)) in results.iter().zip(brute.iter()) {
             assert!((res.dist - bd).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn nodes_read_meters_the_traversal() {
+        let tree = build(&hotels());
+        let mut it = tree.nearest(Point::new([30.5, 100.0]));
+        assert_eq!(it.nodes_read(), 0);
+        it.next().unwrap().unwrap();
+        assert!(it.nodes_read() >= 1);
+        assert!(it.frontier_len() > 0);
+        let total_after_first = it.nodes_read();
+        it.by_ref().for_each(|r| {
+            r.unwrap();
+        });
+        assert!(it.nodes_read() >= total_after_first);
     }
 
     #[test]

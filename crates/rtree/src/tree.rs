@@ -359,7 +359,11 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
     pub fn read_node(&self, id: NodeId) -> Result<Node<N>> {
         let mut first = ir2_storage::zeroed_block();
         extent::read_sealed_block(&self.dev, id, &mut first)?;
-        let (level, _count, nblocks) = Node::<N>::decode_header(&first[..PAGE_PAYLOAD])?;
+        let (level, _count, nblocks) =
+            Node::<N>::decode_header(&first[..PAGE_PAYLOAD]).map_err(|e| match e {
+                StorageError::Corrupt(msg) => StorageError::Corrupt(format!("node {id}: {msg}")),
+                other => other,
+            })?;
         let payload_size = self.ops.entry_size(level);
         if nblocks <= 1 {
             return Node::decode(id, &first[..PAGE_PAYLOAD], payload_size);

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 
-use crate::{BlockId, Result, StorageError, BLOCK_SIZE};
+use crate::{BlockId, IoOp, Result, StorageError, BLOCK_SIZE};
 
 /// A device of fixed-size (4096-byte) blocks.
 ///
@@ -182,14 +182,18 @@ impl BlockDevice for FileDevice {
     fn read_block(&self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
         use std::os::unix::fs::FileExt;
         let off = self.check(id)?;
-        self.file.read_exact_at(buf, off)?;
+        self.file
+            .read_exact_at(buf, off)
+            .map_err(|e| StorageError::io(IoOp::Read, Some(id), e))?;
         Ok(())
     }
 
     fn write_block(&self, id: BlockId, data: &[u8; BLOCK_SIZE]) -> Result<()> {
         use std::os::unix::fs::FileExt;
         let off = self.check(id)?;
-        self.file.write_all_at(data, off)?;
+        self.file
+            .write_all_at(data, off)
+            .map_err(|e| StorageError::io(IoOp::Write, Some(id), e))?;
         Ok(())
     }
 
@@ -201,9 +205,10 @@ impl BlockDevice for FileDevice {
         // max we know about.
         let first = self.len_blocks.fetch_add(n, Ordering::AcqRel);
         let new_len = (first + n) * BLOCK_SIZE as u64;
-        let cur = self.file.metadata()?.len();
+        let alloc_err = |e| StorageError::io(IoOp::Allocate, None, e);
+        let cur = self.file.metadata().map_err(alloc_err)?.len();
         if new_len > cur {
-            self.file.set_len(new_len)?;
+            self.file.set_len(new_len).map_err(alloc_err)?;
         }
         Ok(first)
     }
@@ -213,7 +218,9 @@ impl BlockDevice for FileDevice {
     }
 
     fn sync(&self) -> Result<()> {
-        self.file.sync_data()?;
+        self.file
+            .sync_data()
+            .map_err(|e| StorageError::io(IoOp::Sync, None, e))?;
         Ok(())
     }
 }

@@ -27,6 +27,10 @@
 //! * [`MetricsRegistry`] — lock-free named counters/histograms with
 //!   snapshot/delta and Prometheus-style export, generalizing the
 //!   [`IoStats`]/[`IoScope`] accounting for the layers above.
+//! * [`RetryDevice`] — transparent retries with jittered exponential
+//!   backoff for transient faults ([`StorageError::is_transient`]) and a
+//!   per-block circuit breaker that quarantines persistently failing
+//!   blocks ([`StorageError::Quarantined`]).
 
 mod cost;
 mod device;
@@ -36,19 +40,21 @@ pub mod metrics;
 pub mod page;
 mod pool;
 mod records;
+mod retry;
 mod shadow;
 pub mod testing;
 mod tracking;
 
 pub use cost::CostModel;
 pub use device::{BlockDevice, FileDevice, MemDevice};
-pub use error::{Result, StorageError};
+pub use error::{IoOp, Result, StorageError};
 pub use metrics::{
     ratio, Counter, Histogram, HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot,
 };
 pub use page::{PAGE_PAYLOAD, PAGE_TRAILER_LEN, PAGE_VERSION};
 pub use pool::{BufferPool, DEFAULT_POOL_SHARDS};
 pub use records::{RecordFile, RecordPtr, RECORD_HEADER_LEN};
+pub use retry::{RetryDevice, RetryPolicy, RetryScope, RetryStats};
 pub use shadow::ShadowPair;
 pub use tracking::{IoScope, IoSnapshot, IoStats, ScopedIo, TrackedDevice};
 

@@ -5,8 +5,12 @@
 //! the library, not `#[cfg(test)]`, so downstream crates' tests can use
 //! them too):
 //!
-//! * [`FlakyDevice`] wraps one device and starts failing I/O after a
-//!   configurable budget of operations — exercising every error path.
+//! * [`FlakyDevice`] wraps one device and injects faults in one of three
+//!   modes: a hard budget cutoff (every op after the first `budget` fails
+//!   permanently — exercising every error path), and two *intermittent*
+//!   modes (every k-th op, or each op with probability `p` from a seeded
+//!   RNG) that inject **transient** errors a retry layer is expected to
+//!   absorb.
 //! * [`CrashPoint`] / [`TornWriteDevice`] simulate a *crash*: at a chosen
 //!   global I/O index the in-flight write is torn (truncated or garbled)
 //!   and every subsequent operation fails, as if the machine lost power.
@@ -19,51 +23,152 @@ use std::sync::Arc;
 
 use crate::{BlockDevice, BlockId, Result, StorageError, BLOCK_SIZE};
 
-/// A device that fails every operation after the first `budget` calls.
+/// How a [`FlakyDevice`] decides which operations fail.
+enum FaultMode {
+    /// Every operation after the first `budget` fails *permanently*.
+    Budget(AtomicU64),
+    /// Every `period`-th operation (the `period`-th, `2·period`-th, …)
+    /// fails with a *transient* error.
+    EveryKth { period: u64, ops: AtomicU64 },
+    /// Each operation fails with probability `p`, drawn from a seeded
+    /// SplitMix64 stream, with a *transient* error.
+    Probability { p: f64, state: AtomicU64 },
+}
+
+/// A fault-injecting device wrapper; see the module docs for the modes.
 pub struct FlakyDevice<D> {
     inner: D,
-    remaining: AtomicU64,
+    mode: FaultMode,
+    injected: AtomicU64,
+}
+
+/// One SplitMix64 output for a given stream position.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl<D: BlockDevice> FlakyDevice<D> {
     /// Wraps `inner`; the first `budget` read/write/allocate calls succeed,
-    /// everything after fails with [`StorageError::Io`].
+    /// everything after fails with a **permanent** [`StorageError::Io`].
     pub fn new(inner: D, budget: u64) -> Self {
         Self {
             inner,
-            remaining: AtomicU64::new(budget),
+            mode: FaultMode::Budget(AtomicU64::new(budget)),
+            injected: AtomicU64::new(0),
         }
     }
 
-    /// Restores `budget` further successful operations.
-    pub fn refill(&self, budget: u64) {
-        self.remaining.store(budget, Ordering::Relaxed);
+    /// Wraps `inner`; every `period`-th operation fails with a
+    /// **transient** error (`ErrorKind::Interrupted`). The failed
+    /// operation does not reach the inner device, so an immediate retry
+    /// lands on a fresh count and succeeds — the deterministic
+    /// recoverable-fault workload. `period` must be ≥ 1; `period == 1`
+    /// fails every operation.
+    pub fn every_kth(inner: D, period: u64) -> Self {
+        assert!(period >= 1, "period must be at least 1");
+        Self {
+            inner,
+            mode: FaultMode::EveryKth {
+                period,
+                ops: AtomicU64::new(0),
+            },
+            injected: AtomicU64::new(0),
+        }
     }
 
-    /// Operations left before failures begin.
+    /// Wraps `inner`; each operation independently fails with probability
+    /// `p` (a **transient** error), drawn from a SplitMix64 stream seeded
+    /// with `seed` — the same seed replays the same fault pattern for a
+    /// serial workload.
+    pub fn with_probability(inner: D, p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be within [0, 1]");
+        Self {
+            inner,
+            mode: FaultMode::Probability {
+                p,
+                state: AtomicU64::new(seed),
+            },
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Restores `budget` further successful operations (budget mode only;
+    /// a no-op for the intermittent modes).
+    pub fn refill(&self, budget: u64) {
+        if let FaultMode::Budget(remaining) = &self.mode {
+            remaining.store(budget, Ordering::Relaxed);
+        }
+    }
+
+    /// Operations left before failures begin. Intermittent modes never
+    /// run out, so they report `u64::MAX`.
     pub fn remaining(&self) -> u64 {
-        self.remaining.load(Ordering::Relaxed)
+        match &self.mode {
+            FaultMode::Budget(remaining) => remaining.load(Ordering::Relaxed),
+            _ => u64::MAX,
+        }
+    }
+
+    /// Total faults injected so far, across all modes.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn transient() -> StorageError {
+        StorageError::Io {
+            op: crate::IoOp::Other,
+            block: None,
+            source: std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "injected transient fault",
+            ),
+        }
     }
 
     fn spend(&self) -> Result<()> {
-        // Decrement-if-positive; at zero, fail.
-        let mut cur = self.remaining.load(Ordering::Relaxed);
-        loop {
-            if cur == 0 {
-                return Err(StorageError::Io(std::io::Error::other(
-                    "injected device failure",
-                )));
+        let fail = match &self.mode {
+            FaultMode::Budget(remaining) => {
+                // Decrement-if-positive; at zero, fail permanently.
+                let mut cur = remaining.load(Ordering::Relaxed);
+                loop {
+                    if cur == 0 {
+                        self.injected.fetch_add(1, Ordering::Relaxed);
+                        return Err(StorageError::Io {
+                            op: crate::IoOp::Other,
+                            block: None,
+                            source: std::io::Error::other("injected device failure"),
+                        });
+                    }
+                    match remaining.compare_exchange_weak(
+                        cur,
+                        cur - 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => return Ok(()),
+                        Err(seen) => cur = seen,
+                    }
+                }
             }
-            match self.remaining.compare_exchange_weak(
-                cur,
-                cur - 1,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return Ok(()),
-                Err(seen) => cur = seen,
+            FaultMode::EveryKth { period, ops } => {
+                let n = ops.fetch_add(1, Ordering::Relaxed) + 1;
+                n % period == 0
             }
+            FaultMode::Probability { p, state } => {
+                let pos = state.fetch_add(1, Ordering::Relaxed);
+                // Top 53 bits → a uniform double in [0, 1).
+                let u = (splitmix64(pos) >> 11) as f64 / (1u64 << 53) as f64;
+                u < *p
+            }
+        };
+        if fail {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(Self::transient());
         }
+        Ok(())
     }
 }
 
@@ -161,7 +266,11 @@ pub struct TornWriteDevice<D> {
 
 impl<D: BlockDevice> TornWriteDevice<D> {
     fn injected() -> StorageError {
-        StorageError::Io(std::io::Error::other("injected crash"))
+        StorageError::Io {
+            op: crate::IoOp::Other,
+            block: None,
+            source: std::io::Error::other("injected crash"),
+        }
     }
 
     /// `Ok(true)` means "this operation is the crash"; `Err` means the
@@ -248,11 +357,51 @@ mod tests {
         dev.write_block(0, &buf).unwrap(); // 2
         let mut out = crate::zeroed_block();
         dev.read_block(0, &mut out).unwrap(); // 3
-        assert!(matches!(
-            dev.read_block(0, &mut out),
-            Err(StorageError::Io(_))
-        ));
+        let err = dev.read_block(0, &mut out).unwrap_err();
+        assert!(matches!(err, StorageError::Io { .. }));
+        assert!(!err.is_transient(), "budget cutoff is permanent");
         assert_eq!(dev.remaining(), 0);
+        assert_eq!(dev.faults_injected(), 1);
+    }
+
+    #[test]
+    fn every_kth_fails_transiently_and_recovers() {
+        let dev = FlakyDevice::every_kth(MemDevice::new(), 3);
+        dev.allocate(1).unwrap(); // op 1
+        let mut out = crate::zeroed_block();
+        dev.read_block(0, &mut out).unwrap(); // op 2
+        let err = dev.read_block(0, &mut out).unwrap_err(); // op 3: fault
+        assert!(err.is_transient(), "{err}");
+        // The very next attempt (op 4) succeeds: the fault is recoverable.
+        dev.read_block(0, &mut out).unwrap();
+        assert_eq!(dev.faults_injected(), 1);
+        assert_eq!(dev.remaining(), u64::MAX);
+    }
+
+    #[test]
+    fn probability_mode_is_seeded_and_transient() {
+        let run = |seed| {
+            let dev = FlakyDevice::with_probability(MemDevice::new(), 0.5, seed);
+            dev.allocate(1).unwrap_or(0);
+            let mut out = crate::zeroed_block();
+            let pattern: Vec<bool> = (0..64)
+                .map(|_| dev.read_block(0, &mut out).is_ok())
+                .collect();
+            (pattern, dev.faults_injected())
+        };
+        let (a, faults_a) = run(42);
+        let (b, _) = run(42);
+        assert_eq!(a, b, "same seed must replay the same fault pattern");
+        let (c, _) = run(7);
+        assert_ne!(a, c, "different seeds should differ");
+        assert!(
+            faults_a > 10 && faults_a < 55,
+            "p=0.5 over 65 ops: {faults_a}"
+        );
+
+        let dev = FlakyDevice::with_probability(MemDevice::new(), 1.0, 0);
+        let err = dev.allocate(1).unwrap_err();
+        assert!(err.is_transient());
     }
 
     #[test]
