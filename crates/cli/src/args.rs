@@ -10,11 +10,14 @@ ir2 — keyword search on spatial databases (IR²-Tree, ICDE 2008)
 USAGE:
   ir2 generate --preset <hotels|restaurants> [--count N] [--seed S] --out FILE.tsv
   ir2 build    --tsv FILE.tsv --db DIR [--sig-bytes N] [--capacity N] [--incremental]
+               [--node-cache NODES] [--prefetch WORKERS]
   ir2 query    --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N]
                [--alg <rtree|iio|ir2|mir2>] [--area LAT1,LON1,LAT2,LON2]
                [--deadline-ms MS] [--io-budget BLOCKS]
+               [--node-cache NODES] [--prefetch WORKERS]
   ir2 batch    --db DIR --queries FILE [--threads N] [--k N]
                [--alg <rtree|iio|ir2|mir2>] [--deadline-ms MS] [--io-budget BLOCKS]
+               [--node-cache NODES] [--prefetch WORKERS]
   ir2 ranked   --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N] [--dist-weight W]
   ir2 trace    --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N]
                [--alg <rtree|iio|ir2|mir2>] [--steps N]
@@ -28,7 +31,11 @@ the batch runs concurrently with exact per-query I/O attribution and
 per-query fault isolation. `--deadline-ms` (batch-wide) and
 `--io-budget` (per query) bound execution: a query that trips a limit
 is truncated, not failed — its results are the exact top-m prefix of
-the full answer.";
+the full answer. `--node-cache` keeps up to NODES decoded tree nodes
+per index (warm queries skip checksum + decode work; at build time the
+setting is persisted, at query time it overrides for that process) and
+`--prefetch` decodes up to WORKERS frontier nodes ahead of the
+traversal — results are byte-identical either way.";
 
 /// Parsed `--flag value` pairs.
 pub struct Flags {

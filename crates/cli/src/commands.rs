@@ -64,6 +64,8 @@ fn db_config(f: &Flags) -> Result<DbConfig, String> {
     if f.switch("incremental") {
         config.bulk_load = false;
     }
+    config.node_cache = f.get_or("node-cache", 0usize)?;
+    config.prefetch = f.get_or("prefetch", 0usize)?;
     Ok(config)
 }
 
@@ -105,7 +107,18 @@ fn open_db(f: &Flags) -> Result<SpatialKeywordDb<RetryDevice<FileDevice>>, Strin
     let devices = DeviceSet::open_dir(dir)
         .map_err(io_err)?
         .map(|name, d| RetryDevice::with_metrics(d, RetryPolicy::default(), &registry, name));
-    SpatialKeywordDb::open_with_registry(devices, registry).map_err(io_err)
+    let mut db = SpatialKeywordDb::open_with_registry(devices, registry).map_err(io_err)?;
+    // Query-time overrides of the persisted cache configuration, for this
+    // process only.
+    if let Some(n) = f.optional("node-cache") {
+        let n: usize = n.parse().map_err(|e| format!("bad --node-cache: {e}"))?;
+        db.configure_node_cache(n);
+    }
+    if let Some(p) = f.optional("prefetch") {
+        let p: usize = p.parse().map_err(|e| format!("bad --prefetch: {e}"))?;
+        db.configure_prefetch(p);
+    }
+    Ok(db)
 }
 
 /// Parses the shared execution-limit flags (`--deadline-ms`,
@@ -148,6 +161,14 @@ fn print_report(out: &mut impl Write, report: &QueryReport) -> CliResult {
         report.object_loads,
         report.simulated.as_secs_f64() * 1e3
     );
+    if report.counters.cache_hits > 0 {
+        say!(
+            out,
+            "  [{} of {} node visits served from the decoded-node cache]",
+            report.counters.cache_hits,
+            report.counters.nodes_read
+        );
+    }
     if report.retries > 0 {
         say!(
             out,
@@ -542,6 +563,17 @@ pub fn stats(args: &[String], out: &mut impl Write) -> CliResult {
     );
     say!(out, "avg blocks/object:  {:.2}", s.avg_blocks_per_object);
     say!(out, "tree fanout:        {}", db.tree_config().max_entries);
+    let cache = db.node_cache_stats();
+    if cache.is_empty() {
+        say!(out, "node cache:         off");
+    } else {
+        for (tree, hits, misses) in cache {
+            say!(
+                out,
+                "node cache {tree:<8} {hits} hits / {misses} misses this process"
+            );
+        }
+    }
     print_sizes(out, &db.index_sizes())?;
     Ok(())
 }

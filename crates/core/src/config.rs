@@ -28,6 +28,13 @@ pub struct DbConfig {
     /// Expected distinct words per object, used to size the MIR²-Tree's
     /// per-level schemes; `None` measures it from the data while building.
     pub avg_words_hint: Option<f64>,
+    /// Decoded-node cache capacity per tree, in nodes (0 disables the
+    /// cache). Warm traversals then skip checksum verification and entry
+    /// decoding; per-tree mutation epochs keep cached images fresh.
+    pub node_cache: usize,
+    /// Frontier-prefetch worker threads per query (0 disables prefetch;
+    /// requires `node_cache > 0` to have any effect).
+    pub prefetch: usize,
 }
 
 impl Default for DbConfig {
@@ -41,6 +48,8 @@ impl Default for DbConfig {
             cost_model: CostModel::HDD_10K,
             mir_strict: false,
             avg_words_hint: None,
+            node_cache: 0,
+            prefetch: 0,
         }
     }
 }
@@ -81,6 +90,20 @@ impl DbConfig {
         self
     }
 
+    /// Sets the decoded-node cache capacity in nodes, 0 to disable
+    /// (builder style).
+    pub fn with_node_cache(mut self, nodes: usize) -> Self {
+        self.node_cache = nodes;
+        self
+    }
+
+    /// Sets the frontier-prefetch worker count, 0 to disable (builder
+    /// style).
+    pub fn with_prefetch(mut self, workers: usize) -> Self {
+        self.prefetch = workers;
+        self
+    }
+
     /// Serializes the configuration for the catalog.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(40);
@@ -95,6 +118,8 @@ impl DbConfig {
             &(self.cost_model.sequential_access.as_micros() as u64).to_le_bytes(),
         );
         out.extend_from_slice(&self.avg_words_hint.unwrap_or(0.0).to_le_bytes());
+        out.extend_from_slice(&(self.node_cache as u32).to_le_bytes());
+        out.extend_from_slice(&(self.prefetch as u32).to_le_bytes());
         out
     }
 
@@ -112,6 +137,15 @@ impl DbConfig {
         let rand_us = u64::from_le_bytes(buf[22..30].try_into().expect("8 bytes"));
         let seq_us = u64::from_le_bytes(buf[30..38].try_into().expect("8 bytes"));
         let hint = f64::from_le_bytes(buf[38..46].try_into().expect("8 bytes"));
+        // Cache knobs were appended later; records written before them
+        // decode to the old behavior (cache and prefetch off).
+        let read_u32_or0 = |at: usize| {
+            buf.get(at..at + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+                .unwrap_or(0)
+        };
+        let node_cache = read_u32_or0(46);
+        let prefetch = read_u32_or0(50);
         Ok(Self {
             capacity: (capacity != 0).then_some(capacity),
             sig_bytes,
@@ -124,6 +158,8 @@ impl DbConfig {
                 sequential_access: std::time::Duration::from_micros(seq_us),
             },
             avg_words_hint: (hint != 0.0).then_some(hint),
+            node_cache,
+            prefetch,
         })
     }
 }
@@ -142,9 +178,25 @@ mod tests {
     fn encode_decode_roundtrip() {
         let cfg = DbConfig::hotels()
             .with_capacity(113)
-            .with_incremental_build();
+            .with_incremental_build()
+            .with_node_cache(4096)
+            .with_prefetch(3);
         let back = DbConfig::decode(&cfg.encode()).unwrap();
         assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn decode_tolerates_records_without_cache_knobs() {
+        // A record truncated at the pre-cache length (46 bytes) must still
+        // decode, with both knobs defaulting to off.
+        let cfg = DbConfig::restaurants()
+            .with_node_cache(512)
+            .with_prefetch(2);
+        let old = &cfg.encode()[..46];
+        let back = DbConfig::decode(old).unwrap();
+        assert_eq!(back.node_cache, 0);
+        assert_eq!(back.prefetch, 0);
+        assert_eq!(back.sig_bytes, cfg.sig_bytes);
     }
 
     #[test]

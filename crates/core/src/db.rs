@@ -9,15 +9,15 @@ use std::time::{Duration, Instant};
 use ir2_geo::Rect;
 use ir2_invindex::{iio_topk, iio_topk_limited, InvertedIndex};
 use ir2_irtree::{
-    distance_first_region_topk_traced, distance_first_topk_limited_traced,
-    distance_first_topk_traced, general_topk, insert_object, rtree_baseline_topk_limited_traced,
-    rtree_baseline_topk_traced, GeneralQuery, Ir2Payload, MirPayload, SearchCounters, StatsSink,
-    TraceSink, TraceStats,
+    distance_first_region_topk_prefetched_traced, distance_first_topk_prefetched_limited_traced,
+    distance_first_topk_prefetched_traced, general_topk_prefetched, insert_object,
+    rtree_baseline_topk_prefetched_limited_traced, rtree_baseline_topk_prefetched_traced,
+    GeneralQuery, Ir2Payload, MirPayload, SearchCounters, StatsSink, TraceSink, TraceStats,
 };
 use ir2_model::{
     DistanceFirstQuery, ObjPtr, ObjectSource, ObjectStore, QueryLimits, SpatialObject,
 };
-use ir2_rtree::{RTree, RTreeConfig, UnitPayload};
+use ir2_rtree::{NodeCache, RTree, RTreeConfig, UnitPayload};
 use ir2_sigfile::{MultiLevelScheme, SignatureScheme};
 use ir2_storage::{
     BlockDevice, FileDevice, Histogram, IoScope, IoSnapshot, IoStats, MemDevice, MetricsRegistry,
@@ -372,21 +372,28 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             mir_payload = mir_payload.strict();
         }
 
-        let rtree = RTree::create(
+        let mut rtree = RTree::create(
             TrackedDevice::with_stats(devices.rtree, Arc::clone(&io.rtree)),
             tree_cfg,
             UnitPayload,
         )?;
-        let ir2 = RTree::create(
+        let mut ir2 = RTree::create(
             TrackedDevice::with_stats(devices.ir2, Arc::clone(&io.ir2)),
             tree_cfg,
             Ir2Payload::new(ir2_scheme),
         )?;
-        let mir2 = RTree::create(
+        let mut mir2 = RTree::create(
             TrackedDevice::with_stats(devices.mir2, Arc::clone(&io.mir2)),
             tree_cfg,
             mir_payload,
         )?;
+        // One cache per tree: block ids are device-local, so sharing a
+        // cache across trees would alias distinct nodes.
+        if config.node_cache > 0 {
+            rtree.set_node_cache(Arc::new(NodeCache::new(config.node_cache)));
+            ir2.set_node_cache(Arc::new(NodeCache::new(config.node_cache)));
+            mir2.set_node_cache(Arc::new(NodeCache::new(config.node_cache)));
+        }
 
         let sign_leaf = |scheme: &SignatureScheme, ids: &[TermId]| -> Vec<u8> {
             let sig = scheme.sign_terms(ids.iter().map(|&t| vocab.name(t)));
@@ -639,7 +646,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             mir_payload = mir_payload.strict();
         }
 
-        let rtree = RTree::open_with_meta(
+        let mut rtree = RTree::open_with_meta(
             TrackedDevice::with_stats(devices.rtree, Arc::clone(&io.rtree)),
             tree_cfg,
             UnitPayload,
@@ -647,7 +654,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             rtree_meta.1,
             rtree_meta.2,
         )?;
-        let ir2 = RTree::open_with_meta(
+        let mut ir2 = RTree::open_with_meta(
             TrackedDevice::with_stats(devices.ir2, Arc::clone(&io.ir2)),
             tree_cfg,
             Ir2Payload::new(ir2_scheme),
@@ -655,7 +662,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             ir2_meta.1,
             ir2_meta.2,
         )?;
-        let mir2 = RTree::open_with_meta(
+        let mut mir2 = RTree::open_with_meta(
             TrackedDevice::with_stats(devices.mir2, Arc::clone(&io.mir2)),
             tree_cfg,
             mir_payload,
@@ -663,6 +670,12 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             mir2_meta.1,
             mir2_meta.2,
         )?;
+        // One cache per tree, as in `build` (device-local block ids).
+        if config.node_cache > 0 {
+            rtree.set_node_cache(Arc::new(NodeCache::new(config.node_cache)));
+            ir2.set_node_cache(Arc::new(NodeCache::new(config.node_cache)));
+            mir2.set_node_cache(Arc::new(NodeCache::new(config.node_cache)));
+        }
         let inverted = InvertedIndex::open(
             TrackedDevice::with_stats(devices.inverted, Arc::clone(&io.inverted)),
             &vocab,
@@ -736,6 +749,12 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             &format!("object_false_positives_total{{alg=\"{key}\"}}"),
             r.counters.false_positives,
         );
+        if r.counters.cache_hits > 0 {
+            m.add_counter(
+                &format!("node_cache_hits_total{{alg=\"{key}\"}}"),
+                r.counters.cache_hits,
+            );
+        }
         if let Some(reason) = r.outcome {
             m.add_counter(
                 &format!(
@@ -807,16 +826,29 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         let loads_before = self.objects.loads();
         let t0 = Instant::now();
 
+        let p = self.config.prefetch;
         let (results, counters) = match alg {
-            Algorithm::RTree => {
-                rtree_baseline_topk_traced(&self.rtree, self.objects.as_ref(), query, &mut sink)?
-            }
-            Algorithm::Ir2 => {
-                distance_first_topk_traced(&self.ir2, self.objects.as_ref(), query, &mut sink)?
-            }
-            Algorithm::Mir2 => {
-                distance_first_topk_traced(&self.mir2, self.objects.as_ref(), query, &mut sink)?
-            }
+            Algorithm::RTree => rtree_baseline_topk_prefetched_traced(
+                &self.rtree,
+                self.objects.as_ref(),
+                query,
+                p,
+                &mut sink,
+            )?,
+            Algorithm::Ir2 => distance_first_topk_prefetched_traced(
+                &self.ir2,
+                self.objects.as_ref(),
+                query,
+                p,
+                &mut sink,
+            )?,
+            Algorithm::Mir2 => distance_first_topk_prefetched_traced(
+                &self.mir2,
+                self.objects.as_ref(),
+                query,
+                p,
+                &mut sink,
+            )?,
             Algorithm::Iio => (
                 iio_topk(&self.inverted, &self.vocab, self.objects.as_ref(), query)?,
                 SearchCounters::default(),
@@ -861,16 +893,22 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         let scope = IoScope::enter();
         let retry_scope = RetryScope::enter();
         let t0 = Instant::now();
+        let p = self.config.prefetch;
         let out = match alg {
-            Algorithm::RTree => {
-                rtree_baseline_topk_limited_traced(&self.rtree, &src, query, limits, &mut sink)
-            }
-            Algorithm::Ir2 => {
-                distance_first_topk_limited_traced(&self.ir2, &src, query, limits, &mut sink)
-            }
-            Algorithm::Mir2 => {
-                distance_first_topk_limited_traced(&self.mir2, &src, query, limits, &mut sink)
-            }
+            Algorithm::RTree => rtree_baseline_topk_prefetched_limited_traced(
+                &self.rtree,
+                &src,
+                query,
+                limits,
+                p,
+                &mut sink,
+            ),
+            Algorithm::Ir2 => distance_first_topk_prefetched_limited_traced(
+                &self.ir2, &src, query, limits, p, &mut sink,
+            ),
+            Algorithm::Mir2 => distance_first_topk_prefetched_limited_traced(
+                &self.mir2, &src, query, limits, p, &mut sink,
+            ),
             Algorithm::Iio => iio_topk_limited(&self.inverted, &self.vocab, &src, query, limits)
                 .map(|r| (r, SearchCounters::default())),
         };
@@ -994,8 +1032,24 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             let scope = IoScope::enter();
             let t0 = Instant::now();
             let out = match alg {
-                Algorithm::Ir2 => general_topk(&self.ir2, &src, &self.vocab, scorer, rank, query),
-                Algorithm::Mir2 => general_topk(&self.mir2, &src, &self.vocab, scorer, rank, query),
+                Algorithm::Ir2 => general_topk_prefetched(
+                    &self.ir2,
+                    &src,
+                    &self.vocab,
+                    scorer,
+                    rank,
+                    query,
+                    self.config.prefetch,
+                ),
+                Algorithm::Mir2 => general_topk_prefetched(
+                    &self.mir2,
+                    &src,
+                    &self.vocab,
+                    scorer,
+                    rank,
+                    query,
+                    self.config.prefetch,
+                ),
                 other => Err(StorageError::Corrupt(format!(
                     "general ranked queries need a signature tree, not {}",
                     other.label()
@@ -1065,21 +1119,24 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         let mut sink = StatsSink::new();
         let t0 = Instant::now();
 
+        let p = self.config.prefetch;
         let (results, counters) = match alg {
-            Algorithm::Ir2 => distance_first_region_topk_traced(
+            Algorithm::Ir2 => distance_first_region_topk_prefetched_traced(
                 &self.ir2,
                 self.objects.as_ref(),
                 region,
                 keywords,
                 k,
+                p,
                 &mut sink,
             )?,
-            Algorithm::Mir2 => distance_first_region_topk_traced(
+            Algorithm::Mir2 => distance_first_region_topk_prefetched_traced(
                 &self.mir2,
                 self.objects.as_ref(),
                 region,
                 keywords,
                 k,
+                p,
                 &mut sink,
             )?,
             other => {
@@ -1164,21 +1221,23 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         let t0 = Instant::now();
 
         let results = match alg {
-            Algorithm::Ir2 => general_topk(
+            Algorithm::Ir2 => general_topk_prefetched(
                 &self.ir2,
                 self.objects.as_ref(),
                 &self.vocab,
                 scorer,
                 rank,
                 query,
+                self.config.prefetch,
             )?,
-            Algorithm::Mir2 => general_topk(
+            Algorithm::Mir2 => general_topk_prefetched(
                 &self.mir2,
                 self.objects.as_ref(),
                 &self.vocab,
                 scorer,
                 rank,
                 query,
+                self.config.prefetch,
             )?,
             other => {
                 return Err(StorageError::Corrupt(format!(
@@ -1413,7 +1472,60 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
             .set_gauge("db_objects", self.build_stats.objects as f64);
         self.metrics
             .set_gauge("db_vocabulary_terms", self.build_stats.unique_words as f64);
+        for (tree, hits, misses) in self.node_cache_stats() {
+            self.metrics
+                .set_gauge(&format!("node_cache_hits{{tree=\"{tree}\"}}"), hits as f64);
+            self.metrics.set_gauge(
+                &format!("node_cache_misses{{tree=\"{tree}\"}}"),
+                misses as f64,
+            );
+        }
         self.metrics.export_prometheus()
+    }
+
+    /// Re-sizes (or with `nodes == 0`, disables) the decoded-node caches at
+    /// runtime — the hook behind the CLI's `--node-cache` override. Fresh
+    /// caches start cold; the persisted configuration is not rewritten
+    /// until the next [`save_catalog`](SpatialKeywordDb::save_catalog).
+    pub fn configure_node_cache(&mut self, nodes: usize) {
+        self.config.node_cache = nodes;
+        if nodes > 0 {
+            self.rtree.set_node_cache(Arc::new(NodeCache::new(nodes)));
+            self.ir2.set_node_cache(Arc::new(NodeCache::new(nodes)));
+            self.mir2.set_node_cache(Arc::new(NodeCache::new(nodes)));
+        } else {
+            self.rtree.clear_node_cache();
+            self.ir2.clear_node_cache();
+            self.mir2.clear_node_cache();
+        }
+    }
+
+    /// Overrides the frontier-prefetch worker count at runtime (0
+    /// disables) — the hook behind the CLI's `--prefetch` override.
+    pub fn configure_prefetch(&mut self, workers: usize) {
+        self.config.prefetch = workers;
+    }
+
+    /// Cumulative decoded-node cache `(tree, hits, misses)` per tree, in
+    /// `("rtree", "ir2", "mir2")` order. Empty when the cache is disabled
+    /// (`DbConfig::node_cache == 0`). Unlike the per-query `cache_hits`
+    /// counter, these totals also include speculative prefetch-worker
+    /// lookups.
+    pub fn node_cache_stats(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut out = Vec::new();
+        if let Some(c) = self.rtree.node_cache() {
+            let (h, m) = c.hit_stats();
+            out.push(("rtree", h, m));
+        }
+        if let Some(c) = self.ir2.node_cache() {
+            let (h, m) = c.hit_stats();
+            out.push(("ir2", h, m));
+        }
+        if let Some(c) = self.mir2.node_cache() {
+            let (h, m) = c.hit_stats();
+            out.push(("mir2", h, m));
+        }
+        out
     }
 
     /// Total I/O since the counters were last reset, per structure:

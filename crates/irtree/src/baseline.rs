@@ -4,7 +4,7 @@ use ir2_model::{
     DistanceFirstQuery, ExecOutcome, ObjPtr, ObjectSource, QueryLimits, SpatialObject,
     TruncateReason,
 };
-use ir2_rtree::{NnIter, RTree, UnitPayload};
+use ir2_rtree::{with_frontier_prefetch, NnIter, PrefetchQueue, RTree, UnitPayload};
 use ir2_storage::{BlockDevice, Result};
 
 use crate::trace::{NopSink, TraceEvent, TraceSink};
@@ -70,14 +70,25 @@ impl<'a, const N: usize, D: BlockDevice, S: TraceSink> RtreeBaselineIter<'a, N, 
         self
     }
 
+    /// Attaches a frontier-prefetch queue to the inner NN iterator; see
+    /// [`NnIter::prefetching`].
+    pub fn prefetching(mut self, queue: PrefetchQueue) -> Self {
+        self.nn = self.nn.prefetching(queue);
+        self
+    }
+
     /// The search counters so far (`pruned_by_signature` is always 0 — the
     /// baseline has no signatures; its `false_positives` count the loaded
     /// objects that failed the keyword check). `nodes_read` stays 0 here:
     /// node visits happen inside the plain NN iterator and are not part of
     /// the baseline's trace — they are still *charged* against any
-    /// [`QueryLimits`] I/O budget via [`NnIter::nodes_read`].
+    /// [`QueryLimits`] I/O budget via [`NnIter::nodes_read`]. `cache_hits`
+    /// *is* surfaced from the NN iterator: it reports decoded-node cache
+    /// effectiveness, which is orthogonal to the trace's cost story.
     pub fn counters(&self) -> SearchCounters {
-        self.counters
+        let mut c = self.counters;
+        c.cache_hits = self.nn.cache_hits();
+        c
     }
 
     /// Which limit stopped the search, if one did.
@@ -87,6 +98,14 @@ impl<'a, const N: usize, D: BlockDevice, S: TraceSink> RtreeBaselineIter<'a, N, 
 
     fn step(&mut self) -> Result<Option<(SpatialObject<N>, f64)>> {
         loop {
+            // A drained NN frontier means the candidate stream is finished
+            // and everything already emitted is the complete answer —
+            // established *before* the limit check, so a deadline or
+            // budget that trips after the last candidate cannot misreport
+            // a finished query as truncated.
+            if self.nn.frontier_len() == 0 {
+                return Ok(None);
+            }
             // Cooperative limit check between candidates. Node reads happen
             // inside the NN iterator, so the charged I/O is its node count
             // plus the objects this wrapper loaded.
@@ -192,4 +211,64 @@ pub fn rtree_baseline_topk_limited_traced<const N: usize, D: BlockDevice, S: Tra
         None => ExecOutcome::Complete(out),
     };
     Ok((outcome, counters))
+}
+
+/// [`rtree_baseline_topk_traced`] with speculative frontier prefetch (see
+/// [`with_frontier_prefetch`]); results are byte-identical, and with
+/// `workers == 0` or no node cache this *is* the unprefetched call.
+pub fn rtree_baseline_topk_prefetched_traced<const N: usize, D: BlockDevice, S: TraceSink>(
+    tree: &RTree<N, D, UnitPayload>,
+    objects: &dyn ObjectSource<N>,
+    query: &DistanceFirstQuery<N>,
+    workers: usize,
+    sink: S,
+) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)> {
+    with_frontier_prefetch(tree, workers, |pf| {
+        let mut iter = RtreeBaselineIter::with_sink(tree, objects, query, sink).prefetching(pf);
+        let mut out = Vec::with_capacity(query.k);
+        while out.len() < query.k {
+            match iter.step()? {
+                Some(hit) => out.push(hit),
+                None => break,
+            }
+        }
+        Ok((out, iter.counters()))
+    })
+}
+
+/// [`rtree_baseline_topk_limited_traced`] with speculative frontier
+/// prefetch; see [`rtree_baseline_topk_prefetched_traced`].
+pub fn rtree_baseline_topk_prefetched_limited_traced<
+    const N: usize,
+    D: BlockDevice,
+    S: TraceSink,
+>(
+    tree: &RTree<N, D, UnitPayload>,
+    objects: &dyn ObjectSource<N>,
+    query: &DistanceFirstQuery<N>,
+    limits: QueryLimits,
+    workers: usize,
+    sink: S,
+) -> Result<LimitedTopk<N>> {
+    with_frontier_prefetch(tree, workers, |pf| {
+        let mut iter = RtreeBaselineIter::with_sink(tree, objects, query, sink)
+            .limited(limits)
+            .prefetching(pf);
+        let mut out = Vec::with_capacity(query.k);
+        while out.len() < query.k {
+            match iter.step()? {
+                Some(hit) => out.push(hit),
+                None => break,
+            }
+        }
+        let counters = iter.counters();
+        let outcome = match iter.truncation() {
+            Some(reason) => ExecOutcome::Truncated {
+                reason,
+                results_so_far: out,
+            },
+            None => ExecOutcome::Complete(out),
+        };
+        Ok((outcome, counters))
+    })
 }

@@ -10,7 +10,7 @@ use ir2_model::{
     DistanceFirstQuery, ExecOutcome, ObjPtr, ObjectSource, QueryLimits, QueryRegion, SpatialObject,
     TruncateReason,
 };
-use ir2_rtree::RTree;
+use ir2_rtree::{with_frontier_prefetch, PrefetchQueue, RTree};
 use ir2_sigfile::Signature;
 use ir2_storage::{BlockDevice, Result};
 
@@ -30,6 +30,12 @@ pub struct SearchCounters {
     /// Candidates whose text did not actually contain all keywords —
     /// signature false positives (line 21 of `IR2TopK` caught them).
     pub false_positives: u64,
+    /// Of [`nodes_read`](SearchCounters::nodes_read), visits served from
+    /// the tree's decoded-node cache (no device I/O, no CRC verification,
+    /// no entry decode). Always 0 without an attached cache. `nodes_read`
+    /// keeps counting *visits* either way, so I/O budgets are deterministic
+    /// regardless of cache state.
+    pub cache_hits: u64,
 }
 
 /// What a limit-aware top-k run returns: the complete-or-truncated
@@ -75,6 +81,7 @@ pub struct DistanceFirstIter<'a, const N: usize, D, P: SigPayload, S: TraceSink 
     counters: SearchCounters,
     limits: QueryLimits,
     truncated: Option<TruncateReason>,
+    prefetch: PrefetchQueue,
     sink: S,
 }
 
@@ -144,6 +151,7 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
             counters: SearchCounters::default(),
             limits: QueryLimits::none(),
             truncated: None,
+            prefetch: PrefetchQueue::disabled(),
             sink,
         }
     }
@@ -155,6 +163,15 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
     /// order.
     pub fn limited(mut self, limits: QueryLimits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    /// Attaches a frontier-prefetch queue (see
+    /// [`with_frontier_prefetch`]): each node expansion nominates up to
+    /// `queue.width()` signature-passing child nodes for background decode
+    /// into the tree's node cache. Results and rank order are unaffected.
+    pub fn prefetching(mut self, queue: PrefetchQueue) -> Self {
+        self.prefetch = queue;
         self
     }
 
@@ -175,6 +192,13 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
 
     fn step(&mut self) -> Result<Option<(SpatialObject<N>, f64)>> {
         loop {
+            // A drained frontier means everything already emitted is the
+            // complete answer — established *before* the limit check, so a
+            // deadline or budget that trips after the last unit of work
+            // cannot misreport a finished query as truncated.
+            if self.heap.is_empty() {
+                return Ok(None);
+            }
             // Cooperative limit check before each unit of work; charged
             // I/O is nodes read plus objects loaded, so an `io_budget` of
             // zero stops the search before it touches the disk at all.
@@ -206,8 +230,9 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
                     self.counters.false_positives += 1;
                 }
                 Item::Node(id) => {
-                    let node = self.tree.read_node(id)?;
+                    let (node, hit) = self.tree.read_node_cached(id)?;
                     self.counters.nodes_read += 1;
+                    self.counters.cache_hits += u64::from(hit);
                     self.sink.record(&TraceEvent::NodeVisited {
                         node: id,
                         level: node.level,
@@ -229,6 +254,7 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
                         heap,
                         seq,
                         counters,
+                        prefetch,
                         sink,
                         ..
                     } = self;
@@ -236,10 +262,19 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
                     let qsig = query_sigs
                         .entry(node.level)
                         .or_insert_with(|| scheme.sign_terms(keywords.iter().map(String::as_str)));
-                    for e in &node.entries {
+                    // Entry signatures are decoded once per cached node
+                    // image and shared by every later warm visit (and by
+                    // the general algorithm, which uses the same type).
+                    let esigs: &Vec<Signature> = node.decorations(|n| {
+                        n.entries
+                            .iter()
+                            .map(|e| Signature::from_bytes(scheme.bits(), &e.payload))
+                            .collect()
+                    });
+                    let mut speculate = prefetch.width();
+                    for (e, esig) in node.entries.iter().zip(esigs) {
                         // "if s matches w": drop entries whose signature
                         // does not contain the query signature.
-                        let esig = Signature::from_bytes(scheme.bits(), &e.payload);
                         let matched = esig.contains(qsig);
                         sink.record(&TraceEvent::SignatureTest {
                             level: node.level,
@@ -253,6 +288,10 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
                         let item = if node.is_leaf() {
                             Item::Object(e.child)
                         } else {
+                            if speculate > 0 {
+                                prefetch.enqueue(e.child);
+                                speculate -= 1;
+                            }
                             Item::Node(e.child)
                         };
                         heap.push(Reverse((d, *seq, item)));
@@ -426,6 +465,94 @@ pub fn distance_first_region_topk_limited_traced<
     let iter =
         DistanceFirstIter::with_region_sink(tree, objects, region, kws, sink).limited(limits);
     collect_k_limited(iter, k)
+}
+
+/// [`distance_first_topk_traced`] with speculative frontier prefetch: up
+/// to `workers` background threads decode upcoming frontier nodes into the
+/// tree's node cache while the traversal works. Results are byte-identical
+/// to the unprefetched call; with `workers == 0` or no attached node cache
+/// this *is* the unprefetched call (nothing is spawned).
+pub fn distance_first_topk_prefetched_traced<const N: usize, D, P, S>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    query: &DistanceFirstQuery<N>,
+    workers: usize,
+    sink: S,
+) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)>
+where
+    D: BlockDevice,
+    P: SigPayload + Sync,
+    S: TraceSink,
+{
+    with_frontier_prefetch(tree, workers, |pf| {
+        let iter = DistanceFirstIter::with_region_sink(
+            tree,
+            objects,
+            QueryRegion::Point(query.point),
+            query.keywords.clone(),
+            sink,
+        )
+        .prefetching(pf);
+        collect_k(iter, query.k)
+    })
+}
+
+/// [`distance_first_topk_limited_traced`] with speculative frontier
+/// prefetch; see [`distance_first_topk_prefetched_traced`].
+pub fn distance_first_topk_prefetched_limited_traced<const N: usize, D, P, S>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    query: &DistanceFirstQuery<N>,
+    limits: QueryLimits,
+    workers: usize,
+    sink: S,
+) -> Result<LimitedTopk<N>>
+where
+    D: BlockDevice,
+    P: SigPayload + Sync,
+    S: TraceSink,
+{
+    with_frontier_prefetch(tree, workers, |pf| {
+        let iter = DistanceFirstIter::with_region_sink(
+            tree,
+            objects,
+            QueryRegion::Point(query.point),
+            query.keywords.clone(),
+            sink,
+        )
+        .limited(limits)
+        .prefetching(pf);
+        collect_k_limited(iter, query.k)
+    })
+}
+
+/// [`distance_first_region_topk_traced`] with speculative frontier
+/// prefetch; see [`distance_first_topk_prefetched_traced`].
+pub fn distance_first_region_topk_prefetched_traced<const N: usize, D, P, S>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    region: QueryRegion<N>,
+    keywords: &[String],
+    k: usize,
+    workers: usize,
+    sink: S,
+) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)>
+where
+    D: BlockDevice,
+    P: SigPayload + Sync,
+    S: TraceSink,
+{
+    let mut kws: Vec<String> = keywords
+        .iter()
+        .flat_map(|w| ir2_text::tokenize(w).collect::<Vec<_>>())
+        .collect();
+    kws.sort_unstable();
+    kws.dedup();
+    with_frontier_prefetch(tree, workers, |pf| {
+        let iter =
+            DistanceFirstIter::with_region_sink(tree, objects, region, kws, sink).prefetching(pf);
+        collect_k(iter, k)
+    })
 }
 
 fn collect_k<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(

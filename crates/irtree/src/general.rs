@@ -6,7 +6,7 @@ use std::collections::HashMap;
 
 use ir2_geo::{OrderedF64, Point};
 use ir2_model::{ExecOutcome, ObjPtr, ObjectSource, QueryLimits, SpatialObject};
-use ir2_rtree::RTree;
+use ir2_rtree::{with_frontier_prefetch, PrefetchQueue, RTree};
 use ir2_sigfile::Signature;
 use ir2_storage::{BlockDevice, Result};
 use ir2_text::{tokenize, IrScorer, RankingFn, TermId, Vocabulary};
@@ -158,7 +158,60 @@ pub fn general_topk_limited_traced<const N: usize, D: BlockDevice, P: SigPayload
     rank: &dyn RankingFn,
     query: &GeneralQuery<N>,
     limits: QueryLimits,
+    sink: S,
+) -> Result<ExecOutcome<Vec<ScoredResult<N>>>> {
+    general_impl(
+        tree,
+        objects,
+        vocab,
+        scorer,
+        rank,
+        query,
+        limits,
+        sink,
+        &PrefetchQueue::disabled(),
+    )
+}
+
+/// [`general_topk`] with speculative frontier prefetch (see
+/// [`with_frontier_prefetch`]); results are byte-identical, and with
+/// `workers == 0` or no node cache this *is* the unprefetched call.
+pub fn general_topk_prefetched<const N: usize, D: BlockDevice, P: SigPayload + Sync>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    vocab: &Vocabulary,
+    scorer: &dyn IrScorer,
+    rank: &dyn RankingFn,
+    query: &GeneralQuery<N>,
+    workers: usize,
+) -> Result<Vec<ScoredResult<N>>> {
+    with_frontier_prefetch(tree, workers, |pf| {
+        general_impl(
+            tree,
+            objects,
+            vocab,
+            scorer,
+            rank,
+            query,
+            QueryLimits::none(),
+            NopSink,
+            &pf,
+        )
+        .map(ExecOutcome::into_results)
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn general_impl<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(
+    tree: &RTree<N, D, P>,
+    objects: &dyn ObjectSource<N>,
+    vocab: &Vocabulary,
+    scorer: &dyn IrScorer,
+    rank: &dyn RankingFn,
+    query: &GeneralQuery<N>,
+    limits: QueryLimits,
     mut sink: S,
+    prefetch: &PrefetchQueue,
 ) -> Result<ExecOutcome<Vec<ScoredResult<N>>>> {
     // Query terms present in the corpus (absent terms can never contribute
     // to any document's score).
@@ -201,6 +254,13 @@ pub fn general_topk_limited_traced<const N: usize, D: BlockDevice, P: SigPayload
     let mut objects_loaded: u64 = 0;
     let mut truncated = None;
     while out.len() < query.k {
+        // A drained heap means everything already emitted is the complete
+        // answer — established *before* the limit check, so a deadline or
+        // budget that trips after the last unit of work cannot misreport a
+        // finished query as truncated.
+        let Some(&(_, _, peek_id)) = heap.peek() else {
+            break;
+        };
         // Cooperative limit check; charged I/O is nodes read plus objects
         // loaded, mirroring `DistanceFirstIter`.
         if !limits.is_unlimited() {
@@ -209,9 +269,8 @@ pub fn general_topk_limited_traced<const N: usize, D: BlockDevice, P: SigPayload
                 break;
             }
         }
-        let Some((upper, _, id)) = heap.pop() else {
-            break;
-        };
+        let (upper, _, id) = heap.pop().expect("peeked entry still present");
+        debug_assert_eq!(id, peek_id);
         let item = items.remove(&id).expect("heap entry has an item");
         match item {
             GItem::Loaded(res) => out.push(*res),
@@ -257,7 +316,7 @@ pub fn general_topk_limited_traced<const N: usize, D: BlockDevice, P: SigPayload
             }
             GItem::Node(node_id) => {
                 nodes_read += 1;
-                let node = tree.read_node(node_id)?;
+                let (node, _hit) = tree.read_node_cached(node_id)?;
                 let level = node.level;
                 sink.record(&TraceEvent::NodeVisited {
                     node: node_id,
@@ -277,8 +336,17 @@ pub fn general_topk_limited_traced<const N: usize, D: BlockDevice, P: SigPayload
                         .collect()
                 });
                 let bits = ops.scheme_at(level).bits();
-                for e in &node.entries {
-                    let esig = Signature::from_bytes(bits, &e.payload);
+                // Entry signatures decode once per cached node image and
+                // are shared with `DistanceFirstIter` (same decoration
+                // type, same value — see `CachedNode::decorations`).
+                let esigs: &Vec<Signature> = node.decorations(|n| {
+                    n.entries
+                        .iter()
+                        .map(|e| Signature::from_bytes(bits, &e.payload))
+                        .collect()
+                });
+                let mut speculate = prefetch.width();
+                for (e, esig) in node.entries.iter().zip(esigs) {
                     let matched: Vec<TermId> = term_ids
                         .iter()
                         .zip(sigs.iter())
@@ -301,6 +369,10 @@ pub fn general_topk_limited_traced<const N: usize, D: BlockDevice, P: SigPayload
                     let item = if node.is_leaf() {
                         GItem::Candidate(e.child)
                     } else {
+                        if speculate > 0 {
+                            prefetch.enqueue(e.child);
+                            speculate -= 1;
+                        }
                         GItem::Node(e.child)
                     };
                     push(&mut heap, &mut items, &mut seq, child_upper, item);

@@ -45,18 +45,20 @@ mod window;
 
 pub use baseline::{
     rtree_baseline_topk, rtree_baseline_topk_limited, rtree_baseline_topk_limited_traced,
+    rtree_baseline_topk_prefetched_limited_traced, rtree_baseline_topk_prefetched_traced,
     rtree_baseline_topk_traced, RtreeBaselineIter,
 };
 pub use diagnostics::{density_profile, LevelDensity};
 pub use distance_first::{
     distance_first_region_topk, distance_first_region_topk_limited_traced,
-    distance_first_region_topk_traced, distance_first_topk, distance_first_topk_limited,
-    distance_first_topk_limited_traced, distance_first_topk_traced, DistanceFirstIter, LimitedTopk,
-    SearchCounters,
+    distance_first_region_topk_prefetched_traced, distance_first_region_topk_traced,
+    distance_first_topk, distance_first_topk_limited, distance_first_topk_limited_traced,
+    distance_first_topk_prefetched_limited_traced, distance_first_topk_prefetched_traced,
+    distance_first_topk_traced, DistanceFirstIter, LimitedTopk, SearchCounters,
 };
 pub use general::{
-    general_topk, general_topk_limited, general_topk_limited_traced, general_topk_traced,
-    GeneralQuery, ScoredResult,
+    general_topk, general_topk_limited, general_topk_limited_traced, general_topk_prefetched,
+    general_topk_traced, GeneralQuery, ScoredResult,
 };
 pub use objects::{bulk_load_objects, delete_object, insert_object};
 pub use payloads::{Ir2Payload, MirPayload, SigPayload};

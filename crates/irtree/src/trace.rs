@@ -391,6 +391,7 @@ mod tests {
             pruned_by_signature: 1,
             candidates_checked: 2,
             false_positives: 1,
+            cache_hits: 0,
         };
         assert!(ss.stats.matches_counters(&c));
         // The untested (R-Tree baseline) case binds only the object side.
@@ -405,6 +406,7 @@ mod tests {
             pruned_by_signature: 0,
             candidates_checked: 2,
             false_positives: 1,
+            cache_hits: 0,
         }));
     }
 

@@ -1,0 +1,253 @@
+//! Property tests for the decoded-node cache and frontier prefetch: a
+//! cached (and prefetching) traversal must return **byte-identical**
+//! results to the uncached one, across arbitrary insert/delete/reinsert
+//! interleavings — the epoch invalidation may never serve a stale node.
+
+use std::sync::Arc;
+
+use ir2_irtree::{
+    delete_object, distance_first_topk, distance_first_topk_prefetched_traced, general_topk,
+    general_topk_prefetched, insert_object, GeneralQuery, Ir2Payload, NopSink,
+};
+use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectStore, SpatialObject};
+use ir2_rtree::{NodeCache, RTree, RTreeConfig};
+use ir2_sigfile::SignatureScheme;
+use ir2_storage::MemDevice;
+use ir2_text::{tokenize, LinearRank, SaturatingTfIdf, Vocabulary};
+use proptest::prelude::*;
+
+const WORDS: [&str; 10] = [
+    "internet", "pool", "spa", "pets", "golf", "sauna", "suite", "gym", "bar", "wifi",
+];
+
+#[derive(Debug, Clone)]
+struct Doc {
+    point: [f64; 2],
+    words: Vec<usize>,
+}
+
+fn arb_doc() -> impl Strategy<Value = Doc> {
+    (
+        prop::array::uniform2(-50.0f64..50.0),
+        prop::collection::vec(0..WORDS.len(), 0..5),
+    )
+        .prop_map(|(point, words)| Doc { point, words })
+}
+
+/// One mutation step applied identically to both trees.
+#[derive(Debug, Clone)]
+enum Step {
+    Delete(usize),   // delete objects[i % len] if still present
+    Reinsert(usize), // re-add a previously deleted object
+    Query([f64; 2], usize),
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..64).prop_map(Step::Delete),
+            (0usize..64).prop_map(Step::Reinsert),
+            ((prop::array::uniform2(-60.0f64..60.0)), 0usize..WORDS.len())
+                .prop_map(|(p, w)| Step::Query(p, w)),
+        ],
+        1..24,
+    )
+}
+
+struct Fixture {
+    store: Arc<ObjectStore<2, MemDevice>>,
+    objects: Vec<(ObjPtr, SpatialObject<2>)>,
+    vocab: Vocabulary,
+    /// Cache + prefetch enabled.
+    warm: RTree<2, MemDevice, Ir2Payload>,
+    /// No cache, no prefetch — ground truth.
+    cold: RTree<2, MemDevice, Ir2Payload>,
+}
+
+fn build_fixture(docs: &[Doc], seed: u64) -> Fixture {
+    let store = Arc::new(ObjectStore::<2, _>::create(MemDevice::new()));
+    let mut objects = Vec::new();
+    let mut vocab = Vocabulary::new();
+    for (i, d) in docs.iter().enumerate() {
+        let text = d
+            .words
+            .iter()
+            .map(|&w| WORDS[w])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let obj = SpatialObject::new(i as u64, d.point, text);
+        let ptr = store.append(&obj).unwrap();
+        let mut terms: Vec<String> = tokenize(&obj.text).collect();
+        terms.sort_unstable();
+        terms.dedup();
+        vocab.add_document(terms.iter().map(String::as_str));
+        objects.push((ptr, obj));
+    }
+    store.flush().unwrap();
+    let tree = |cache: bool| {
+        let mut t = RTree::create(
+            MemDevice::new(),
+            RTreeConfig::with_max(4),
+            Ir2Payload::new(SignatureScheme::from_bytes_len(2, 3, seed)),
+        )
+        .unwrap();
+        if cache {
+            t.set_node_cache(Arc::new(NodeCache::new(256)));
+        }
+        for (ptr, obj) in &objects {
+            insert_object(&t, *ptr, obj).unwrap();
+        }
+        t
+    };
+    Fixture {
+        warm: tree(true),
+        cold: tree(false),
+        store,
+        objects,
+        vocab,
+    }
+}
+
+/// Results must match bit-for-bit: same ids, same distance bits.
+fn assert_identical(warm: &[(SpatialObject<2>, f64)], cold: &[(SpatialObject<2>, f64)]) {
+    assert_eq!(warm.len(), cold.len(), "result count");
+    for ((wo, wd), (co, cd)) in warm.iter().zip(cold.iter()) {
+        assert_eq!(wo.id, co.id, "object id");
+        assert_eq!(wd.to_bits(), cd.to_bits(), "distance bits");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Under an arbitrary interleaving of deletes, reinserts, and queries,
+    /// the cached + prefetching tree answers every query byte-identically
+    /// to the uncached tree — including the *warm* repeat of each query,
+    /// which on the cached tree is served largely from decoded images.
+    #[test]
+    fn cached_prefetched_topk_is_byte_identical_across_mutations(
+        docs in prop::collection::vec(arb_doc(), 5..40),
+        steps in arb_steps(),
+        seed in 0u64..500,
+        workers in 1usize..4,
+    ) {
+        let fx = build_fixture(&docs, seed);
+        let mut present: Vec<bool> = vec![true; fx.objects.len()];
+        let run_query = |p: [f64; 2], w: usize| {
+            let q = DistanceFirstQuery::new(p, &[WORDS[w]], 8);
+            // Cold pass and warm repeat on the cached tree; single pass on
+            // the ground-truth tree.
+            let (warm1, c1) = distance_first_topk_prefetched_traced(
+                &fx.warm, fx.store.as_ref(), &q, workers, NopSink).unwrap();
+            let (warm2, c2) = distance_first_topk_prefetched_traced(
+                &fx.warm, fx.store.as_ref(), &q, workers, NopSink).unwrap();
+            let (cold, _) = distance_first_topk(&fx.cold, fx.store.as_ref(), &q).unwrap();
+            assert_identical(&warm1, &cold);
+            assert_identical(&warm2, &cold);
+            // Visit counts are deterministic: the cache changes *where*
+            // bytes come from, never how many nodes the search touches.
+            assert_eq!(c1.nodes_read, c2.nodes_read, "visit count must not depend on cache state");
+        };
+        for step in &steps {
+            match *step {
+                Step::Delete(i) => {
+                    let i = i % fx.objects.len();
+                    if present[i] {
+                        let (ptr, ref obj) = fx.objects[i];
+                        prop_assert!(delete_object(&fx.warm, ptr, obj).unwrap());
+                        prop_assert!(delete_object(&fx.cold, ptr, obj).unwrap());
+                        present[i] = false;
+                    }
+                }
+                Step::Reinsert(i) => {
+                    let i = i % fx.objects.len();
+                    if !present[i] {
+                        let (ptr, ref obj) = fx.objects[i];
+                        insert_object(&fx.warm, ptr, obj).unwrap();
+                        insert_object(&fx.cold, ptr, obj).unwrap();
+                        present[i] = true;
+                    }
+                }
+                Step::Query(p, w) => run_query(p, w),
+            }
+        }
+        // Final sweep: several queries on the post-mutation trees, all warm.
+        for w in 0..WORDS.len() {
+            run_query([0.0, 0.0], w);
+        }
+    }
+
+    /// The general (ranked) algorithm under cache + prefetch matches its
+    /// uncached self score-for-score.
+    #[test]
+    fn cached_prefetched_general_topk_is_identical(
+        docs in prop::collection::vec(arb_doc(), 5..40),
+        qpoint in prop::array::uniform2(-60.0f64..60.0),
+        kw in prop::collection::vec(0..WORDS.len(), 1..4),
+        k in 1usize..8,
+        seed in 0u64..500,
+        workers in 1usize..4,
+    ) {
+        let fx = build_fixture(&docs, seed);
+        let scorer = SaturatingTfIdf;
+        let rank = LinearRank { ir_weight: 1.0, dist_weight: 0.02 };
+        let kws: Vec<&str> = kw.iter().map(|&i| WORDS[i]).collect();
+        let q = GeneralQuery::new(qpoint, &kws, k);
+        let cold = general_topk(
+            &fx.cold, fx.store.as_ref(), &fx.vocab, &scorer, &rank, &q).unwrap();
+        for _pass in 0..2 {
+            let warm = general_topk_prefetched(
+                &fx.warm, fx.store.as_ref(), &fx.vocab, &scorer, &rank, &q, workers).unwrap();
+            prop_assert_eq!(warm.len(), cold.len());
+            for (w, c) in warm.iter().zip(cold.iter()) {
+                prop_assert_eq!(w.object.id, c.object.id);
+                prop_assert_eq!(w.score.to_bits(), c.score.to_bits());
+                prop_assert_eq!(w.distance.to_bits(), c.distance.to_bits());
+                prop_assert_eq!(w.ir_score.to_bits(), c.ir_score.to_bits());
+            }
+        }
+    }
+}
+
+/// Deterministic (non-property) check that the epoch machinery is actually
+/// exercised: a warm query hits the cache, a mutation bumps the epoch, and
+/// the next query misses every stale node yet still sees the new object.
+#[test]
+fn epoch_bump_evicts_stale_nodes_and_serves_new_truth() {
+    let docs: Vec<Doc> = (0..30)
+        .map(|i| Doc {
+            point: [f64::from(i % 6), f64::from(i / 6)],
+            words: vec![i as usize % WORDS.len()],
+        })
+        .collect();
+    let fx = build_fixture(&docs, 42);
+    let q = DistanceFirstQuery::new([2.0, 2.0], &[WORDS[1]], 30);
+
+    let (_, cold_pass) =
+        distance_first_topk_prefetched_traced(&fx.warm, fx.store.as_ref(), &q, 0, NopSink).unwrap();
+    assert_eq!(cold_pass.cache_hits, 0, "first pass fills the cache");
+    let (before, warm_pass) =
+        distance_first_topk_prefetched_traced(&fx.warm, fx.store.as_ref(), &q, 0, NopSink).unwrap();
+    assert_eq!(
+        warm_pass.cache_hits, warm_pass.nodes_read,
+        "repeat pass is fully cache-served"
+    );
+
+    // Mutate: add one more object matching the query keyword.
+    let obj = SpatialObject::new(999, [2.1, 2.1], WORDS[1].to_owned());
+    let ptr = fx.store.append(&obj).unwrap();
+    fx.store.flush().unwrap();
+    insert_object(&fx.warm, ptr, &obj).unwrap();
+
+    let (after, post) =
+        distance_first_topk_prefetched_traced(&fx.warm, fx.store.as_ref(), &q, 0, NopSink).unwrap();
+    assert_eq!(
+        post.cache_hits, 0,
+        "mutation epoch evicts every cached node"
+    );
+    assert!(
+        after.iter().any(|(o, _)| o.id == 999),
+        "post-mutation query must see the new object"
+    );
+    assert_eq!(after.len(), before.len() + 1);
+}

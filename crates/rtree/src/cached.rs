@@ -1,0 +1,131 @@
+//! Decoded-node caching: the [`CachedNode`] wrapper shared out of a
+//! [`DecodedCache`], plus the node-cache type alias used by the tree.
+//!
+//! A warm traversal repeatedly pays three costs per visited node: the
+//! block reads, the per-block CRC verification, and the entry
+//! deserialization (each entry allocates a payload `Vec`). Caching the
+//! *decoded* [`Node`] behind an `Arc` eliminates all three on a hit. The
+//! wrapper additionally carries a lazily-built, type-erased decoration
+//! slot so higher layers (the IR²-Tree) can attach derived per-node data —
+//! e.g. entry payloads parsed into `Signature`s — and have it cached with
+//! the same lifetime and invalidation as the node itself.
+
+use std::any::Any;
+use std::ops::Deref;
+use std::sync::OnceLock;
+
+use ir2_storage::DecodedCache;
+
+use crate::node::Node;
+
+/// A decoded node plus one lazily-initialized decoration.
+///
+/// Dereferences to the wrapped [`Node`], so cached and uncached code paths
+/// read entries identically. The decoration slot is written at most once
+/// (first caller wins); all users of a given tree must therefore agree on
+/// a single decoration type — the slot is keyed by the node, not the type.
+pub struct CachedNode<const N: usize> {
+    node: Node<N>,
+    deco: OnceLock<Box<dyn Any + Send + Sync>>,
+}
+
+impl<const N: usize> CachedNode<N> {
+    /// Wraps a freshly decoded node.
+    pub fn new(node: Node<N>) -> Self {
+        Self {
+            node,
+            deco: OnceLock::new(),
+        }
+    }
+
+    /// The wrapped node.
+    pub fn node(&self) -> &Node<N> {
+        &self.node
+    }
+
+    /// Returns the decoration, building it on first access.
+    ///
+    /// # Panics
+    /// Panics if a decoration of a *different* type was installed earlier —
+    /// a programming error, since the slot holds one value per node.
+    pub fn decorations<T, F>(&self, build: F) -> &T
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce(&Node<N>) -> T,
+    {
+        self.deco
+            .get_or_init(|| Box::new(build(&self.node)))
+            .downcast_ref::<T>()
+            .expect("conflicting decoration types on one cached node")
+    }
+}
+
+impl<const N: usize> Deref for CachedNode<N> {
+    type Target = Node<N>;
+
+    fn deref(&self) -> &Node<N> {
+        &self.node
+    }
+}
+
+impl<const N: usize> std::fmt::Debug for CachedNode<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedNode")
+            .field("node", &self.node)
+            .field("decorated", &self.deco.get().is_some())
+            .finish()
+    }
+}
+
+/// A decoded-node cache for trees over `N`-dimensional rectangles, keyed
+/// by node id (the first block of the node's extent).
+pub type NodeCache<const N: usize> = DecodedCache<CachedNode<N>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir2_geo::{Point, Rect};
+
+    fn leaf() -> Node<2> {
+        let mut n = Node::new(7, 0);
+        n.entries.push(crate::node::Entry::new(
+            1,
+            Rect::from_point(Point::new([1.0, 2.0])),
+            vec![0xAB, 0xCD],
+        ));
+        n
+    }
+
+    #[test]
+    fn derefs_to_the_node() {
+        let c = CachedNode::new(leaf());
+        assert!(c.is_leaf());
+        assert_eq!(c.id, 7);
+        assert_eq!(c.node().entries.len(), 1);
+    }
+
+    #[test]
+    fn decoration_builds_once_and_is_shared() {
+        let c = CachedNode::new(leaf());
+        let mut builds = 0;
+        let first: &Vec<u8> = c.decorations(|n| {
+            builds += 1;
+            n.entries[0].payload.clone()
+        });
+        assert_eq!(first, &vec![0xAB, 0xCD]);
+        let again: &Vec<u8> = c.decorations(|_| {
+            builds += 1;
+            vec![]
+        });
+        assert_eq!(again, &vec![0xAB, 0xCD], "second build must not run");
+        assert_eq!(builds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting decoration types")]
+    fn conflicting_decoration_types_panic() {
+        let c = CachedNode::new(leaf());
+        let _: &u32 = c.decorations(|_| 5u32);
+        let _: &String = c.decorations(|_| String::new());
+    }
+}

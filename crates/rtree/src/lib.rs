@@ -28,19 +28,26 @@
 //!   additional disk block(s) to an IR²-Tree node when needed").
 //!
 //! Additions beyond the paper, flagged in `DESIGN.md`: an STR bulk loader
-//! ([`RTree::bulk_load`]) used to build large experimental trees quickly.
+//! ([`RTree::bulk_load`]) used to build large experimental trees quickly,
+//! and an optional decoded-node cache ([`RTree::set_node_cache`]) that
+//! serves warm traversals without re-verifying checksums or re-decoding
+//! entries, invalidated by a per-tree mutation epoch.
 
 mod bulk;
+mod cached;
 mod config;
 mod nn;
 mod node;
 mod payload;
+mod prefetch;
 mod search;
 mod tree;
 
+pub use cached::{CachedNode, NodeCache};
 pub use config::{RTreeConfig, SplitStrategy};
 pub use nn::{NnIter, NnResult};
 pub use node::{Entry, Node, NodeId};
 pub use payload::{PayloadOps, UnitPayload};
+pub use prefetch::{with_frontier_prefetch, PrefetchQueue};
 pub use search::TreeStats;
 pub use tree::RTree;

@@ -7,6 +7,7 @@ use std::collections::BinaryHeap;
 use ir2_geo::{OrderedF64, Point};
 use ir2_storage::{BlockDevice, Result};
 
+use crate::prefetch::PrefetchQueue;
 use crate::{PayloadOps, RTree};
 
 /// One nearest-neighbor result: an object reference and its distance.
@@ -43,6 +44,8 @@ pub struct NnIter<'a, const N: usize, D, P> {
     heap: BinaryHeap<Reverse<(OrderedF64, u64, Item)>>,
     seq: u64,
     nodes_read: u64,
+    cache_hits: u64,
+    prefetch: PrefetchQueue,
 }
 
 // Items only compare through (dist, seq), which are unique per entry.
@@ -70,15 +73,33 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
             heap,
             seq: 1,
             nodes_read: 0,
+            cache_hits: 0,
+            prefetch: PrefetchQueue::disabled(),
         }
     }
 }
 
 impl<const N: usize, D: BlockDevice, P: PayloadOps> NnIter<'_, N, D, P> {
     /// Tree nodes read so far — the iterator's charged I/O, used by
-    /// limit-aware callers to meter the traversal.
+    /// limit-aware callers to meter the traversal. Counts node *visits*,
+    /// so budgets behave identically with or without a node cache.
     pub fn nodes_read(&self) -> u64 {
         self.nodes_read
+    }
+
+    /// Of [`nodes_read`](NnIter::nodes_read), how many were served from
+    /// the tree's decoded-node cache (0 without an attached cache).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Attaches a frontier-prefetch queue (see
+    /// [`with_frontier_prefetch`](crate::with_frontier_prefetch)): on each
+    /// node expansion, up to `queue.width()` child nodes are nominated for
+    /// background decode into the tree's cache. Rank order is unaffected.
+    pub fn prefetching(mut self, queue: PrefetchQueue) -> Self {
+        self.prefetch = queue;
+        self
     }
 
     /// Current search-frontier (priority queue) size.
@@ -96,13 +117,19 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> NnIter<'_, N, D, P> {
                     }));
                 }
                 Item::Node(id) => {
-                    let node = self.tree.read_node(id)?;
+                    let (node, hit) = self.tree.read_node_cached(id)?;
                     self.nodes_read += 1;
+                    self.cache_hits += u64::from(hit);
+                    let mut speculate = self.prefetch.width();
                     for e in &node.entries {
                         let d = OrderedF64(e.rect.min_dist(&self.query));
                         let item = if node.is_leaf() {
                             Item::Object(e.child)
                         } else {
+                            if speculate > 0 {
+                                self.prefetch.enqueue(e.child);
+                                speculate -= 1;
+                            }
                             Item::Node(e.child)
                         };
                         self.heap.push(Reverse((d, self.seq, item)));

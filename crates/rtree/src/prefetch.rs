@@ -1,0 +1,190 @@
+//! Speculative frontier prefetch: background workers decode
+//! soon-to-be-visited nodes into the tree's decoded-node cache while the
+//! traversal works the current node.
+//!
+//! The traversal nominates up to `p` signature-passing child nodes per
+//! expansion through a [`PrefetchQueue`]; `p` scoped worker threads drain
+//! the queue, each pulling a node through
+//! [`RTree::read_node_cached`](crate::RTree::read_node_cached) so the CRC
+//! verification and entry decode happen off the query thread. Rank order
+//! is untouched — the traversal still pops its own frontier and re-reads
+//! any node the workers have not finished (the cache returns a shared
+//! image either way), so results are byte-identical with prefetch on or
+//! off.
+//!
+//! Accounting caveat: worker reads run on worker threads, *outside* the
+//! query's thread-local `IoScope`, so per-query I/O attribution excludes
+//! speculative reads; device-level totals still include them (see
+//! `DESIGN.md` §10).
+
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use ir2_storage::BlockDevice;
+use parking_lot::Mutex;
+
+use crate::node::NodeId;
+use crate::{PayloadOps, RTree};
+
+/// Handle a traversal uses to nominate frontier nodes for background
+/// decoding. Disabled by default: every [`enqueue`](PrefetchQueue::enqueue)
+/// is a no-op until [`with_frontier_prefetch`] hands out a live queue.
+#[derive(Default)]
+pub struct PrefetchQueue {
+    tx: Option<mpsc::Sender<NodeId>>,
+    width: usize,
+}
+
+impl PrefetchQueue {
+    /// A queue that drops every nomination (prefetch off).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether nominations reach live workers.
+    pub fn is_enabled(&self) -> bool {
+        self.tx.is_some()
+    }
+
+    /// How many nodes a traversal should nominate per expansion — the `p`
+    /// of the worker pool (0 when disabled).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Nominates a node for background decode. No-op when disabled; a
+    /// send after the workers have exited is silently dropped.
+    pub fn enqueue(&self, id: NodeId) {
+        if let Some(tx) = &self.tx {
+            let _ = tx.send(id);
+        }
+    }
+}
+
+/// Runs `f` with a live [`PrefetchQueue`] backed by `workers` scoped
+/// threads that decode nominated nodes into `tree`'s decoded-node cache.
+///
+/// Degenerates to `f(PrefetchQueue::disabled())` — spawning nothing — when
+/// `workers == 0` or the tree has no attached node cache (prefetching
+/// without a cache would decode nodes only to throw them away). Workers
+/// terminate when the queue is dropped (normally when `f` returns) and are
+/// joined before this function returns, so speculative reads never outlive
+/// the query that requested them.
+pub fn with_frontier_prefetch<const N: usize, D, P, R>(
+    tree: &RTree<N, D, P>,
+    workers: usize,
+    f: impl FnOnce(PrefetchQueue) -> R,
+) -> R
+where
+    D: BlockDevice,
+    P: PayloadOps + Sync,
+{
+    if workers == 0 || tree.node_cache().is_none() {
+        return f(PrefetchQueue::disabled());
+    }
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<NodeId>();
+        let rx = Arc::new(Mutex::new(rx));
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            scope.spawn(move || loop {
+                // The guard is dropped before the decode, so workers take
+                // turns receiving but verify and decode in parallel.
+                let msg = rx.lock().recv();
+                match msg {
+                    Ok(id) => {
+                        // Speculative: an I/O error here is not the
+                        // query's problem — the traversal will re-read the
+                        // node itself and surface the error in context.
+                        let _ = tree.read_node_cached(id);
+                    }
+                    Err(_) => break,
+                }
+            });
+        }
+        f(PrefetchQueue {
+            tx: Some(tx),
+            width: workers,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NodeCache, RTreeConfig, UnitPayload};
+    use ir2_geo::{Point, Rect};
+    use ir2_storage::MemDevice;
+
+    fn sample_tree(cache: bool) -> RTree<2, MemDevice, UnitPayload> {
+        let mut tree =
+            RTree::create(MemDevice::new(), RTreeConfig::with_max(4), UnitPayload).unwrap();
+        if cache {
+            tree.set_node_cache(std::sync::Arc::new(NodeCache::new(128)));
+        }
+        for i in 0..60u64 {
+            tree.insert(
+                i,
+                Rect::from_point(Point::new([(i % 8) as f64, (i / 8) as f64])),
+                &[],
+            )
+            .unwrap();
+        }
+        tree
+    }
+
+    #[test]
+    fn disabled_without_cache_or_workers() {
+        let uncached = sample_tree(false);
+        with_frontier_prefetch(&uncached, 4, |q| {
+            assert!(!q.is_enabled());
+            assert_eq!(q.width(), 0);
+            q.enqueue(1); // harmless no-op
+        });
+        let cached = sample_tree(true);
+        with_frontier_prefetch(&cached, 0, |q| assert!(!q.is_enabled()));
+    }
+
+    #[test]
+    fn workers_populate_the_cache() {
+        let tree = sample_tree(true);
+        let root = tree.root().unwrap();
+        let children: Vec<u64> = tree
+            .read_node(root)
+            .unwrap()
+            .entries
+            .iter()
+            .map(|e| e.child)
+            .collect();
+        with_frontier_prefetch(&tree, 2, |q| {
+            assert!(q.is_enabled());
+            assert_eq!(q.width(), 2);
+            for &c in &children {
+                q.enqueue(c);
+            }
+            // Queue drops when this closure returns; the scope join below
+            // guarantees the workers finished every nomination.
+        });
+        let cache = tree.node_cache().unwrap();
+        let (_, misses_before) = cache.hit_stats();
+        for &c in &children {
+            assert!(cache.get(c).is_some(), "child {c} should be prefetched");
+        }
+        let (_, misses_after) = cache.hit_stats();
+        assert_eq!(misses_before, misses_after);
+    }
+
+    #[test]
+    fn traversal_results_identical_with_prefetch() {
+        let tree = sample_tree(true);
+        let q = Point::new([3.0, 3.0]);
+        let plain: Vec<u64> = tree.nearest(q).map(|r| r.unwrap().child).collect();
+        let prefetched: Vec<u64> = with_frontier_prefetch(&tree, 3, |pf| {
+            tree.nearest(q)
+                .prefetching(pf)
+                .map(|r| r.unwrap().child)
+                .collect()
+        });
+        assert_eq!(plain, prefetched);
+    }
+}

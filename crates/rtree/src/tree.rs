@@ -1,11 +1,13 @@
 //! The disk-resident augmented R-Tree: Insert, Delete, node I/O.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use ir2_geo::Rect;
 use ir2_storage::{extent, page, BlockDevice, Result, StorageError, PAGE_PAYLOAD};
 use parking_lot::Mutex;
 
+use crate::cached::{CachedNode, NodeCache};
 use crate::node::{Entry, Node, NodeId, NODE_HEADER_LEN};
 use crate::{PayloadOps, RTreeConfig, SplitStrategy};
 
@@ -96,6 +98,10 @@ pub struct RTree<const N: usize, D, P> {
     meta: Mutex<Meta>,
     /// Freed node extents by extent size, reused before growing the device.
     free: Mutex<FreeLists>,
+    /// Optional decoded-node cache; its epoch is bumped whenever a mutation
+    /// commits, so cached images can never outlive the tree state that
+    /// produced them.
+    node_cache: Option<Arc<NodeCache<N>>>,
 }
 
 impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
@@ -113,6 +119,7 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
                 count: 0,
             }),
             free: Mutex::new(FreeLists::default()),
+            node_cache: None,
         };
         tree.write_meta()?;
         Ok(tree)
@@ -161,6 +168,7 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
                 count,
             }),
             free: Mutex::new(FreeLists::default()),
+            node_cache: None,
         })
     }
 
@@ -198,6 +206,7 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
                 count,
             }),
             free: Mutex::new(FreeLists::default()),
+            node_cache: None,
         };
         if repair {
             tree.write_meta()?;
@@ -236,6 +245,11 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         for (nblocks, mut ids) in pending {
             free.reusable.entry(nblocks).or_default().append(&mut ids);
         }
+        drop(free);
+        // Belt and braces: recycled extents only become visible through a
+        // later committed mutation (which bumps), but advancing here keeps
+        // the invariant local and obvious.
+        self.bump_cache_epoch();
     }
 
     /// Current metadata as persisted by an external catalog:
@@ -335,13 +349,16 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
     }
 
     /// Publishes a successful mutation: its metadata becomes the tree's,
-    /// its freed extents become pending.
+    /// its freed extents become pending, and the node-cache epoch advances
+    /// so decoded images of the pre-mutation tree stop being served.
     fn commit_ctx(&self, ctx: MutCtx, meta: &mut Meta) {
         *meta = ctx.meta;
         let mut free = self.free.lock();
         for (id, nblocks) in ctx.freed {
             free.pending.entry(nblocks).or_default().push(id);
         }
+        drop(free);
+        self.bump_cache_epoch();
     }
 
     /// Discards a failed mutation: extents it allocated (which are the only
@@ -377,6 +394,50 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
             &mut buf[PAGE_PAYLOAD..],
         )?;
         Node::decode(id, &buf, payload_size)
+    }
+
+    /// Attaches a decoded-node cache. Call at construction time, before the
+    /// tree is shared; mutations afterward invalidate it automatically via
+    /// the epoch.
+    pub fn set_node_cache(&mut self, cache: Arc<NodeCache<N>>) {
+        self.node_cache = Some(cache);
+    }
+
+    /// Detaches the decoded-node cache; reads fall back to the device.
+    pub fn clear_node_cache(&mut self) {
+        self.node_cache = None;
+    }
+
+    /// The attached decoded-node cache, if any.
+    pub fn node_cache(&self) -> Option<&Arc<NodeCache<N>>> {
+        self.node_cache.as_ref()
+    }
+
+    /// Advances the cache epoch (no-op without a cache).
+    fn bump_cache_epoch(&self) {
+        if let Some(cache) = &self.node_cache {
+            cache.bump_epoch();
+        }
+    }
+
+    /// Reads the node at `id` through the decoded-node cache, returning the
+    /// shared image and whether it was a cache hit. Without an attached
+    /// cache this is [`read_node`](RTree::read_node) plus an allocation.
+    ///
+    /// The epoch is snapshotted *before* the device read: if a mutation
+    /// commits while the node is being decoded, the stale image is dropped
+    /// instead of installed.
+    pub fn read_node_cached(&self, id: NodeId) -> Result<(Arc<CachedNode<N>>, bool)> {
+        let Some(cache) = &self.node_cache else {
+            return Ok((Arc::new(CachedNode::new(self.read_node(id)?)), false));
+        };
+        if let Some(node) = cache.get(id) {
+            return Ok((node, true));
+        }
+        let snapshot = cache.epoch();
+        let node = Arc::new(CachedNode::new(self.read_node(id)?));
+        cache.insert(id, snapshot, Arc::clone(&node));
+        Ok((node, false))
     }
 
     pub(crate) fn write_node(&self, node: &Node<N>) -> Result<()> {
@@ -446,6 +507,8 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         meta.root = Some(root);
         meta.height = height;
         meta.count = count;
+        drop(meta);
+        self.bump_cache_epoch();
     }
 
     // ------------------------------------------------------------------
@@ -1217,6 +1280,54 @@ mod tests {
         assert!(a.len() >= 4 || b.len() >= 4);
         assert!(a.len() >= 2 && b.len() >= 2);
         assert_eq!(a.len() + b.len(), 9);
+    }
+
+    #[test]
+    fn cached_reads_hit_warm_and_mutations_invalidate() {
+        let mut tree = small_tree();
+        tree.set_node_cache(Arc::new(NodeCache::new(64)));
+        for i in 0..40u64 {
+            tree.insert(i, pt_rect((i % 7) as f64, (i / 7) as f64), &[])
+                .unwrap();
+        }
+        let q = Point::new([0.0, 0.0]);
+        let cold: Vec<u64> = tree.nearest(q).map(|r| r.unwrap().child).collect();
+
+        let mut warm_it = tree.nearest(q);
+        let warm: Vec<u64> = warm_it.by_ref().map(|r| r.unwrap().child).collect();
+        assert_eq!(warm, cold, "cache must not change the result");
+        assert_eq!(
+            warm_it.cache_hits(),
+            warm_it.nodes_read(),
+            "second identical traversal should be fully warm"
+        );
+
+        // A committed mutation bumps the epoch: the next traversal re-reads
+        // nodes (no stale images) and sees the new object.
+        tree.insert(1000, pt_rect(0.1, 0.1), &[]).unwrap();
+        let mut after_it = tree.nearest(q);
+        let after: Vec<u64> = after_it.by_ref().map(|r| r.unwrap().child).collect();
+        assert!(after.contains(&1000));
+        assert_eq!(after.len(), cold.len() + 1);
+        assert_eq!(
+            after_it.cache_hits(),
+            0,
+            "post-mutation traversal must not serve pre-mutation images"
+        );
+    }
+
+    #[test]
+    fn uncached_tree_reports_zero_hits() {
+        let tree = small_tree();
+        for i in 0..10u64 {
+            tree.insert(i, pt_rect(i as f64, 0.0), &[]).unwrap();
+        }
+        let mut it = tree.nearest(Point::new([0.0, 0.0]));
+        it.by_ref().for_each(|r| {
+            r.unwrap();
+        });
+        assert!(it.nodes_read() > 0);
+        assert_eq!(it.cache_hits(), 0);
     }
 
     #[test]

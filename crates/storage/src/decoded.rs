@@ -1,0 +1,395 @@
+//! Decoded-object cache: a sharded, epoch-invalidated LRU *above* the
+//! page layer.
+//!
+//! The [`BufferPool`](crate::BufferPool) caches raw 4096-byte blocks, so a
+//! pool hit still pays the warm-path tax: checksum verification of every
+//! block of the node's extent plus a full entry/signature deserialization.
+//! On warm top-k workloads that decode cost dominates (the I/O the paper
+//! counts is already amortized). `DecodedCache<T>` closes the gap by
+//! caching the *decoded* value — an R-Tree node, its signatures already
+//! parsed — keyed by the extent's first [`BlockId`], behind `Arc` so warm
+//! readers share one allocation.
+//!
+//! # Epoch invalidation
+//!
+//! The cache is invalidated wholesale by a monotonically increasing
+//! **mutation epoch**. Writers bump it at every commit point (CoW tree
+//! commits, `save_catalog`, free-list recycling); each shard remembers the
+//! epoch it last served and lazily wipes itself the first time it is
+//! touched under a newer one. Values decoded *before* a bump cannot leak
+//! in afterwards either: [`DecodedCache::insert`] takes the epoch snapshot
+//! the caller observed before reading the device and drops the insert if a
+//! bump intervened. Copy-on-write storage makes this sound: a published
+//! root only ever references extents written before its commit, so within
+//! one epoch a `BlockId` maps to exactly one byte image.
+//!
+//! # Sharding
+//!
+//! Same scheme as the buffer pool: `block % N` selects one of N
+//! independently locked shards, and the configured capacity is distributed
+//! exactly (first `capacity % N` shards take one extra slot). Capacity 0
+//! constructs a pass-through that never caches and never counts.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::BlockId;
+
+const NIL: usize = usize::MAX;
+
+/// Default shard count for [`DecodedCache::new`] — matches the buffer
+/// pool's so the two layers scale together under the batch engine.
+pub const DEFAULT_DECODED_SHARDS: usize = 8;
+
+struct Slot<T> {
+    key: BlockId,
+    value: Arc<T>,
+    prev: usize,
+    next: usize,
+}
+
+struct ShardState<T> {
+    map: HashMap<BlockId, usize>,
+    slots: Vec<Slot<T>>,
+    /// Most recently used slot index.
+    head: usize,
+    /// Least recently used slot index.
+    tail: usize,
+    /// Epoch this shard last served; a newer global epoch wipes the shard
+    /// on first touch.
+    seen_epoch: u64,
+}
+
+impl<T> ShardState<T> {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            seen_epoch: 0,
+        }
+    }
+
+    /// Drops every entry and re-stamps the shard at `epoch`.
+    fn wipe(&mut self, epoch: u64) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.seen_epoch = epoch;
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn touch(&mut self, idx: usize) {
+        if self.head != idx {
+            self.detach(idx);
+            self.push_front(idx);
+        }
+    }
+
+    /// Installs `value` under `key`, evicting this shard's LRU victim if
+    /// the shard is at `capacity`.
+    fn install(&mut self, capacity: usize, key: BlockId, value: Arc<T>) {
+        if let Some(&idx) = self.map.get(&key) {
+            self.slots[idx].value = value;
+            self.touch(idx);
+            return;
+        }
+        let idx = if self.slots.len() < capacity {
+            self.slots.push(Slot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        } else {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "capacity > 0 implies a tail");
+            self.detach(victim);
+            let old = self.slots[victim].key;
+            self.map.remove(&old);
+            self.slots[victim].key = key;
+            self.slots[victim].value = value;
+            victim
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+    }
+}
+
+/// A sharded LRU cache of decoded values keyed by [`BlockId`], invalidated
+/// wholesale by a mutation epoch; see the module docs.
+///
+/// `T` is the decoded representation (e.g. an R-Tree node with its parsed
+/// signatures). Values are shared out as `Arc<T>`, so a hit is one clone —
+/// no checksum pass, no deserialization, no allocation.
+pub struct DecodedCache<T> {
+    /// Per-shard slot budgets, summing to exactly the requested capacity
+    /// (empty when caching is disabled).
+    shard_capacities: Box<[usize]>,
+    shards: Box<[Mutex<ShardState<T>>]>,
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<T> DecodedCache<T> {
+    /// A cache of `capacity` decoded values over
+    /// [`DEFAULT_DECODED_SHARDS`] shards (fewer for tiny capacities;
+    /// capacity 0 disables caching entirely).
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_DECODED_SHARDS)
+    }
+
+    /// A cache of exactly `capacity` values split over `shards`
+    /// independent locks; `shards` is clamped to `[1, capacity]` and the
+    /// remainder is distributed so no shard rounds to zero slots.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let nshards = if capacity == 0 {
+            0
+        } else {
+            shards.clamp(1, capacity)
+        };
+        let base = capacity.checked_div(nshards).unwrap_or(0);
+        let extra = capacity.checked_rem(nshards).unwrap_or(0);
+        Self {
+            shard_capacities: (0..nshards)
+                .map(|i| base + usize::from(i < extra))
+                .collect(),
+            shards: (0..nshards)
+                .map(|_| Mutex::new(ShardState::new()))
+                .collect(),
+            epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The current mutation epoch. Snapshot it *before* reading the device
+    /// and pass the snapshot to [`insert`](Self::insert) so a commit that
+    /// lands mid-decode cannot publish a stale value.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Bumps the mutation epoch, logically evicting every cached value.
+    /// Writers call this at each commit point; shards reclaim their memory
+    /// lazily on next touch.
+    pub fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Looks up the decoded value for `key`, touching it in the LRU order.
+    /// Counts a hit or a miss (except in the capacity-0 pass-through
+    /// configuration, which never counts).
+    pub fn get(&self, key: BlockId) -> Option<Arc<T>> {
+        if self.shards.is_empty() {
+            return None;
+        }
+        let epoch = self.epoch();
+        let si = (key % self.shards.len() as u64) as usize;
+        let mut s = self.shards[si].lock();
+        if s.seen_epoch != epoch {
+            s.wipe(epoch);
+        }
+        if let Some(&idx) = s.map.get(&key) {
+            s.touch(idx);
+            let value = Arc::clone(&s.slots[idx].value);
+            drop(s);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(value);
+        }
+        drop(s);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Installs `value` under `key`, provided the epoch is still the
+    /// `snapshot` the caller took before reading and decoding the bytes.
+    /// If a mutation committed in between, the value is silently dropped —
+    /// it may describe a recycled extent.
+    pub fn insert(&self, key: BlockId, snapshot: u64, value: Arc<T>) {
+        if self.shards.is_empty() || snapshot != self.epoch() {
+            return;
+        }
+        let si = (key % self.shards.len() as u64) as usize;
+        let mut s = self.shards[si].lock();
+        if s.seen_epoch != snapshot {
+            s.wipe(snapshot);
+        }
+        s.install(self.shard_capacities[si], key, value);
+    }
+
+    /// Total slot capacity across shards — exactly the configured value.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacities.iter().sum()
+    }
+
+    /// Number of values currently resident (stale shards count until their
+    /// lazy wipe; [`len`](Self::len) is a memory gauge, not a validity
+    /// count).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// Whether no values are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached value immediately (counters are kept; the epoch
+    /// is unchanged).
+    pub fn clear(&self) {
+        let epoch = self.epoch();
+        for shard in &self.shards {
+            shard.lock().wipe(epoch);
+        }
+    }
+
+    /// Aggregate `(hits, misses)` observed by [`get`](Self::get) so far.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Fraction of lookups served from the cache, in `[0.0, 1.0]`; `0.0`
+    /// before any lookup (never `NaN`).
+    pub fn hit_rate(&self) -> f64 {
+        let (hits, misses) = self.hit_stats();
+        crate::metrics::ratio(hits, hits + misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_the_shared_value() {
+        let cache: DecodedCache<Vec<u32>> = DecodedCache::new(8);
+        assert_eq!(cache.get(5), None);
+        cache.insert(5, cache.epoch(), Arc::new(vec![1, 2, 3]));
+        let v = cache.get(5).expect("hit");
+        assert_eq!(*v, vec![1, 2, 3]);
+        assert_eq!(cache.hit_stats(), (1, 1));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_zero_is_passthrough() {
+        let cache: DecodedCache<u32> = DecodedCache::new(0);
+        cache.insert(1, cache.epoch(), Arc::new(7));
+        assert_eq!(cache.get(1), None);
+        assert_eq!(cache.hit_stats(), (0, 0), "passthrough never counts");
+        assert_eq!(cache.capacity(), 0);
+    }
+
+    #[test]
+    fn capacity_distributes_the_remainder_exactly() {
+        let cache: DecodedCache<u32> = DecodedCache::with_shards(9, 8);
+        assert_eq!(cache.capacity(), 9);
+        let cache: DecodedCache<u32> = DecodedCache::with_shards(3, 16);
+        assert_eq!(cache.capacity(), 3, "shards clamp to capacity");
+    }
+
+    #[test]
+    fn lru_evicts_within_a_shard() {
+        // One shard, two slots: exact global LRU.
+        let cache: DecodedCache<u64> = DecodedCache::with_shards(2, 1);
+        let e = cache.epoch();
+        cache.insert(1, e, Arc::new(1));
+        cache.insert(2, e, Arc::new(2));
+        assert!(cache.get(1).is_some()); // 1 becomes MRU
+        cache.insert(3, e, Arc::new(3)); // evicts 2
+        assert!(cache.get(2).is_none());
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn epoch_bump_evicts_everything() {
+        let cache: DecodedCache<u64> = DecodedCache::new(8);
+        cache.insert(1, cache.epoch(), Arc::new(10));
+        cache.insert(2, cache.epoch(), Arc::new(20));
+        assert!(cache.get(1).is_some());
+        cache.bump_epoch();
+        assert_eq!(cache.get(1), None, "stale value must not survive a bump");
+        assert_eq!(cache.get(2), None);
+        // Fresh inserts under the new epoch serve again.
+        cache.insert(1, cache.epoch(), Arc::new(11));
+        assert_eq!(cache.get(1).as_deref(), Some(&11));
+    }
+
+    #[test]
+    fn stale_snapshot_insert_is_dropped() {
+        let cache: DecodedCache<u64> = DecodedCache::new(8);
+        let before = cache.epoch();
+        cache.bump_epoch(); // a commit lands while the caller was decoding
+        cache.insert(4, before, Arc::new(40));
+        assert_eq!(cache.get(4), None, "pre-bump decode must not be cached");
+    }
+
+    #[test]
+    fn clear_drops_values_but_keeps_the_epoch() {
+        let cache: DecodedCache<u64> = DecodedCache::new(4);
+        cache.insert(1, cache.epoch(), Arc::new(1));
+        let e = cache.epoch();
+        cache.clear();
+        assert_eq!(cache.epoch(), e);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(1), None);
+    }
+
+    #[test]
+    fn concurrent_readers_share_one_allocation() {
+        let cache: Arc<DecodedCache<Vec<u8>>> = Arc::new(DecodedCache::new(16));
+        cache.insert(3, cache.epoch(), Arc::new(vec![7; 128]));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        let v = cache.get(3).expect("hit");
+                        assert_eq!(v[0], 7);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.hit_stats().0, 400);
+    }
+}

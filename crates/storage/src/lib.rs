@@ -31,8 +31,13 @@
 //!   backoff for transient faults ([`StorageError::is_transient`]) and a
 //!   per-block circuit breaker that quarantines persistently failing
 //!   blocks ([`StorageError::Quarantined`]).
+//! * [`DecodedCache`] — a sharded LRU of *decoded* objects above the page
+//!   layer (warm node visits skip checksum verification and
+//!   deserialization), invalidated wholesale by a mutation epoch bumped at
+//!   commit points.
 
 mod cost;
+mod decoded;
 mod device;
 mod error;
 pub mod extent;
@@ -46,6 +51,7 @@ pub mod testing;
 mod tracking;
 
 pub use cost::CostModel;
+pub use decoded::{DecodedCache, DEFAULT_DECODED_SHARDS};
 pub use device::{BlockDevice, FileDevice, MemDevice};
 pub use error::{IoOp, Result, StorageError};
 pub use metrics::{

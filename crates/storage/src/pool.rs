@@ -146,8 +146,9 @@ impl PoolState {
 /// serialize. Capacity is in blocks; capacity 0 disables caching.
 pub struct BufferPool<D> {
     inner: D,
-    /// Frames per shard (0 disables caching).
-    shard_capacity: usize,
+    /// Per-shard frame budgets, summing to exactly the requested capacity
+    /// (empty when caching is disabled).
+    shard_capacities: Box<[usize]>,
     /// Empty when caching is disabled.
     shards: Box<[Mutex<PoolState>]>,
 }
@@ -159,27 +160,34 @@ impl<D: BlockDevice> BufferPool<D> {
         Self::with_shards(inner, capacity, DEFAULT_POOL_SHARDS)
     }
 
-    /// Wraps `inner` with an LRU cache of at least `capacity` blocks split
+    /// Wraps `inner` with an LRU cache of exactly `capacity` blocks split
     /// over `shards` independent locks.
     ///
     /// `shards` is clamped to `[1, capacity]` so every shard owns at least
-    /// one frame; the per-shard capacity is `capacity / shards` rounded up,
-    /// so the pool holds at least `capacity` blocks in total. One shard
-    /// gives exact global LRU; more shards trade strict LRU order for lock
-    /// independence.
+    /// one frame. The `capacity` frames are distributed evenly; when it does
+    /// not divide exactly, the first `capacity % shards` shards each take
+    /// one extra frame, so the budgets sum to exactly `capacity` (neither
+    /// rounding some shards down to zero frames nor inflating the pool past
+    /// its configured size). One shard gives exact global LRU; more shards
+    /// trade strict LRU order for lock independence.
     pub fn with_shards(inner: D, capacity: usize, shards: usize) -> Self {
-        let (shard_capacity, nshards) = if capacity == 0 {
-            (0, 0)
+        let nshards = if capacity == 0 {
+            0
         } else {
-            let nshards = shards.clamp(1, capacity);
-            (capacity.div_ceil(nshards), nshards)
+            shards.clamp(1, capacity)
         };
+        let base = capacity.checked_div(nshards).unwrap_or(0);
+        let extra = capacity.checked_rem(nshards).unwrap_or(0);
+        let shard_capacities: Box<[usize]> = (0..nshards)
+            .map(|i| base + usize::from(i < extra))
+            .collect();
         Self {
             inner,
-            shard_capacity,
-            shards: (0..nshards)
-                .map(|_| Mutex::new(PoolState::with_capacity(shard_capacity)))
+            shards: shard_capacities
+                .iter()
+                .map(|&c| Mutex::new(PoolState::with_capacity(c)))
                 .collect(),
+            shard_capacities,
         }
     }
 
@@ -193,16 +201,17 @@ impl<D: BlockDevice> BufferPool<D> {
         self.shards.len()
     }
 
-    /// Total frame capacity across shards.
+    /// Total frame capacity across shards — exactly the capacity the pool
+    /// was constructed with.
     pub fn capacity(&self) -> usize {
-        self.shard_capacity * self.shards.len()
+        self.shard_capacities.iter().sum()
     }
 
     #[inline]
-    fn shard(&self, block: BlockId) -> &Mutex<PoolState> {
+    fn shard(&self, block: BlockId) -> usize {
         // Modulo keeps adjacent blocks on different locks (sequential scans
         // round-robin the shards) and is trivially predictable in tests.
-        &self.shards[(block % self.shards.len() as u64) as usize]
+        (block % self.shards.len() as u64) as usize
     }
 
     /// Aggregate `(hits, misses)` observed on reads so far, summed over all
@@ -249,8 +258,9 @@ impl<D: BlockDevice> BlockDevice for BufferPool<D> {
         if self.shards.is_empty() {
             return self.inner.read_block(id, buf);
         }
+        let si = self.shard(id);
         {
-            let mut s = self.shard(id).lock();
+            let mut s = self.shards[si].lock();
             if let Some(&idx) = s.map.get(&id) {
                 buf.copy_from_slice(&*s.frames[idx].data);
                 s.touch(idx);
@@ -266,8 +276,8 @@ impl<D: BlockDevice> BlockDevice for BufferPool<D> {
         // hold *some* post-write value, which `install` guarantees because
         // the device read completed before the re-lock.
         self.inner.read_block(id, buf)?;
-        let mut s = self.shard(id).lock();
-        s.install(self.shard_capacity, id, buf);
+        let mut s = self.shards[si].lock();
+        s.install(self.shard_capacities[si], id, buf);
         Ok(())
     }
 
@@ -278,8 +288,9 @@ impl<D: BlockDevice> BlockDevice for BufferPool<D> {
         if self.shards.is_empty() {
             return Ok(());
         }
-        let mut s = self.shard(id).lock();
-        s.install(self.shard_capacity, id, data);
+        let si = self.shard(id);
+        let mut s = self.shards[si].lock();
+        s.install(self.shard_capacities[si], id, data);
         Ok(())
     }
 
@@ -458,6 +469,39 @@ mod tests {
         let pool = BufferPool::new(MemDevice::new(), 64);
         assert_eq!(pool.num_shards(), DEFAULT_POOL_SHARDS);
         assert_eq!(pool.capacity(), 64);
+    }
+
+    #[test]
+    fn capacity_distributes_the_remainder_exactly() {
+        // capacity 9 over 8 shards used to round each shard *up* to 2
+        // frames — a pool of 16 where 9 was configured. The remainder must
+        // be distributed instead: shard 0 gets the extra frame, the total
+        // stays exactly 9.
+        let pool = BufferPool::with_shards(MemDevice::new(), 9, 8);
+        assert_eq!(pool.num_shards(), 8);
+        assert_eq!(pool.capacity(), 9, "pool must hold exactly what was asked");
+
+        // And no shard may round down to zero frames: capacity 3 over 2
+        // shards is [2, 1], so shard 1 still caches.
+        let pool = BufferPool::with_shards(MemDevice::new(), 3, 2);
+        assert_eq!(pool.capacity(), 3);
+        pool.allocate(2).unwrap();
+        pool.write_block(1, &block_of(5)).unwrap(); // shard 1's only frame
+        let mut buf = crate::zeroed_block();
+        pool.read_block(1, &mut buf).unwrap();
+        assert_eq!(
+            pool.shard_hit_stats(1),
+            (1, 0),
+            "shard 1 must not be a passthrough"
+        );
+
+        // Shard 0 holds the extra frame: blocks 0 and 2 both stay resident.
+        pool.allocate(1).unwrap();
+        pool.write_block(0, &block_of(1)).unwrap();
+        pool.write_block(2, &block_of(2)).unwrap();
+        pool.read_block(0, &mut buf).unwrap();
+        pool.read_block(2, &mut buf).unwrap();
+        assert_eq!(pool.shard_hit_stats(0), (2, 0), "shard 0 owns two frames");
     }
 
     #[test]

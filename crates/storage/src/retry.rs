@@ -171,13 +171,15 @@ impl<D: BlockDevice> RetryDevice<D> {
     /// is fixed, half uniform random — so concurrent retriers against one
     /// busy resource do not stampede in lockstep.
     fn backoff_delay(&self, attempt: u32) -> Duration {
-        let shift = (attempt - 1).min(20);
-        let exp = self
-            .policy
-            .base_backoff
-            .saturating_mul(1u32 << shift.min(16));
+        // `attempt` is 1-based; saturate rather than underflow if a caller
+        // ever passes 0. The shift is clamped so `1u32 << shift` cannot
+        // overflow, and the exponential product saturates at Duration::MAX.
+        let shift = attempt.saturating_sub(1).min(16);
+        let exp = self.policy.base_backoff.saturating_mul(1u32 << shift);
         let capped = exp.min(self.policy.max_backoff);
-        let nanos = capped.as_nanos() as u64;
+        // A pathological `max_backoff` holds more nanoseconds than u64;
+        // saturate instead of silently truncating to an arbitrary sleep.
+        let nanos = u64::try_from(capped.as_nanos()).unwrap_or(u64::MAX);
         let r = splitmix64(self.jitter.fetch_add(1, Ordering::Relaxed));
         Duration::from_nanos(nanos / 2 + r % (nanos / 2 + 1))
     }
@@ -522,6 +524,52 @@ mod tests {
             assert!(
                 d >= nominal / 2,
                 "attempt {attempt}: {d:?} < half of {nominal:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_saturates_at_extreme_attempt_counts() {
+        let dev = RetryDevice::with_policy(
+            MemDevice::new(),
+            RetryPolicy {
+                base_backoff: Duration::from_micros(100),
+                max_backoff: Duration::from_micros(800),
+                ..RetryPolicy::default()
+            },
+        );
+        // Attempt counts past the shift clamp must neither overflow the
+        // shift nor escape the cap, and the equal-jitter floor holds.
+        for attempt in [17u32, 21, 64, 1 << 20, u32::MAX] {
+            let d = dev.backoff_delay(attempt);
+            assert!(d <= Duration::from_micros(800), "attempt {attempt}: {d:?}");
+            assert!(d >= Duration::from_micros(400), "attempt {attempt}: {d:?}");
+        }
+        // Attempt 0 is out of contract (retries are 1-based) but must not
+        // underflow-panic in debug builds; it degrades to the base delay.
+        let d = dev.backoff_delay(0);
+        assert!(d <= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn backoff_survives_pathological_policies() {
+        // A cap holding more nanoseconds than u64 used to truncate
+        // u128→u64, yielding an arbitrary (possibly near-zero) sleep. The
+        // conversion now saturates, so equal jitter keeps the delay at or
+        // above half the saturated cap.
+        let dev = RetryDevice::with_policy(
+            MemDevice::new(),
+            RetryPolicy {
+                base_backoff: Duration::MAX,
+                max_backoff: Duration::MAX,
+                ..RetryPolicy::default()
+            },
+        );
+        for attempt in [1u32, 2, 40, u32::MAX] {
+            let d = dev.backoff_delay(attempt);
+            assert!(
+                d >= Duration::from_nanos(u64::MAX / 2),
+                "attempt {attempt}: {d:?} lost nanoseconds to truncation"
             );
         }
     }

@@ -62,7 +62,13 @@ proptest! {
 
         let pool = BufferPool::with_shards(MemDevice::with_blocks(16), capacity, shards);
         let nshards = pool.num_shards() as u64;
-        let per_shard = pool.capacity() / pool.num_shards();
+        // Per-shard budgets mirror the pool's exact distribution: the first
+        // `capacity % nshards` shards take one extra frame.
+        let (base, extra) = (
+            pool.capacity() / pool.num_shards(),
+            pool.capacity() % pool.num_shards(),
+        );
+        let budget = |shard: usize| base + usize::from(shard < extra);
         let mut models: Vec<VecDeque<u64>> = vec![VecDeque::new(); pool.num_shards()];
         let mut buf = ir2_storage::zeroed_block();
 
@@ -72,14 +78,15 @@ proptest! {
                 Op::Write { block, .. } => (block as u64, false),
             };
             // Model step: MRU-front list per shard, install on any access.
-            let model = &mut models[(block % nshards) as usize];
+            let shard = (block % nshards) as usize;
+            let model = &mut models[shard];
             let was_resident = match model.iter().position(|&b| b == block) {
                 Some(i) => {
                     model.remove(i);
                     true
                 }
                 None => {
-                    if model.len() == per_shard {
+                    if model.len() == budget(shard) {
                         model.pop_back();
                     }
                     false
