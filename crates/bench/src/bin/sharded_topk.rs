@@ -1,0 +1,281 @@
+//! Scatter-gather scaling guard for the sharded engine.
+//!
+//! Builds the same dataset at S ∈ {1, 2, 4, 8} STR shards and measures
+//! one batch workload (`batch_topk`, fixed thread pool) per shard count,
+//! plus single-query latency through the parallel per-shard drain. Two
+//! claims are checked on every pass:
+//!
+//! * **exactness**: every shard count returns byte-identical `(id,
+//!   distance)` lists — the scatter-gather merge is exact, sharding can
+//!   change only where the work happens, never the answer.
+//! * **scaling**: on a multi-core host, batch throughput at S = 4 should
+//!   beat S = 1 (`--assert-min-speedup X` turns the ratio into a hard
+//!   gate for such hosts) — every shard has private devices, pools, and
+//!   caches, so batch workers never contend on one tree. On a single-core
+//!   host thread overlap is impossible and the wall-clock columns reduce
+//!   to the merge's bookkeeping overhead (a few percent; the JSON records
+//!   `host_cores` so readers can tell which regime they are looking at).
+//!   The simulated-disk and block columns are machine-independent: they
+//!   price the same workload under the paper's disk cost model.
+//!
+//! Usage:
+//!   sharded_topk [--scale F] [--queries N] [--k K] [--keywords W] [--reps R]
+//!                [--sig-bytes B] [--threads T]
+//!                [--assert-min-speedup X] [--out FILE]
+
+use std::time::Instant;
+
+use ir2_bench::workload;
+use ir2_datagen::DatasetSpec;
+use ir2tree::model::DistanceFirstQuery;
+use ir2tree::storage::MemDevice;
+use ir2tree::{Algorithm, DbConfig, DeviceSet, ShardedDb};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Args {
+    scale: f64,
+    queries: usize,
+    k: usize,
+    keywords: usize,
+    reps: usize,
+    sig_bytes: usize,
+    threads: usize,
+    assert_min_speedup: Option<f64>,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.02,
+        queries: 96,
+        k: 10,
+        keywords: 2,
+        reps: 5,
+        sig_bytes: 32,
+        threads: 4,
+        assert_min_speedup: None,
+        out: "BENCH_sharded_topk.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut next = |what: &str| it.next().unwrap_or_else(|| panic!("{arg} needs {what}"));
+        match arg.as_str() {
+            "--scale" => args.scale = next("F").parse().expect("scale factor"),
+            "--queries" => args.queries = next("N").parse().expect("query count"),
+            "--k" => args.k = next("K").parse().expect("k"),
+            "--keywords" => args.keywords = next("W").parse().expect("keyword count"),
+            "--reps" => args.reps = next("R").parse().expect("rep count"),
+            "--sig-bytes" => args.sig_bytes = next("B").parse().expect("signature bytes"),
+            "--threads" => args.threads = next("T").parse().expect("thread count"),
+            "--assert-min-speedup" => {
+                args.assert_min_speedup = Some(next("X").parse().expect("speedup factor"))
+            }
+            "--out" => args.out = next("FILE"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    args
+}
+
+/// One timed batch pass; asserts results against `truth` when given.
+/// Returns (wall seconds, mean simulated disk ms, mean I/O blocks) — the
+/// simulated column is the paper's cost-model metric, so it measures the
+/// index's disk work independently of the host's core count.
+fn batch_pass(
+    db: &ShardedDb<MemDevice>,
+    queries: &[DistanceFirstQuery<2>],
+    threads: usize,
+    truth: Option<&[Vec<(u64, u64)>]>,
+) -> (f64, f64, f64) {
+    let t0 = Instant::now();
+    let reports = db
+        .batch_topk(Algorithm::Ir2, queries, threads)
+        .expect("batch");
+    let wall = t0.elapsed().as_secs_f64();
+    let n = reports.len().max(1) as f64;
+    let sim_ms = reports
+        .iter()
+        .map(|r| r.simulated.as_secs_f64())
+        .sum::<f64>()
+        * 1e3
+        / n;
+    let blocks = reports.iter().map(|r| r.io.total() as f64).sum::<f64>() / n;
+    if let Some(truth) = truth {
+        for (i, rep) in reports.iter().enumerate() {
+            let got: Vec<(u64, u64)> = rep
+                .results
+                .iter()
+                .map(|(o, d)| (o.id, d.to_bits()))
+                .collect();
+            assert_eq!(
+                got,
+                truth[i],
+                "shard count {} diverged on query {i}",
+                db.shard_count()
+            );
+        }
+    }
+    std::hint::black_box(reports.len());
+    (wall, sim_ms, blocks)
+}
+
+/// Best-of-R single-query pass through the parallel per-shard drain.
+fn latency_pass(
+    db: &ShardedDb<MemDevice>,
+    queries: &[DistanceFirstQuery<2>],
+    threads: usize,
+    reps: usize,
+) -> f64 {
+    let one = || {
+        let t0 = Instant::now();
+        for q in queries {
+            let rep = db
+                .distance_first_parallel(Algorithm::Ir2, q, threads)
+                .expect("query");
+            std::hint::black_box(rep.results.len());
+        }
+        t0.elapsed().as_secs_f64()
+    };
+    one(); // warm-up
+    (0..reps.max(1))
+        .map(|_| one())
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = DatasetSpec::restaurants().scaled(args.scale);
+    let config = DbConfig {
+        sig_bytes: args.sig_bytes,
+        ..DbConfig::default()
+    };
+    let objects: Vec<_> = spec.generate().collect();
+    let queries = workload(&spec, args.queries, args.keywords, args.k);
+
+    eprintln!(
+        "[build] {} ({} objects) at S = {:?}…",
+        spec.name,
+        objects.len(),
+        SHARD_COUNTS
+    );
+    let dbs: Vec<ShardedDb<MemDevice>> = SHARD_COUNTS
+        .iter()
+        .map(|&s| {
+            ShardedDb::build(
+                (0..s).map(|_| DeviceSet::in_memory()).collect(),
+                objects.clone(),
+                config.clone(),
+            )
+            .expect("sharded build")
+        })
+        .collect();
+
+    // Ground truth from the single-shard engine; the merge canonicalizes
+    // ties by (distance, id), so every shard count must reproduce it
+    // bit-for-bit.
+    let truth: Vec<Vec<(u64, u64)>> = queries
+        .iter()
+        .map(|q| {
+            dbs[0]
+                .distance_first(Algorithm::Ir2, q)
+                .expect("query")
+                .results
+                .iter()
+                .map(|(o, d)| (o.id, d.to_bits()))
+                .collect()
+        })
+        .collect();
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut batch_s = Vec::new();
+    let mut sim_ms = Vec::new();
+    let mut blocks = Vec::new();
+    let mut latency_s = Vec::new();
+    for db in &dbs {
+        let (_, sim, blk) = batch_pass(db, &queries, args.threads, Some(&truth)); // warm-up + exactness
+        let best = (0..args.reps.max(1))
+            .map(|_| batch_pass(db, &queries, args.threads, None).0)
+            .fold(f64::INFINITY, f64::min);
+        batch_s.push(best);
+        sim_ms.push(sim);
+        blocks.push(blk);
+        latency_s.push(latency_pass(db, &queries, args.threads, args.reps));
+    }
+
+    println!(
+        "# sharded scatter-gather scaling ({} objects, {} queries x k={}, {} threads on {} core(s), best of {} reps)",
+        objects.len(),
+        queries.len(),
+        args.k,
+        args.threads,
+        cores,
+        args.reps
+    );
+    println!(
+        "{:>7} | {:>11} | {:>9} | {:>8} | {:>12} | {:>10} | {:>10}",
+        "shards", "batch (ms)", "qps", "vs S=1", "latency (ms)", "sim (ms)", "blocks"
+    );
+    println!("{}", "-".repeat(86));
+    for (i, &s) in SHARD_COUNTS.iter().enumerate() {
+        println!(
+            "{:>7} | {:>11.2} | {:>9.0} | {:>7.2}x | {:>12.2} | {:>10.3} | {:>10.1}",
+            s,
+            batch_s[i] * 1e3,
+            queries.len() as f64 / batch_s[i],
+            batch_s[0] / batch_s[i],
+            latency_s[i] * 1e3,
+            sim_ms[i],
+            blocks[i]
+        );
+    }
+    if cores == 1 {
+        eprintln!(
+            "[note] single-core host: batch workers cannot overlap, so wall-clock \
+             scaling reflects merge overhead only; compare the simulated-disk column \
+             for the machine-independent picture"
+        );
+    }
+
+    let i4 = SHARD_COUNTS.iter().position(|&s| s == 4).unwrap();
+    let speedup4 = batch_s[0] / batch_s[i4];
+    let sim_speedup4 = sim_ms[0] / sim_ms[i4];
+    let rows: Vec<String> = SHARD_COUNTS
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            format!(
+                "    {{\"shards\": {s}, \"batch_ms\": {:.3}, \"qps\": {:.1}, \"speedup\": {:.3}, \"parallel_latency_ms\": {:.3}, \"simulated_ms_per_query\": {:.4}, \"io_blocks_per_query\": {:.1}}}",
+                batch_s[i] * 1e3,
+                queries.len() as f64 / batch_s[i],
+                batch_s[0] / batch_s[i],
+                latency_s[i] * 1e3,
+                sim_ms[i],
+                blocks[i]
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"sharded_topk\",\n  \"dataset\": \"{}\",\n  \"objects\": {},\n  \"queries\": {},\n  \"k\": {},\n  \"reps\": {},\n  \"sig_bytes\": {},\n  \"threads\": {},\n  \"host_cores\": {cores},\n  \"exact_across_shard_counts\": true,\n  \"points\": [\n{}\n  ],\n  \"s4_batch_speedup\": {:.3},\n  \"s4_simulated_speedup\": {:.3}\n}}\n",
+        spec.name,
+        objects.len(),
+        queries.len(),
+        args.k,
+        args.reps,
+        args.sig_bytes,
+        args.threads,
+        rows.join(",\n"),
+        speedup4,
+        sim_speedup4,
+    );
+    std::fs::write(&args.out, json).expect("write json");
+    eprintln!("[out] wrote {}", args.out);
+
+    if let Some(min) = args.assert_min_speedup {
+        assert!(
+            speedup4 >= min,
+            "S=4 batch speedup {speedup4:.2}x is below the {min}x floor"
+        );
+        eprintln!("[gate] S=4 batch speedup {speedup4:.2}x ≥ {min}x — ok");
+    }
+}

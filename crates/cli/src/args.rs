@@ -10,10 +10,10 @@ ir2 — keyword search on spatial databases (IR²-Tree, ICDE 2008)
 USAGE:
   ir2 generate --preset <hotels|restaurants> [--count N] [--seed S] --out FILE.tsv
   ir2 build    --tsv FILE.tsv --db DIR [--sig-bytes N] [--capacity N] [--incremental]
-               [--node-cache NODES] [--prefetch WORKERS]
+               [--node-cache NODES] [--prefetch WORKERS] [--shards N]
   ir2 query    --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N]
                [--alg <rtree|iio|ir2|mir2>] [--area LAT1,LON1,LAT2,LON2]
-               [--deadline-ms MS] [--io-budget BLOCKS]
+               [--deadline-ms MS] [--io-budget BLOCKS] [--threads N]
                [--node-cache NODES] [--prefetch WORKERS]
   ir2 batch    --db DIR --queries FILE [--threads N] [--k N]
                [--alg <rtree|iio|ir2|mir2>] [--deadline-ms MS] [--io-budget BLOCKS]
@@ -35,7 +35,14 @@ the full answer. `--node-cache` keeps up to NODES decoded tree nodes
 per index (warm queries skip checksum + decode work; at build time the
 setting is persisted, at query time it overrides for that process) and
 `--prefetch` decodes up to WORKERS frontier nodes ahead of the
-traversal — results are byte-identical either way.";
+traversal — results are byte-identical either way.
+
+`ir2 build --shards N` tiles the objects spatially (STR order) into N
+fully independent shards under one directory; query, batch, stats, and
+check detect a sharded directory automatically and answer through an
+exact scatter-gather merge — results are identical to a single-shard
+build. On a sharded database, `ir2 query --threads N` drains shards
+with up to N parallel workers.";
 
 /// Parsed `--flag value` pairs.
 pub struct Flags {

@@ -11,8 +11,8 @@ use ir2tree::model::{tsv, DistanceFirstQuery, QueryRegion};
 use ir2tree::storage::{FileDevice, MetricsRegistry};
 use ir2tree::text::{LinearRank, SaturatingTfIdf};
 use ir2tree::{
-    Algorithm, DbConfig, DeviceSet, IndexSizes, QueryLimits, QueryReport, RetryDevice, RetryPolicy,
-    SpatialKeywordDb,
+    sharded_manifest, Algorithm, DbConfig, DeviceSet, IndexSizes, QueryError, QueryLimits,
+    QueryReport, RetryDevice, RetryPolicy, ShardedDb, SpatialKeywordDb,
 };
 
 use crate::args::{parse_area, parse_point, Flags};
@@ -81,8 +81,27 @@ pub fn build(args: &[String], out: &mut impl Write) -> CliResult {
         .collect::<Result<Vec<_>, _>>()
         .map_err(io_err)?;
     let n = objects.len();
+    let shards: usize = f.get_or("shards", 1)?;
 
     let t0 = std::time::Instant::now();
+    if shards > 1 {
+        let db = ShardedDb::create_in_dir(db_dir, objects, config, shards).map_err(io_err)?;
+        say!(
+            out,
+            "built {n} objects into {shards} shards under {db_dir} in {:.1}s",
+            t0.elapsed().as_secs_f64()
+        );
+        for (i, shard) in db.shards().iter().enumerate() {
+            let s = shard.build_stats();
+            say!(
+                out,
+                "  shard {i:>3}: {} objects, {} words",
+                s.objects,
+                s.unique_words
+            );
+        }
+        return Ok(());
+    }
     let devices = DeviceSet::create_in_dir(db_dir).map_err(io_err)?;
     let db = SpatialKeywordDb::build(devices, objects, config).map_err(io_err)?;
     say!(
@@ -103,6 +122,12 @@ pub fn build(args: &[String], out: &mut impl Write) -> CliResult {
 /// quarantine counters next to the query metrics.
 fn open_db(f: &Flags) -> Result<SpatialKeywordDb<RetryDevice<FileDevice>>, String> {
     let dir = f.required("db")?;
+    if sharded_manifest(dir).map_err(io_err)?.is_some() {
+        return Err(format!(
+            "{dir} is a sharded database; this command supports monolithic databases only \
+             (query, batch, stats, and check handle sharded directories automatically)"
+        ));
+    }
     let registry = Arc::new(MetricsRegistry::new());
     let devices = DeviceSet::open_dir(dir)
         .map_err(io_err)?
@@ -119,6 +144,25 @@ fn open_db(f: &Flags) -> Result<SpatialKeywordDb<RetryDevice<FileDevice>>, Strin
         db.configure_prefetch(p);
     }
     Ok(db)
+}
+
+/// True when `--db` names a sharded directory (has a `SHARDS` manifest).
+fn is_sharded(f: &Flags) -> Result<bool, String> {
+    Ok(sharded_manifest(f.required("db")?)
+        .map_err(io_err)?
+        .is_some())
+}
+
+/// Opens a sharded database with every shard device wrapped in a
+/// [`RetryDevice`] (one shared registry: retry and quarantine counters
+/// aggregate across shards, per device role).
+fn open_sharded(f: &Flags) -> Result<ShardedDb<RetryDevice<FileDevice>>, String> {
+    let dir = f.required("db")?;
+    let registry = Arc::new(MetricsRegistry::new());
+    ShardedDb::open_dir_mapped(dir, |name, d| {
+        RetryDevice::with_metrics(d, RetryPolicy::default(), &registry, name)
+    })
+    .map_err(io_err)
 }
 
 /// Parses the shared execution-limit flags (`--deadline-ms`,
@@ -199,9 +243,14 @@ fn parse_alg(f: &Flags) -> Result<Algorithm, String> {
     }
 }
 
-/// `ir2 query` — distance-first top-k (point- or area-anchored).
+/// `ir2 query` — distance-first top-k (point- or area-anchored). Sharded
+/// directories are detected automatically and answered by the exact
+/// scatter-gather merge (`--threads` > 1 drains shards in parallel).
 pub fn query(args: &[String], out: &mut impl Write) -> CliResult {
     let f = Flags::parse(args)?;
+    if is_sharded(&f)? {
+        return query_sharded(&f, out);
+    }
     let db = open_db(&f)?;
     let keywords = keywords_of(&f)?;
     let k: usize = f.get_or("k", 10)?;
@@ -240,6 +289,41 @@ pub fn query(args: &[String], out: &mut impl Write) -> CliResult {
     Ok(())
 }
 
+/// The sharded arm of `ir2 query`.
+fn query_sharded(f: &Flags, out: &mut impl Write) -> CliResult {
+    if f.optional("area").is_some() {
+        return Err(
+            "--area queries are not supported on sharded databases yet; \
+             point queries (--at) are"
+                .into(),
+        );
+    }
+    let db = open_sharded(f)?;
+    let keywords = keywords_of(f)?;
+    let k: usize = f.get_or("k", 10)?;
+    let alg = parse_alg(f)?;
+    let limits = parse_limits(f)?;
+    let threads: usize = f.get_or("threads", 1)?;
+    let at = parse_point(f.required("at")?)?;
+    say!(
+        out,
+        "top-{k} {keywords:?} near {at:?} via {} over {} shards:",
+        alg.label(),
+        db.shard_count()
+    );
+    let q = DistanceFirstQuery::new(at, &keywords, k);
+    let report = if !limits.is_unlimited() {
+        db.distance_first_limited(alg, &q, limits).map_err(io_err)?
+    } else if threads > 1 {
+        db.distance_first_parallel(alg, &q, threads)
+            .map_err(io_err)?
+    } else {
+        db.distance_first(alg, &q).map_err(io_err)?
+    };
+    print_report(out, &report)?;
+    Ok(())
+}
+
 /// Parses a batch query file: one query per line, `LAT,LON` followed by
 /// whitespace and the keywords. Blank lines and `#` comments are skipped.
 fn parse_batch_file(path: &str, k: usize) -> Result<Vec<DistanceFirstQuery<2>>, String> {
@@ -273,23 +357,39 @@ fn parse_batch_file(path: &str, k: usize) -> Result<Vec<DistanceFirstQuery<2>>, 
 /// nonzero.
 pub fn batch(args: &[String], out: &mut impl Write) -> CliResult {
     let f = Flags::parse(args)?;
-    let db = open_db(&f)?;
     let alg = parse_alg(&f)?;
     let k: usize = f.get_or("k", 10)?;
     let threads: usize = f.get_or("threads", 4)?;
     let queries = parse_batch_file(f.required("queries")?, k)?;
     let limits = parse_limits(&f)?;
 
-    let t0 = std::time::Instant::now();
-    let outcomes = db.batch_topk_isolated(alg, &queries, threads, limits);
-    let wall = t0.elapsed();
-
-    say!(
-        out,
-        "batch of {} top-{k} queries via {} on {threads} threads:",
-        queries.len(),
-        alg.label()
-    );
+    let sharded = is_sharded(&f)?;
+    let outcomes: Vec<Result<QueryReport, QueryError>>;
+    let wall;
+    if sharded {
+        let db = open_sharded(&f)?;
+        say!(
+            out,
+            "batch of {} top-{k} queries via {} on {threads} threads over {} shards:",
+            queries.len(),
+            alg.label(),
+            db.shard_count()
+        );
+        let t0 = std::time::Instant::now();
+        outcomes = db.batch_topk_isolated(alg, &queries, threads, limits);
+        wall = t0.elapsed();
+    } else {
+        let db = open_db(&f)?;
+        say!(
+            out,
+            "batch of {} top-{k} queries via {} on {threads} threads:",
+            queries.len(),
+            alg.label()
+        );
+        let t0 = std::time::Instant::now();
+        outcomes = db.batch_topk_isolated(alg, &queries, threads, limits);
+        wall = t0.elapsed();
+    }
     let (mut ok, mut truncated, mut failed) = (0u64, 0u64, 0u64);
     let (mut total_io, mut retries) = (0u64, 0u64);
     for (i, (q, outcome)) in queries.iter().zip(&outcomes).enumerate() {
@@ -515,12 +615,36 @@ pub fn trace(args: &[String], out: &mut impl Write) -> CliResult {
 pub fn check(args: &[String], out: &mut impl Write) -> CliResult {
     let f = Flags::parse(args)?;
     let dir = f.required("db")?;
+    if let Some(shards) = sharded_manifest(dir).map_err(io_err)? {
+        say!(out, "manifest OK    {shards} shards");
+        let mut all_ok = true;
+        for i in 0..shards {
+            let shard_dir = std::path::Path::new(dir).join(format!("shard-{i:03}"));
+            say!(out, "shard {i}:");
+            all_ok &= check_one(&shard_dir, out)?;
+        }
+        return if all_ok {
+            Ok(())
+        } else {
+            Err("database failed integrity check".into())
+        };
+    }
+    if check_one(std::path::Path::new(dir), out)? {
+        Ok(())
+    } else {
+        Err("database failed integrity check".into())
+    }
+}
+
+/// Checks one (monolithic) database directory, printing per-structure
+/// verdicts; returns whether everything passed.
+fn check_one(dir: &std::path::Path, out: &mut impl Write) -> Result<bool, String> {
     let devices = DeviceSet::open_dir(dir).map_err(io_err)?;
     let db = match SpatialKeywordDb::open(devices) {
         Ok(db) => db,
         Err(e) => {
             say!(out, "catalog  FAIL  {e}");
-            return Err("database failed integrity check".into());
+            return Ok(false);
         }
     };
     let report = db.check_integrity();
@@ -534,11 +658,7 @@ pub fn check(args: &[String], out: &mut impl Write) -> CliResult {
             s.detail
         );
     }
-    if report.ok() {
-        Ok(())
-    } else {
-        Err("database failed integrity check".into())
-    }
+    Ok(report.ok())
 }
 
 /// `ir2 stats` — Table-1/Table-2 style report for a database directory.
@@ -547,6 +667,26 @@ pub fn check(args: &[String], out: &mut impl Write) -> CliResult {
 /// totals of this process; query counters accumulate as queries run).
 pub fn stats(args: &[String], out: &mut impl Write) -> CliResult {
     let f = Flags::parse(args)?;
+    if is_sharded(&f)? {
+        let db = open_sharded(&f)?;
+        if f.switch("prometheus") {
+            write!(out, "{}", db.metrics_prometheus()).map_err(io_err)?;
+            return Ok(());
+        }
+        say!(out, "shards:             {}", db.shard_count());
+        say!(out, "objects:            {}", db.total_objects());
+        for (i, shard) in db.shards().iter().enumerate() {
+            let s = shard.build_stats();
+            say!(
+                out,
+                "  shard {i:>3}: {} objects, {} words, {:.1} MB object file",
+                s.objects,
+                s.unique_words,
+                s.object_file_bytes as f64 / 1_048_576.0
+            );
+        }
+        return Ok(());
+    }
     let db = open_db(&f)?;
     if f.switch("prometheus") {
         write!(out, "{}", db.metrics_prometheus()).map_err(io_err)?;

@@ -128,13 +128,13 @@ struct IoHandles {
 /// An [`ObjectSource`] adapter that counts loads locally, so a query
 /// running inside the batch engine gets an exact per-query load count
 /// (the store's own counter is shared by every concurrent query).
-struct CountingSource<'a, const N: usize> {
+pub(crate) struct CountingSource<'a, const N: usize> {
     inner: &'a dyn ObjectSource<N>,
     count: AtomicU64,
 }
 
 impl<'a, const N: usize> CountingSource<'a, N> {
-    fn new(inner: &'a dyn ObjectSource<N>) -> Self {
+    pub(crate) fn new(inner: &'a dyn ObjectSource<N>) -> Self {
         Self {
             inner,
             count: AtomicU64::new(0),
@@ -157,7 +157,7 @@ impl<const N: usize> ObjectSource<N> for CountingSource<'_, N> {
 /// claims the next unclaimed index) and returns per-query outputs in input
 /// order. The first query error aborts the claiming of further work and is
 /// returned after in-flight queries finish.
-fn run_batch<Q: Sync, R: Send + Sync>(
+pub(crate) fn run_batch<Q: Sync, R: Send + Sync>(
     queries: &[Q],
     threads: usize,
     run: impl Fn(&Q) -> Result<R> + Sync,
@@ -207,7 +207,7 @@ fn run_batch<Q: Sync, R: Send + Sync>(
 /// (the buffer pool's locks come from `parking_lot`, which does not
 /// poison, and the thread-local I/O and retry scopes clear themselves on
 /// unwind).
-fn run_batch_isolated<Q: Sync, R: Send + Sync>(
+pub(crate) fn run_batch_isolated<Q: Sync, R: Send + Sync>(
     queries: &[Q],
     threads: usize,
     run: impl Fn(&Q) -> std::result::Result<R, QueryError> + Sync,
@@ -583,7 +583,7 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
         }
         let config = DbConfig::decode(&records[0])?;
         let vocab = Vocabulary::decode(&records[1])
-            .ok_or_else(|| StorageError::Corrupt("catalog vocabulary corrupt".into()))?;
+            .map_err(|e| StorageError::Corrupt(format!("catalog vocabulary: {e}")))?;
         let tail = &records[3];
         if tail.len() < 144 {
             return Err(StorageError::Corrupt(
@@ -715,13 +715,19 @@ impl<D: BlockDevice + 'static> SpatialKeywordDb<D> {
     // Queries.
     // ------------------------------------------------------------------
 
-    fn stats_of(&self, alg: Algorithm) -> &Arc<IoStats> {
+    pub(crate) fn stats_of(&self, alg: Algorithm) -> &Arc<IoStats> {
         match alg {
             Algorithm::RTree => &self.io.rtree,
             Algorithm::Iio => &self.io.inverted,
             Algorithm::Ir2 => &self.io.ir2,
             Algorithm::Mir2 => &self.io.mir2,
         }
+    }
+
+    /// The object file's I/O statistics handle (for scoped attribution of
+    /// cross-shard merges running outside this facade).
+    pub(crate) fn objects_io_stats(&self) -> &Arc<IoStats> {
+        &self.io.objects
     }
 
     /// Folds one finished query's report into the metrics registry. Called

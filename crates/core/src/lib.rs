@@ -40,12 +40,14 @@
 mod config;
 mod db;
 mod report;
+mod shard;
 
 pub use config::DbConfig;
 pub use db::{DeviceSet, IntegrityReport, SpatialKeywordDb, StructureCheck};
 pub use report::{
     Algorithm, BatchReport, BuildStats, GeneralReport, IndexSizes, QueryError, QueryReport,
 };
+pub use shard::{sharded_manifest, ShardedDb, SHARD_MANIFEST};
 
 pub use ir2_model::{ExecOutcome, QueryLimits, TruncateReason};
 pub use ir2_storage::{RetryDevice, RetryPolicy};

@@ -1,0 +1,1133 @@
+//! Spatially sharded database: S independent [`SpatialKeywordDb`] shards
+//! behind one exact scatter-gather top-k engine.
+//!
+//! ## Partitioning
+//!
+//! At build time the object set is tiled in STR order (the same
+//! sort-tile-recursive discipline the bulk loader uses inside one tree):
+//! objects are sorted on x, cut into √S̄ vertical slabs, each slab sorted on
+//! y and cut again, yielding S spatially coherent tiles of near-equal
+//! cardinality. Each tile becomes a fully independent shard — its own
+//! devices, buffer pool, decoded-node cache, vocabulary, and metrics — so
+//! shards share **no** locks on the query path.
+//!
+//! ## Exact merge (no fetch-k-from-every-shard over-read)
+//!
+//! Every shard exposes an *incremental* distance-first iterator whose
+//! frontier-heap minimum ([`frontier_bound`](
+//! ir2_irtree::DistanceFirstIter::frontier_bound)) lower-bounds everything
+//! the shard can still emit. The merge keeps a global heap of shards keyed
+//! by `max(MINDIST(query, shard MBR), frontier bound)` and always steps the
+//! shard with the smallest bound; it stops the moment the current k-th
+//! distance beats every remaining bound (strictly — ties at the k-th
+//! distance keep pulling, so the canonical `(distance, id)` answer is
+//! exact). A shard whose MBR is farther than the k-th result is never
+//! touched at all: its bound is known from the catalog without any I/O.
+//!
+//! Soundness: a best-first frontier minimum is non-decreasing and MINDIST
+//! lower-bounds everything inside an MBR, so `bound(shard)` ≤ distance of
+//! every future emission of that shard; when `min over shards of bound` >
+//! k-th distance, no shard can improve the answer. This is the standard
+//! branch-and-bound argument, applied across trees instead of within one.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use ir2_geo::{OrderedF64, Rect};
+use ir2_invindex::iio_topk_limited;
+use ir2_irtree::{BoundedStep, DistanceFirstIter, RtreeBaselineIter, SearchCounters, TraceStats};
+use ir2_model::{
+    DistanceFirstQuery, ExecOutcome, ObjectSource, QueryLimits, SpatialObject, TruncateReason,
+};
+use ir2_storage::{
+    BlockDevice, FileDevice, IoScope, IoSnapshot, MemDevice, MetricsRegistry, Result, RetryScope,
+    StorageError,
+};
+
+use crate::db::{run_batch, run_batch_isolated, CountingSource};
+use crate::report::QueryError;
+use crate::{Algorithm, DbConfig, DeviceSet, QueryReport, SpatialKeywordDb};
+
+/// Name of the manifest file marking a directory as a sharded database.
+pub const SHARD_MANIFEST: &str = "SHARDS";
+
+/// Reads the shard manifest of `dir`, if one exists.
+///
+/// `Ok(None)` means the directory is not a sharded database (no manifest);
+/// a present-but-malformed manifest is a [`StorageError::Corrupt`]. This is
+/// how the CLI decides whether to route a path to [`ShardedDb`] or to the
+/// monolithic [`SpatialKeywordDb`].
+pub fn sharded_manifest<P: AsRef<Path>>(dir: P) -> Result<Option<usize>> {
+    let path = dir.as_ref().join(SHARD_MANIFEST);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some("ir2-sharded v1") {
+        return Err(StorageError::Corrupt(
+            "shard manifest: bad or missing header (expected `ir2-sharded v1`)".into(),
+        ));
+    }
+    for line in lines {
+        if let Some(n) = line.trim().strip_prefix("shards ") {
+            let count: usize = n.trim().parse().map_err(|_| {
+                StorageError::Corrupt(format!("shard manifest: bad shard count `{n}`"))
+            })?;
+            if count == 0 {
+                return Err(StorageError::Corrupt(
+                    "shard manifest: shard count must be at least 1".into(),
+                ));
+            }
+            return Ok(Some(count));
+        }
+    }
+    Err(StorageError::Corrupt(
+        "shard manifest: missing `shards N` line".into(),
+    ))
+}
+
+fn shard_dir_name(i: usize) -> String {
+    format!("shard-{i:03}")
+}
+
+/// Tiles `objects` into `s` STR-ordered partitions of near-equal size:
+/// sort on x, cut into ⌈√s⌉ slabs (shard counts distributed round-robin),
+/// sort each slab on y, cut per slab. Ties (coincident points) break on
+/// id so the tiling is deterministic.
+fn str_partition(mut objects: Vec<SpatialObject<2>>, s: usize) -> Vec<Vec<SpatialObject<2>>> {
+    debug_assert!(s >= 1);
+    if s == 1 {
+        return vec![objects];
+    }
+    objects.sort_by(|a, b| {
+        a.point
+            .coord(0)
+            .total_cmp(&b.point.coord(0))
+            .then(a.point.coord(1).total_cmp(&b.point.coord(1)))
+            .then(a.id.cmp(&b.id))
+    });
+    let cols = (s as f64).sqrt().ceil() as usize;
+    let (base, extra) = (s / cols, s % cols);
+    let mut out = Vec::with_capacity(s);
+    let mut shards_left = s;
+    let mut rest = objects;
+    for c in 0..cols {
+        let col_shards = base + usize::from(c < extra);
+        // Objects proportional to this slab's shard share; exact at the end.
+        let col_n = rest.len() * col_shards / shards_left;
+        shards_left -= col_shards;
+        let mut slab: Vec<SpatialObject<2>> = rest.drain(..col_n).collect();
+        slab.sort_by(|a, b| {
+            a.point
+                .coord(1)
+                .total_cmp(&b.point.coord(1))
+                .then(a.point.coord(0).total_cmp(&b.point.coord(0)))
+                .then(a.id.cmp(&b.id))
+        });
+        let (tile_base, tile_extra) = (slab.len() / col_shards, slab.len() % col_shards);
+        let mut slab_rest = slab;
+        for t in 0..col_shards {
+            let tile_n = tile_base + usize::from(t < tile_extra);
+            out.push(slab_rest.drain(..tile_n).collect());
+        }
+        debug_assert!(slab_rest.is_empty());
+    }
+    debug_assert!(rest.is_empty());
+    debug_assert_eq!(out.len(), s);
+    out
+}
+
+/// Bounding rectangle of a partition (`None` when empty).
+fn rect_of(objects: &[SpatialObject<2>]) -> Option<Rect<2>> {
+    let mut it = objects.iter();
+    let mut r = Rect::from_point(it.next()?.point);
+    for o in it {
+        r.union_in_place(&Rect::from_point(o.point));
+    }
+    Some(r)
+}
+
+/// Bounding rectangle of a shard's R-Tree (union of root entry MBRs), for
+/// reopened databases where the build-time partition is not in memory.
+fn tree_mbr<D: BlockDevice + 'static>(db: &SpatialKeywordDb<D>) -> Result<Option<Rect<2>>> {
+    let tree = db.rtree();
+    let Some(root) = tree.root() else {
+        return Ok(None);
+    };
+    let (node, _) = tree.read_node_cached(root)?;
+    let mut entries = node.entries.iter();
+    let Some(first) = entries.next() else {
+        return Ok(None);
+    };
+    let mut r = first.rect;
+    for e in entries {
+        r.union_in_place(&e.rect);
+    }
+    Ok(Some(r))
+}
+
+/// Splits one query's limits across `s` shards: the **deadline** is shared
+/// (every shard races the same wall-clock instant, like a batch), the
+/// **I/O budget** is divided evenly (remainder to the first shards — the
+/// total charged I/O across shards never exceeds the caller's budget), and
+/// the **frontier cap** applies per shard (each shard runs its own heap).
+fn split_limits(limits: &QueryLimits, s: usize) -> Vec<QueryLimits> {
+    (0..s as u64)
+        .map(|i| QueryLimits {
+            deadline: limits.deadline,
+            io_budget: limits
+                .io_budget
+                .map(|b| b / s as u64 + u64::from(i < b % s as u64)),
+            max_heap_size: limits.max_heap_size,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Per-shard iterator plumbing.
+// ---------------------------------------------------------------------
+
+/// One shard's incremental distance-first iterator, algorithm-erased. IIO
+/// is not here: it is non-incremental and merges per-shard *results*.
+enum ShardIter<'a, D: BlockDevice + 'static> {
+    RTree(RtreeBaselineIter<'a, 2, ir2_storage::TrackedDevice<D>>),
+    Ir2(DistanceFirstIter<'a, 2, ir2_storage::TrackedDevice<D>, ir2_irtree::Ir2Payload>),
+    Mir2(DistanceFirstIter<'a, 2, ir2_storage::TrackedDevice<D>, ir2_irtree::MirPayload<2>>),
+}
+
+impl<'a, D: BlockDevice + 'static> ShardIter<'a, D> {
+    fn open(
+        shard: &'a SpatialKeywordDb<D>,
+        src: &'a CountingSource<'a, 2>,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+        limits: QueryLimits,
+    ) -> Self {
+        match alg {
+            Algorithm::RTree => {
+                Self::RTree(RtreeBaselineIter::new(shard.rtree(), src, query).limited(limits))
+            }
+            Algorithm::Ir2 => Self::Ir2(
+                DistanceFirstIter::new(shard.ir2_tree(), src, query.clone()).limited(limits),
+            ),
+            Algorithm::Mir2 => Self::Mir2(
+                DistanceFirstIter::new(shard.mir2_tree(), src, query.clone()).limited(limits),
+            ),
+            Algorithm::Iio => unreachable!("IIO merges per-shard results, not iterators"),
+        }
+    }
+
+    /// Bounded step: advance only while the shard's frontier head is ≤
+    /// `limit` (see [`DistanceFirstIter::next_within`]). The merge passes
+    /// the tightest bound it holds — the next-best shard's bound or the
+    /// current k-th distance — so a shard never descends toward a result
+    /// the merge would discard.
+    fn next_hit_within(&mut self, limit: f64) -> Result<BoundedStep<2>> {
+        match self {
+            Self::RTree(it) => it.next_within(limit),
+            Self::Ir2(it) => it.next_within(limit),
+            Self::Mir2(it) => it.next_within(limit),
+        }
+    }
+
+    fn frontier_bound(&self) -> Option<f64> {
+        match self {
+            Self::RTree(it) => it.frontier_bound(),
+            Self::Ir2(it) => it.frontier_bound(),
+            Self::Mir2(it) => it.frontier_bound(),
+        }
+    }
+
+    fn counters(&self) -> SearchCounters {
+        match self {
+            Self::RTree(it) => it.counters(),
+            Self::Ir2(it) => it.counters(),
+            Self::Mir2(it) => it.counters(),
+        }
+    }
+
+    fn truncation(&self) -> Option<TruncateReason> {
+        match self {
+            Self::RTree(it) => it.truncation(),
+            Self::Ir2(it) => it.truncation(),
+            Self::Mir2(it) => it.truncation(),
+        }
+    }
+}
+
+struct ShardCursor<'a, D: BlockDevice + 'static> {
+    iter: ShardIter<'a, D>,
+    /// MINDIST from the query to the shard's bounding rect — a constant
+    /// lower bound that holds before any I/O (a far shard with an empty
+    /// frontier key of 0.0 is still known to be far).
+    rect_bound: f64,
+    done: bool,
+    stepped: bool,
+}
+
+impl<D: BlockDevice + 'static> ShardCursor<'_, D> {
+    /// Lower bound on every result this shard can still emit; `None` once
+    /// the shard is finished.
+    fn bound(&self) -> Option<f64> {
+        self.iter.frontier_bound().map(|fb| fb.max(self.rect_bound))
+    }
+}
+
+/// The canonical bounded top-k: a max-heap of the k smallest `(distance,
+/// id)` keys. The `(distance, id)` order makes the kept *set* (and the
+/// final order) independent of arrival order — which shard emitted a
+/// result first, or which worker thread inserted it first.
+struct TopK {
+    k: usize,
+    heap: BinaryHeap<(OrderedF64, u64)>,
+    kept: HashMap<u64, SpatialObject<2>>,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+            kept: HashMap::with_capacity(k + 1),
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// Current k-th distance, or +∞ while fewer than k results are held.
+    fn threshold(&self) -> f64 {
+        if self.is_full() {
+            self.heap.peek().map(|&(d, _)| d.0).unwrap_or(f64::INFINITY)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn insert(&mut self, obj: SpatialObject<2>, d: f64) {
+        let key = (OrderedF64(d), obj.id);
+        if self.is_full() {
+            match self.heap.peek() {
+                Some(&worst) if key < worst => {
+                    self.heap.pop();
+                    self.kept.remove(&worst.1);
+                }
+                _ => return,
+            }
+        }
+        self.kept.insert(obj.id, obj);
+        self.heap.push(key);
+    }
+
+    fn into_sorted(mut self) -> Vec<(SpatialObject<2>, f64)> {
+        let mut keys = self.heap.into_vec();
+        keys.sort_unstable();
+        keys.into_iter()
+            .filter_map(|(d, id)| self.kept.remove(&id).map(|o| (o, d.0)))
+            .collect()
+    }
+}
+
+/// What one merge produces before report assembly.
+struct Merged {
+    results: Vec<(SpatialObject<2>, f64)>,
+    counters: SearchCounters,
+    object_loads: u64,
+    outcome: Option<TruncateReason>,
+    /// Which shards did at least one unit of work (for `shard_*` metrics).
+    stepped: Vec<bool>,
+}
+
+impl Merged {
+    fn empty(s: usize) -> Self {
+        Self {
+            results: Vec::new(),
+            counters: SearchCounters::default(),
+            object_loads: 0,
+            outcome: None,
+            stepped: vec![false; s],
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The sharded database.
+// ---------------------------------------------------------------------
+
+/// S independent [`SpatialKeywordDb`] shards over an STR spatial tiling,
+/// answering distance-first top-k queries by an exact scatter-gather merge
+/// (see the module docs for the bound argument).
+///
+/// Shards are fully isolated: separate devices, buffer pools, decoded-node
+/// caches, vocabularies, and metric registries. The merge attributes I/O
+/// per shard through the same [`IoScope`] machinery the batch engine uses
+/// and folds everything into one [`QueryReport`], so a sharded query's
+/// report is comparable with a monolithic one.
+///
+/// Object ids are assumed unique across the dataset (the generators and
+/// the CLI guarantee this); the canonical result order is `(distance,
+/// id)`, which makes answers deterministic across shard counts and worker
+/// schedules. Under ties at the k-th distance the monolithic engine breaks
+/// ties by traversal order instead, so the *sets* agree but the tied tail
+/// may be ordered differently.
+pub struct ShardedDb<D: BlockDevice + 'static> {
+    shards: Vec<SpatialKeywordDb<D>>,
+    bounds: Vec<Option<Rect<2>>>,
+    config: DbConfig,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl<D: BlockDevice + 'static> ShardedDb<D> {
+    /// Builds a sharded database: `objects` are STR-tiled into
+    /// `device_sets.len()` partitions and each partition is built into its
+    /// own shard **in parallel** (builds are independent).
+    ///
+    /// Requires at least one device set and at least one object per shard
+    /// (an empty shard would index nothing and answer nothing).
+    pub fn build(
+        device_sets: Vec<DeviceSet<D>>,
+        objects: impl IntoIterator<Item = SpatialObject<2>>,
+        config: DbConfig,
+    ) -> Result<Self> {
+        let s = device_sets.len();
+        let objects: Vec<SpatialObject<2>> = objects.into_iter().collect();
+        if s == 0 {
+            return Err(StorageError::Corrupt(
+                "a sharded database needs at least one shard".into(),
+            ));
+        }
+        if objects.len() < s {
+            return Err(StorageError::Corrupt(format!(
+                "cannot tile {} objects into {} shards (each shard needs at least one object)",
+                objects.len(),
+                s
+            )));
+        }
+        let parts = str_partition(objects, s);
+        let bounds: Vec<Option<Rect<2>>> = parts.iter().map(|p| rect_of(p)).collect();
+        let mut slots: Vec<Option<Result<SpatialKeywordDb<D>>>> = (0..s).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for ((set, part), slot) in device_sets.into_iter().zip(parts).zip(slots.iter_mut()) {
+                let cfg = config.clone();
+                scope.spawn(move || *slot = Some(SpatialKeywordDb::build(set, part, cfg)));
+            }
+        });
+        let shards = slots
+            .into_iter()
+            .map(|slot| slot.expect("every build slot filled"))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            shards,
+            bounds,
+            config,
+            metrics: Arc::new(MetricsRegistry::new()),
+        })
+    }
+
+    /// Reopens a sharded database from already-opened device sets, one per
+    /// shard. Shard bounding rects are recomputed from each shard's R-Tree
+    /// root MBR (one cached node read per shard).
+    pub fn open(device_sets: Vec<DeviceSet<D>>) -> Result<Self> {
+        if device_sets.is_empty() {
+            return Err(StorageError::Corrupt(
+                "a sharded database needs at least one shard".into(),
+            ));
+        }
+        let shards = device_sets
+            .into_iter()
+            .map(SpatialKeywordDb::open)
+            .collect::<Result<Vec<_>>>()?;
+        let bounds = shards.iter().map(tree_mbr).collect::<Result<Vec<_>>>()?;
+        let config = shards[0].config().clone();
+        Ok(Self {
+            shards,
+            bounds,
+            config,
+            metrics: Arc::new(MetricsRegistry::new()),
+        })
+    }
+
+    /// Opens a sharded directory created by
+    /// [`create_in_dir`](ShardedDb::create_in_dir), wrapping every shard
+    /// device through `wrap` (role names as in [`DeviceSet::map`]) — e.g.
+    /// into [`RetryDevice`](ir2_storage::RetryDevice)s.
+    pub fn open_dir_mapped<P: AsRef<Path>>(
+        dir: P,
+        mut wrap: impl FnMut(&'static str, FileDevice) -> D,
+    ) -> Result<Self> {
+        let dir = dir.as_ref();
+        let s = sharded_manifest(dir)?.ok_or_else(|| {
+            StorageError::Corrupt(format!(
+                "{} has no {SHARD_MANIFEST} manifest (not a sharded database)",
+                dir.display()
+            ))
+        })?;
+        let sets = (0..s)
+            .map(|i| DeviceSet::open_dir(dir.join(shard_dir_name(i))).map(|set| set.map(&mut wrap)))
+            .collect::<Result<Vec<_>>>()?;
+        Self::open(sets)
+    }
+
+    /// The shards, in tile order. Each is a complete [`SpatialKeywordDb`];
+    /// integrity checks and statistics go through these directly.
+    pub fn shards(&self) -> &[SpatialKeywordDb<D>] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard bounding rectangles (`None` for an empty shard).
+    pub fn bounds(&self) -> &[Option<Rect<2>>] {
+        &self.bounds
+    }
+
+    /// The configuration every shard was built with.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// Total objects across shards.
+    pub fn total_objects(&self) -> u64 {
+        self.shards.iter().map(|s| s.build_stats().objects).sum()
+    }
+
+    /// The sharded engine's metrics registry (`sharded_*` and `shard_*`
+    /// series; each shard additionally keeps its own registry).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    // ------------------------------------------------------------------
+    // Queries.
+    // ------------------------------------------------------------------
+
+    /// Answers a distance-first top-k query by the exact sequential
+    /// scatter-gather merge. The answer equals the monolithic answer on
+    /// the same objects (canonical `(distance, id)` order; see the type
+    /// docs for the tie caveat).
+    pub fn distance_first(
+        &self,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+    ) -> Result<QueryReport> {
+        self.distance_first_limited(alg, query, QueryLimits::none())
+    }
+
+    /// [`distance_first`](ShardedDb::distance_first) under execution
+    /// limits, split across shards by [the documented
+    /// semantics](self#limits): shared deadline, divided I/O budget,
+    /// per-shard frontier cap. On truncation the report's results are the
+    /// exact top-m prefix within the smallest truncated shard's cut
+    /// radius — every reported result provably beats everything unseen.
+    pub fn distance_first_limited(
+        &self,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+        limits: QueryLimits,
+    ) -> Result<QueryReport> {
+        let (report, stepped) = self.scoped_topk(alg, query, limits)?;
+        self.publish(alg, &report, &stepped);
+        Ok(report)
+    }
+
+    /// [`distance_first`](ShardedDb::distance_first) with parallel shard
+    /// workers: up to `threads` scoped workers drain shard frontiers
+    /// concurrently under a shared branch-and-bound threshold (a worker
+    /// stops as soon as its shard's bound exceeds the current k-th
+    /// distance, which only shrinks — so every stop is final and the
+    /// gathered superset contains the exact top-k). The answer is
+    /// identical to the sequential merge; the point is single-query
+    /// latency when shards sit on independent devices. Unlimited
+    /// execution only — under [`QueryLimits`] use
+    /// [`distance_first_limited`](ShardedDb::distance_first_limited),
+    /// whose sequential schedule makes truncation deterministic.
+    pub fn distance_first_parallel(
+        &self,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+        threads: usize,
+    ) -> Result<QueryReport> {
+        if alg == Algorithm::Iio || query.k == 0 || self.shards.len() == 1 || threads <= 1 {
+            return self.distance_first(alg, query);
+        }
+        let t0 = Instant::now();
+        let shared = Mutex::new(TopK::new(query.k));
+        let idxs: Vec<usize> = (0..self.shards.len()).collect();
+        struct WorkerOut {
+            index_io: IoSnapshot,
+            object_io: IoSnapshot,
+            counters: SearchCounters,
+            loads: u64,
+            stepped: bool,
+            retries: u64,
+            backoff: Duration,
+        }
+        let outs = run_batch(&idxs, threads, |&i| {
+            let shard = &self.shards[i];
+            let rect_bound = self.bounds[i]
+                .map(|r| r.min_dist(&query.point))
+                .unwrap_or(f64::INFINITY);
+            let scope = IoScope::enter();
+            let retry = RetryScope::enter();
+            let run = (|| {
+                let src = CountingSource::new(shard.object_store() as &dyn ObjectSource<2>);
+                let mut iter = ShardIter::open(shard, &src, alg, query, QueryLimits::none());
+                let mut stepped = false;
+                while let Some(b) = iter.frontier_bound().map(|fb| fb.max(rect_bound)) {
+                    // Snapshot the shared threshold and advance only up to
+                    // it (node-granular, like the sequential merge). The
+                    // threshold only shrinks as siblings insert, so a
+                    // stale snapshot is merely a looser — still sound —
+                    // bound.
+                    let limit = {
+                        let g = shared.lock().expect("poison-free");
+                        if g.is_full() {
+                            if b > g.threshold() {
+                                break;
+                            }
+                            g.threshold()
+                        } else {
+                            f64::INFINITY
+                        }
+                    };
+                    match iter.next_hit_within(limit)? {
+                        BoundedStep::Hit(obj, d) => {
+                            shared.lock().expect("poison-free").insert(obj, d);
+                        }
+                        BoundedStep::Pending => {}
+                        BoundedStep::Done => {
+                            stepped = true;
+                            break;
+                        }
+                    }
+                    stepped = true;
+                }
+                Ok((iter.counters(), src.loads(), stepped))
+            })();
+            let retry_stats = retry.finish();
+            let scoped = scope.finish();
+            run.map(|(counters, loads, stepped)| WorkerOut {
+                index_io: scoped.for_stats(shard.stats_of(alg)),
+                object_io: scoped.for_stats(shard.objects_io_stats()),
+                counters,
+                loads,
+                stepped,
+                retries: retry_stats.retries,
+                backoff: retry_stats.backoff,
+            })
+        })?;
+        let mut merged = Merged::empty(self.shards.len());
+        let results = shared.into_inner().expect("poison-free").into_sorted();
+        let (mut index_io, mut object_io) = (IoSnapshot::default(), IoSnapshot::default());
+        let (mut retries, mut backoff) = (0u64, Duration::ZERO);
+        for (i, w) in outs.iter().enumerate() {
+            index_io = index_io + w.index_io;
+            object_io = object_io + w.object_io;
+            merged.object_loads += w.loads;
+            merged.stepped[i] = w.stepped;
+            sum_counters(&mut merged.counters, w.counters);
+            retries += w.retries;
+            backoff += w.backoff;
+        }
+        let report = self.assemble(
+            results,
+            index_io,
+            object_io,
+            &merged,
+            retries,
+            backoff,
+            t0.elapsed(),
+        );
+        self.publish(alg, &report, &merged.stepped);
+        Ok(report)
+    }
+
+    /// Answers a batch of queries on `threads` workers (each query runs
+    /// its full sequential merge on one worker, like
+    /// [`SpatialKeywordDb::batch_topk`]); reports come back in input order
+    /// with exact per-query I/O attribution.
+    pub fn batch_topk(
+        &self,
+        alg: Algorithm,
+        queries: &[DistanceFirstQuery<2>],
+        threads: usize,
+    ) -> Result<Vec<QueryReport>> {
+        let outs = run_batch(queries, threads, |q| {
+            self.scoped_topk(alg, q, QueryLimits::none())
+        })?;
+        let mut reports = Vec::with_capacity(outs.len());
+        for (report, stepped) in outs {
+            self.publish(alg, &report, &stepped);
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+
+    /// [`batch_topk`](ShardedDb::batch_topk) with per-query fault
+    /// isolation and execution limits, mirroring
+    /// [`SpatialKeywordDb::batch_topk_isolated`].
+    pub fn batch_topk_isolated(
+        &self,
+        alg: Algorithm,
+        queries: &[DistanceFirstQuery<2>],
+        threads: usize,
+        limits: QueryLimits,
+    ) -> Vec<std::result::Result<QueryReport, QueryError>> {
+        let outs = run_batch_isolated(queries, threads, |q| {
+            self.scoped_topk(alg, q, limits).map_err(Into::into)
+        });
+        let key = alg.key();
+        outs.into_iter()
+            .map(|out| match out {
+                Ok((report, stepped)) => {
+                    self.publish(alg, &report, &stepped);
+                    Ok(report)
+                }
+                Err(e) => {
+                    let kind = match &e {
+                        QueryError::Storage(_) => "storage",
+                        QueryError::Panic(_) => "panic",
+                    };
+                    self.metrics.add_counter(
+                        &format!("sharded_query_failures_total{{alg=\"{key}\",kind=\"{kind}\"}}"),
+                        1,
+                    );
+                    Err(e)
+                }
+            })
+            .collect()
+    }
+
+    /// One query, fully attributed: I/O through an [`IoScope`] on the
+    /// calling thread, loads through per-shard [`CountingSource`]s, retry
+    /// accounting through a [`RetryScope`] — folded into one report.
+    fn scoped_topk(
+        &self,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+        limits: QueryLimits,
+    ) -> Result<(QueryReport, Vec<bool>)> {
+        let t0 = Instant::now();
+        let scope = IoScope::enter();
+        let retry = RetryScope::enter();
+        let merged = if alg == Algorithm::Iio {
+            self.merge_iio(query, &limits)
+        } else {
+            self.merge_sequential(alg, query, &limits)
+        };
+        let retry_stats = retry.finish();
+        let scoped = scope.finish();
+        let mut merged = merged?;
+        let (mut index_io, mut object_io) = (IoSnapshot::default(), IoSnapshot::default());
+        for shard in &self.shards {
+            index_io = index_io + scoped.for_stats(shard.stats_of(alg));
+            object_io = object_io + scoped.for_stats(shard.objects_io_stats());
+        }
+        let results = std::mem::take(&mut merged.results);
+        let stepped = std::mem::take(&mut merged.stepped);
+        let report = self.assemble(
+            results,
+            index_io,
+            object_io,
+            &merged,
+            retry_stats.retries,
+            retry_stats.backoff,
+            t0.elapsed(),
+        );
+        Ok((report, stepped))
+    }
+
+    /// The exact sequential merge (module docs): a global heap of shards
+    /// keyed by their current lower bound, lazily revalidated, always
+    /// stepping the minimum; stops when the k-th distance strictly beats
+    /// every remaining bound.
+    fn merge_sequential(
+        &self,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+        limits: &QueryLimits,
+    ) -> Result<Merged> {
+        let s = self.shards.len();
+        let mut merged = Merged::empty(s);
+        if query.k == 0 {
+            return Ok(merged);
+        }
+        let per_shard = split_limits(limits, s);
+        let sources: Vec<CountingSource<'_, 2>> = self
+            .shards
+            .iter()
+            .map(|sh| CountingSource::new(sh.object_store() as &dyn ObjectSource<2>))
+            .collect();
+        let mut cursors: Vec<ShardCursor<'_, D>> = Vec::with_capacity(s);
+        for (i, shard) in self.shards.iter().enumerate() {
+            cursors.push(ShardCursor {
+                iter: ShardIter::open(shard, &sources[i], alg, query, per_shard[i]),
+                rect_bound: self.bounds[i]
+                    .map(|r| r.min_dist(&query.point))
+                    .unwrap_or(f64::INFINITY),
+                done: false,
+                stepped: false,
+            });
+        }
+
+        let mut topk = TopK::new(query.k);
+        // (shard index, reason, cut radius) per truncated shard.
+        let mut truncs: Vec<(usize, TruncateReason, f64)> = Vec::new();
+        let mut order: BinaryHeap<Reverse<(OrderedF64, usize)>> = cursors
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Reverse((OrderedF64(c.rect_bound), i)))
+            .collect();
+
+        let finish = |cursor: &mut ShardCursor<'_, D>,
+                      truncs: &mut Vec<(usize, TruncateReason, f64)>,
+                      i: usize| {
+            cursor.done = true;
+            if let Some(reason) = cursor.iter.truncation() {
+                truncs.push((i, reason, cursor.bound().unwrap_or(f64::INFINITY)));
+            }
+        };
+
+        while let Some(Reverse((OrderedF64(b), i))) = order.pop() {
+            if cursors[i].done {
+                continue;
+            }
+            let Some(cur) = cursors[i].bound() else {
+                finish(&mut cursors[i], &mut truncs, i);
+                continue;
+            };
+            if cur > b {
+                // Stale heap entry: requeue at the shard's true bound.
+                order.push(Reverse((OrderedF64(cur), i)));
+                continue;
+            }
+            // Strict `>`: ties at the k-th distance keep pulling so the
+            // canonical (distance, id) answer set is exact.
+            if topk.is_full() && cur > topk.threshold() {
+                break;
+            }
+            // Advance the shard at node granularity: never past the
+            // next-best shard's bound (the point where another shard
+            // should be stepped instead — this simulates one global
+            // priority queue across all shards), and once the top-k is
+            // full, never past the k-th distance (work beyond it would be
+            // discarded; `≤` keeps ties at the k-th distance flowing).
+            let rival = order
+                .peek()
+                .map_or(f64::INFINITY, |&Reverse((OrderedF64(rb), _))| rb);
+            let limit = if topk.is_full() {
+                rival.min(topk.threshold())
+            } else {
+                rival
+            };
+            match cursors[i].iter.next_hit_within(limit)? {
+                BoundedStep::Hit(obj, d) => {
+                    cursors[i].stepped = true;
+                    topk.insert(obj, d);
+                    match cursors[i].bound() {
+                        Some(nb) => order.push(Reverse((OrderedF64(nb), i))),
+                        None => finish(&mut cursors[i], &mut truncs, i),
+                    }
+                }
+                BoundedStep::Pending => {
+                    cursors[i].stepped = true;
+                    match cursors[i].bound() {
+                        Some(nb) => order.push(Reverse((OrderedF64(nb), i))),
+                        None => finish(&mut cursors[i], &mut truncs, i),
+                    }
+                }
+                BoundedStep::Done => {
+                    cursors[i].stepped = true;
+                    finish(&mut cursors[i], &mut truncs, i);
+                }
+            }
+        }
+
+        merged.results = topk.into_sorted();
+        if !truncs.is_empty() {
+            truncs.sort_by_key(|&(i, _, _)| i);
+            // Results are exact only within the smallest cut radius: a
+            // truncated shard guarantees nothing about distances at or
+            // beyond its bound at the moment it stopped.
+            let cut = truncs
+                .iter()
+                .map(|&(_, _, c)| c)
+                .fold(f64::INFINITY, f64::min);
+            merged.results.retain(|&(_, d)| d < cut);
+            merged.outcome = Some(truncs[0].1);
+        }
+        for (i, c) in cursors.iter().enumerate() {
+            merged.stepped[i] = c.stepped;
+            sum_counters(&mut merged.counters, c.iter.counters());
+            merged.object_loads += sources[i].loads();
+        }
+        Ok(merged)
+    }
+
+    /// IIO across shards: the inverted index is non-incremental, so this
+    /// is the documented fetch-k-from-every-shard over-read (each shard
+    /// computes its own top-k, the union is re-ranked). Degrades
+    /// all-or-nothing under limits, like the monolithic IIO.
+    fn merge_iio(&self, query: &DistanceFirstQuery<2>, limits: &QueryLimits) -> Result<Merged> {
+        let s = self.shards.len();
+        let mut merged = Merged::empty(s);
+        let per_shard = split_limits(limits, s);
+        let mut topk = TopK::new(query.k);
+        for (i, shard) in self.shards.iter().enumerate() {
+            let src = CountingSource::new(shard.object_store() as &dyn ObjectSource<2>);
+            let out = iio_topk_limited(
+                shard.inverted_index(),
+                shard.vocab(),
+                &src,
+                query,
+                per_shard[i],
+            )?;
+            merged.object_loads += src.loads();
+            merged.stepped[i] = true;
+            match out {
+                ExecOutcome::Complete(hits) => {
+                    for (obj, d) in hits {
+                        topk.insert(obj, d);
+                    }
+                }
+                ExecOutcome::Truncated { reason, .. } => {
+                    merged.outcome = merged.outcome.or(Some(reason));
+                }
+            }
+        }
+        // All-or-nothing: any truncated shard could have held the true
+        // top-1, so a partial union would not be a prefix of the answer.
+        if merged.outcome.is_none() {
+            merged.results = topk.into_sorted();
+        }
+        Ok(merged)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        &self,
+        results: Vec<(SpatialObject<2>, f64)>,
+        index_io: IoSnapshot,
+        object_io: IoSnapshot,
+        merged: &Merged,
+        retries: u64,
+        backoff: Duration,
+        wall: Duration,
+    ) -> QueryReport {
+        let io = index_io + object_io;
+        QueryReport {
+            results,
+            index_io,
+            object_io,
+            io,
+            object_loads: merged.object_loads,
+            counters: merged.counters,
+            pruning: TraceStats::default(),
+            simulated: self.config.cost_model.time(io),
+            wall,
+            outcome: merged.outcome,
+            retries,
+            backoff,
+        }
+    }
+
+    /// Folds one finished query into the sharded registry: engine-level
+    /// series plus a per-shard activity counter (how many queries actually
+    /// touched each shard — the scatter-gather's pruning effectiveness).
+    fn publish(&self, alg: Algorithm, r: &QueryReport, stepped: &[bool]) {
+        let key = alg.key();
+        let m = &self.metrics;
+        m.add_counter(&format!("sharded_queries_total{{alg=\"{key}\"}}"), 1);
+        m.observe_io(&format!("{{alg=\"{key}\",engine=\"sharded\"}}"), r.io);
+        m.histogram(&format!("sharded_query_io_blocks{{alg=\"{key}\"}}"))
+            .observe(r.io.total());
+        m.histogram("sharded_query_shards_touched")
+            .observe(stepped.iter().filter(|&&s| s).count() as u64);
+        for (i, &st) in stepped.iter().enumerate() {
+            if st {
+                m.add_counter(&format!("shard_queries_total{{shard=\"{i}\"}}"), 1);
+            }
+        }
+        if let Some(reason) = r.outcome {
+            m.add_counter(
+                &format!(
+                    "sharded_queries_truncated_total{{alg=\"{key}\",reason=\"{}\"}}",
+                    reason.key()
+                ),
+                1,
+            );
+        }
+    }
+
+    /// Prometheus exposition of the sharded engine: per-shard gauges
+    /// (`shard_objects`, `shard_io_read_blocks`, `shard_io_write_blocks`)
+    /// refreshed from each shard's device counters, plus every
+    /// `sharded_*` / `shard_*` series accumulated so far.
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics
+            .set_gauge("shard_count", self.shards.len() as f64);
+        for (i, shard) in self.shards.iter().enumerate() {
+            self.metrics.set_gauge(
+                &format!("shard_objects{{shard=\"{i}\"}}"),
+                shard.build_stats().objects as f64,
+            );
+            let (o, r, i2, m2, inv) = shard.io_totals();
+            let all = [o, r, i2, m2, inv];
+            let reads: u64 = all.iter().map(|s| s.random_reads + s.seq_reads).sum();
+            let writes: u64 = all.iter().map(|s| s.random_writes + s.seq_writes).sum();
+            self.metrics.set_gauge(
+                &format!("shard_io_read_blocks{{shard=\"{i}\"}}"),
+                reads as f64,
+            );
+            self.metrics.set_gauge(
+                &format!("shard_io_write_blocks{{shard=\"{i}\"}}"),
+                writes as f64,
+            );
+        }
+        self.metrics.export_prometheus()
+    }
+}
+
+impl ShardedDb<FileDevice> {
+    /// Creates a sharded database under `dir`: one `shard-NNN/` device
+    /// directory per shard plus a `SHARDS` manifest, then builds every
+    /// shard (in parallel) from the STR tiling of `objects`.
+    pub fn create_in_dir<P: AsRef<Path>>(
+        dir: P,
+        objects: impl IntoIterator<Item = SpatialObject<2>>,
+        config: DbConfig,
+        shards: usize,
+    ) -> Result<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let sets = (0..shards)
+            .map(|i| DeviceSet::create_in_dir(dir.join(shard_dir_name(i))))
+            .collect::<Result<Vec<_>>>()?;
+        let db = Self::build(sets, objects, config)?;
+        // The manifest is written last: a crash mid-build leaves a
+        // directory that is not recognized as a sharded database rather
+        // than one that opens half-built.
+        std::fs::write(
+            dir.join(SHARD_MANIFEST),
+            format!("ir2-sharded v1\nshards {shards}\n"),
+        )?;
+        Ok(db)
+    }
+
+    /// Opens a sharded directory with plain file devices.
+    pub fn open_dir<P: AsRef<Path>>(dir: P) -> Result<Self> {
+        Self::open_dir_mapped(dir, |_role, d| d)
+    }
+}
+
+fn sum_counters(into: &mut SearchCounters, c: SearchCounters) {
+    into.nodes_read += c.nodes_read;
+    into.pruned_by_signature += c.pruned_by_signature;
+    into.candidates_checked += c.candidates_checked;
+    into.false_positives += c.false_positives;
+    into.cache_hits += c.cache_hits;
+}
+
+// The sharded engine hands `&ShardedDb` to scoped worker threads (batch
+// fan-out and parallel shard workers), so it must be Send + Sync like the
+// facade it wraps; assert it at compile time alongside db.rs's stack.
+const _: () = {
+    const fn shareable<T: Send + Sync + ?Sized>() {}
+    shareable::<ShardedDb<MemDevice>>();
+    shareable::<ShardedDb<FileDevice>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(id: u64, x: f64, y: f64) -> SpatialObject<2> {
+        SpatialObject::new(id, [x, y], "one two")
+    }
+
+    #[test]
+    fn str_partition_is_exhaustive_and_balanced() {
+        for s in [1usize, 2, 3, 4, 5, 8] {
+            let objects: Vec<_> = (0..97)
+                .map(|i| obj(i, (i * 37 % 89) as f64, (i * 53 % 71) as f64))
+                .collect();
+            let parts = str_partition(objects, s);
+            assert_eq!(parts.len(), s);
+            let total: usize = parts.iter().map(Vec::len).sum();
+            assert_eq!(total, 97);
+            let (min, max) = parts
+                .iter()
+                .map(Vec::len)
+                .fold((usize::MAX, 0), |(lo, hi), n| (lo.min(n), hi.max(n)));
+            assert!(max - min <= s, "sizes {min}..{max} too skewed for s={s}");
+            // No object lost or duplicated.
+            let mut ids: Vec<u64> = parts.iter().flatten().map(|o| o.id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, (0..97).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn limits_split_conserves_budget() {
+        let limits = QueryLimits::none().with_io_budget(10);
+        let split = split_limits(&limits, 4);
+        let total: u64 = split.iter().map(|l| l.io_budget.unwrap()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(split[0].io_budget, Some(3));
+        assert_eq!(split[3].io_budget, Some(2));
+        // Deadline and heap cap replicate, not divide.
+        let limits = QueryLimits::none().with_max_heap_size(7);
+        for l in split_limits(&limits, 3) {
+            assert_eq!(l.max_heap_size, Some(7));
+        }
+    }
+
+    #[test]
+    fn topk_is_canonical_under_arrival_order() {
+        let hits = [(3.0, 30), (1.0, 10), (2.0, 20), (2.0, 15), (0.5, 99)];
+        let mut forward = TopK::new(3);
+        for &(d, id) in &hits {
+            forward.insert(obj(id, 0.0, 0.0), d);
+        }
+        let mut reverse = TopK::new(3);
+        for &(d, id) in hits.iter().rev() {
+            reverse.insert(obj(id, 0.0, 0.0), d);
+        }
+        let f: Vec<(u64, f64)> = forward
+            .into_sorted()
+            .iter()
+            .map(|(o, d)| (o.id, *d))
+            .collect();
+        let r: Vec<(u64, f64)> = reverse
+            .into_sorted()
+            .iter()
+            .map(|(o, d)| (o.id, *d))
+            .collect();
+        assert_eq!(f, r);
+        assert_eq!(f, vec![(99, 0.5), (10, 1.0), (15, 2.0)]);
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_detection() {
+        let dir = std::env::temp_dir().join(format!("ir2-shard-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(sharded_manifest(&dir).unwrap(), None);
+        std::fs::write(dir.join(SHARD_MANIFEST), "ir2-sharded v1\nshards 4\n").unwrap();
+        assert_eq!(sharded_manifest(&dir).unwrap(), Some(4));
+        std::fs::write(dir.join(SHARD_MANIFEST), "something else\n").unwrap();
+        assert!(sharded_manifest(&dir).is_err());
+        std::fs::write(dir.join(SHARD_MANIFEST), "ir2-sharded v1\nshards zero\n").unwrap();
+        assert!(sharded_manifest(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

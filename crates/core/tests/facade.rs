@@ -211,6 +211,55 @@ fn persistence_roundtrip_on_disk() {
 }
 
 #[test]
+fn truncated_catalog_vocabulary_is_reported_as_corrupt() {
+    use ir2tree::storage::{FileDevice, ShadowPair};
+
+    let dir = std::env::temp_dir().join(format!("ir2tree-vocab-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let devices = DeviceSet::create_in_dir(&dir).unwrap();
+        SpatialKeywordDb::build(devices, town(50), small_config()).unwrap();
+    }
+    // Rewrite the catalog with the vocabulary chunk truncated mid-record —
+    // going through the shadow pair, so page checksums stay valid. This
+    // models logical corruption (an encoder bug, a partial copy), which
+    // CRCs cannot catch; only the decoder's own structural validation can.
+    {
+        let (pair, payload) =
+            ShadowPair::open(FileDevice::open(dir.join("catalog.blocks")).unwrap()).unwrap();
+        let mut chunks: Vec<Vec<u8>> = Vec::new();
+        let mut pos = 0;
+        while pos < payload.len() {
+            let len = u32::from_le_bytes(payload[pos..pos + 4].try_into().unwrap()) as usize;
+            chunks.push(payload[pos + 4..pos + 4 + len].to_vec());
+            pos += 4 + len;
+        }
+        assert_eq!(
+            chunks.len(),
+            4,
+            "catalog layout: config, vocab, dict, stats"
+        );
+        let cut = chunks[1].len() - 3;
+        chunks[1].truncate(cut);
+        let mut rewritten = Vec::new();
+        for c in &chunks {
+            rewritten.extend_from_slice(&(c.len() as u32).to_le_bytes());
+            rewritten.extend_from_slice(c);
+        }
+        pair.save(&rewritten).unwrap();
+    }
+    let msg = match SpatialKeywordDb::open(DeviceSet::open_dir(&dir).unwrap()) {
+        Ok(_) => panic!("opening a vocab-corrupt catalog must fail"),
+        Err(e) => e.to_string(),
+    };
+    // The error is a typed Corrupt naming the structure and the byte
+    // offset of the damage — not a silent `None` that loses the database.
+    assert!(msg.contains("catalog vocabulary"), "{msg}");
+    assert!(msg.contains("vocabulary corrupt at byte"), "{msg}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn empty_build_is_rejected() {
     assert!(SpatialKeywordDb::build(DeviceSet::in_memory(), vec![], small_config()).is_err());
 }

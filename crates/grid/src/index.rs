@@ -165,10 +165,13 @@ impl<D: BlockDevice> GridIndex<D> {
             // Termination: once k results are held and even the nearest
             // point of the next ring is farther than the k-th best, no
             // closer result can exist.
-            if heap.len() == query.k {
-                let kth = heap.peek().expect("k results held").0 .0;
-                if ring > 0 && self.ring_min_dist(qcx, qcy, ring, &query.point) > kth {
-                    break;
+            // (`k == 0` returns above; still, never assume a full heap is
+            // non-empty — peek instead of expecting.)
+            if heap.len() >= query.k {
+                if let Some(&(OrderedF64(kth), _)) = heap.peek() {
+                    if ring > 0 && self.ring_min_dist(qcx, qcy, ring, &query.point) > kth {
+                        break;
+                    }
                 }
             }
             let mut any_cell_in_range = false;
@@ -195,7 +198,9 @@ impl<D: BlockDevice> GridIndex<D> {
                     let p = Point::<2>::decode(&entry[8..24]);
                     let d = p.distance(&query.point);
                     // Candidate only if it could enter the top-k.
-                    if heap.len() == query.k && d > heap.peek().expect("nonempty").0 .0 {
+                    if heap.len() >= query.k
+                        && heap.peek().is_some_and(|&(OrderedF64(kth), _)| d > kth)
+                    {
                         continue;
                     }
                     counters.candidates_checked += 1;

@@ -8,7 +8,7 @@ use ir2_rtree::{with_frontier_prefetch, NnIter, PrefetchQueue, RTree, UnitPayloa
 use ir2_storage::{BlockDevice, Result};
 
 use crate::trace::{NopSink, TraceEvent, TraceSink};
-use crate::{LimitedTopk, SearchCounters};
+use crate::{BoundedStep, LimitedTopk, SearchCounters};
 
 /// Incremental form of the paper's first baseline: plain Hjaltason–Samet
 /// nearest neighbor over an unaugmented R-Tree, loading **every** candidate
@@ -96,7 +96,20 @@ impl<'a, const N: usize, D: BlockDevice, S: TraceSink> RtreeBaselineIter<'a, N, 
         self.truncated
     }
 
-    fn step(&mut self) -> Result<Option<(SpatialObject<N>, f64)>> {
+    /// Lower bound on the distance of every result this iterator can still
+    /// emit; see [`NnIter::frontier_bound`]. (The inner NN frontier holds
+    /// both node MINDISTs and exact object distances — both lower-bound
+    /// what the keyword post-filter can still surface.)
+    pub fn frontier_bound(&self) -> Option<f64> {
+        self.nn.frontier_bound()
+    }
+
+    /// Like the iterator's `next`, but performs no work beyond `limit`;
+    /// see [`DistanceFirstIter::next_within`](
+    /// crate::DistanceFirstIter::next_within). The bound applies to the
+    /// inner NN frontier, so neither node reads nor candidate object loads
+    /// happen past the limit.
+    pub fn next_within(&mut self, limit: f64) -> Result<BoundedStep<N>> {
         loop {
             // A drained NN frontier means the candidate stream is finished
             // and everything already emitted is the complete answer —
@@ -104,7 +117,7 @@ impl<'a, const N: usize, D: BlockDevice, S: TraceSink> RtreeBaselineIter<'a, N, 
             // budget that trips after the last candidate cannot misreport
             // a finished query as truncated.
             if self.nn.frontier_len() == 0 {
-                return Ok(None);
+                return Ok(BoundedStep::Done);
             }
             // Cooperative limit check between candidates. Node reads happen
             // inside the NN iterator, so the charged I/O is its node count
@@ -114,12 +127,17 @@ impl<'a, const N: usize, D: BlockDevice, S: TraceSink> RtreeBaselineIter<'a, N, 
                 self.truncated = self.limits.check(io_used, self.nn.frontier_len());
             }
             if self.truncated.is_some() {
-                return Ok(None);
+                return Ok(BoundedStep::Done);
             }
-            let Some(nn) = self.nn.next() else {
-                return Ok(None);
+            let Some(nn) = self.nn.next_within(limit)? else {
+                return Ok(if self.nn.frontier_len() > 0 {
+                    // Still work to do, but the frontier head is beyond
+                    // the limit.
+                    BoundedStep::Pending
+                } else {
+                    BoundedStep::Done
+                });
             };
-            let nn = nn?;
             self.counters.candidates_checked += 1;
             let obj = self.objects.load(ObjPtr(nn.child))?;
             let matched = obj.token_set().contains_all(&self.keywords);
@@ -129,10 +147,17 @@ impl<'a, const N: usize, D: BlockDevice, S: TraceSink> RtreeBaselineIter<'a, N, 
                 matched,
             });
             if matched {
-                return Ok(Some((obj, nn.dist)));
+                return Ok(BoundedStep::Hit(obj, nn.dist));
             }
             self.counters.false_positives += 1;
         }
+    }
+
+    fn step(&mut self) -> Result<Option<(SpatialObject<N>, f64)>> {
+        Ok(match self.next_within(f64::INFINITY)? {
+            BoundedStep::Hit(obj, d) => Some((obj, d)),
+            _ => None,
+        })
     }
 }
 

@@ -42,6 +42,22 @@ pub struct SearchCounters {
 /// results plus the search counters of the run.
 pub type LimitedTopk<const N: usize> = (ExecOutcome<Vec<(SpatialObject<N>, f64)>>, SearchCounters);
 
+/// Outcome of one bounded best-first step
+/// ([`DistanceFirstIter::next_within`] /
+/// [`RtreeBaselineIter::next_within`](crate::RtreeBaselineIter::next_within)).
+#[derive(Debug)]
+pub enum BoundedStep<const N: usize> {
+    /// A verified result at distance ≤ the step's limit.
+    Hit(SpatialObject<N>, f64),
+    /// The frontier minimum now exceeds the limit: every remaining result
+    /// is farther than the limit, and no work beyond it was performed.
+    /// `frontier_bound()` holds the new, tighter bound.
+    Pending,
+    /// The frontier is drained — or an execution limit truncated the
+    /// search (`truncation()` tells which).
+    Done,
+}
+
 #[derive(PartialEq, Eq)]
 enum Item {
     Node(u64),
@@ -185,19 +201,42 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
         self.truncated
     }
 
+    /// Lower bound on the distance of every result this iterator can still
+    /// emit: the MINDIST key at the head of the frontier. The best-first
+    /// heap minimum is non-decreasing and MINDIST lower-bounds everything
+    /// inside an MBR, so nothing closer can appear later — this is the
+    /// per-shard bound a scatter-gather merge compares against its current
+    /// k-th distance. `None` once the frontier is drained (and, for a
+    /// truncated search, the bound at the moment of the cut is the radius
+    /// within which the emitted prefix is exact).
+    pub fn frontier_bound(&self) -> Option<f64> {
+        self.heap.peek().map(|Reverse((d, _, _))| d.0)
+    }
+
     /// Consumes the iterator, returning the trace sink.
     pub fn into_sink(self) -> S {
         self.sink
     }
 
-    fn step(&mut self) -> Result<Option<(SpatialObject<N>, f64)>> {
+    /// Like the iterator's `next`, but performs no work beyond `limit`:
+    /// each unit of work (node expansion or candidate verification) runs
+    /// only while the frontier head's MINDIST key is ≤ `limit`. A caller
+    /// holding a tighter bound — a scatter-gather merge comparing shards
+    /// against its current k-th distance, say — never pays for reads whose
+    /// results it would discard. [`BoundedStep::Pending`] means the head
+    /// now exceeds the limit; the search resumes exactly where it stopped
+    /// when called again with a larger limit.
+    pub fn next_within(&mut self, limit: f64) -> Result<BoundedStep<N>> {
         loop {
             // A drained frontier means everything already emitted is the
             // complete answer — established *before* the limit check, so a
             // deadline or budget that trips after the last unit of work
             // cannot misreport a finished query as truncated.
             if self.heap.is_empty() {
-                return Ok(None);
+                return Ok(BoundedStep::Done);
+            }
+            if matches!(self.heap.peek(), Some(Reverse((d, _, _))) if d.0 > limit) {
+                return Ok(BoundedStep::Pending);
             }
             // Cooperative limit check before each unit of work; charged
             // I/O is nodes read plus objects loaded, so an `io_budget` of
@@ -207,10 +246,10 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
                 self.truncated = self.limits.check(io_used, self.heap.len());
             }
             if self.truncated.is_some() {
-                return Ok(None);
+                return Ok(BoundedStep::Done);
             }
             let Some(Reverse((dist, _, item))) = self.heap.pop() else {
-                return Ok(None);
+                return Ok(BoundedStep::Done);
             };
             match item {
                 Item::Object(child) => {
@@ -225,7 +264,7 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
                         matched,
                     });
                     if matched {
-                        return Ok(Some((obj, dist.0)));
+                        return Ok(BoundedStep::Hit(obj, dist.0));
                     }
                     self.counters.false_positives += 1;
                 }
@@ -300,6 +339,17 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
                 }
             }
         }
+    }
+}
+
+impl<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
+    DistanceFirstIter<'_, N, D, P, S>
+{
+    fn step(&mut self) -> Result<Option<(SpatialObject<N>, f64)>> {
+        Ok(match self.next_within(f64::INFINITY)? {
+            BoundedStep::Hit(obj, d) => Some((obj, d)),
+            _ => None,
+        })
     }
 }
 

@@ -54,7 +54,7 @@ pub use distance_first::{
     distance_first_region_topk_prefetched_traced, distance_first_region_topk_traced,
     distance_first_topk, distance_first_topk_limited, distance_first_topk_limited_traced,
     distance_first_topk_prefetched_limited_traced, distance_first_topk_prefetched_traced,
-    distance_first_topk_traced, DistanceFirstIter, LimitedTopk, SearchCounters,
+    distance_first_topk_traced, BoundedStep, DistanceFirstIter, LimitedTopk, SearchCounters,
 };
 pub use general::{
     general_topk, general_topk_limited, general_topk_limited_traced, general_topk_prefetched,

@@ -107,8 +107,32 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> NnIter<'_, N, D, P> {
         self.heap.len()
     }
 
-    fn step(&mut self) -> Result<Option<NnResult>> {
-        while let Some(Reverse((dist, _, item))) = self.heap.pop() {
+    /// Lower bound on the distance of every result this iterator can still
+    /// emit: the MINDIST key at the head of the frontier. Because the
+    /// best-first heap minimum is non-decreasing and MINDIST lower-bounds
+    /// everything inside an MBR, no future result can be closer than this.
+    /// `None` once the frontier is drained (nothing more will be emitted).
+    pub fn frontier_bound(&self) -> Option<f64> {
+        self.heap.peek().map(|Reverse((d, _, _))| d.0)
+    }
+
+    /// Like the iterator's `next`, but performs no work beyond `limit`:
+    /// frontier items are popped only while their key is ≤ `limit`, so a
+    /// caller holding a tighter bound (a scatter-gather merge's current
+    /// k-th distance, say) never pays for node reads or candidate pops it
+    /// would discard. Returns `Ok(None)` both when the head exceeds the
+    /// limit and when the frontier is drained — distinguish via
+    /// [`frontier_len`](NnIter::frontier_len); the scan resumes exactly
+    /// where it stopped when called again with a larger limit.
+    pub fn next_within(&mut self, limit: f64) -> Result<Option<NnResult>> {
+        while self
+            .heap
+            .peek()
+            .is_some_and(|Reverse((d, _, _))| d.0 <= limit)
+        {
+            let Some(Reverse((dist, _, item))) = self.heap.pop() else {
+                break;
+            };
             match item {
                 Item::Object(child) => {
                     return Ok(Some(NnResult {
@@ -146,7 +170,7 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> Iterator for NnIter<'_, N, D
     type Item = Result<NnResult>;
 
     fn next(&mut self) -> Option<Self::Item> {
-        self.step().transpose()
+        self.next_within(f64::INFINITY).transpose()
     }
 }
 

@@ -29,4 +29,4 @@ mod vocab;
 pub use rank::{DecayRank, LinearRank, RankingFn};
 pub use score::{IrScorer, SaturatingTfIdf};
 pub use tokenize::{tokenize, TokenCounts, TokenSet};
-pub use vocab::{TermId, Vocabulary};
+pub use vocab::{TermId, VocabCorrupt, Vocabulary};

@@ -6,6 +6,32 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TermId(pub u32);
 
+/// Structural corruption found while decoding a serialized vocabulary:
+/// where decoding stopped and which field was malformed or missing there.
+///
+/// The crate has no storage dependency, so this is a local error type;
+/// database-level callers fold it into their corruption taxonomy (e.g.
+/// `StorageError::Corrupt`) with the offset preserved in the message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VocabCorrupt {
+    /// Byte offset at which the malformed or missing field starts.
+    pub offset: usize,
+    /// The field being decoded when the damage was found.
+    pub field: &'static str,
+}
+
+impl std::fmt::Display for VocabCorrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "vocabulary corrupt at byte {}: {}",
+            self.offset, self.field
+        )
+    }
+}
+
+impl std::error::Error for VocabCorrupt {}
+
 /// A corpus vocabulary: term ↔ id mapping plus the per-term document
 /// frequencies and corpus size that idf weighting needs.
 ///
@@ -119,31 +145,69 @@ impl Vocabulary {
 
     /// Deserializes a vocabulary written by [`Vocabulary::encode`].
     ///
-    /// Returns `None` on any structural corruption.
-    pub fn decode(buf: &[u8]) -> Option<Self> {
+    /// Any structural corruption — truncation, invalid UTF-8 in a term,
+    /// trailing bytes after the last record — is reported as a
+    /// [`VocabCorrupt`] naming the byte offset, so integrity checkers can
+    /// say *where* the damage is instead of a bare "didn't parse".
+    pub fn decode(buf: &[u8]) -> Result<Self, VocabCorrupt> {
         let mut pos = 0usize;
-        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
-            let s = buf.get(*pos..*pos + n)?;
-            *pos += n;
-            Some(s)
-        };
-        let num_docs = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?);
-        let count = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?) as usize;
+        let take =
+            |pos: &mut usize, n: usize, field: &'static str| -> Result<&[u8], VocabCorrupt> {
+                let s = buf.get(*pos..*pos + n).ok_or(VocabCorrupt {
+                    offset: *pos,
+                    field,
+                })?;
+                *pos += n;
+                Ok(s)
+            };
+        let num_docs = u64::from_le_bytes(
+            take(&mut pos, 8, "num_docs (u64)")?
+                .try_into()
+                .expect("8 bytes"),
+        );
+        let count = u32::from_le_bytes(
+            take(&mut pos, 4, "term count (u32)")?
+                .try_into()
+                .expect("4 bytes"),
+        ) as usize;
+        // A corrupt count could be huge; cap pre-allocation by what the
+        // remaining bytes could possibly hold (≥ 6 bytes per term record).
+        let plausible = count.min(buf.len().saturating_sub(pos) / 6);
         let mut vocab = Vocabulary {
-            ids: HashMap::with_capacity(count),
-            names: Vec::with_capacity(count),
-            df: Vec::with_capacity(count),
+            ids: HashMap::with_capacity(plausible),
+            names: Vec::with_capacity(plausible),
+            df: Vec::with_capacity(plausible),
             num_docs,
         };
         for i in 0..count {
-            let len = u16::from_le_bytes(take(&mut pos, 2)?.try_into().ok()?) as usize;
-            let name = std::str::from_utf8(take(&mut pos, len)?).ok()?.to_owned();
-            let df = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+            let len = u16::from_le_bytes(
+                take(&mut pos, 2, "term length (u16)")?
+                    .try_into()
+                    .expect("2 bytes"),
+            ) as usize;
+            let start = pos;
+            let name = std::str::from_utf8(take(&mut pos, len, "term bytes")?)
+                .map_err(|e| VocabCorrupt {
+                    offset: start + e.valid_up_to(),
+                    field: "term bytes (invalid UTF-8)",
+                })?
+                .to_owned();
+            let df = u32::from_le_bytes(
+                take(&mut pos, 4, "document frequency (u32)")?
+                    .try_into()
+                    .expect("4 bytes"),
+            );
             vocab.ids.insert(name.clone(), TermId(i as u32));
             vocab.names.push(name);
             vocab.df.push(df);
         }
-        Some(vocab)
+        if pos != buf.len() {
+            return Err(VocabCorrupt {
+                offset: pos,
+                field: "trailing bytes after last term record",
+            });
+        }
+        Ok(vocab)
     }
 }
 
@@ -202,10 +266,36 @@ mod tests {
     }
 
     #[test]
-    fn decode_rejects_truncated_input() {
+    fn decode_rejects_truncated_input_with_offset() {
         let v = sample();
         let bytes = v.encode();
-        assert!(Vocabulary::decode(&bytes[..bytes.len() - 3]).is_none());
-        assert!(Vocabulary::decode(&[1, 2, 3]).is_none());
+        // Cutting into the last term's df field reports that offset.
+        let err = Vocabulary::decode(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert_eq!(err.offset, bytes.len() - 4);
+        assert_eq!(err.field, "document frequency (u32)");
+        // A buffer too short for even the header names the header field.
+        let err = Vocabulary::decode(&[1, 2, 3]).unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert_eq!(err.field, "num_docs (u64)");
+    }
+
+    #[test]
+    fn decode_rejects_invalid_utf8_and_trailing_bytes() {
+        let v = sample();
+        let mut bytes = v.encode();
+        // Corrupt the first term's first byte into a lone continuation byte.
+        let first_name_at = 8 + 4 + 2;
+        bytes[first_name_at] = 0xFF;
+        let err = Vocabulary::decode(&bytes).unwrap_err();
+        assert_eq!(err.offset, first_name_at);
+        assert!(err.field.contains("UTF-8"), "got {err}");
+        // Extra bytes after the final record are damage, not padding.
+        let mut bytes = v.encode();
+        let clean_len = bytes.len();
+        bytes.push(0);
+        let err = Vocabulary::decode(&bytes).unwrap_err();
+        assert_eq!(err.offset, clean_len);
+        assert!(err.field.contains("trailing"), "got {err}");
+        assert!(err.to_string().contains(&clean_len.to_string()));
     }
 }
