@@ -23,6 +23,8 @@ USAGE:
                [--alg <rtree|iio|ir2|mir2>] [--steps N]
   ir2 stats    --db DIR [--prometheus]
   ir2 check    --db DIR
+  ir2 fuzz     [--seed S] [--iters N] [--start-iter I] [--objects N] [--queries N]
+               [--inject-bug] [--no-minimize]
 
 Databases are directories of 4096-byte block-device files; every query
 reports its (simulated) disk I/O alongside the results. A batch query
@@ -42,7 +44,19 @@ fully independent shards under one directory; query, batch, stats, and
 check detect a sharded directory automatically and answer through an
 exact scatter-gather merge — results are identical to a single-shard
 build. On a sharded database, `ir2 query --threads N` drains shards
-with up to N parallel workers.";
+with up to N parallel workers.
+
+`ir2 fuzz` runs the differential oracle harness: seeded random
+datasets, insert/delete streams, and queries are answered by every
+engine variant (all four algorithms — cold, warm-cached, prefetched,
+fault-injected, incrementally mutated — plus 1/2/4-way sharding, the
+uniform grid, and the flat signature file) and compared byte-for-byte
+against a brute-force reference, along with metamorphic invariants
+(k vs k+1 prefixes, truncated-prefix under budgets, counter
+conservation, delete+reinsert idempotence). A divergence is shrunk to
+minimal reproducing caps and printed with a one-line repro command;
+the exit status is non-zero. `--inject-bug` deliberately corrupts one
+engine's answers to prove the harness and the repro round trip work.";
 
 /// Parsed `--flag value` pairs.
 pub struct Flags {

@@ -636,6 +636,61 @@ pub fn check(args: &[String], out: &mut impl Write) -> CliResult {
     }
 }
 
+/// `ir2 fuzz` — differential oracle fuzzing: every engine variant vs the
+/// brute-force reference, over seeded random datasets, mutations, and
+/// queries. Exit status is non-zero when a divergence is found; the
+/// printed `repro:` line replays exactly that case.
+pub fn fuzz(args: &[String], out: &mut impl Write) -> CliResult {
+    let f = Flags::parse(args)?;
+    let opts = ir2_oracle::FuzzOptions {
+        seed: f.get_or("seed", 42u64)?,
+        iters: f.get_or("iters", 100u64)?,
+        start_iter: f.get_or("start-iter", 0u64)?,
+        caps: ir2_oracle::scenario::Caps {
+            max_objects: f.get_or("objects", 64usize)?,
+            max_queries: f.get_or("queries", 64usize)?,
+        },
+        inject_bug: f.switch("inject-bug"),
+        minimize: !f.switch("no-minimize"),
+    };
+    say!(
+        out,
+        "fuzzing: seed={} iters={} start-iter={} objects<={} queries<={}{}",
+        opts.seed,
+        opts.iters,
+        opts.start_iter,
+        opts.caps.max_objects,
+        opts.caps.max_queries,
+        if opts.inject_bug { " [inject-bug]" } else { "" }
+    );
+    let mut progress_err = None;
+    let outcome = ir2_oracle::run_fuzz(&opts, &mut |done, checks| {
+        if done % 100 == 0 {
+            if let Err(e) = writeln!(out, "  …{done} iterations, {checks} checks") {
+                progress_err.get_or_insert(e);
+            }
+        }
+    });
+    if let Some(e) = progress_err {
+        return Err(io_err(e));
+    }
+    match outcome.divergence {
+        None => {
+            say!(
+                out,
+                "ok: {} iterations, {} checks, zero divergences",
+                outcome.iterations,
+                outcome.checks
+            );
+            Ok(())
+        }
+        Some(d) => {
+            say!(out, "{d}");
+            Err("cross-engine divergence found (repro command above)".into())
+        }
+    }
+}
+
 /// Checks one (monolithic) database directory, printing per-structure
 /// verdicts; returns whether everything passed.
 fn check_one(dir: &std::path::Path, out: &mut impl Write) -> Result<bool, String> {

@@ -1,0 +1,59 @@
+//! `ir2 fuzz` repro round trip: the one-line repro command printed for a
+//! (deliberately injected) divergence must re-run to the same exit code
+//! and the byte-identical divergence block.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ir2"))
+        .args(args)
+        .output()
+        .expect("spawn ir2");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+/// The divergence block: the `divergence:` header plus its indented
+/// detail lines (everything else — progress, banners — is run-shaped).
+fn divergence_block(stdout: &str) -> String {
+    stdout
+        .lines()
+        .filter(|l| l.starts_with("divergence:") || l.starts_with("  "))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn injected_divergence_repro_round_trip() {
+    let (ok, stdout) = run(&["fuzz", "--seed", "11", "--iters", "10", "--inject-bug"]);
+    assert!(!ok, "an injected bug must fail the run:\n{stdout}");
+    let block = divergence_block(&stdout);
+    assert!(block.contains("engine=ir2(cold)"), "{stdout}");
+    assert!(block.contains("invariant=oracle-exact"), "{stdout}");
+
+    // Extract and re-run the printed repro command.
+    let repro = stdout
+        .lines()
+        .find_map(|l| l.trim_start().strip_prefix("repro: "))
+        .expect("a repro: line");
+    let words: Vec<&str> = repro.split_whitespace().collect();
+    assert_eq!(words[0], "ir2");
+    assert!(repro.contains("--inject-bug"), "{repro}");
+
+    let (ok2, stdout2) = run(&words[1..]);
+    assert!(!ok2, "the repro must reproduce the failure:\n{stdout2}");
+    assert_eq!(
+        divergence_block(&stdout2),
+        block,
+        "repro must print the identical divergence"
+    );
+}
+
+#[test]
+fn clean_fuzz_run_exits_zero() {
+    let (ok, stdout) = run(&["fuzz", "--seed", "42", "--iters", "3"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("zero divergences"), "{stdout}");
+}

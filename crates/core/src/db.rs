@@ -182,7 +182,14 @@ pub(crate) fn run_batch<Q: Sync, R: Send + Sync>(
                         debug_assert!(inserted, "each query index runs once");
                     }
                     Err(e) => {
-                        first_error.lock().expect("poison-free").get_or_insert(e);
+                        // The guarded Option stays consistent even if a
+                        // sibling panicked while holding the lock, so a
+                        // poisoned mutex is recovered rather than turned
+                        // into a second (aborting) panic.
+                        first_error
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .get_or_insert(e);
                         // Park the claim counter so other workers stop too.
                         next.store(queries.len(), Ordering::Relaxed);
                         break;
@@ -192,13 +199,23 @@ pub(crate) fn run_batch<Q: Sync, R: Send + Sync>(
         }
     });
 
-    if let Some(e) = first_error.into_inner().expect("poison-free") {
+    if let Some(e) = first_error
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
         return Err(e);
     }
-    Ok(slots
+    slots
         .into_iter()
-        .map(|s| s.into_inner().expect("every query ran"))
-        .collect())
+        .map(|s| {
+            // Every slot is filled when no worker errored or panicked (the
+            // scope re-raises worker panics); an empty one is surfaced as
+            // a typed error all the same.
+            s.into_inner().ok_or_else(|| {
+                StorageError::Corrupt("batch worker terminated without a result".into())
+            })
+        })
+        .collect()
 }
 
 /// [`run_batch`] with per-query fault isolation: a query that errors — or

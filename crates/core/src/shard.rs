@@ -373,9 +373,11 @@ impl Merged {
 /// Object ids are assumed unique across the dataset (the generators and
 /// the CLI guarantee this); the canonical result order is `(distance,
 /// id)`, which makes answers deterministic across shard counts and worker
-/// schedules. Under ties at the k-th distance the monolithic engine breaks
-/// ties by traversal order instead, so the *sets* agree but the tied tail
-/// may be ordered differently.
+/// schedules. The monolithic engines canonicalize ties at the k-th
+/// distance to the same `(distance, id)` order (their collectors drain the
+/// tied group and reorder it by id), so sharded and monolithic answers are
+/// byte-identical — the differential oracle harness (`ir2 fuzz`) asserts
+/// exactly this.
 pub struct ShardedDb<D: BlockDevice + 'static> {
     shards: Vec<SpatialKeywordDb<D>>,
     bounds: Vec<Option<Rect<2>>>,
@@ -420,7 +422,15 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
         });
         let shards = slots
             .into_iter()
-            .map(|slot| slot.expect("every build slot filled"))
+            .map(|slot| {
+                // An unfilled slot (a build worker that died without
+                // reporting) surfaces as a typed error, not a crash.
+                slot.unwrap_or_else(|| {
+                    Err(StorageError::Corrupt(
+                        "shard build worker terminated without a result".into(),
+                    ))
+                })
+            })
             .collect::<Result<Vec<_>>>()?;
         Ok(Self {
             shards,
@@ -589,7 +599,7 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
                     // stale snapshot is merely a looser — still sound —
                     // bound.
                     let limit = {
-                        let g = shared.lock().expect("poison-free");
+                        let g = lock_top_k(&shared)?;
                         if g.is_full() {
                             if b > g.threshold() {
                                 break;
@@ -601,7 +611,7 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
                     };
                     match iter.next_hit_within(limit)? {
                         BoundedStep::Hit(obj, d) => {
-                            shared.lock().expect("poison-free").insert(obj, d);
+                            lock_top_k(&shared)?.insert(obj, d);
                         }
                         BoundedStep::Pending => {}
                         BoundedStep::Done => {
@@ -626,7 +636,10 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
             })
         })?;
         let mut merged = Merged::empty(self.shards.len());
-        let results = shared.into_inner().expect("poison-free").into_sorted();
+        let results = shared
+            .into_inner()
+            .map_err(|_| poisoned_top_k())?
+            .into_sorted();
         let (mut index_io, mut object_io) = (IoSnapshot::default(), IoSnapshot::default());
         let (mut retries, mut backoff) = (0u64, Duration::ZERO);
         for (i, w) in outs.iter().enumerate() {
@@ -1035,6 +1048,18 @@ fn sum_counters(into: &mut SearchCounters, c: SearchCounters) {
     into.candidates_checked += c.candidates_checked;
     into.false_positives += c.false_positives;
     into.cache_hits += c.cache_hits;
+    into.cache_misses += c.cache_misses;
+}
+
+/// Typed error for a parallel-merge mutex poisoned by a sibling worker's
+/// panic: the query fails with a [`StorageError`] its caller can isolate
+/// (one slot of a batch) instead of a propagating panic aborting the run.
+fn poisoned_top_k() -> StorageError {
+    StorageError::Corrupt("sharded merge state poisoned by a worker panic".into())
+}
+
+fn lock_top_k(m: &Mutex<TopK>) -> Result<std::sync::MutexGuard<'_, TopK>> {
+    m.lock().map_err(|_| poisoned_top_k())
 }
 
 // The sharded engine hands `&ShardedDb` to scoped worker threads (batch

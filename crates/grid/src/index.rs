@@ -155,7 +155,11 @@ impl<D: BlockDevice> GridIndex<D> {
         let g = self.cfg.cells_per_axis as isize;
         let (qcx, qcy) = cell_coords(&self.bbox, self.cfg.cells_per_axis, &query.point);
 
-        // Candidates verified so far, as a max-heap of size k on distance.
+        // Candidates verified so far, as a max-heap of size k keyed by the
+        // canonical `(distance, id)` order every engine shares — keying by
+        // record pointer instead made the *choice* of tied tail diverge
+        // from the tree engines whenever an equal-distance cluster
+        // straddled the k boundary (append order is not id order).
         let mut heap: BinaryHeap<(OrderedF64, u64)> = BinaryHeap::new();
         let mut kept: std::collections::HashMap<u64, SpatialObject<2>> =
             std::collections::HashMap::new();
@@ -209,8 +213,9 @@ impl<D: BlockDevice> GridIndex<D> {
                         counters.false_positives += 1;
                         continue;
                     }
-                    kept.insert(ptr, obj);
-                    heap.push((OrderedF64(d), ptr));
+                    let id = obj.id;
+                    kept.insert(id, obj);
+                    heap.push((OrderedF64(d), id));
                     if heap.len() > query.k {
                         if let Some((_, evicted)) = heap.pop() {
                             kept.remove(&evicted);
@@ -225,9 +230,9 @@ impl<D: BlockDevice> GridIndex<D> {
         }
 
         let mut picked: Vec<(OrderedF64, u64)> = heap.into_vec();
-        picked.sort_by_key(|&(d, p)| (d, p));
-        for (d, p) in picked {
-            out.push((kept.remove(&p).expect("kept candidate"), d.0));
+        picked.sort_by_key(|&(d, id)| (d, id));
+        for (d, id) in picked {
+            out.push((kept.remove(&id).expect("kept candidate"), d.0));
         }
         Ok((out, counters))
     }

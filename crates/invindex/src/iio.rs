@@ -24,7 +24,8 @@ use crate::InvertedIndex;
 /// returns no results.
 ///
 /// Results are `(object, distance)` in ascending distance, ties broken by
-/// object pointer for determinism.
+/// object id — the canonical `(distance, id)` order every engine in the
+/// workspace shares.
 pub fn iio_topk<const N: usize, D: BlockDevice>(
     index: &InvertedIndex<D>,
     vocab: &Vocabulary,
@@ -99,8 +100,12 @@ pub fn iio_topk_limited<const N: usize, D: BlockDevice>(
         io_used += 1;
         let obj = objects.load(ptr)?;
         let d = obj.point.distance(&query.point);
-        kept.insert(ptr.0, obj);
-        heap.push((OrderedF64(d), ptr.0));
+        // Canonical `(distance, id)` tie order: keying the bounded heap by
+        // record pointer made the tied tail at the k boundary diverge from
+        // the tree engines (append order is not id order).
+        let id = obj.id;
+        kept.insert(id, obj);
+        heap.push((OrderedF64(d), id));
         if heap.len() > query.k {
             if let Some((_, evicted)) = heap.pop() {
                 kept.remove(&evicted);
@@ -108,15 +113,15 @@ pub fn iio_topk_limited<const N: usize, D: BlockDevice>(
         }
     }
 
-    // Line 10: ascending by distance (ties by pointer for determinism).
+    // Line 10: ascending by distance (ties by id for determinism).
     let mut picked: Vec<(OrderedF64, u64)> = heap.into_vec();
-    picked.sort_by_key(|&(d, p)| (d, p));
+    picked.sort_by_key(|&(d, id)| (d, id));
     Ok(ExecOutcome::Complete(
         picked
             .into_iter()
-            .map(|(d, p)| {
+            .map(|(d, id)| {
                 (
-                    kept.remove(&p).expect("kept object for every heap entry"),
+                    kept.remove(&id).expect("kept object for every heap entry"),
                     d.0,
                 )
             })

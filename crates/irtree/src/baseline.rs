@@ -79,15 +79,18 @@ impl<'a, const N: usize, D: BlockDevice, S: TraceSink> RtreeBaselineIter<'a, N, 
 
     /// The search counters so far (`pruned_by_signature` is always 0 — the
     /// baseline has no signatures; its `false_positives` count the loaded
-    /// objects that failed the keyword check). `nodes_read` stays 0 here:
-    /// node visits happen inside the plain NN iterator and are not part of
-    /// the baseline's trace — they are still *charged* against any
-    /// [`QueryLimits`] I/O budget via [`NnIter::nodes_read`]. `cache_hits`
-    /// *is* surfaced from the NN iterator: it reports decoded-node cache
-    /// effectiveness, which is orthogonal to the trace's cost story.
+    /// objects that failed the keyword check). Node visits happen inside
+    /// the plain NN iterator and are not part of the baseline's *trace*,
+    /// but they are surfaced here as `nodes_read` / `cache_hits` /
+    /// `cache_misses` so the conservation identity
+    /// `nodes_read == cache_hits + cache_misses` holds for every report
+    /// (the old convention of reporting `nodes_read == 0` alongside a
+    /// nonzero `cache_hits` broke it).
     pub fn counters(&self) -> SearchCounters {
         let mut c = self.counters;
+        c.nodes_read = self.nn.nodes_read();
         c.cache_hits = self.nn.cache_hits();
+        c.cache_misses = self.nn.cache_misses();
         c
     }
 
@@ -169,6 +172,34 @@ impl<const N: usize, D: BlockDevice, S: TraceSink> Iterator for RtreeBaselineIte
     }
 }
 
+/// Collects up to `k` results from a baseline iterator, then drains and
+/// reorders ties at the k-th distance into the workspace-wide canonical
+/// `(distance, id)` order (the bound is inclusive and the stream is
+/// non-decreasing, so the drain touches only the tied group).
+fn collect_k_baseline<const N: usize, D: BlockDevice, S: TraceSink>(
+    iter: &mut RtreeBaselineIter<'_, N, D, S>,
+    k: usize,
+) -> Result<Vec<(SpatialObject<N>, f64)>> {
+    let mut out = Vec::with_capacity(k.min(1024));
+    while out.len() < k {
+        match iter.step()? {
+            Some(hit) => out.push(hit),
+            None => break,
+        }
+    }
+    if out.len() == k && k > 0 && iter.truncation().is_none() {
+        let kth = out[k - 1].1;
+        while let BoundedStep::Hit(obj, d) = iter.next_within(kth)? {
+            out.push((obj, d));
+        }
+    }
+    // Unconditional: interior equal-distance groups emit in traversal
+    // order even when the stream exhausts below `k` (fuzzer-caught).
+    out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
+    out.truncate(k);
+    Ok(out)
+}
+
 /// Answers a distance-first top-k spatial keyword query with the R-Tree
 /// baseline, returning `(object, distance)` pairs in ascending distance and
 /// the search counters.
@@ -188,13 +219,7 @@ pub fn rtree_baseline_topk_traced<const N: usize, D: BlockDevice, S: TraceSink>(
     sink: S,
 ) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)> {
     let mut iter = RtreeBaselineIter::with_sink(tree, objects, query, sink);
-    let mut out = Vec::with_capacity(query.k);
-    while out.len() < query.k {
-        match iter.step()? {
-            Some(hit) => out.push(hit),
-            None => break,
-        }
-    }
+    let out = collect_k_baseline(&mut iter, query.k)?;
     Ok((out, iter.counters()))
 }
 
@@ -220,13 +245,7 @@ pub fn rtree_baseline_topk_limited_traced<const N: usize, D: BlockDevice, S: Tra
     sink: S,
 ) -> Result<LimitedTopk<N>> {
     let mut iter = RtreeBaselineIter::with_sink(tree, objects, query, sink).limited(limits);
-    let mut out = Vec::with_capacity(query.k);
-    while out.len() < query.k {
-        match iter.step()? {
-            Some(hit) => out.push(hit),
-            None => break,
-        }
-    }
+    let out = collect_k_baseline(&mut iter, query.k)?;
     let counters = iter.counters();
     let outcome = match iter.truncation() {
         Some(reason) => ExecOutcome::Truncated {
@@ -250,13 +269,7 @@ pub fn rtree_baseline_topk_prefetched_traced<const N: usize, D: BlockDevice, S: 
 ) -> Result<(Vec<(SpatialObject<N>, f64)>, SearchCounters)> {
     with_frontier_prefetch(tree, workers, |pf| {
         let mut iter = RtreeBaselineIter::with_sink(tree, objects, query, sink).prefetching(pf);
-        let mut out = Vec::with_capacity(query.k);
-        while out.len() < query.k {
-            match iter.step()? {
-                Some(hit) => out.push(hit),
-                None => break,
-            }
-        }
+        let out = collect_k_baseline(&mut iter, query.k)?;
         Ok((out, iter.counters()))
     })
 }
@@ -279,13 +292,7 @@ pub fn rtree_baseline_topk_prefetched_limited_traced<
         let mut iter = RtreeBaselineIter::with_sink(tree, objects, query, sink)
             .limited(limits)
             .prefetching(pf);
-        let mut out = Vec::with_capacity(query.k);
-        while out.len() < query.k {
-            match iter.step()? {
-                Some(hit) => out.push(hit),
-                None => break,
-            }
-        }
+        let out = collect_k_baseline(&mut iter, query.k)?;
         let counters = iter.counters();
         let outcome = match iter.truncation() {
             Some(reason) => ExecOutcome::Truncated {

@@ -36,6 +36,14 @@ pub struct SearchCounters {
     /// keeps counting *visits* either way, so I/O budgets are deterministic
     /// regardless of cache state.
     pub cache_hits: u64,
+    /// Of [`nodes_read`](SearchCounters::nodes_read), visits that had to
+    /// decode the node (device read + CRC + entry decode) — including every
+    /// visit on a tree with no cache attached. The conservation identity
+    /// `nodes_read == cache_hits + cache_misses` holds for every report;
+    /// prefetch workers decode out-of-band into the cache's *global* stats
+    /// and never touch these per-query counters, so the identity is exact
+    /// under prefetch too.
+    pub cache_misses: u64,
 }
 
 /// What a limit-aware top-k run returns: the complete-or-truncated
@@ -272,6 +280,7 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
                     let (node, hit) = self.tree.read_node_cached(id)?;
                     self.counters.nodes_read += 1;
                     self.counters.cache_hits += u64::from(hit);
+                    self.counters.cache_misses += u64::from(!hit);
                     self.sink.record(&TraceEvent::NodeVisited {
                         node: id,
                         level: node.level,
@@ -605,6 +614,26 @@ where
     })
 }
 
+/// Canonicalizes a distance-ordered result list to the workspace-wide
+/// `(distance, id)` tie order. Two distinct situations need it:
+///
+/// - the stream produced `k` results: every further result *at the k-th
+///   distance* must first be drained (the bound is inclusive and the
+///   stream is non-decreasing, so `next_within` touches only the tied
+///   group) so the cut keeps the id-smallest tied members;
+/// - the stream exhausted below `k`: no drain is needed, but *interior*
+///   equal-distance groups still sit in traversal order — the
+///   differential fuzzer caught exactly this against the brute-force
+///   oracle (`ir2 fuzz`, seed 42 iter 1: k past the match count left
+///   tied pairs swapped).
+///
+/// Both end with the same full `(distance, id)` sort, so every collector
+/// calls this unconditionally before returning.
+fn canonicalize_ties<const N: usize>(out: &mut Vec<(SpatialObject<N>, f64)>, k: usize) {
+    out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
+    out.truncate(k);
+}
+
 fn collect_k<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(
     mut iter: DistanceFirstIter<'_, N, D, P, S>,
     k: usize,
@@ -616,6 +645,13 @@ fn collect_k<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(
             None => break,
         }
     }
+    if out.len() == k && k > 0 {
+        let kth = out[k - 1].1;
+        while let BoundedStep::Hit(obj, d) = iter.next_within(kth)? {
+            out.push((obj, d));
+        }
+    }
+    canonicalize_ties(&mut out, k);
     Ok((out, iter.counters()))
 }
 
@@ -630,6 +666,17 @@ fn collect_k_limited<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink
             None => break,
         }
     }
+    if out.len() == k && k > 0 && iter.truncation().is_none() {
+        // The tie drain runs under the same limits as the search proper; a
+        // budget that trips mid-drain reports `Truncated` (the tied tail
+        // could not be canonicalized, so the choice of tied members is not
+        // guaranteed to be the `(distance, id)`-smallest).
+        let kth = out[k - 1].1;
+        while let BoundedStep::Hit(obj, d) = iter.next_within(kth)? {
+            out.push((obj, d));
+        }
+    }
+    canonicalize_ties(&mut out, k);
     let counters = iter.counters();
     let outcome = match iter.truncation() {
         Some(reason) => ExecOutcome::Truncated {

@@ -270,9 +270,13 @@ impl TraceStats {
     /// True iff the aggregate is definitionally consistent with the
     /// algorithm's own counters (see module docs for the mapping). The
     /// pruning identity only binds when signature tests were recorded at
-    /// all — the plain R-Tree baseline performs none.
+    /// all — the plain R-Tree baseline performs none — and the node
+    /// identity only binds when node visits were recorded: the baseline's
+    /// visits happen inside the untraced NN iterator, yet its counters
+    /// surface the NN visit tally so `nodes_read == cache_hits +
+    /// cache_misses` stays conserved.
     pub fn matches_counters(&self, c: &SearchCounters) -> bool {
-        self.nodes_visited == c.nodes_read
+        (self.nodes_visited == 0 || self.nodes_visited == c.nodes_read)
             && self.objects_fetched == c.candidates_checked
             && self.false_positives == c.false_positives
             && (self.sig_tests == 0 || self.pruned_by_signature() == c.pruned_by_signature)
@@ -392,6 +396,7 @@ mod tests {
             candidates_checked: 2,
             false_positives: 1,
             cache_hits: 0,
+            cache_misses: 1,
         };
         assert!(ss.stats.matches_counters(&c));
         // The untested (R-Tree baseline) case binds only the object side.
@@ -407,6 +412,7 @@ mod tests {
             candidates_checked: 2,
             false_positives: 1,
             cache_hits: 0,
+            cache_misses: 1,
         }));
     }
 

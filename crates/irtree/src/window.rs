@@ -44,6 +44,7 @@ pub fn keyword_window_query<const N: usize, D: BlockDevice, P: SigPayload>(
     while let Some(id) = stack.pop() {
         let node = tree.read_node(id)?;
         counters.nodes_read += 1;
+        counters.cache_misses += 1; // uncached read: every visit decodes
         let scheme = tree.ops().scheme_at(node.level);
         let qsig = query_sigs
             .entry(node.level)

@@ -1,0 +1,69 @@
+//! Failing-case minimization.
+//!
+//! Scenario generation truncates to its [`Caps`] *after* generating, so
+//! a smaller cap yields a strict subset of the same scenario. That makes
+//! shrinking trivial and sound: walk each cap downward (halving first,
+//! then linear) and keep any value at which the iteration still
+//! diverges. Any divergence counts as a reproduction — shrinking often
+//! shifts *which* check fires first, and the smallest failing case is
+//! the useful one regardless.
+
+use crate::harness::{fuzz_one, Divergence};
+use crate::scenario::Caps;
+
+/// Shrinks `(seed, iter)`'s divergence to minimal reproducing caps.
+/// Returns `None` if the iteration does not actually diverge under the
+/// starting caps (the caller then keeps its original divergence).
+pub(crate) fn shrink(seed: u64, iter: u64, mut caps: Caps, inject: bool) -> Option<Divergence> {
+    let mut best = fuzz_one(seed, iter, caps, inject).divergence?;
+
+    for field in [Field::Objects, Field::Queries] {
+        // Halve while the failure reproduces…
+        while field.get(&caps) > 1 {
+            let try_caps = field.with(&caps, field.get(&caps) / 2);
+            match fuzz_one(seed, iter, try_caps, inject).divergence {
+                Some(d) => {
+                    caps = try_caps;
+                    best = d;
+                }
+                None => break,
+            }
+        }
+        // …then step down one at a time.
+        while field.get(&caps) > 1 {
+            let try_caps = field.with(&caps, field.get(&caps) - 1);
+            match fuzz_one(seed, iter, try_caps, inject).divergence {
+                Some(d) => {
+                    caps = try_caps;
+                    best = d;
+                }
+                None => break,
+            }
+        }
+    }
+    Some(best)
+}
+
+#[derive(Clone, Copy)]
+enum Field {
+    Objects,
+    Queries,
+}
+
+impl Field {
+    fn get(self, caps: &Caps) -> usize {
+        match self {
+            Field::Objects => caps.max_objects,
+            Field::Queries => caps.max_queries,
+        }
+    }
+
+    fn with(self, caps: &Caps, v: usize) -> Caps {
+        let mut c = *caps;
+        match self {
+            Field::Objects => c.max_objects = v,
+            Field::Queries => c.max_queries = v,
+        }
+        c
+    }
+}

@@ -1,0 +1,78 @@
+//! The brute-force reference engine.
+//!
+//! A second, independent implementation of the query semantics: no
+//! index, no signatures, no pruning — just a linear scan with its own
+//! keyword matcher. Small enough to audit by eye, which is what makes
+//! it an oracle.
+
+use std::collections::HashSet;
+
+use ir2tree::model::{DistanceFirstQuery, SpatialObject};
+use ir2tree::text::tokenize;
+
+/// The full ranking of every matching object, in the canonical
+/// `(distance, id)` order. Distances come from the same
+/// [`Point::distance`](ir2tree::geo::Point::distance) every engine uses,
+/// so comparisons downstream can demand bitwise equality.
+pub fn reference_ranking(
+    objects: &[SpatialObject<2>],
+    query: &DistanceFirstQuery<2>,
+) -> Vec<(u64, f64)> {
+    let mut hits: Vec<(u64, f64)> = objects
+        .iter()
+        .filter(|o| matches(o, &query.keywords))
+        .map(|o| (o.id, o.point.distance(&query.point)))
+        .collect();
+    hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    hits
+}
+
+/// The exact top-k answer: the first `query.k` entries of the ranking.
+pub fn reference_topk(
+    objects: &[SpatialObject<2>],
+    query: &DistanceFirstQuery<2>,
+) -> Vec<(u64, f64)> {
+    let mut hits = reference_ranking(objects, query);
+    hits.truncate(query.k);
+    hits
+}
+
+/// Conjunctive keyword containment, re-derived from the raw text rather
+/// than from any engine's token structures.
+fn matches(o: &SpatialObject<2>, keywords: &[String]) -> bool {
+    let terms: HashSet<String> = tokenize(&o.text).collect();
+    keywords.iter().all(|w| terms.contains(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_order_breaks_exact_ties_by_id() {
+        // Three objects at the same distance, ids deliberately unsorted
+        // relative to declaration order.
+        let objs = vec![
+            SpatialObject::new(9, [1.0, 0.0], "cafe"),
+            SpatialObject::new(2, [0.0, 1.0], "cafe"),
+            SpatialObject::new(5, [-1.0, 0.0], "cafe"),
+            SpatialObject::new(1, [5.0, 0.0], "cafe"),
+        ];
+        let q = DistanceFirstQuery::new([0.0, 0.0], &["cafe"], 2);
+        let top = reference_topk(&objs, &q);
+        assert_eq!(
+            top.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+            vec![2, 5]
+        );
+    }
+
+    #[test]
+    fn empty_keywords_match_everything() {
+        let objs = vec![
+            SpatialObject::new(1, [0.0, 0.0], "cafe"),
+            SpatialObject::new(2, [1.0, 0.0], "spa"),
+        ];
+        let q = DistanceFirstQuery::<2>::new([0.0, 0.0], &[] as &[&str], 5);
+        assert_eq!(reference_topk(&objs, &q).len(), 2);
+    }
+}

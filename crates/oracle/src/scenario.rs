@@ -1,0 +1,195 @@
+//! Deterministic scenario generation.
+//!
+//! A scenario — the initial dataset, an interleaved insert/delete tail,
+//! and a query stream — is a pure function of `(seed, iteration)` plus
+//! the size [`Caps`]. Two deliberate choices make divergences likely:
+//!
+//! - coordinates live on a small integer grid, so exact (bitwise)
+//!   distance ties are common and regularly straddle the `k` boundary;
+//! - object ids are a shuffled permutation of `1..=n`, so the order
+//!   objects are appended to the object file never coincides with id
+//!   order — any engine that breaks ties by record pointer instead of
+//!   by id is caught immediately.
+//!
+//! Caps are applied by *truncation after generation*: shrinking a cap
+//! yields a strict subset of the same scenario, which is what lets the
+//! minimizer walk caps downward while reproducing the same failure.
+
+use ir2tree::model::{DistanceFirstQuery, SpatialObject};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The closed vocabulary queries and documents draw from. Small on
+/// purpose: dense keyword overlap exercises the conjunctive matcher far
+/// harder than realistic text would.
+pub const VOCAB: [&str; 6] = ["cafe", "wifi", "pool", "spa", "sauna", "gym"];
+
+/// Size caps for one fuzz iteration — the two knobs the minimizer
+/// shrinks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Caps {
+    /// Maximum initial objects (also caps the insert tail).
+    pub max_objects: usize,
+    /// Maximum queries in the stream.
+    pub max_queries: usize,
+}
+
+impl Default for Caps {
+    fn default() -> Self {
+        // Generation tops out well below 64, so the defaults are "uncapped".
+        Self {
+            max_objects: 64,
+            max_queries: 64,
+        }
+    }
+}
+
+/// One generated fuzz case.
+pub struct Scenario {
+    /// Objects the databases are built from.
+    pub initial: Vec<SpatialObject<2>>,
+    /// Objects inserted afterwards (in order) on the mutated database.
+    pub inserts: Vec<SpatialObject<2>>,
+    /// Indices into [`inserts`](Scenario::inserts) deleted again after
+    /// insertion. Only inserted objects are deleted, because only
+    /// `insert` hands back the [`ObjPtr`](ir2tree::model::ObjPtr) that
+    /// `delete` needs.
+    pub delete_idx: Vec<usize>,
+    /// The query stream every engine answers.
+    pub queries: Vec<DistanceFirstQuery<2>>,
+}
+
+impl Scenario {
+    /// The objects alive after all inserts and deletes — the set the
+    /// reference engine (and every rebuilt static engine) works from.
+    pub fn live(&self) -> Vec<SpatialObject<2>> {
+        let mut live = self.initial.clone();
+        live.extend(
+            self.inserts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !self.delete_idx.contains(i))
+                .map(|(_, o)| o.clone()),
+        );
+        live
+    }
+}
+
+/// Generates the scenario for one `(seed, iteration)` pair under `caps`.
+pub fn generate(seed: u64, iter: u64, caps: &Caps) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ iter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let n_initial = rng.random_range(4..=20usize);
+    let n_inserts = rng.random_range(0..=6usize);
+    let total = n_initial + n_inserts;
+
+    // Shuffled id permutation: append order must not equal id order.
+    let mut ids: Vec<u64> = (1..=total as u64).collect();
+    for i in (1..ids.len()).rev() {
+        let j = rng.random_range(0..=i);
+        ids.swap(i, j);
+    }
+
+    let mut initial: Vec<SpatialObject<2>> = ids[..n_initial]
+        .iter()
+        .map(|&id| random_object(&mut rng, id))
+        .collect();
+    let mut inserts: Vec<SpatialObject<2>> = ids[n_initial..]
+        .iter()
+        .map(|&id| random_object(&mut rng, id))
+        .collect();
+    // Roughly a quarter of the inserts are deleted again.
+    let mut delete_idx: Vec<usize> = (0..n_inserts)
+        .filter(|_| rng.random::<bool>() && rng.random::<bool>())
+        .collect();
+    let n_queries = rng.random_range(5..=10usize);
+    let mut queries: Vec<DistanceFirstQuery<2>> = (0..n_queries)
+        .map(|_| random_query(&mut rng, total))
+        .collect();
+
+    // Monotone truncation (see module docs): shrink, never re-generate.
+    initial.truncate(caps.max_objects.max(1));
+    inserts.truncate(caps.max_objects);
+    delete_idx.retain(|&i| i < inserts.len());
+    queries.truncate(caps.max_queries);
+
+    Scenario {
+        initial,
+        inserts,
+        delete_idx,
+        queries,
+    }
+}
+
+fn random_object(rng: &mut StdRng, id: u64) -> SpatialObject<2> {
+    let x = rng.random_range(0..=10u32) as f64;
+    let y = rng.random_range(0..=10u32) as f64;
+    let mut words: Vec<&str> = VOCAB
+        .iter()
+        .copied()
+        .filter(|_| rng.random::<bool>())
+        .collect();
+    if words.is_empty() {
+        words.push(VOCAB[rng.random_range(0..VOCAB.len())]);
+    }
+    SpatialObject::new(id, [x, y], words.join(" "))
+}
+
+fn random_query(rng: &mut StdRng, n_objects: usize) -> DistanceFirstQuery<2> {
+    let x = rng.random_range(0..=10u32) as f64;
+    let y = rng.random_range(0..=10u32) as f64;
+    // Mostly 1-2 keywords; occasionally none (pure NN — and an expected
+    // error from IIO, which has no spatial access path).
+    let n_kw = match rng.random_range(0..8u32) {
+        0 => 0,
+        1..=4 => 1,
+        _ => 2,
+    };
+    let mut kws: Vec<&str> = Vec::new();
+    while kws.len() < n_kw {
+        let w = VOCAB[rng.random_range(0..VOCAB.len())];
+        if !kws.contains(&w) {
+            kws.push(w);
+        }
+    }
+    let k = rng.random_range(0..=n_objects + 2);
+    DistanceFirstQuery::new([x, y], &kws, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_monotone_under_caps() {
+        let full = generate(7, 3, &Caps::default());
+        let again = generate(7, 3, &Caps::default());
+        assert_eq!(again.initial, full.initial);
+        assert_eq!(again.queries.len(), full.queries.len());
+
+        let small = generate(
+            7,
+            3,
+            &Caps {
+                max_objects: 2,
+                max_queries: 1,
+            },
+        );
+        assert_eq!(small.initial, full.initial[..2].to_vec());
+        assert!(small.queries.len() <= 1);
+        assert!(small.delete_idx.iter().all(|&i| i < small.inserts.len()));
+    }
+
+    #[test]
+    fn ids_are_a_permutation() {
+        let sc = generate(1, 0, &Caps::default());
+        let mut ids: Vec<u64> = sc
+            .initial
+            .iter()
+            .chain(sc.inserts.iter())
+            .map(|o| o.id)
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), sc.initial.len() + sc.inserts.len());
+    }
+}

@@ -45,6 +45,7 @@ pub struct NnIter<'a, const N: usize, D, P> {
     seq: u64,
     nodes_read: u64,
     cache_hits: u64,
+    cache_misses: u64,
     prefetch: PrefetchQueue,
 }
 
@@ -74,6 +75,7 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
             seq: 1,
             nodes_read: 0,
             cache_hits: 0,
+            cache_misses: 0,
             prefetch: PrefetchQueue::disabled(),
         }
     }
@@ -91,6 +93,13 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> NnIter<'_, N, D, P> {
     /// the tree's decoded-node cache (0 without an attached cache).
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits
+    }
+
+    /// Of [`nodes_read`](NnIter::nodes_read), how many had to decode the
+    /// node — every visit not served by the cache, so
+    /// `nodes_read == cache_hits + cache_misses` always holds.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
     }
 
     /// Attaches a frontier-prefetch queue (see
@@ -144,6 +153,7 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> NnIter<'_, N, D, P> {
                     let (node, hit) = self.tree.read_node_cached(id)?;
                     self.nodes_read += 1;
                     self.cache_hits += u64::from(hit);
+                    self.cache_misses += u64::from(!hit);
                     let mut speculate = self.prefetch.width();
                     for e in &node.entries {
                         let d = OrderedF64(e.rect.min_dist(&self.query));

@@ -197,8 +197,13 @@ impl<D: BlockDevice> SignatureFile<D> {
                 continue;
             }
             let d = obj.point.distance(&query.point);
-            kept.insert(ptr.0, obj);
-            heap.push((OrderedF64(d), ptr.0));
+            // The bounded max-heap is keyed by the canonical `(distance,
+            // id)` order every engine shares; keying by record pointer
+            // made the choice of tied tail diverge from the tree engines
+            // under equal-distance clusters at the k boundary.
+            let id = obj.id;
+            kept.insert(id, obj);
+            heap.push((OrderedF64(d), id));
             if heap.len() > query.k {
                 if let Some((_, evicted)) = heap.pop() {
                     kept.remove(&evicted);
@@ -206,10 +211,10 @@ impl<D: BlockDevice> SignatureFile<D> {
             }
         }
         let mut picked: Vec<(OrderedF64, u64)> = heap.into_vec();
-        picked.sort_by_key(|&(d, p)| (d, p));
+        picked.sort_by_key(|&(d, id)| (d, id));
         let out = picked
             .into_iter()
-            .map(|(d, p)| (kept.remove(&p).expect("kept candidate"), d.0))
+            .map(|(d, id)| (kept.remove(&id).expect("kept candidate"), d.0))
             .collect();
         Ok((out, counters))
     }
