@@ -1,0 +1,403 @@
+//! Robustness guard for replicated shards: failover exactness, clean-path
+//! router overhead, and hedged tail latency.
+//!
+//! Three phases over one dataset at S = 4 shards:
+//!
+//! * **clean path**: the same workload through an R = 1 and an R = 2
+//!   database built from the same bytes. Replication must cost nothing
+//!   when nothing fails — the router just picks the primary —
+//!   (`--assert-max-overhead-pct X` turns the ratio into a hard gate)
+//!   and the answers must match bit for bit.
+//! * **failover**: every shard's primary replica is killed mid-run
+//!   (one of them mid-*query* via an armed operation-counter trip).
+//!   Zero failed queries and bitwise-exact answers are asserted
+//!   unconditionally — that is the acceptance criterion, not a tunable.
+//! * **hedged tail**: every shard's *primary* replica is degraded with
+//!   seeded 1-in-8 per-operation stalls (the tail-at-scale scenario: one
+//!   slow node, and the router has no way to know which). The parallel
+//!   drain is measured with and without hedging; the hedge fires after
+//!   `--hedge-us` and drains the clean secondary, so hedging should cut
+//!   p99 sharply while leaving answers identical (`--assert-hedge-p99`
+//!   gates hedged p99 < unhedged p99). Cancellation is cooperative at
+//!   node granularity — a hedge cannot interrupt one in-flight blocked
+//!   read, it stops the slow replica from being *waited on* further.
+//!
+//! Usage:
+//!   replica_failover [--scale F] [--queries N] [--k K] [--keywords W]
+//!                    [--reps R] [--sig-bytes B] [--stall-us U]
+//!                    [--stall-p P] [--hedge-us U]
+//!                    [--assert-max-overhead-pct X] [--assert-hedge-p99]
+//!                    [--out FILE]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ir2_bench::workload;
+use ir2_datagen::DatasetSpec;
+use ir2tree::model::DistanceFirstQuery;
+use ir2tree::storage::testing::{KillSwitch, KillableDevice, StallDevice};
+use ir2tree::storage::MemDevice;
+use ir2tree::{Algorithm, DbConfig, DeviceSet, RetryDevice, ShardedDb};
+
+const SHARDS: usize = 4;
+const REPLICAS: usize = 2;
+
+struct Args {
+    scale: f64,
+    queries: usize,
+    k: usize,
+    keywords: usize,
+    reps: usize,
+    sig_bytes: usize,
+    stall_us: u64,
+    stall_p: f64,
+    hedge_us: u64,
+    assert_max_overhead_pct: Option<f64>,
+    assert_hedge_p99: bool,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.02,
+        queries: 96,
+        k: 10,
+        keywords: 2,
+        reps: 5,
+        sig_bytes: 32,
+        // Stalls must dwarf per-node CPU for the tail to be stall-bound
+        // (the regime hedging targets) — 5 ms ≈ a degraded-disk seek.
+        stall_us: 5000,
+        stall_p: 1.0 / 8.0,
+        hedge_us: 500,
+        assert_max_overhead_pct: None,
+        assert_hedge_p99: false,
+        out: "BENCH_replica_failover.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut next = |what: &str| it.next().unwrap_or_else(|| panic!("{arg} needs {what}"));
+        match arg.as_str() {
+            "--scale" => args.scale = next("F").parse().expect("scale factor"),
+            "--queries" => args.queries = next("N").parse().expect("query count"),
+            "--k" => args.k = next("K").parse().expect("k"),
+            "--keywords" => args.keywords = next("W").parse().expect("keyword count"),
+            "--reps" => args.reps = next("R").parse().expect("rep count"),
+            "--sig-bytes" => args.sig_bytes = next("B").parse().expect("signature bytes"),
+            "--stall-us" => args.stall_us = next("U").parse().expect("stall microseconds"),
+            "--stall-p" => args.stall_p = next("P").parse().expect("stall probability"),
+            "--hedge-us" => args.hedge_us = next("U").parse().expect("hedge microseconds"),
+            "--assert-max-overhead-pct" => {
+                args.assert_max_overhead_pct = Some(next("X").parse().expect("percent"))
+            }
+            "--assert-hedge-p99" => args.assert_hedge_p99 = true,
+            "--out" => args.out = next("FILE"),
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    args
+}
+
+type Truth = Vec<Vec<(u64, u64)>>;
+
+fn results_of<D: ir2tree::storage::BlockDevice>(
+    db: &ShardedDb<D>,
+    q: &DistanceFirstQuery<2>,
+) -> Vec<(u64, u64)> {
+    db.distance_first(Algorithm::Ir2, q)
+        .expect("query")
+        .results
+        .iter()
+        .map(|(o, d)| (o.id, d.to_bits()))
+        .collect()
+}
+
+/// One timed pass of the whole sequential-merge workload.
+fn sweep_once<D: ir2tree::storage::BlockDevice>(
+    db: &ShardedDb<D>,
+    queries: &[DistanceFirstQuery<2>],
+) -> f64 {
+    let t0 = Instant::now();
+    for q in queries {
+        let rep = db.distance_first(Algorithm::Ir2, q).expect("query");
+        std::hint::black_box(rep.results.len());
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = DatasetSpec::restaurants().scaled(args.scale);
+    let config = DbConfig {
+        sig_bytes: args.sig_bytes,
+        ..DbConfig::default()
+    };
+    let objects: Vec<_> = spec.generate().collect();
+    let queries = workload(&spec, args.queries, args.keywords, args.k);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!(
+        "[build] {} ({} objects) at {SHARDS} shards × {REPLICAS} replicas…",
+        spec.name,
+        objects.len(),
+    );
+    // One replicated build in shared memory; every phase reopens the same
+    // bytes behind a different device stack.
+    let raw: Vec<Vec<DeviceSet<Arc<MemDevice>>>> = (0..SHARDS)
+        .map(|_| {
+            (0..REPLICAS)
+                .map(|_| DeviceSet::in_memory().map(|_role, d| Arc::new(d)))
+                .collect()
+        })
+        .collect();
+    drop(
+        ShardedDb::build_replicated(raw.clone(), objects.clone(), config.clone())
+            .expect("replicated build"),
+    );
+
+    let single: ShardedDb<Arc<MemDevice>> =
+        ShardedDb::from_replica_groups(raw.iter().map(|g| vec![g[0].clone()]).collect())
+            .expect("open R=1");
+    let duo: ShardedDb<Arc<MemDevice>> =
+        ShardedDb::from_replica_groups(raw.clone()).expect("open R=2");
+
+    let truth: Truth = queries.iter().map(|q| results_of(&single, q)).collect();
+
+    // ---- phase 1: clean-path overhead -------------------------------
+    for (q, t) in queries.iter().zip(&truth) {
+        assert_eq!(&results_of(&duo, q), t, "R=2 clean path diverged");
+    }
+    // Interleave the passes so clock/cache drift hits both sides equally;
+    // compare best-of-reps (the drift-free floor of each engine).
+    sweep_once(&single, &queries);
+    sweep_once(&duo, &queries);
+    let (mut base_s, mut duo_s) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..args.reps.max(1) {
+        base_s = base_s.min(sweep_once(&single, &queries));
+        duo_s = duo_s.min(sweep_once(&duo, &queries));
+    }
+    let overhead_pct = (duo_s / base_s - 1.0) * 100.0;
+    eprintln!(
+        "[clean] R=1 {:.2} ms, R=2 {:.2} ms ({overhead_pct:+.2}% router overhead)",
+        base_s * 1e3,
+        duo_s * 1e3
+    );
+
+    // ---- phase 2: kill one replica per shard mid-run ----------------
+    let kills: Vec<Vec<KillSwitch>> = (0..SHARDS)
+        .map(|_| (0..REPLICAS).map(|_| KillSwitch::new()).collect())
+        .collect();
+    let killable: ShardedDb<RetryDevice<KillableDevice<Arc<MemDevice>>>> =
+        ShardedDb::from_replica_groups(
+            raw.iter()
+                .zip(&kills)
+                .map(|(group, ks)| {
+                    group
+                        .iter()
+                        .zip(ks)
+                        .map(|(set, k)| set.clone().map(|_role, d| RetryDevice::new(k.wrap(d))))
+                        .collect()
+                })
+                .collect(),
+        )
+        .expect("open killable");
+    let mut failed = 0usize;
+    let mut diverged = 0usize;
+    for (qi, (q, t)) in queries.iter().zip(&truth).enumerate() {
+        if qi == queries.len() / 2 {
+            // Shard 0's primary dies mid-query (armed a few operations
+            // ahead); every other shard's primary dies right now.
+            kills[0][0].kill_after(kills[0][0].ops() + 40);
+            for ks in kills.iter().skip(1) {
+                ks[0].kill();
+            }
+        }
+        match killable.distance_first(Algorithm::Ir2, q) {
+            Ok(rep) => {
+                let got: Vec<(u64, u64)> = rep
+                    .results
+                    .iter()
+                    .map(|(o, d)| (o.id, d.to_bits()))
+                    .collect();
+                if &got != t {
+                    diverged += 1;
+                }
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    assert_eq!(failed, 0, "failover must leave zero failed queries");
+    assert_eq!(diverged, 0, "failover must not change any answer");
+    let failover_metrics = killable.metrics_prometheus();
+    let failovers: u64 = failover_metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("replica_failovers_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    eprintln!(
+        "[failover] {} queries, 0 failed, 0 diverged, {failovers} shard failovers",
+        queries.len()
+    );
+    assert!(
+        failovers > 0,
+        "the kill schedule must actually trip failovers"
+    );
+
+    // ---- phase 3: hedged tail latency under injected stalls ---------
+    let stall = Duration::from_micros(args.stall_us);
+    let hedge = Duration::from_micros(args.hedge_us);
+    let mut seed = 0x5EED_u64;
+    // Only replica 0 of each shard is degraded; the secondaries are
+    // clean. The router cannot tell — only the hedge routes around it.
+    let stalled: ShardedDb<StallDevice<Arc<MemDevice>>> = ShardedDb::from_replica_groups(
+        raw.iter()
+            .map(|group| {
+                group
+                    .iter()
+                    .enumerate()
+                    .map(|(m, set)| {
+                        seed += 1;
+                        let (s, p) = (seed, if m == 0 { args.stall_p } else { 0.0 });
+                        set.clone().map(|_role, d| StallDevice::new(d, p, stall, s))
+                    })
+                    .collect()
+            })
+            .collect(),
+    )
+    .expect("open stalled");
+    let mut unhedged: Vec<f64> = Vec::new();
+    let mut hedged: Vec<f64> = Vec::new();
+    for rep in 0..args.reps.max(1) {
+        for (q, t) in queries.iter().zip(&truth) {
+            let t0 = Instant::now();
+            let plain = stalled
+                .distance_first_parallel(Algorithm::Ir2, q, SHARDS)
+                .expect("query");
+            unhedged.push(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            let fast = stalled
+                .distance_first_hedged(Algorithm::Ir2, q, hedge)
+                .expect("query");
+            hedged.push(t0.elapsed().as_secs_f64());
+            if rep == 0 {
+                let a: Vec<(u64, u64)> = plain
+                    .results
+                    .iter()
+                    .map(|(o, d)| (o.id, d.to_bits()))
+                    .collect();
+                let b: Vec<(u64, u64)> = fast
+                    .results
+                    .iter()
+                    .map(|(o, d)| (o.id, d.to_bits()))
+                    .collect();
+                assert_eq!(&a, t, "stalled parallel diverged");
+                assert_eq!(&b, t, "hedged diverged");
+            }
+        }
+    }
+    unhedged.sort_by(f64::total_cmp);
+    hedged.sort_by(f64::total_cmp);
+    let (u50, u99) = (percentile(&unhedged, 0.50), percentile(&unhedged, 0.99));
+    let (h50, h99) = (percentile(&hedged, 0.50), percentile(&hedged, 0.99));
+    let hedge_metrics = stalled.metrics_prometheus();
+    let grab = |name: &str| -> u64 {
+        hedge_metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(name))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    };
+    let hedges = grab("replica_hedges_total ");
+    let hedge_wins = grab("replica_hedge_wins_total ");
+    eprintln!(
+        "[hedge] unhedged p50 {:.2} ms / p99 {:.2} ms → hedged p50 {:.2} ms / p99 {:.2} ms \
+         ({hedges} hedges, {hedge_wins} hedge wins)",
+        u50 * 1e3,
+        u99 * 1e3,
+        h50 * 1e3,
+        h99 * 1e3
+    );
+
+    println!(
+        "# replicated shards ({} objects, {} queries x k={}, S={SHARDS} R={REPLICAS}, \
+         {} core(s), best of {} reps)",
+        objects.len(),
+        queries.len(),
+        args.k,
+        cores,
+        args.reps
+    );
+    println!(
+        "{:<28} | {:>12} | {:>12}",
+        "phase", "baseline", "replicated"
+    );
+    println!("{}", "-".repeat(60));
+    println!(
+        "{:<28} | {:>9.2} ms | {:>9.2} ms",
+        "clean sweep (R=1 vs R=2)",
+        base_s * 1e3,
+        duo_s * 1e3
+    );
+    println!(
+        "{:<28} | {:>12} | {:>12}",
+        "failover sweep (kills)", "0 failed", "0 diverged"
+    );
+    println!(
+        "{:<28} | {:>9.2} ms | {:>9.2} ms",
+        "stalled p99 (plain/hedged)",
+        u99 * 1e3,
+        h99 * 1e3
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"replica_failover\",\n  \"dataset\": \"{}\",\n  \"objects\": {},\n  \"queries\": {},\n  \"k\": {},\n  \"reps\": {},\n  \"shards\": {SHARDS},\n  \"replicas\": {REPLICAS},\n  \"host_cores\": {cores},\n  \"clean_r1_ms\": {:.3},\n  \"clean_r2_ms\": {:.3},\n  \"clean_overhead_pct\": {:.3},\n  \"failover_queries\": {},\n  \"failover_failed\": {failed},\n  \"failover_diverged\": {diverged},\n  \"failover_count\": {failovers},\n  \"stall_p\": {},\n  \"stall_us\": {},\n  \"hedge_us\": {},\n  \"unhedged_p50_ms\": {:.3},\n  \"unhedged_p99_ms\": {:.3},\n  \"hedged_p50_ms\": {:.3},\n  \"hedged_p99_ms\": {:.3},\n  \"hedges\": {hedges},\n  \"hedge_wins\": {hedge_wins},\n  \"hedge_p99_speedup\": {:.3}\n}}\n",
+        spec.name,
+        objects.len(),
+        queries.len(),
+        args.k,
+        args.reps,
+        base_s * 1e3,
+        duo_s * 1e3,
+        overhead_pct,
+        queries.len(),
+        args.stall_p,
+        args.stall_us,
+        args.hedge_us,
+        u50 * 1e3,
+        u99 * 1e3,
+        h50 * 1e3,
+        h99 * 1e3,
+        u99 / h99.max(1e-9),
+    );
+    std::fs::write(&args.out, json).expect("write json");
+    eprintln!("[out] wrote {}", args.out);
+
+    if let Some(max) = args.assert_max_overhead_pct {
+        assert!(
+            overhead_pct <= max,
+            "clean-path replication overhead {overhead_pct:.2}% exceeds the {max}% ceiling"
+        );
+        eprintln!("[gate] clean-path overhead {overhead_pct:+.2}% ≤ {max}% — ok");
+    }
+    if args.assert_hedge_p99 {
+        assert!(
+            h99 < u99,
+            "hedged p99 {:.2} ms is not below unhedged p99 {:.2} ms",
+            h99 * 1e3,
+            u99 * 1e3
+        );
+        eprintln!(
+            "[gate] hedged p99 {:.2} ms < unhedged p99 {:.2} ms — ok",
+            h99 * 1e3,
+            u99 * 1e3
+        );
+    }
+}

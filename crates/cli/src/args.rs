@@ -10,19 +10,20 @@ ir2 — keyword search on spatial databases (IR²-Tree, ICDE 2008)
 USAGE:
   ir2 generate --preset <hotels|restaurants> [--count N] [--seed S] --out FILE.tsv
   ir2 build    --tsv FILE.tsv --db DIR [--sig-bytes N] [--capacity N] [--incremental]
-               [--node-cache NODES] [--prefetch WORKERS] [--shards N]
+               [--node-cache NODES] [--prefetch WORKERS] [--shards N] [--replicas R]
   ir2 query    --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N]
                [--alg <rtree|iio|ir2|mir2>] [--area LAT1,LON1,LAT2,LON2]
                [--deadline-ms MS] [--io-budget BLOCKS] [--threads N]
-               [--node-cache NODES] [--prefetch WORKERS]
+               [--node-cache NODES] [--prefetch WORKERS] [--hedge-ms MS]
   ir2 batch    --db DIR --queries FILE [--threads N] [--k N]
                [--alg <rtree|iio|ir2|mir2>] [--deadline-ms MS] [--io-budget BLOCKS]
-               [--node-cache NODES] [--prefetch WORKERS]
+               [--node-cache NODES] [--prefetch WORKERS] [--hedge-ms MS]
   ir2 ranked   --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N] [--dist-weight W]
   ir2 trace    --db DIR --at LAT,LON --keywords \"w1 w2 …\" [--k N]
                [--alg <rtree|iio|ir2|mir2>] [--steps N]
   ir2 stats    --db DIR [--prometheus]
   ir2 check    --db DIR
+  ir2 scrub    --db DIR [--repair]
   ir2 fuzz     [--seed S] [--iters N] [--start-iter I] [--objects N] [--queries N]
                [--inject-bug] [--no-minimize]
 
@@ -45,6 +46,16 @@ check detect a sharded directory automatically and answer through an
 exact scatter-gather merge — results are identical to a single-shard
 build. On a sharded database, `ir2 query --threads N` drains shards
 with up to N parallel workers.
+
+`--replicas R` (with `--shards`) stores R byte-verified copies of every
+shard. Queries route to a healthy replica per shard, fail over
+automatically (re-issuing the bounded pull against the next replica
+with the surviving deadline/io-budget slice — results stay exact), and
+with `--hedge-ms T` fire a second replica for any shard pull still
+running after T ms, taking whichever answer lands first. `ir2 scrub`
+walks every replica diffing pages against a healthy reference replica
+(highest catalog epoch) and, with `--repair`, re-copies divergent
+files from the reference and re-verifies them.
 
 `ir2 fuzz` runs the differential oracle harness: seeded random
 datasets, insert/delete streams, and queries are answered by every

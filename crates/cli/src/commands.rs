@@ -11,8 +11,8 @@ use ir2tree::model::{tsv, DistanceFirstQuery, QueryRegion};
 use ir2tree::storage::{FileDevice, MetricsRegistry};
 use ir2tree::text::{LinearRank, SaturatingTfIdf};
 use ir2tree::{
-    sharded_manifest, Algorithm, DbConfig, DeviceSet, IndexSizes, QueryError, QueryLimits,
-    QueryReport, RetryDevice, RetryPolicy, ShardedDb, SpatialKeywordDb,
+    scrub_dir, shard_layout, sharded_manifest, Algorithm, DbConfig, DeviceSet, IndexSizes,
+    QueryError, QueryLimits, QueryReport, RetryDevice, RetryPolicy, ShardedDb, SpatialKeywordDb,
 };
 
 use crate::args::{parse_area, parse_point, Flags};
@@ -82,16 +82,30 @@ pub fn build(args: &[String], out: &mut impl Write) -> CliResult {
         .map_err(io_err)?;
     let n = objects.len();
     let shards: usize = f.get_or("shards", 1)?;
+    let replicas: usize = f.get_or("replicas", 1)?;
+    if replicas == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    if replicas > 1 && shards <= 1 {
+        return Err("--replicas requires a sharded build (--shards 2 or more)".into());
+    }
 
     let t0 = std::time::Instant::now();
     if shards > 1 {
-        let db = ShardedDb::create_in_dir(db_dir, objects, config, shards).map_err(io_err)?;
+        let db = ShardedDb::create_in_dir_replicated(db_dir, objects, config, shards, replicas)
+            .map_err(io_err)?;
         say!(
             out,
-            "built {n} objects into {shards} shards under {db_dir} in {:.1}s",
-            t0.elapsed().as_secs_f64()
+            "built {n} objects into {shards} shards × {replicas} replica(s) under {db_dir} \
+             in {:.1}s{}",
+            t0.elapsed().as_secs_f64(),
+            if replicas > 1 {
+                " (replicas byte-verified)"
+            } else {
+                ""
+            }
         );
-        for (i, shard) in db.shards().iter().enumerate() {
+        for (i, shard) in db.shards().enumerate() {
             let s = shard.build_stats();
             say!(
                 out,
@@ -181,6 +195,18 @@ fn parse_limits(f: &Flags) -> Result<QueryLimits, String> {
         limits = limits.with_io_budget(budget);
     }
     Ok(limits)
+}
+
+/// Parses `--hedge-ms` (sharded databases only: fire a second replica for
+/// any shard pull still running after this many milliseconds).
+fn parse_hedge(f: &Flags) -> Result<Option<Duration>, String> {
+    match f.optional("hedge-ms") {
+        None => Ok(None),
+        Some(ms) => {
+            let ms: u64 = ms.parse().map_err(|e| format!("bad --hedge-ms: {e}"))?;
+            Ok(Some(Duration::from_millis(ms)))
+        }
+    }
 }
 
 fn keywords_of(f: &Flags) -> Result<Vec<String>, String> {
@@ -303,16 +329,32 @@ fn query_sharded(f: &Flags, out: &mut impl Write) -> CliResult {
     let k: usize = f.get_or("k", 10)?;
     let alg = parse_alg(f)?;
     let limits = parse_limits(f)?;
+    let hedge = parse_hedge(f)?;
     let threads: usize = f.get_or("threads", 1)?;
     let at = parse_point(f.required("at")?)?;
+    if hedge.is_some() && !limits.is_unlimited() {
+        return Err(
+            "--hedge-ms and --deadline-ms/--io-budget are mutually exclusive: hedged \
+             drains are unlimited (like --threads), limited execution uses the \
+             deterministic sequential merge"
+                .into(),
+        );
+    }
     say!(
         out,
-        "top-{k} {keywords:?} near {at:?} via {} over {} shards:",
+        "top-{k} {keywords:?} near {at:?} via {} over {} shards{}:",
         alg.label(),
-        db.shard_count()
+        db.shard_count(),
+        if db.replica_count() > 1 {
+            format!(" × {} replicas", db.replica_count())
+        } else {
+            String::new()
+        }
     );
     let q = DistanceFirstQuery::new(at, &keywords, k);
-    let report = if !limits.is_unlimited() {
+    let report = if let Some(delay) = hedge {
+        db.distance_first_hedged(alg, &q, delay).map_err(io_err)?
+    } else if !limits.is_unlimited() {
         db.distance_first_limited(alg, &q, limits).map_err(io_err)?
     } else if threads > 1 {
         db.distance_first_parallel(alg, &q, threads)
@@ -362,21 +404,40 @@ pub fn batch(args: &[String], out: &mut impl Write) -> CliResult {
     let threads: usize = f.get_or("threads", 4)?;
     let queries = parse_batch_file(f.required("queries")?, k)?;
     let limits = parse_limits(&f)?;
+    let hedge = parse_hedge(&f)?;
 
     let sharded = is_sharded(&f)?;
+    if hedge.is_some() && !sharded {
+        return Err("--hedge-ms requires a sharded database".into());
+    }
+    if hedge.is_some() && !limits.is_unlimited() {
+        return Err("--hedge-ms and --deadline-ms/--io-budget are mutually exclusive".into());
+    }
     let outcomes: Vec<Result<QueryReport, QueryError>>;
     let wall;
     if sharded {
         let db = open_sharded(&f)?;
         say!(
             out,
-            "batch of {} top-{k} queries via {} on {threads} threads over {} shards:",
+            "batch of {} top-{k} queries via {} on {threads} threads over {} shards{}:",
             queries.len(),
             alg.label(),
-            db.shard_count()
+            db.shard_count(),
+            if let Some(delay) = hedge {
+                format!(" (hedging after {} ms)", delay.as_millis())
+            } else {
+                String::new()
+            }
         );
         let t0 = std::time::Instant::now();
-        outcomes = db.batch_topk_isolated(alg, &queries, threads, limits);
+        outcomes = if let Some(delay) = hedge {
+            queries
+                .iter()
+                .map(|q| db.distance_first_hedged(alg, q, delay).map_err(Into::into))
+                .collect()
+        } else {
+            db.batch_topk_isolated(alg, &queries, threads, limits)
+        };
         wall = t0.elapsed();
     } else {
         let db = open_db(&f)?;
@@ -615,13 +676,49 @@ pub fn trace(args: &[String], out: &mut impl Write) -> CliResult {
 pub fn check(args: &[String], out: &mut impl Write) -> CliResult {
     let f = Flags::parse(args)?;
     let dir = f.required("db")?;
-    if let Some(shards) = sharded_manifest(dir).map_err(io_err)? {
-        say!(out, "manifest OK    {shards} shards");
+    let root = std::path::Path::new(dir);
+    if let Some(layout) = shard_layout(root).map_err(io_err)? {
+        say!(
+            out,
+            "manifest OK    {} shards × {} replica(s)",
+            layout.shards,
+            layout.replicas
+        );
         let mut all_ok = true;
-        for i in 0..shards {
-            let shard_dir = std::path::Path::new(dir).join(format!("shard-{i:03}"));
-            say!(out, "shard {i}:");
-            all_ok &= check_one(&shard_dir, out)?;
+        for i in 0..layout.shards {
+            for (m, rep_dir) in layout.replica_dirs(root, i).iter().enumerate() {
+                if layout.replicas > 1 {
+                    say!(out, "shard {i} replica {m}:");
+                } else {
+                    say!(out, "shard {i}:");
+                }
+                if !rep_dir.is_dir() {
+                    say!(out, "devices  MISSING  {}", rep_dir.display());
+                    all_ok = false;
+                    continue;
+                }
+                match check_one(rep_dir, out) {
+                    Ok(ok) => all_ok &= ok,
+                    Err(e) => {
+                        say!(out, "devices  FAIL  {e}");
+                        all_ok = false;
+                    }
+                }
+            }
+        }
+        // Directories beyond the manifest's shard count are stale or from
+        // a torn re-shard — surface them rather than silently ignoring.
+        if let Ok(entries) = std::fs::read_dir(root) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if let Some(idx) = name.strip_prefix("shard-") {
+                    if idx.parse::<usize>().is_ok_and(|i| i >= layout.shards) {
+                        say!(out, "extra    FAIL  `{name}` beyond manifest shard count");
+                        all_ok = false;
+                    }
+                }
+            }
         }
         return if all_ok {
             Ok(())
@@ -629,10 +726,47 @@ pub fn check(args: &[String], out: &mut impl Write) -> CliResult {
             Err("database failed integrity check".into())
         };
     }
-    if check_one(std::path::Path::new(dir), out)? {
+    if check_one(root, out)? {
         Ok(())
     } else {
         Err("database failed integrity check".into())
+    }
+}
+
+/// `ir2 scrub` — online replica scrubber: diffs every replica of every
+/// shard block-for-block against a healthy reference replica and (with
+/// `--repair`) re-copies divergent files from the reference. Nonzero exit
+/// unless the directory is fully consistent after the pass.
+pub fn scrub(args: &[String], out: &mut impl Write) -> CliResult {
+    let f = Flags::parse(args)?;
+    let dir = f.required("db")?;
+    let repair = f.switch("repair");
+    let report = scrub_dir(dir, repair, None).map_err(io_err)?;
+    say!(
+        out,
+        "scrubbed {} shards × {} replica(s): {} pages compared, {} mismatches, {} files repaired",
+        report.shards,
+        report.replicas,
+        report.pages,
+        report.mismatches,
+        report.repairs
+    );
+    for line in &report.details {
+        say!(out, "  {line}");
+    }
+    if report.clean() {
+        say!(out, "clean");
+        Ok(())
+    } else if repair {
+        Err(format!(
+            "{} page(s) still divergent, {} shard(s) unscrubbable",
+            report.unrepaired, report.unscrubbed_shards
+        ))
+    } else {
+        Err(format!(
+            "{} divergent page(s) found (re-run with --repair to fix)",
+            report.unrepaired
+        ))
     }
 }
 
@@ -729,8 +863,9 @@ pub fn stats(args: &[String], out: &mut impl Write) -> CliResult {
             return Ok(());
         }
         say!(out, "shards:             {}", db.shard_count());
+        say!(out, "replicas:           {}", db.replica_count());
         say!(out, "objects:            {}", db.total_objects());
-        for (i, shard) in db.shards().iter().enumerate() {
+        for (i, shard) in db.shards().enumerate() {
             let s = shard.build_stats();
             say!(
                 out,

@@ -36,6 +36,7 @@ fn main() -> ExitCode {
         "trace" => commands::trace(rest, &mut out),
         "stats" => commands::stats(rest, &mut out),
         "check" => commands::check(rest, &mut out),
+        "scrub" => commands::scrub(rest, &mut out),
         "fuzz" => commands::fuzz(rest, &mut out),
         "help" | "--help" | "-h" => {
             println!("{}", args::USAGE);

@@ -322,6 +322,241 @@ fn full_pipeline() {
 }
 
 #[test]
+fn replicated_pipeline() {
+    let dir = workdir("replicated");
+    let gen = ir2(
+        &dir,
+        &[
+            "generate",
+            "--preset",
+            "restaurants",
+            "--count",
+            "400",
+            "--out",
+            "pois.tsv",
+        ],
+    );
+    assert!(gen.status.success());
+
+    let build = ir2(
+        &dir,
+        &[
+            "build",
+            "--tsv",
+            "pois.tsv",
+            "--db",
+            "db",
+            "--sig-bytes",
+            "8",
+            "--shards",
+            "2",
+            "--replicas",
+            "2",
+        ],
+    );
+    assert!(
+        build.status.success(),
+        "{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+    let b = stdout(&build);
+    assert!(b.contains("2 shards × 2 replica(s)"), "{b}");
+    assert!(b.contains("byte-verified"), "{b}");
+
+    // check recurses into every shard × replica directory.
+    let check = ir2(&dir, &["check", "--db", "db"]);
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stderr)
+    );
+    let c = stdout(&check);
+    assert!(c.contains("manifest OK    2 shards × 2 replica(s)"), "{c}");
+    assert!(c.contains("shard 0 replica 0:"), "{c}");
+    assert!(c.contains("shard 1 replica 1:"), "{c}");
+
+    let stats = ir2(&dir, &["stats", "--db", "db"]);
+    assert!(stats.status.success());
+    assert!(stdout(&stats).contains("replicas:           2"));
+
+    // Plain and hedged queries agree.
+    let plain = ir2(
+        &dir,
+        &[
+            "query",
+            "--db",
+            "db",
+            "--at",
+            "0,0",
+            "--keywords",
+            "ba",
+            "--k",
+            "3",
+        ],
+    );
+    assert!(plain.status.success());
+    let hedged = ir2(
+        &dir,
+        &[
+            "query",
+            "--db",
+            "db",
+            "--at",
+            "0,0",
+            "--keywords",
+            "ba",
+            "--k",
+            "3",
+            "--hedge-ms",
+            "50",
+        ],
+    );
+    assert!(
+        hedged.status.success(),
+        "{}",
+        String::from_utf8_lossy(&hedged.stderr)
+    );
+    let result_lines = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.trim_start().starts_with('#'))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(
+        result_lines(&stdout(&plain)),
+        result_lines(&stdout(&hedged))
+    );
+
+    // Hedging is incompatible with execution limits.
+    let conflict = ir2(
+        &dir,
+        &[
+            "query",
+            "--db",
+            "db",
+            "--at",
+            "0,0",
+            "--keywords",
+            "ba",
+            "--hedge-ms",
+            "50",
+            "--io-budget",
+            "100",
+        ],
+    );
+    assert!(!conflict.status.success());
+
+    // A fresh build scrubs clean.
+    let scrub = ir2(&dir, &["scrub", "--db", "db"]);
+    assert!(
+        scrub.status.success(),
+        "{}",
+        String::from_utf8_lossy(&scrub.stderr)
+    );
+    assert!(stdout(&scrub).contains("clean"));
+
+    // Corrupt one page of one replica: scrub detects it (nonzero exit),
+    // --repair fixes it, and the directory checks clean again.
+    let victim = dir.join("db/shard-001/replica-1/objects.blocks");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let dirty = ir2(&dir, &["scrub", "--db", "db"]);
+    assert!(!dirty.status.success());
+    assert!(stdout(&dirty).contains("diverges"), "{}", stdout(&dirty));
+
+    let repair = ir2(&dir, &["scrub", "--db", "db", "--repair"]);
+    assert!(
+        repair.status.success(),
+        "{}",
+        String::from_utf8_lossy(&repair.stderr)
+    );
+    let r = stdout(&repair);
+    assert!(r.contains("repaired"), "{r}");
+    assert!(r.contains("verified clean"), "{r}");
+
+    let recheck = ir2(&dir, &["check", "--db", "db"]);
+    assert!(
+        recheck.status.success(),
+        "{}",
+        String::from_utf8_lossy(&recheck.stderr)
+    );
+
+    // Queries survive an entire replica directory being deleted (failover),
+    // but check reports the hole with a nonzero exit.
+    std::fs::remove_dir_all(dir.join("db/shard-000/replica-0")).unwrap();
+    let after_loss = ir2(
+        &dir,
+        &[
+            "query",
+            "--db",
+            "db",
+            "--at",
+            "0,0",
+            "--keywords",
+            "ba",
+            "--k",
+            "3",
+        ],
+    );
+    assert!(
+        after_loss.status.success(),
+        "{}",
+        String::from_utf8_lossy(&after_loss.stderr)
+    );
+    assert_eq!(
+        result_lines(&stdout(&plain)),
+        result_lines(&stdout(&after_loss))
+    );
+    let holed = ir2(&dir, &["check", "--db", "db"]);
+    assert!(!holed.status.success());
+    assert!(stdout(&holed).contains("MISSING"), "{}", stdout(&holed));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn replica_flag_validation() {
+    let dir = workdir("replica-flags");
+    std::fs::write(dir.join("one.tsv"), "1\t0\t0\tcafe\n").unwrap();
+    // --replicas 0 is rejected.
+    let zero = ir2(
+        &dir,
+        &[
+            "build",
+            "--tsv",
+            "one.tsv",
+            "--db",
+            "db0",
+            "--shards",
+            "2",
+            "--replicas",
+            "0",
+        ],
+    );
+    assert!(!zero.status.success());
+    assert!(String::from_utf8_lossy(&zero.stderr).contains("at least 1"));
+    // --replicas without sharding is rejected.
+    let unsharded = ir2(
+        &dir,
+        &[
+            "build",
+            "--tsv",
+            "one.tsv",
+            "--db",
+            "db1",
+            "--replicas",
+            "2",
+        ],
+    );
+    assert!(!unsharded.status.success());
+    assert!(String::from_utf8_lossy(&unsharded.stderr).contains("sharded"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn helpful_errors() {
     let dir = workdir("errors");
     // Unknown command.

@@ -30,6 +30,7 @@ use crate::{Algorithm, BatchReport, BuildStats, DbConfig, GeneralReport, IndexSi
 
 /// One block device per structure (so sizes and I/O are attributable), plus
 /// a catalog device holding the cross-structure metadata.
+#[derive(Clone)]
 pub struct DeviceSet<D> {
     /// Device of the object file.
     pub objects: D,
@@ -61,6 +62,34 @@ impl<D> DeviceSet<D> {
             catalog: f("catalog", self.catalog),
         }
     }
+
+    /// The on-disk file name for each device role, in the same order
+    /// [`map`](Self::map) visits them. Replication copies and scrubs these
+    /// files directly, so the names are part of the layout contract.
+    pub const fn file_names() -> [&'static str; 6] {
+        [
+            "objects.blocks",
+            "rtree.blocks",
+            "ir2.blocks",
+            "mir2.blocks",
+            "inverted.blocks",
+            "catalog.blocks",
+        ]
+    }
+
+    /// The six devices as role-named references, in [`file_names`]
+    /// (Self::file_names) order — for code that iterates a set (replica
+    /// verification, scrubbing) rather than addressing roles by field.
+    pub fn as_refs(&self) -> [(&'static str, &D); 6] {
+        [
+            ("objects", &self.objects),
+            ("rtree", &self.rtree),
+            ("ir2", &self.ir2),
+            ("mir2", &self.mir2),
+            ("inverted", &self.inverted),
+            ("catalog", &self.catalog),
+        ]
+    }
 }
 
 impl DeviceSet<MemDevice> {
@@ -78,20 +107,13 @@ impl DeviceSet<MemDevice> {
 }
 
 impl DeviceSet<FileDevice> {
-    const FILES: [&'static str; 6] = [
-        "objects.blocks",
-        "rtree.blocks",
-        "ir2.blocks",
-        "mir2.blocks",
-        "inverted.blocks",
-        "catalog.blocks",
-    ];
-
     /// Creates (truncating) the device files in `dir`.
     pub fn create_in_dir<P: AsRef<Path>>(dir: P) -> Result<Self> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        let mut f = Self::FILES.iter().map(|n| FileDevice::create(dir.join(n)));
+        let mut f = DeviceSet::<FileDevice>::file_names()
+            .into_iter()
+            .map(|n| FileDevice::create(dir.join(n)));
         Ok(Self {
             objects: f.next().expect("six files")?,
             rtree: f.next().expect("six files")?,
@@ -105,7 +127,9 @@ impl DeviceSet<FileDevice> {
     /// Opens previously created device files in `dir`.
     pub fn open_dir<P: AsRef<Path>>(dir: P) -> Result<Self> {
         let dir = dir.as_ref();
-        let mut f = Self::FILES.iter().map(|n| FileDevice::open(dir.join(n)));
+        let mut f = DeviceSet::<FileDevice>::file_names()
+            .into_iter()
+            .map(|n| FileDevice::open(dir.join(n)));
         Ok(Self {
             objects: f.next().expect("six files")?,
             rtree: f.next().expect("six files")?,

@@ -40,6 +40,7 @@
 mod config;
 mod db;
 mod report;
+pub mod scrub;
 mod shard;
 
 pub use config::DbConfig;
@@ -47,7 +48,10 @@ pub use db::{DeviceSet, IntegrityReport, SpatialKeywordDb, StructureCheck};
 pub use report::{
     Algorithm, BatchReport, BuildStats, GeneralReport, IndexSizes, QueryError, QueryReport,
 };
-pub use shard::{sharded_manifest, ShardedDb, SHARD_MANIFEST};
+pub use scrub::{scrub_dir, ScrubReport, Scrubber};
+pub use shard::{
+    shard_layout, sharded_manifest, ReplicaSet, ShardLayout, ShardedDb, SHARD_MANIFEST,
+};
 
 pub use ir2_model::{ExecOutcome, QueryLimits, TruncateReason};
 pub use ir2_storage::{RetryDevice, RetryPolicy};

@@ -29,11 +29,36 @@
 //! every future emission of that shard; when `min over shards of bound` >
 //! k-th distance, no shard can improve the answer. This is the standard
 //! branch-and-bound argument, applied across trees instead of within one.
+//!
+//! ## Replication, failover, and hedging
+//!
+//! Every shard may be backed by R byte-identical replicas (`shard-NNN/
+//! replica-M/` directories; replicas are verified block-for-block at build
+//! time). At query time a [`ReplicaSet`] routes each shard's pull to a
+//! healthy replica; when a replica returns a [`StorageError`] (a dead
+//! device, or its retry layer's circuit breaker tripping into
+//! `Quarantined`), the merge **fails over**: it re-issues that shard's
+//! bounded pull against the next replica, restarted from the root under
+//! the *surviving* limit slice — the deadline is an absolute instant so it
+//! carries over unchanged, and the shard's I/O-budget slice is reduced by
+//! what the dead attempt consumed. Results stay exact because a restart
+//! re-emits a superset of the dead attempt's hits ([`TopK`] deduplicates
+//! by object id) and the truncation cut-radius machinery already makes
+//! partial traversals honest.
+//!
+//! Hedged reads ([`ShardedDb::distance_first_hedged`]) cut tail latency
+//! under *stalls* rather than faults: each shard's drain starts on the
+//! primary replica, and if it has not completed after the hedge delay a
+//! second replica drains the same shard concurrently; the first complete
+//! drain wins and the loser is cancelled cooperatively at its next bounded
+//! step. Both drains insert into the shared top-k, which is sound for the
+//! same dedup reason.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ir2_geo::{OrderedF64, Rect};
@@ -54,13 +79,46 @@ use crate::{Algorithm, DbConfig, DeviceSet, QueryReport, SpatialKeywordDb};
 /// Name of the manifest file marking a directory as a sharded database.
 pub const SHARD_MANIFEST: &str = "SHARDS";
 
-/// Reads the shard manifest of `dir`, if one exists.
+/// On-disk layout of a sharded database, as recorded in its manifest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardLayout {
+    /// Number of shards (STR tiles).
+    pub shards: usize,
+    /// Replicas per shard. `1` means the pre-replication layout: shard
+    /// devices live directly in `shard-NNN/`, with no `replica-M/` level
+    /// and no `replicas` manifest line — byte-identical to what older
+    /// builds wrote.
+    pub replicas: usize,
+}
+
+impl ShardLayout {
+    /// Directory of shard `i` under `root`.
+    pub fn shard_dir(&self, root: &Path, i: usize) -> PathBuf {
+        root.join(shard_dir_name(i))
+    }
+
+    /// Device directories of every replica of shard `i`, in replica order.
+    /// With one replica this is the shard directory itself (see
+    /// [`replicas`](Self::replicas)).
+    pub fn replica_dirs(&self, root: &Path, i: usize) -> Vec<PathBuf> {
+        let shard = self.shard_dir(root, i);
+        if self.replicas == 1 {
+            vec![shard]
+        } else {
+            (0..self.replicas)
+                .map(|m| shard.join(replica_dir_name(m)))
+                .collect()
+        }
+    }
+}
+
+/// Reads the full shard layout of `dir`, if a manifest exists.
 ///
 /// `Ok(None)` means the directory is not a sharded database (no manifest);
-/// a present-but-malformed manifest is a [`StorageError::Corrupt`]. This is
-/// how the CLI decides whether to route a path to [`ShardedDb`] or to the
-/// monolithic [`SpatialKeywordDb`].
-pub fn sharded_manifest<P: AsRef<Path>>(dir: P) -> Result<Option<usize>> {
+/// a present-but-malformed manifest is a [`StorageError::Corrupt`]. The
+/// `replicas R` line is optional and defaults to 1 (older manifests
+/// predate replication).
+pub fn shard_layout<P: AsRef<Path>>(dir: P) -> Result<Option<ShardLayout>> {
     let path = dir.as_ref().join(SHARD_MANIFEST);
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -73,6 +131,8 @@ pub fn sharded_manifest<P: AsRef<Path>>(dir: P) -> Result<Option<usize>> {
             "shard manifest: bad or missing header (expected `ir2-sharded v1`)".into(),
         ));
     }
+    let mut shards = None;
+    let mut replicas = 1usize;
     for line in lines {
         if let Some(n) = line.trim().strip_prefix("shards ") {
             let count: usize = n.trim().parse().map_err(|_| {
@@ -83,16 +143,43 @@ pub fn sharded_manifest<P: AsRef<Path>>(dir: P) -> Result<Option<usize>> {
                     "shard manifest: shard count must be at least 1".into(),
                 ));
             }
-            return Ok(Some(count));
+            shards = Some(count);
+        } else if let Some(n) = line.trim().strip_prefix("replicas ") {
+            let count: usize = n.trim().parse().map_err(|_| {
+                StorageError::Corrupt(format!("shard manifest: bad replica count `{n}`"))
+            })?;
+            if count == 0 {
+                return Err(StorageError::Corrupt(
+                    "shard manifest: replica count must be at least 1".into(),
+                ));
+            }
+            replicas = count;
         }
     }
-    Err(StorageError::Corrupt(
-        "shard manifest: missing `shards N` line".into(),
-    ))
+    match shards {
+        Some(shards) => Ok(Some(ShardLayout { shards, replicas })),
+        None => Err(StorageError::Corrupt(
+            "shard manifest: missing `shards N` line".into(),
+        )),
+    }
+}
+
+/// Reads the shard count of `dir`'s manifest, if one exists.
+///
+/// `Ok(None)` means the directory is not a sharded database. This is how
+/// the CLI decides whether to route a path to [`ShardedDb`] or to the
+/// monolithic [`SpatialKeywordDb`]; see [`shard_layout`] for the replica
+/// count as well.
+pub fn sharded_manifest<P: AsRef<Path>>(dir: P) -> Result<Option<usize>> {
+    Ok(shard_layout(dir)?.map(|l| l.shards))
 }
 
 fn shard_dir_name(i: usize) -> String {
     format!("shard-{i:03}")
+}
+
+fn replica_dir_name(m: usize) -> String {
+    format!("replica-{m}")
 }
 
 /// Tiles `objects` into `s` STR-ordered partitions of near-equal size:
@@ -172,17 +259,24 @@ fn tree_mbr<D: BlockDevice + 'static>(db: &SpatialKeywordDb<D>) -> Result<Option
 }
 
 /// Splits one query's limits across `s` shards: the **deadline** is shared
-/// (every shard races the same wall-clock instant, like a batch), the
-/// **I/O budget** is divided evenly (remainder to the first shards — the
-/// total charged I/O across shards never exceeds the caller's budget), and
-/// the **frontier cap** applies per shard (each shard runs its own heap).
+/// (every shard races the same wall-clock instant, like a batch — it is an
+/// absolute instant, so it is never divided and can never round to zero),
+/// the **I/O budget** is divided evenly (remainder to the first shards),
+/// and the **frontier cap** applies per shard (each shard runs its own
+/// heap).
+///
+/// Every live shard's slice is floored at 1: a budget smaller than the
+/// shard count used to hand trailing shards a 0-block slice, truncating
+/// them before they could report even their root bound. The floor means a
+/// tiny budget may overspend by at most `s − 1` blocks in total; when the
+/// budget is at least `s`, the slices sum exactly to the budget.
 fn split_limits(limits: &QueryLimits, s: usize) -> Vec<QueryLimits> {
     (0..s as u64)
         .map(|i| QueryLimits {
             deadline: limits.deadline,
             io_budget: limits
                 .io_budget
-                .map(|b| b / s as u64 + u64::from(i < b % s as u64)),
+                .map(|b| (b / s as u64 + u64::from(i < b % s as u64)).max(1)),
             max_heap_size: limits.max_heap_size,
         })
         .collect()
@@ -266,6 +360,14 @@ struct ShardCursor<'a, D: BlockDevice + 'static> {
     /// lower bound that holds before any I/O (a far shard with an empty
     /// frontier key of 0.0 is still known to be far).
     rect_bound: f64,
+    /// Replica currently serving this shard's pull.
+    replica: usize,
+    /// Replicas already attempted (including the current one) — a
+    /// failover never retries a replica that failed this query.
+    tried: Vec<usize>,
+    /// Search counters accumulated by attempts that died mid-pull; the
+    /// live iterator's counters are added on top at the end.
+    prior: SearchCounters,
     done: bool,
     stepped: bool,
 }
@@ -275,6 +377,107 @@ impl<D: BlockDevice + 'static> ShardCursor<'_, D> {
     /// the shard is finished.
     fn bound(&self) -> Option<f64> {
         self.iter.frontier_bound().map(|fb| fb.max(self.rect_bound))
+    }
+
+    /// I/O charged against this shard's budget slice so far, across every
+    /// attempt (the same `nodes_read + candidates_checked` unit the
+    /// limited iterators charge internally) — what a failover restart
+    /// subtracts from the slice so the shard as a whole stays within it.
+    fn consumed(&self) -> u64 {
+        let live = self.iter.counters();
+        self.prior.nodes_read
+            + self.prior.candidates_checked
+            + live.nodes_read
+            + live.candidates_checked
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replica routing.
+// ---------------------------------------------------------------------
+
+/// R byte-identical [`SpatialKeywordDb`] replicas of one shard, plus a
+/// health bit per replica.
+///
+/// Health is advisory routing state, not ground truth: a replica is marked
+/// failed when a query observes a [`StorageError`] from it, so later
+/// queries start on a surviving replica instead of paying a failed attempt
+/// first. A fully-failed set still yields candidates (unhealthy ones, as a
+/// last resort) — devices recover, and the retry layer re-proves health by
+/// simply succeeding. [`ir2 scrub --repair`](crate::scrub) is the durable
+/// path back to health.
+pub struct ReplicaSet<D: BlockDevice + 'static> {
+    replicas: Vec<SpatialKeywordDb<D>>,
+    healthy: Vec<AtomicBool>,
+}
+
+impl<D: BlockDevice + 'static> ReplicaSet<D> {
+    fn new(replicas: Vec<SpatialKeywordDb<D>>) -> Result<Self> {
+        if replicas.is_empty() {
+            return Err(StorageError::Corrupt(
+                "a shard needs at least one replica".into(),
+            ));
+        }
+        let healthy = replicas.iter().map(|_| AtomicBool::new(true)).collect();
+        Ok(Self { replicas, healthy })
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Always false (an empty set cannot be constructed).
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// The replica a fresh pull should start on: the first healthy one,
+    /// or replica 0 as a last resort when all are marked failed.
+    pub fn primary_index(&self) -> usize {
+        (0..self.len()).find(|&m| self.is_healthy(m)).unwrap_or(0)
+    }
+
+    /// The database behind [`primary_index`](Self::primary_index).
+    pub fn primary(&self) -> &SpatialKeywordDb<D> {
+        &self.replicas[self.primary_index()]
+    }
+
+    /// The `m`-th replica.
+    pub fn get(&self, m: usize) -> &SpatialKeywordDb<D> {
+        &self.replicas[m]
+    }
+
+    /// All replicas, in index order.
+    pub fn replicas(&self) -> impl Iterator<Item = &SpatialKeywordDb<D>> {
+        self.replicas.iter()
+    }
+
+    /// Whether replica `m` is currently considered healthy.
+    pub fn is_healthy(&self, m: usize) -> bool {
+        self.healthy[m].load(Ordering::Relaxed)
+    }
+
+    /// Routes later queries away from replica `m` (it returned a storage
+    /// error).
+    pub fn mark_failed(&self, m: usize) {
+        self.healthy[m].store(false, Ordering::Relaxed);
+    }
+
+    /// Marks replica `m` healthy again (e.g. after a scrub repair).
+    pub fn mark_healthy(&self, m: usize) {
+        self.healthy[m].store(true, Ordering::Relaxed);
+    }
+
+    /// The next replica a failover should try, given the ones this query
+    /// already attempted: the first untried healthy replica, else the
+    /// first untried one at all (a marked-failed replica may have
+    /// recovered), else `None` — the shard is out of options and the
+    /// query fails.
+    pub fn failover_candidate(&self, tried: &[usize]) -> Option<usize> {
+        (0..self.len())
+            .find(|m| !tried.contains(m) && self.is_healthy(*m))
+            .or_else(|| (0..self.len()).find(|m| !tried.contains(m)))
     }
 }
 
@@ -311,6 +514,15 @@ impl TopK {
     }
 
     fn insert(&mut self, obj: SpatialObject<2>, d: f64) {
+        // Replication can present the same object twice: a failover
+        // restart re-emits the dead attempt's hits, and a hedged loser's
+        // partial drain overlaps the winner's. An id determines its
+        // distance, so dropping repeats is exact — and necessary: pushing
+        // a duplicate key would make `heap` and `kept` disagree on
+        // occupancy and silently shrink the answer below k.
+        if self.kept.contains_key(&obj.id) {
+            return;
+        }
         let key = (OrderedF64(d), obj.id);
         if self.is_full() {
             match self.heap.peek() {
@@ -356,6 +568,35 @@ impl Merged {
     }
 }
 
+/// What one replica drain (or the sum of a shard's drains) contributes to
+/// a parallel gather's report.
+#[derive(Default)]
+struct DrainOut {
+    index_io: IoSnapshot,
+    object_io: IoSnapshot,
+    counters: SearchCounters,
+    loads: u64,
+    stepped: bool,
+    retries: u64,
+    backoff: Duration,
+    /// Whether the drain ran to its sound stopping point (frontier
+    /// exhausted or bound beat) — false only for a cancelled hedge loser.
+    complete: bool,
+}
+
+impl DrainOut {
+    fn add(&mut self, o: &DrainOut) {
+        self.index_io = self.index_io + o.index_io;
+        self.object_io = self.object_io + o.object_io;
+        sum_counters(&mut self.counters, o.counters);
+        self.loads += o.loads;
+        self.stepped |= o.stepped;
+        self.retries += o.retries;
+        self.backoff += o.backoff;
+        self.complete |= o.complete;
+    }
+}
+
 // ---------------------------------------------------------------------
 // The sharded database.
 // ---------------------------------------------------------------------
@@ -379,16 +620,20 @@ impl Merged {
 /// byte-identical — the differential oracle harness (`ir2 fuzz`) asserts
 /// exactly this.
 pub struct ShardedDb<D: BlockDevice + 'static> {
-    shards: Vec<SpatialKeywordDb<D>>,
+    shards: Vec<ReplicaSet<D>>,
     bounds: Vec<Option<Rect<2>>>,
     config: DbConfig,
     metrics: Arc<MetricsRegistry>,
+    /// Root directory when opened from / created on disk — what the
+    /// scrubber walks. `None` for in-memory databases.
+    dir: Option<PathBuf>,
 }
 
 impl<D: BlockDevice + 'static> ShardedDb<D> {
     /// Builds a sharded database: `objects` are STR-tiled into
     /// `device_sets.len()` partitions and each partition is built into its
-    /// own shard **in parallel** (builds are independent).
+    /// own shard **in parallel** (builds are independent). One replica per
+    /// shard; see [`build_replicated`](ShardedDb::build_replicated).
     ///
     /// Requires at least one device set and at least one object per shard
     /// (an empty shard would index nothing and answer nothing).
@@ -430,6 +675,7 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
                         "shard build worker terminated without a result".into(),
                     ))
                 })
+                .and_then(|db| ReplicaSet::new(vec![db]))
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(Self {
@@ -437,62 +683,216 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
             bounds,
             config,
             metrics: Arc::new(MetricsRegistry::new()),
+            dir: None,
         })
     }
 
-    /// Reopens a sharded database from already-opened device sets, one per
-    /// shard. Shard bounding rects are recomputed from each shard's R-Tree
-    /// root MBR (one cached node read per shard).
-    pub fn open(device_sets: Vec<DeviceSet<D>>) -> Result<Self> {
-        if device_sets.is_empty() {
+    /// Builds a replicated sharded database over `groups[i][m]` = devices
+    /// of shard `i`, replica `m`. Every group must have the same replica
+    /// count. Shard `i` is built once into replica 0's devices, then every
+    /// other replica is populated by a raw block copy and **byte-verified**
+    /// against replica 0 before the database is opened — a replica that
+    /// does not verify fails the build.
+    ///
+    /// `D: Clone` because building consumes a device set, so replica 0's
+    /// handles are cloned for the build (device handles are cheap shared
+    /// references — e.g. `Arc<MemDevice>`). On-disk databases use
+    /// [`create_in_dir_replicated`](ShardedDb::create_in_dir_replicated),
+    /// which copies files instead.
+    pub fn build_replicated(
+        groups: Vec<Vec<DeviceSet<D>>>,
+        objects: impl IntoIterator<Item = SpatialObject<2>>,
+        config: DbConfig,
+    ) -> Result<Self>
+    where
+        D: Clone,
+    {
+        let r = groups.first().map(|g| g.len()).unwrap_or(0);
+        if r == 0 {
+            return Err(StorageError::Corrupt(
+                "a replicated build needs at least one shard with one replica".into(),
+            ));
+        }
+        if groups.iter().any(|g| g.len() != r) {
+            return Err(StorageError::Corrupt(
+                "every shard must have the same replica count".into(),
+            ));
+        }
+        let primaries: Vec<DeviceSet<D>> = groups.iter().map(|g| g[0].clone()).collect();
+        let built = Self::build(primaries, objects, config)?;
+        let bounds = built.bounds.clone();
+        let config = built.config.clone();
+        drop(built); // flushed; reopen every replica from its own devices
+        for group in &groups {
+            let src = &group[0];
+            for rep in &group[1..] {
+                for ((name, s), (_, d)) in src.as_refs().iter().zip(rep.as_refs().iter()) {
+                    ir2_storage::copy_blocks(*s, *d)?;
+                    if !ir2_storage::diff_blocks(*s, *d)?.is_empty() {
+                        return Err(StorageError::Corrupt(format!(
+                            "replica verification failed: `{name}` differs from replica 0 \
+                             after copy"
+                        )));
+                    }
+                }
+            }
+        }
+        let mut db = Self::from_replica_groups(groups)?;
+        db.bounds = bounds;
+        db.config = config;
+        Ok(db)
+    }
+
+    /// Opens a replicated sharded database from already-opened devices:
+    /// `groups[i][m]` = shard `i`, replica `m`. Replicas are assumed
+    /// byte-identical (the build verified them; the scrubber re-proves it
+    /// online). Shard bounding rects come from replica 0's R-Tree root
+    /// MBR.
+    pub fn from_replica_groups(groups: Vec<Vec<DeviceSet<D>>>) -> Result<Self> {
+        if groups.is_empty() {
             return Err(StorageError::Corrupt(
                 "a sharded database needs at least one shard".into(),
             ));
         }
-        let shards = device_sets
+        let r = groups[0].len();
+        if groups.iter().any(|g| g.len() != r) {
+            return Err(StorageError::Corrupt(
+                "every shard must have the same replica count".into(),
+            ));
+        }
+        let shards = groups
             .into_iter()
-            .map(SpatialKeywordDb::open)
+            .map(|group| {
+                group
+                    .into_iter()
+                    .map(SpatialKeywordDb::open)
+                    .collect::<Result<Vec<_>>>()
+                    .and_then(ReplicaSet::new)
+            })
             .collect::<Result<Vec<_>>>()?;
-        let bounds = shards.iter().map(tree_mbr).collect::<Result<Vec<_>>>()?;
-        let config = shards[0].config().clone();
+        Self::from_replica_sets(shards)
+    }
+
+    /// Assembles a sharded database from already-opened replica sets.
+    fn from_replica_sets(shards: Vec<ReplicaSet<D>>) -> Result<Self> {
+        if shards.is_empty() {
+            return Err(StorageError::Corrupt(
+                "a sharded database needs at least one shard".into(),
+            ));
+        }
+        let bounds = shards
+            .iter()
+            .map(|set| tree_mbr(set.get(0)))
+            .collect::<Result<Vec<_>>>()?;
+        let config = shards[0].get(0).config().clone();
         Ok(Self {
             shards,
             bounds,
             config,
             metrics: Arc::new(MetricsRegistry::new()),
+            dir: None,
         })
     }
 
+    /// Reopens a sharded database from already-opened device sets, one per
+    /// shard (single replica). Shard bounding rects are recomputed from
+    /// each shard's R-Tree root MBR (one cached node read per shard).
+    pub fn open(device_sets: Vec<DeviceSet<D>>) -> Result<Self> {
+        Self::from_replica_groups(device_sets.into_iter().map(|s| vec![s]).collect())
+    }
+
     /// Opens a sharded directory created by
-    /// [`create_in_dir`](ShardedDb::create_in_dir), wrapping every shard
-    /// device through `wrap` (role names as in [`DeviceSet::map`]) — e.g.
-    /// into [`RetryDevice`](ir2_storage::RetryDevice)s.
+    /// [`create_in_dir`](ShardedDb::create_in_dir) or
+    /// [`create_in_dir_replicated`](ShardedDb::create_in_dir_replicated),
+    /// wrapping every device of every replica through `wrap` (role names
+    /// as in [`DeviceSet::map`]) — e.g. into
+    /// [`RetryDevice`](ir2_storage::RetryDevice)s.
     pub fn open_dir_mapped<P: AsRef<Path>>(
         dir: P,
         mut wrap: impl FnMut(&'static str, FileDevice) -> D,
     ) -> Result<Self> {
         let dir = dir.as_ref();
-        let s = sharded_manifest(dir)?.ok_or_else(|| {
+        let layout = shard_layout(dir)?.ok_or_else(|| {
             StorageError::Corrupt(format!(
                 "{} has no {SHARD_MANIFEST} manifest (not a sharded database)",
                 dir.display()
             ))
         })?;
-        let sets = (0..s)
-            .map(|i| DeviceSet::open_dir(dir.join(shard_dir_name(i))).map(|set| set.map(&mut wrap)))
-            .collect::<Result<Vec<_>>>()?;
-        Self::open(sets)
+        // A replica that fails to open (deleted directory, unreadable
+        // devices) degrades the shard instead of failing the whole open —
+        // that is the point of replication. Only a shard with *no*
+        // openable replica is fatal. `ir2 check` still reports the hole.
+        let mut sets = Vec::with_capacity(layout.shards);
+        for i in 0..layout.shards {
+            let mut group = Vec::with_capacity(layout.replicas);
+            let mut last_err = None;
+            for path in layout.replica_dirs(dir, i) {
+                match DeviceSet::open_dir(path)
+                    .and_then(|s| SpatialKeywordDb::open(s.map(&mut wrap)))
+                {
+                    Ok(db) => group.push(db),
+                    Err(e) => last_err = Some(e),
+                }
+            }
+            if group.is_empty() {
+                return Err(last_err.unwrap_or_else(|| {
+                    StorageError::Corrupt(format!("shard {i} has no openable replica"))
+                }));
+            }
+            sets.push(ReplicaSet::new(group)?);
+        }
+        let mut db = Self::from_replica_sets(sets)?;
+        db.dir = Some(dir.to_path_buf());
+        Ok(db)
     }
 
-    /// The shards, in tile order. Each is a complete [`SpatialKeywordDb`];
-    /// integrity checks and statistics go through these directly.
-    pub fn shards(&self) -> &[SpatialKeywordDb<D>] {
+    /// The primary replica of each shard, in tile order. Each is a
+    /// complete [`SpatialKeywordDb`]; integrity checks and statistics go
+    /// through these directly.
+    pub fn shards(&self) -> impl Iterator<Item = &SpatialKeywordDb<D>> {
+        self.shards.iter().map(ReplicaSet::primary)
+    }
+
+    /// The replica sets, in tile order — the full replicated topology.
+    pub fn replica_sets(&self) -> &[ReplicaSet<D>] {
         &self.shards
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Replicas per shard (uniform across shards).
+    pub fn replica_count(&self) -> usize {
+        self.shards.first().map(ReplicaSet::len).unwrap_or(0)
+    }
+
+    /// Root directory, when opened from disk.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Starts a background [`Scrubber`](crate::scrub::Scrubber) over this
+    /// database's directory: every `interval` it re-verifies that replicas
+    /// are byte-identical, repairing divergent ones from a healthy peer
+    /// when `repair` is set. Scrub counters fold into this database's
+    /// [`metrics`](ShardedDb::metrics) registry. Fails for in-memory
+    /// databases (nothing on disk to scrub).
+    pub fn start_scrubber(
+        &self,
+        interval: Duration,
+        repair: bool,
+    ) -> Result<crate::scrub::Scrubber> {
+        let dir = self.dir.clone().ok_or_else(|| {
+            StorageError::Corrupt("in-memory sharded database has no directory to scrub".into())
+        })?;
+        Ok(crate::scrub::Scrubber::start(
+            dir,
+            interval,
+            repair,
+            Arc::clone(&self.metrics),
+        ))
     }
 
     /// Per-shard bounding rectangles (`None` for an empty shard).
@@ -505,9 +905,9 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
         &self.config
     }
 
-    /// Total objects across shards.
+    /// Total objects across shards (counted once, not per replica).
     pub fn total_objects(&self) -> u64 {
-        self.shards.iter().map(|s| s.build_stats().objects).sum()
+        self.shards().map(|s| s.build_stats().objects).sum()
     }
 
     /// The sharded engine's metrics registry (`sharded_*` and `shard_*`
@@ -566,74 +966,62 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
         query: &DistanceFirstQuery<2>,
         threads: usize,
     ) -> Result<QueryReport> {
-        if alg == Algorithm::Iio || query.k == 0 || self.shards.len() == 1 || threads <= 1 {
+        if alg == Algorithm::Iio || query.k == 0 || (self.shards.len() == 1 && threads <= 1) {
             return self.distance_first(alg, query);
         }
+        self.gather_parallel(alg, query, threads, None)
+    }
+
+    /// [`distance_first`](ShardedDb::distance_first) with **hedged** shard
+    /// pulls: each shard's drain starts on its primary replica, and if it
+    /// has not completed after `hedge`, a second replica drains the same
+    /// shard concurrently — the first *complete* drain wins and the loser
+    /// is cancelled cooperatively at its next bounded step (the same
+    /// per-step check cadence `QueryLimits` uses). Under stall-prone
+    /// devices this converts a stuck shard pull from p99 latency into one
+    /// hedge delay. The answer is exactly the sequential merge's: both
+    /// drains feed one deduplicating top-k, and at least one complete
+    /// drain per shard is guaranteed (a primary failure falls back to the
+    /// secondary, so this also subsumes failover). Unlimited execution
+    /// only, like [`distance_first_parallel`]
+    /// (ShardedDb::distance_first_parallel); single-replica shards drain
+    /// unhedged.
+    pub fn distance_first_hedged(
+        &self,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+        hedge: Duration,
+    ) -> Result<QueryReport> {
+        if alg == Algorithm::Iio || query.k == 0 {
+            return self.distance_first(alg, query);
+        }
+        self.gather_parallel(alg, query, self.shards.len(), Some(hedge))
+    }
+
+    /// The parallel gather engine behind [`distance_first_parallel`]
+    /// (ShardedDb::distance_first_parallel) and [`distance_first_hedged`]
+    /// (ShardedDb::distance_first_hedged): one worker per shard drains
+    /// into a shared branch-and-bound top-k (a worker stops as soon as its
+    /// shard's bound exceeds the current k-th distance, which only shrinks
+    /// — so every stop is final and the gathered superset contains the
+    /// exact top-k). Each worker fails over across its shard's replicas
+    /// on storage errors; with `hedge` set it also races a second replica
+    /// after the delay.
+    fn gather_parallel(
+        &self,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+        threads: usize,
+        hedge: Option<Duration>,
+    ) -> Result<QueryReport> {
         let t0 = Instant::now();
         let shared = Mutex::new(TopK::new(query.k));
         let idxs: Vec<usize> = (0..self.shards.len()).collect();
-        struct WorkerOut {
-            index_io: IoSnapshot,
-            object_io: IoSnapshot,
-            counters: SearchCounters,
-            loads: u64,
-            stepped: bool,
-            retries: u64,
-            backoff: Duration,
-        }
-        let outs = run_batch(&idxs, threads, |&i| {
-            let shard = &self.shards[i];
-            let rect_bound = self.bounds[i]
-                .map(|r| r.min_dist(&query.point))
-                .unwrap_or(f64::INFINITY);
-            let scope = IoScope::enter();
-            let retry = RetryScope::enter();
-            let run = (|| {
-                let src = CountingSource::new(shard.object_store() as &dyn ObjectSource<2>);
-                let mut iter = ShardIter::open(shard, &src, alg, query, QueryLimits::none());
-                let mut stepped = false;
-                while let Some(b) = iter.frontier_bound().map(|fb| fb.max(rect_bound)) {
-                    // Snapshot the shared threshold and advance only up to
-                    // it (node-granular, like the sequential merge). The
-                    // threshold only shrinks as siblings insert, so a
-                    // stale snapshot is merely a looser — still sound —
-                    // bound.
-                    let limit = {
-                        let g = lock_top_k(&shared)?;
-                        if g.is_full() {
-                            if b > g.threshold() {
-                                break;
-                            }
-                            g.threshold()
-                        } else {
-                            f64::INFINITY
-                        }
-                    };
-                    match iter.next_hit_within(limit)? {
-                        BoundedStep::Hit(obj, d) => {
-                            lock_top_k(&shared)?.insert(obj, d);
-                        }
-                        BoundedStep::Pending => {}
-                        BoundedStep::Done => {
-                            stepped = true;
-                            break;
-                        }
-                    }
-                    stepped = true;
-                }
-                Ok((iter.counters(), src.loads(), stepped))
-            })();
-            let retry_stats = retry.finish();
-            let scoped = scope.finish();
-            run.map(|(counters, loads, stepped)| WorkerOut {
-                index_io: scoped.for_stats(shard.stats_of(alg)),
-                object_io: scoped.for_stats(shard.objects_io_stats()),
-                counters,
-                loads,
-                stepped,
-                retries: retry_stats.retries,
-                backoff: retry_stats.backoff,
-            })
+        let outs = run_batch(&idxs, threads, |&i| match hedge {
+            Some(delay) if self.shards[i].len() > 1 => {
+                self.drain_shard_hedged(i, alg, query, &shared, delay)
+            }
+            _ => self.drain_shard_failover(i, alg, query, &shared),
         })?;
         let mut merged = Merged::empty(self.shards.len());
         let results = shared
@@ -662,6 +1050,219 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
         );
         self.publish(alg, &report, &merged.stepped);
         Ok(report)
+    }
+
+    /// Drains shard `i` for the parallel gather, failing over across its
+    /// replicas: partial inserts from a dead attempt are valid results
+    /// (the deduplicating top-k absorbs the survivor's re-emissions), so a
+    /// restart from the next replica loses nothing.
+    fn drain_shard_failover(
+        &self,
+        i: usize,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+        shared: &Mutex<TopK>,
+    ) -> Result<DrainOut> {
+        let set = &self.shards[i];
+        let mut tried = Vec::new();
+        let mut m = set.primary_index();
+        let mut agg = DrainOut::default();
+        loop {
+            tried.push(m);
+            match self.drain_replica(i, m, alg, query, shared, None) {
+                Ok(out) => {
+                    agg.add(&out);
+                    return Ok(agg);
+                }
+                Err(e) => {
+                    set.mark_failed(m);
+                    match set.failover_candidate(&tried) {
+                        Some(next) => {
+                            self.metrics.add_counter("replica_failovers_total", 1);
+                            m = next;
+                        }
+                        None => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains shard `i` with a hedge: primary on a scoped thread,
+    /// secondary inline after `delay` if the primary has not finished.
+    /// The first **complete** drain claims the win (CAS on `winner`; a
+    /// cancelled or failed drain never claims), and a secondary win
+    /// cancels the primary cooperatively. A primary error before the
+    /// hedge fires degrades to plain failover.
+    fn drain_shard_hedged(
+        &self,
+        i: usize,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+        shared: &Mutex<TopK>,
+        delay: Duration,
+    ) -> Result<DrainOut> {
+        let set = &self.shards[i];
+        let primary = set.primary_index();
+        let secondary = set
+            .failover_candidate(&[primary])
+            .expect("hedged drain requires at least two replicas");
+        let cancel = AtomicBool::new(false);
+        let winner = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<Result<DrainOut>>();
+        let mut agg = DrainOut::default();
+        std::thread::scope(|sc| -> Result<()> {
+            sc.spawn({
+                let tx = tx; // moved: a panic here disconnects the channel
+                let (cancel, winner) = (&cancel, &winner);
+                move || {
+                    let out = self.drain_replica(i, primary, alg, query, shared, Some(cancel));
+                    if matches!(&out, Ok(o) if o.complete) {
+                        let _ = winner.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);
+                    }
+                    let _ = tx.send(out);
+                }
+            });
+            let first = match rx.recv_timeout(delay) {
+                Ok(res) => Some(res),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                // The primary worker panicked before reporting; treat it
+                // like a failed replica and lean on the secondary.
+                Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(poisoned_top_k())),
+            };
+            match first {
+                Some(Ok(out)) => {
+                    // Primary finished inside the hedge window: no hedge.
+                    agg.add(&out);
+                    Ok(())
+                }
+                Some(Err(_)) => {
+                    // Primary *failed* (not merely slow): plain failover.
+                    set.mark_failed(primary);
+                    self.metrics.add_counter("replica_failovers_total", 1);
+                    let out = self.drain_replica(i, secondary, alg, query, shared, None)?;
+                    agg.add(&out);
+                    Ok(())
+                }
+                None => {
+                    // Hedge fires: drain the secondary on this thread.
+                    self.metrics.add_counter("replica_hedges_total", 1);
+                    let sec = self.drain_replica(i, secondary, alg, query, shared, None);
+                    if matches!(&sec, Ok(o) if o.complete)
+                        && winner
+                            .compare_exchange(0, 2, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                    {
+                        self.metrics.add_counter("replica_hedge_wins_total", 1);
+                        cancel.store(true, Ordering::Relaxed);
+                    }
+                    let prim = rx.recv().unwrap_or_else(|_| Err(poisoned_top_k()));
+                    match (prim, sec) {
+                        (Ok(p), Ok(s)) => {
+                            agg.add(&p);
+                            agg.add(&s);
+                            Ok(())
+                        }
+                        // Secondary died but the primary (never cancelled
+                        // in that case) covered the shard.
+                        (Ok(p), Err(_)) if p.complete => {
+                            set.mark_failed(secondary);
+                            agg.add(&p);
+                            Ok(())
+                        }
+                        (Ok(_), Err(e)) => Err(e),
+                        (Err(e), Ok(s)) => {
+                            set.mark_failed(primary);
+                            self.metrics.add_counter("replica_failovers_total", 1);
+                            if s.complete {
+                                agg.add(&s);
+                                Ok(())
+                            } else {
+                                Err(e)
+                            }
+                        }
+                        (Err(e), Err(_)) => Err(e),
+                    }
+                }
+            }
+        })?;
+        Ok(agg)
+    }
+
+    /// One replica's share of a parallel gather: drain shard `i`'s
+    /// frontier on replica `m` under the shared branch-and-bound
+    /// threshold, entering this thread's own I/O and retry scopes so the
+    /// drain is attributed to exactly the devices it touched. `cancel`
+    /// (hedging) is checked once per bounded step; a cancelled drain
+    /// returns `complete = false` and its partial inserts stand — they
+    /// are true results the winning drain re-emits anyway.
+    fn drain_replica(
+        &self,
+        i: usize,
+        m: usize,
+        alg: Algorithm,
+        query: &DistanceFirstQuery<2>,
+        shared: &Mutex<TopK>,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<DrainOut> {
+        let rep = self.shards[i].get(m);
+        let rect_bound = self.bounds[i]
+            .map(|r| r.min_dist(&query.point))
+            .unwrap_or(f64::INFINITY);
+        let scope = IoScope::enter();
+        let retry = RetryScope::enter();
+        let run = (|| {
+            let src = CountingSource::new(rep.object_store() as &dyn ObjectSource<2>);
+            let mut iter = ShardIter::open(rep, &src, alg, query, QueryLimits::none());
+            let mut stepped = false;
+            let mut complete = true;
+            while let Some(b) = iter.frontier_bound().map(|fb| fb.max(rect_bound)) {
+                if cancel.is_some_and(|c| c.load(Ordering::Relaxed)) {
+                    complete = false;
+                    break;
+                }
+                // Snapshot the shared threshold and advance only up to
+                // it (node-granular, like the sequential merge). The
+                // threshold only shrinks as siblings insert, so a
+                // stale snapshot is merely a looser — still sound —
+                // bound.
+                let limit = {
+                    let g = lock_top_k(shared)?;
+                    if g.is_full() {
+                        if b > g.threshold() {
+                            break;
+                        }
+                        g.threshold()
+                    } else {
+                        f64::INFINITY
+                    }
+                };
+                match iter.next_hit_within(limit)? {
+                    BoundedStep::Hit(obj, d) => {
+                        lock_top_k(shared)?.insert(obj, d);
+                    }
+                    BoundedStep::Pending => {}
+                    BoundedStep::Done => {
+                        stepped = true;
+                        break;
+                    }
+                }
+                stepped = true;
+            }
+            Ok((iter.counters(), src.loads(), stepped, complete))
+        })();
+        let retry_stats = retry.finish();
+        let scoped = scope.finish();
+        run.map(|(counters, loads, stepped, complete)| DrainOut {
+            index_io: scoped.for_stats(rep.stats_of(alg)),
+            object_io: scoped.for_stats(rep.objects_io_stats()),
+            counters,
+            loads,
+            stepped,
+            retries: retry_stats.retries,
+            backoff: retry_stats.backoff,
+            complete,
+        })
     }
 
     /// Answers a batch of queries on `threads` workers (each query runs
@@ -741,9 +1342,11 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
         let scoped = scope.finish();
         let mut merged = merged?;
         let (mut index_io, mut object_io) = (IoSnapshot::default(), IoSnapshot::default());
-        for shard in &self.shards {
-            index_io = index_io + scoped.for_stats(shard.stats_of(alg));
-            object_io = object_io + scoped.for_stats(shard.objects_io_stats());
+        for set in &self.shards {
+            for rep in set.replicas() {
+                index_io = index_io + scoped.for_stats(rep.stats_of(alg));
+                object_io = object_io + scoped.for_stats(rep.objects_io_stats());
+            }
         }
         let results = std::mem::take(&mut merged.results);
         let stepped = std::mem::take(&mut merged.stepped);
@@ -762,7 +1365,11 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
     /// The exact sequential merge (module docs): a global heap of shards
     /// keyed by their current lower bound, lazily revalidated, always
     /// stepping the minimum; stops when the k-th distance strictly beats
-    /// every remaining bound.
+    /// every remaining bound. A replica that errors mid-pull is failed
+    /// over: the shard restarts on the next replica under its surviving
+    /// limit slice (unchanged absolute deadline; I/O-budget slice less
+    /// what the dead attempts consumed), and the deduplicating top-k makes
+    /// the restart's re-emissions harmless.
     fn merge_sequential(
         &self,
         alg: Algorithm,
@@ -775,18 +1382,28 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
             return Ok(merged);
         }
         let per_shard = split_limits(limits, s);
-        let sources: Vec<CountingSource<'_, 2>> = self
+        // One counting source per replica: a failover restart attributes
+        // its object loads to the replica actually serving them.
+        let sources: Vec<Vec<CountingSource<'_, 2>>> = self
             .shards
             .iter()
-            .map(|sh| CountingSource::new(sh.object_store() as &dyn ObjectSource<2>))
+            .map(|set| {
+                set.replicas()
+                    .map(|rep| CountingSource::new(rep.object_store() as &dyn ObjectSource<2>))
+                    .collect()
+            })
             .collect();
         let mut cursors: Vec<ShardCursor<'_, D>> = Vec::with_capacity(s);
-        for (i, shard) in self.shards.iter().enumerate() {
+        for (i, set) in self.shards.iter().enumerate() {
+            let m = set.primary_index();
             cursors.push(ShardCursor {
-                iter: ShardIter::open(shard, &sources[i], alg, query, per_shard[i]),
+                iter: ShardIter::open(set.get(m), &sources[i][m], alg, query, per_shard[i]),
                 rect_bound: self.bounds[i]
                     .map(|r| r.min_dist(&query.point))
                     .unwrap_or(f64::INFINITY),
+                replica: m,
+                tried: vec![m],
+                prior: SearchCounters::default(),
                 done: false,
                 stepped: false,
             });
@@ -842,8 +1459,32 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
             } else {
                 rival
             };
-            match cursors[i].iter.next_hit_within(limit)? {
-                BoundedStep::Hit(obj, d) => {
+            match cursors[i].iter.next_hit_within(limit) {
+                Err(e) => {
+                    // Replica failure: fail over to the next replica with
+                    // the slice that survives, or give up if the shard is
+                    // out of replicas. The dead attempt's inserted hits
+                    // stay — they are true results the restart re-emits
+                    // (TopK dedups) — and its frontier is discarded: the
+                    // restart re-descends from the root, so its bound is
+                    // the rect bound again.
+                    let set = &self.shards[i];
+                    set.mark_failed(cursors[i].replica);
+                    let Some(m) = set.failover_candidate(&cursors[i].tried) else {
+                        return Err(e);
+                    };
+                    self.metrics.add_counter("replica_failovers_total", 1);
+                    let consumed = cursors[i].consumed();
+                    let dead = cursors[i].iter.counters();
+                    sum_counters(&mut cursors[i].prior, dead);
+                    let mut lim = per_shard[i];
+                    lim.io_budget = lim.io_budget.map(|b| b.saturating_sub(consumed).max(1));
+                    cursors[i].iter = ShardIter::open(set.get(m), &sources[i][m], alg, query, lim);
+                    cursors[i].replica = m;
+                    cursors[i].tried.push(m);
+                    order.push(Reverse((OrderedF64(cursors[i].rect_bound), i)));
+                }
+                Ok(BoundedStep::Hit(obj, d)) => {
                     cursors[i].stepped = true;
                     topk.insert(obj, d);
                     match cursors[i].bound() {
@@ -851,14 +1492,14 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
                         None => finish(&mut cursors[i], &mut truncs, i),
                     }
                 }
-                BoundedStep::Pending => {
+                Ok(BoundedStep::Pending) => {
                     cursors[i].stepped = true;
                     match cursors[i].bound() {
                         Some(nb) => order.push(Reverse((OrderedF64(nb), i))),
                         None => finish(&mut cursors[i], &mut truncs, i),
                     }
                 }
-                BoundedStep::Done => {
+                Ok(BoundedStep::Done) => {
                     cursors[i].stepped = true;
                     finish(&mut cursors[i], &mut truncs, i);
                 }
@@ -880,8 +1521,11 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
         }
         for (i, c) in cursors.iter().enumerate() {
             merged.stepped[i] = c.stepped;
+            sum_counters(&mut merged.counters, c.prior);
             sum_counters(&mut merged.counters, c.iter.counters());
-            merged.object_loads += sources[i].loads();
+            for src in &sources[i] {
+                merged.object_loads += src.loads();
+            }
         }
         Ok(merged)
     }
@@ -895,16 +1539,33 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
         let mut merged = Merged::empty(s);
         let per_shard = split_limits(limits, s);
         let mut topk = TopK::new(query.k);
-        for (i, shard) in self.shards.iter().enumerate() {
-            let src = CountingSource::new(shard.object_store() as &dyn ObjectSource<2>);
-            let out = iio_topk_limited(
-                shard.inverted_index(),
-                shard.vocab(),
-                &src,
-                query,
-                per_shard[i],
-            )?;
-            merged.object_loads += src.loads();
+        for (i, set) in self.shards.iter().enumerate() {
+            // IIO is all-or-nothing per shard, so failover retries the
+            // whole shard computation on the next replica with the full
+            // slice (a partial attempt contributes nothing to reuse).
+            let mut tried = Vec::new();
+            let mut m = set.primary_index();
+            let out = loop {
+                tried.push(m);
+                let rep = set.get(m);
+                let src = CountingSource::new(rep.object_store() as &dyn ObjectSource<2>);
+                let attempt =
+                    iio_topk_limited(rep.inverted_index(), rep.vocab(), &src, query, per_shard[i]);
+                merged.object_loads += src.loads();
+                match attempt {
+                    Ok(out) => break out,
+                    Err(e) => {
+                        set.mark_failed(m);
+                        match set.failover_candidate(&tried) {
+                            Some(next) => {
+                                self.metrics.add_counter("replica_failovers_total", 1);
+                                m = next;
+                            }
+                            None => return Err(e),
+                        }
+                    }
+                }
+            };
             merged.stepped[i] = true;
             match out {
                 ExecOutcome::Complete(hits) => {
@@ -988,15 +1649,28 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
     pub fn metrics_prometheus(&self) -> String {
         self.metrics
             .set_gauge("shard_count", self.shards.len() as f64);
-        for (i, shard) in self.shards.iter().enumerate() {
+        self.metrics
+            .set_gauge("replica_count", self.replica_count() as f64);
+        for (i, set) in self.shards.iter().enumerate() {
             self.metrics.set_gauge(
                 &format!("shard_objects{{shard=\"{i}\"}}"),
-                shard.build_stats().objects as f64,
+                set.get(0).build_stats().objects as f64,
             );
-            let (o, r, i2, m2, inv) = shard.io_totals();
-            let all = [o, r, i2, m2, inv];
-            let reads: u64 = all.iter().map(|s| s.random_reads + s.seq_reads).sum();
-            let writes: u64 = all.iter().map(|s| s.random_writes + s.seq_writes).sum();
+            // Device I/O summed across the shard's replicas (each replica
+            // has private devices; a failover or hedge moves real I/O).
+            let (mut reads, mut writes) = (0u64, 0u64);
+            for rep in set.replicas() {
+                let (o, r, i2, m2, inv) = rep.io_totals();
+                let all = [o, r, i2, m2, inv];
+                reads += all
+                    .iter()
+                    .map(|s| s.random_reads + s.seq_reads)
+                    .sum::<u64>();
+                writes += all
+                    .iter()
+                    .map(|s| s.random_writes + s.seq_writes)
+                    .sum::<u64>();
+            }
             self.metrics.set_gauge(
                 &format!("shard_io_read_blocks{{shard=\"{i}\"}}"),
                 reads as f64,
@@ -1013,27 +1687,84 @@ impl<D: BlockDevice + 'static> ShardedDb<D> {
 impl ShardedDb<FileDevice> {
     /// Creates a sharded database under `dir`: one `shard-NNN/` device
     /// directory per shard plus a `SHARDS` manifest, then builds every
-    /// shard (in parallel) from the STR tiling of `objects`.
+    /// shard (in parallel) from the STR tiling of `objects`. One replica
+    /// per shard — the layout is byte-identical to pre-replication builds;
+    /// see [`create_in_dir_replicated`](ShardedDb::create_in_dir_replicated).
     pub fn create_in_dir<P: AsRef<Path>>(
         dir: P,
         objects: impl IntoIterator<Item = SpatialObject<2>>,
         config: DbConfig,
         shards: usize,
     ) -> Result<Self> {
+        Self::create_in_dir_replicated(dir, objects, config, shards, 1)
+    }
+
+    /// Creates a replicated sharded database under `dir`. With `replicas
+    /// == 1` the layout is exactly [`create_in_dir`]
+    /// (ShardedDb::create_in_dir)'s (`shard-NNN/` device dirs, no replica
+    /// level, no `replicas` manifest line). With more, each shard is built
+    /// once into `shard-NNN/replica-0/`, then copied file-by-file to
+    /// `replica-1..R-1` and **byte-verified** block-for-block against
+    /// replica 0. The manifest is written last either way: a crash at any
+    /// point of build, copy, or verification leaves a directory that is
+    /// not recognized as a sharded database rather than one that opens
+    /// half-built.
+    pub fn create_in_dir_replicated<P: AsRef<Path>>(
+        dir: P,
+        objects: impl IntoIterator<Item = SpatialObject<2>>,
+        config: DbConfig,
+        shards: usize,
+        replicas: usize,
+    ) -> Result<Self> {
         let dir = dir.as_ref();
+        if replicas == 0 {
+            return Err(StorageError::Corrupt(
+                "a sharded database needs at least one replica per shard".into(),
+            ));
+        }
         std::fs::create_dir_all(dir)?;
+        let layout = ShardLayout { shards, replicas };
         let sets = (0..shards)
-            .map(|i| DeviceSet::create_in_dir(dir.join(shard_dir_name(i))))
+            .map(|i| {
+                let dirs = layout.replica_dirs(dir, i);
+                DeviceSet::create_in_dir(&dirs[0])
+            })
             .collect::<Result<Vec<_>>>()?;
         let db = Self::build(sets, objects, config)?;
-        // The manifest is written last: a crash mid-build leaves a
-        // directory that is not recognized as a sharded database rather
-        // than one that opens half-built.
+        if replicas == 1 {
+            std::fs::write(
+                dir.join(SHARD_MANIFEST),
+                format!("ir2-sharded v1\nshards {shards}\n"),
+            )?;
+            let mut db = db;
+            db.dir = Some(dir.to_path_buf());
+            return Ok(db);
+        }
+        // Release replica 0's file handles before copying, then populate
+        // and verify the other replicas from the sealed files.
+        drop(db);
+        for i in 0..shards {
+            let dirs = layout.replica_dirs(dir, i);
+            for rep_dir in &dirs[1..] {
+                std::fs::create_dir_all(rep_dir)?;
+                for name in DeviceSet::<FileDevice>::file_names() {
+                    std::fs::copy(dirs[0].join(name), rep_dir.join(name))?;
+                    let src = FileDevice::open(dirs[0].join(name))?;
+                    let dst = FileDevice::open(rep_dir.join(name))?;
+                    if !ir2_storage::diff_blocks(&src, &dst)?.is_empty() {
+                        return Err(StorageError::Corrupt(format!(
+                            "replica verification failed: {} differs from replica 0 after copy",
+                            rep_dir.join(name).display()
+                        )));
+                    }
+                }
+            }
+        }
         std::fs::write(
             dir.join(SHARD_MANIFEST),
-            format!("ir2-sharded v1\nshards {shards}\n"),
+            format!("ir2-sharded v1\nshards {shards}\nreplicas {replicas}\n"),
         )?;
-        Ok(db)
+        Self::open_dir(dir)
     }
 
     /// Opens a sharded directory with plain file devices.

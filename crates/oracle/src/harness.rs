@@ -9,7 +9,7 @@ use ir2_grid::{GridConfig, GridIndex};
 use ir2_sigscan::SignatureFile;
 use ir2tree::model::{DistanceFirstQuery, ObjPtr, ObjectStore, SpatialObject};
 use ir2tree::sigfile::SignatureScheme;
-use ir2tree::storage::testing::FlakyDevice;
+use ir2tree::storage::testing::{FlakyDevice, KillSwitch};
 use ir2tree::storage::{MemDevice, StorageError};
 use ir2tree::text::tokenize;
 use ir2tree::{
@@ -411,6 +411,51 @@ impl Checker {
             }
         }
 
+        // Replicated shards over faulty devices: every replica sees a
+        // transient fault every 5th access (absorbed by the retry layer),
+        // and halfway through the query sweep every shard's primary
+        // replica is killed outright — queries must fail over to the
+        // survivor with bitwise-identical answers and zero failures.
+        let replicated = if live.len() >= 2 {
+            let (s, r) = (2usize, 2usize);
+            let raw: Vec<Vec<DeviceSet<std::sync::Arc<MemDevice>>>> = (0..s)
+                .map(|_| {
+                    (0..r)
+                        .map(|_| DeviceSet::in_memory().map(|_role, d| std::sync::Arc::new(d)))
+                        .collect()
+                })
+                .collect();
+            // Populate (and byte-verify) the replicas through shared Arc
+            // handles, then reopen them behind the fault injectors.
+            drop(
+                ShardedDb::build_replicated(raw.clone(), live.clone(), cfg.clone())
+                    .map_err(|e| self.build_fail("replicated", &e))?,
+            );
+            let kills: Vec<Vec<KillSwitch>> = (0..s)
+                .map(|_| (0..r).map(|_| KillSwitch::new()).collect())
+                .collect();
+            let groups = raw
+                .into_iter()
+                .zip(&kills)
+                .map(|(group, ks)| {
+                    group
+                        .into_iter()
+                        .zip(ks)
+                        .map(|(set, k)| {
+                            set.map(|_role, d| {
+                                RetryDevice::new(FlakyDevice::every_kth(k.wrap(d), 5))
+                            })
+                        })
+                        .collect()
+                })
+                .collect();
+            let db = ShardedDb::from_replica_groups(groups)
+                .map_err(|e| self.build_fail("replicated", &e))?;
+            Some((db, kills))
+        } else {
+            None
+        };
+
         // Standalone baselines share one object store (A4 ablation setup).
         let store = ObjectStore::<2, _>::create(MemDevice::new());
         let mut items: Vec<(ObjPtr, ir2tree::geo::Point<2>, Vec<String>)> = Vec::new();
@@ -468,9 +513,32 @@ impl Checker {
 
         const TREE_ALGS: [Algorithm; 3] = [Algorithm::RTree, Algorithm::Ir2, Algorithm::Mir2];
 
-        for q in &sc.queries {
+        for (qi, q) in sc.queries.iter().enumerate() {
             let full = reference_ranking(&live, q);
             let expect = &full[..q.k.min(full.len())];
+
+            if let Some((db, kills)) = &replicated {
+                // Mid-sweep: pull every primary replica's kill switch.
+                if qi == sc.queries.len() / 2 {
+                    for ks in kills {
+                        ks[0].kill();
+                    }
+                }
+                self.check_report(
+                    "ir2(replicated)",
+                    q,
+                    expect,
+                    db.distance_first(Algorithm::Ir2, q),
+                )?;
+                if !q.keywords.is_empty() {
+                    self.check_report(
+                        "iio(replicated)",
+                        q,
+                        expect,
+                        db.distance_first(Algorithm::Iio, q),
+                    )?;
+                }
+            }
 
             if q.keywords.is_empty() {
                 // IIO has no spatial access path: an empty keyword list

@@ -52,7 +52,7 @@ mod tracking;
 
 pub use cost::CostModel;
 pub use decoded::{DecodedCache, DEFAULT_DECODED_SHARDS};
-pub use device::{BlockDevice, FileDevice, MemDevice};
+pub use device::{copy_blocks, diff_blocks, BlockDevice, FileDevice, MemDevice};
 pub use error::{IoOp, Result, StorageError};
 pub use metrics::{
     ratio, Counter, Histogram, HistogramSummary, MetricValue, MetricsRegistry, MetricsSnapshot,

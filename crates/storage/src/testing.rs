@@ -17,6 +17,13 @@
 //!   One `CrashPoint` can wrap several devices that share the operation
 //!   counter, so a whole database's I/O stream has a single crash index —
 //!   the basis of the crash-point sweep harness.
+//! * [`KillSwitch`] / [`KillableDevice`] model a *replica death*: the
+//!   switch wraps all of one replica's devices, and when pulled (or when
+//!   an armed operation index is reached) every subsequent operation fails
+//!   **permanently** — the failure mode replica failover exists to absorb.
+//! * [`StallDevice`] models a *slow* device rather than a broken one: each
+//!   operation independently sleeps with a seeded probability, producing
+//!   the stalls that hedged reads cut.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -344,6 +351,205 @@ impl<D: BlockDevice> BlockDevice for TornWriteDevice<D> {
     }
 }
 
+struct KillState {
+    ops: AtomicU64,
+    kill_at: AtomicU64,
+    dead: AtomicBool,
+}
+
+/// A remote kill switch for a replica's devices.
+///
+/// One `KillSwitch` wraps any number of devices (typically the six devices
+/// of one replica's [`DeviceSet`]); they share an operation counter and die
+/// together, like [`CrashPoint`] — but the death is commanded, not fixed at
+/// construction: [`kill`](KillSwitch::kill) fails every operation from now
+/// on, [`kill_after`](KillSwitch::kill_after) arms a death at a chosen
+/// global operation index (a "crash point" for replica-failover sweeps).
+/// Errors are **permanent** (`StorageError::Io`, not transient), so a retry
+/// layer gives up immediately and the failure surfaces to the replica
+/// router.
+#[derive(Clone)]
+pub struct KillSwitch {
+    state: Arc<KillState>,
+}
+
+impl Default for KillSwitch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KillSwitch {
+    /// A switch that is alive until told otherwise.
+    pub fn new() -> Self {
+        Self {
+            state: Arc::new(KillState {
+                ops: AtomicU64::new(0),
+                kill_at: AtomicU64::new(u64::MAX),
+                dead: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Wraps a device; all wrappers from one switch share the operation
+    /// counter and die together.
+    pub fn wrap<D: BlockDevice>(&self, inner: D) -> KillableDevice<D> {
+        KillableDevice {
+            inner,
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// Kills every wrapped device immediately.
+    pub fn kill(&self) {
+        self.state.dead.store(true, Ordering::Relaxed);
+    }
+
+    /// Arms a death at global operation index `n` (0-based): the `n`-th
+    /// and every later operation fail.
+    pub fn kill_after(&self, n: u64) {
+        self.state.kill_at.store(n, Ordering::Relaxed);
+    }
+
+    /// Whether the switch has fired (or was killed directly).
+    pub fn killed(&self) -> bool {
+        self.state.dead.load(Ordering::Relaxed)
+    }
+
+    /// Operations observed so far across all wrapped devices.
+    pub fn ops(&self) -> u64 {
+        self.state.ops.load(Ordering::Relaxed)
+    }
+}
+
+/// A device wrapped by a [`KillSwitch`]; see there. `Clone` shares both
+/// the inner device handle and the switch, so a cloned replica set keeps
+/// answering to the same switch.
+#[derive(Clone)]
+pub struct KillableDevice<D> {
+    inner: D,
+    state: Arc<KillState>,
+}
+
+impl<D: BlockDevice> KillableDevice<D> {
+    fn check(&self) -> Result<()> {
+        let n = self.state.ops.fetch_add(1, Ordering::Relaxed);
+        if self.state.dead.load(Ordering::Relaxed)
+            || n >= self.state.kill_at.load(Ordering::Relaxed)
+        {
+            self.state.dead.store(true, Ordering::Relaxed);
+            return Err(StorageError::Io {
+                op: crate::IoOp::Other,
+                block: None,
+                source: std::io::Error::other("replica killed"),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for KillableDevice<D> {
+    fn read_block(&self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
+        self.check()?;
+        self.inner.read_block(id, buf)
+    }
+
+    fn write_block(&self, id: BlockId, data: &[u8; BLOCK_SIZE]) -> Result<()> {
+        self.check()?;
+        self.inner.write_block(id, data)
+    }
+
+    fn allocate(&self, n: u64) -> Result<BlockId> {
+        self.check()?;
+        self.inner.allocate(n)
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn sync(&self) -> Result<()> {
+        if self.state.dead.load(Ordering::Relaxed) {
+            return Err(StorageError::Io {
+                op: crate::IoOp::Other,
+                block: None,
+                source: std::io::Error::other("replica killed"),
+            });
+        }
+        self.inner.sync()
+    }
+}
+
+/// A device that intermittently *stalls* instead of failing: each
+/// operation independently sleeps for `stall` with probability `p`, drawn
+/// from a seeded SplitMix64 stream. Results are always correct — this
+/// models a slow disk (or a deep queue) rather than a broken one, the
+/// workload hedged reads exist to cut. `Clone` shares the stream position,
+/// so clones of one `StallDevice` continue the same fault pattern.
+#[derive(Clone)]
+pub struct StallDevice<D> {
+    inner: D,
+    p: f64,
+    stall: std::time::Duration,
+    state: Arc<AtomicU64>,
+    stalls: Arc<AtomicU64>,
+}
+
+impl<D: BlockDevice> StallDevice<D> {
+    /// Wraps `inner`; each operation stalls for `stall` with probability
+    /// `p`, from a stream seeded with `seed` (distinct seeds give replicas
+    /// independent stall patterns).
+    pub fn new(inner: D, p: f64, stall: std::time::Duration, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be within [0, 1]");
+        Self {
+            inner,
+            p,
+            stall,
+            state: Arc::new(AtomicU64::new(seed)),
+            stalls: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Total stalls injected so far.
+    pub fn stalls_injected(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
+    }
+
+    fn maybe_stall(&self) {
+        let pos = self.state.fetch_add(1, Ordering::Relaxed);
+        let u = (splitmix64(pos) >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.p {
+            self.stalls.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(self.stall);
+        }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for StallDevice<D> {
+    fn read_block(&self, id: BlockId, buf: &mut [u8; BLOCK_SIZE]) -> Result<()> {
+        self.maybe_stall();
+        self.inner.read_block(id, buf)
+    }
+
+    fn write_block(&self, id: BlockId, data: &[u8; BLOCK_SIZE]) -> Result<()> {
+        self.maybe_stall();
+        self.inner.write_block(id, data)
+    }
+
+    fn allocate(&self, n: u64) -> Result<BlockId> {
+        self.maybe_stall();
+        self.inner.allocate(n)
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -469,5 +675,61 @@ mod tests {
         }
         assert!(!cp.crashed());
         assert_eq!(cp.ops(), 9);
+    }
+
+    #[test]
+    fn kill_switch_is_alive_until_pulled() {
+        let ks = KillSwitch::new();
+        let dev = ks.wrap(MemDevice::new());
+        dev.allocate(2).unwrap();
+        dev.write_block(0, &[7u8; BLOCK_SIZE]).unwrap();
+        assert!(!ks.killed());
+        ks.kill();
+        assert!(ks.killed());
+        let mut buf = crate::zeroed_block();
+        let err = dev.read_block(0, &mut buf).unwrap_err();
+        assert!(!err.is_transient(), "kill must be permanent: {err}");
+        assert!(dev.sync().is_err());
+        assert!(dev.write_block(1, &[0u8; BLOCK_SIZE]).is_err());
+    }
+
+    #[test]
+    fn kill_after_fires_at_the_armed_op_and_spans_wrappers() {
+        let ks = KillSwitch::new();
+        let a = ks.wrap(MemDevice::new());
+        let b = ks.wrap(MemDevice::new());
+        ks.kill_after(2);
+        a.allocate(1).unwrap(); // op 0
+        b.allocate(1).unwrap(); // op 1
+        assert!(a.allocate(1).is_err()); // op 2: dead from here on
+        assert!(b.allocate(1).is_err());
+        assert!(ks.killed());
+    }
+
+    #[test]
+    fn kill_switch_clone_shares_fate() {
+        let ks = KillSwitch::new();
+        let dev = ks.wrap(Arc::new(MemDevice::new()));
+        let twin = dev.clone();
+        dev.allocate(1).unwrap();
+        ks.kill();
+        assert!(twin.allocate(1).is_err());
+    }
+
+    #[test]
+    fn stall_device_is_transparent_and_counts_stalls() {
+        let mem = MemDevice::new();
+        // p = 1: every op stalls (for a nanoscopic duration) and is counted.
+        let dev = StallDevice::new(mem, 1.0, std::time::Duration::from_nanos(1), 7);
+        dev.allocate(2).unwrap();
+        dev.write_block(0, &[3u8; BLOCK_SIZE]).unwrap();
+        let mut buf = crate::zeroed_block();
+        dev.read_block(0, &mut buf).unwrap();
+        assert_eq!(buf[0], 3);
+        assert_eq!(dev.stalls_injected(), 3);
+        // p = 0: never stalls.
+        let calm = StallDevice::new(MemDevice::new(), 0.0, std::time::Duration::from_secs(1), 7);
+        calm.allocate(1).unwrap();
+        assert_eq!(calm.stalls_injected(), 0);
     }
 }
