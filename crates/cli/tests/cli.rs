@@ -69,6 +69,10 @@ fn full_pipeline() {
     let s = stdout(&stats);
     assert!(s.contains("objects:            800"), "{s}");
     assert!(s.contains("index sizes"));
+    // Per-level signature weight lines sourced from the block kernels.
+    assert!(s.contains("signature ir2   L0: density"), "{s}");
+    assert!(s.contains("signature mir2  L0: density"), "{s}");
+    assert!(s.contains("bits set"), "{s}");
 
     // Query with every algorithm; all must succeed and report I/O.
     for alg in ["rtree", "iio", "ir2", "mir2"] {

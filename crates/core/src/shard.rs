@@ -247,15 +247,10 @@ fn tree_mbr<D: BlockDevice + 'static>(db: &SpatialKeywordDb<D>) -> Result<Option
         return Ok(None);
     };
     let (node, _) = tree.read_node_cached(root)?;
-    let mut entries = node.entries.iter();
-    let Some(first) = entries.next() else {
+    if node.is_empty() {
         return Ok(None);
-    };
-    let mut r = first.rect;
-    for e in entries {
-        r.union_in_place(&e.rect);
     }
-    Ok(Some(r))
+    Ok(Some(node.mbr()))
 }
 
 /// Splits one query's limits across `s` shards: the **deadline** is shared

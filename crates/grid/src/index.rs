@@ -4,7 +4,7 @@ use std::collections::BinaryHeap;
 
 use ir2_geo::{OrderedF64, Point, Rect};
 use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectSource, SpatialObject};
-use ir2_sigfile::{Signature, SignatureScheme};
+use ir2_sigfile::{kernel_contains, Signature, SignatureScheme};
 use ir2_storage::{BlockDevice, RecordFile, RecordPtr, Result, StorageError};
 
 /// Grid shape parameters.
@@ -188,7 +188,7 @@ impl<D: BlockDevice> GridIndex<D> {
                 let Some(cell) = &self.cells[idx] else {
                     continue;
                 };
-                if !cell.sig.contains(&qsig) {
+                if !kernel_contains(&cell.sig, &qsig) {
                     counters.cells_pruned += 1;
                     continue;
                 }

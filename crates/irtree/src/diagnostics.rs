@@ -10,7 +10,7 @@
 //! the bench harness prints these profiles side by side.
 
 use ir2_rtree::RTree;
-use ir2_sigfile::Signature;
+use ir2_sigfile::SignatureBlock;
 use ir2_storage::{BlockDevice, Result};
 
 use crate::SigPayload;
@@ -27,48 +27,63 @@ pub struct LevelDensity {
     /// Mean fraction of set bits (the signature *weight*; the optimal
     /// operating point of superimposed coding is 0.5).
     pub mean_density: f64,
+    /// Mean number of set bits per entry signature — the raw count behind
+    /// `mean_density`, reported because the paper's false-positive model is
+    /// driven directly by how many 1s superimposition has accumulated.
+    pub mean_set_bits: f64,
     /// Expected single-probe false-positive rate at the mean density:
     /// `density^k`.
     pub expected_fp: f64,
 }
 
 /// Walks the whole tree and reports per-level signature densities, leaves
-/// first.
+/// first. Each node's payloads are assembled into a columnar
+/// [`SignatureBlock`] and summed with its popcount kernels — the same
+/// representation the query engines prune with.
 pub fn density_profile<const N: usize, D: BlockDevice, P: SigPayload>(
     tree: &RTree<N, D, P>,
 ) -> Result<Vec<LevelDensity>> {
-    let mut sums: Vec<(u64, f64)> = Vec::new();
+    // Per level: (entries, total set bits).
+    let mut sums: Vec<(u64, u64)> = Vec::new();
     let Some(root) = tree.root() else {
         return Ok(Vec::new());
     };
     let mut stack = vec![root];
     while let Some(id) = stack.pop() {
-        let node = tree.read_node(id)?;
-        let lvl = node.level as usize;
+        let node = tree.read_node_buf(id)?;
+        let lvl = node.level() as usize;
         if sums.len() <= lvl {
-            sums.resize(lvl + 1, (0, 0.0));
+            sums.resize(lvl + 1, (0, 0));
         }
-        let bits = tree.ops().scheme_at(node.level).bits();
-        for e in &node.entries {
-            let sig = Signature::from_bytes(bits, &e.payload);
-            sums[lvl].0 += 1;
-            sums[lvl].1 += sig.density();
-            if !node.is_leaf() {
-                stack.push(e.child);
-            }
+        let bits = tree.ops().scheme_at(node.level()).bits();
+        let block = SignatureBlock::from_payloads(bits, node.payloads());
+        sums[lvl].0 += block.len() as u64;
+        sums[lvl].1 += block.set_bits_total();
+        if !node.is_leaf() {
+            stack.extend(node.children());
         }
     }
     Ok(sums
         .into_iter()
         .enumerate()
-        .map(|(lvl, (n, total))| {
+        .map(|(lvl, (n, set_bits))| {
             let scheme = tree.ops().scheme_at(lvl as u16);
-            let mean = if n == 0 { 0.0 } else { total / n as f64 };
+            let mean_set_bits = if n == 0 {
+                0.0
+            } else {
+                set_bits as f64 / n as f64
+            };
+            let mean = if n == 0 || scheme.bits() == 0 {
+                0.0
+            } else {
+                mean_set_bits / scheme.bits() as f64
+            };
             LevelDensity {
                 level: lvl as u16,
                 entries: n,
                 bits: scheme.bits(),
                 mean_density: mean,
+                mean_set_bits,
                 expected_fp: mean.powi(scheme.k() as i32),
             }
         })

@@ -11,7 +11,7 @@ use ir2_model::{
     TruncateReason,
 };
 use ir2_rtree::{with_frontier_prefetch, PrefetchQueue, RTree};
-use ir2_sigfile::Signature;
+use ir2_sigfile::{EntryMask, Signature, SignatureBlock};
 use ir2_storage::{BlockDevice, Result};
 
 use crate::trace::{NopSink, TraceEvent, TraceSink};
@@ -106,6 +106,10 @@ pub struct DistanceFirstIter<'a, const N: usize, D, P: SigPayload, S: TraceSink 
     limits: QueryLimits,
     truncated: Option<TruncateReason>,
     prefetch: PrefetchQueue,
+    /// Reusable per-node containment bitmask: the batched kernel writes
+    /// every entry's verdict here in one pass, so steady-state pruning
+    /// allocates nothing.
+    mask: EntryMask,
     sink: S,
 }
 
@@ -176,6 +180,7 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
             limits: QueryLimits::none(),
             truncated: None,
             prefetch: PrefetchQueue::disabled(),
+            mask: EntryMask::new(),
             sink,
         }
     }
@@ -283,9 +288,9 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
                     self.counters.cache_misses += u64::from(!hit);
                     self.sink.record(&TraceEvent::NodeVisited {
                         node: id,
-                        level: node.level,
+                        level: node.level(),
                         mindist: dist.0,
-                        entries: node.entries.len(),
+                        entries: node.len(),
                         heap_size: self.heap.len(),
                     });
                     // Borrow the cached query signature for this level
@@ -303,44 +308,47 @@ impl<'a, const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>
                         seq,
                         counters,
                         prefetch,
+                        mask,
                         sink,
                         ..
                     } = self;
-                    let scheme = tree.ops().scheme_at(node.level);
+                    let scheme = tree.ops().scheme_at(node.level());
                     let qsig = query_sigs
-                        .entry(node.level)
+                        .entry(node.level())
                         .or_insert_with(|| scheme.sign_terms(keywords.iter().map(String::as_str)));
-                    // Entry signatures are decoded once per cached node
-                    // image and shared by every later warm visit (and by
-                    // the general algorithm, which uses the same type).
-                    let esigs: &Vec<Signature> = node.decorations(|n| {
-                        n.entries
-                            .iter()
-                            .map(|e| Signature::from_bytes(scheme.bits(), &e.payload))
-                            .collect()
+                    // Entry signatures are assembled into one columnar
+                    // block per cached node image, shared by every later
+                    // warm visit (and by the general algorithm, which uses
+                    // the same decoration type).
+                    let esigs: &SignatureBlock = node.decorations(|n| {
+                        SignatureBlock::from_payloads(scheme.bits(), n.payloads())
                     });
+                    // One batched kernel pass computes every entry's
+                    // containment verdict into the reusable bitmask.
+                    esigs.matches_mask_into(qsig, mask);
                     let mut speculate = prefetch.width();
-                    for (e, esig) in node.entries.iter().zip(esigs) {
+                    for i in 0..node.len() {
                         // "if s matches w": drop entries whose signature
                         // does not contain the query signature.
-                        let matched = esig.contains(qsig);
+                        let matched = mask.get(i);
                         sink.record(&TraceEvent::SignatureTest {
-                            level: node.level,
+                            level: node.level(),
                             matched,
                         });
                         if !matched {
                             counters.pruned_by_signature += 1;
                             continue;
                         }
-                        let d = OrderedF64(region.min_dist(&e.rect));
+                        let child = node.child(i);
+                        let d = OrderedF64(region.min_dist(&node.rect(i)));
                         let item = if node.is_leaf() {
-                            Item::Object(e.child)
+                            Item::Object(child)
                         } else {
                             if speculate > 0 {
-                                prefetch.enqueue(e.child);
+                                prefetch.enqueue(child);
                                 speculate -= 1;
                             }
-                            Item::Node(e.child)
+                            Item::Node(child)
                         };
                         heap.push(Reverse((d, *seq, item)));
                         *seq += 1;

@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use ir2_geo::{OrderedF64, Point};
 use ir2_model::{ExecOutcome, ObjPtr, ObjectSource, QueryLimits, SpatialObject};
 use ir2_rtree::{with_frontier_prefetch, PrefetchQueue, RTree};
-use ir2_sigfile::Signature;
+use ir2_sigfile::{EntryMask, Signature, SignatureBlock};
 use ir2_storage::{BlockDevice, Result};
 use ir2_text::{tokenize, IrScorer, RankingFn, TermId, Vocabulary};
 
@@ -224,6 +224,10 @@ fn general_impl<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(
 
     // Per-level, per-keyword query signatures, built lazily.
     let mut keyword_sigs: HashMap<u16, Vec<Signature>> = HashMap::new();
+    // One reusable containment bitmask per keyword: the batched kernel
+    // fills each in a single pass over a node's signature block, so
+    // steady-state per-keyword pruning allocates nothing.
+    let mut keyword_masks: Vec<EntryMask> = (0..term_ids.len()).map(|_| EntryMask::new()).collect();
 
     let mut heap: BinaryHeap<(OrderedF64, std::cmp::Reverse<u64>, u64)> = BinaryHeap::new();
     let mut items: HashMap<u64, GItem<N>> = HashMap::new();
@@ -317,12 +321,12 @@ fn general_impl<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(
             GItem::Node(node_id) => {
                 nodes_read += 1;
                 let (node, _hit) = tree.read_node_cached(node_id)?;
-                let level = node.level;
+                let level = node.level();
                 sink.record(&TraceEvent::NodeVisited {
                     node: node_id,
                     level,
                     mindist: upper.0,
-                    entries: node.entries.len(),
+                    entries: node.len(),
                     heap_size: heap.len(),
                 });
                 let ops = tree.ops();
@@ -336,22 +340,24 @@ fn general_impl<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(
                         .collect()
                 });
                 let bits = ops.scheme_at(level).bits();
-                // Entry signatures decode once per cached node image and
-                // are shared with `DistanceFirstIter` (same decoration
-                // type, same value — see `CachedNode::decorations`).
-                let esigs: &Vec<Signature> = node.decorations(|n| {
-                    n.entries
-                        .iter()
-                        .map(|e| Signature::from_bytes(bits, &e.payload))
-                        .collect()
-                });
+                // Entry signatures are assembled into one columnar block
+                // per cached node image and shared with
+                // `DistanceFirstIter` (same decoration type, same value —
+                // see `CachedNode::decorations`).
+                let esigs: &SignatureBlock =
+                    node.decorations(|n| SignatureBlock::from_payloads(bits, n.payloads()));
+                // One batched kernel pass per keyword fills that keyword's
+                // reusable bitmask with every entry's verdict.
+                for (s, m) in sigs.iter().zip(keyword_masks.iter_mut()) {
+                    esigs.matches_mask_into(s, m);
+                }
                 let mut speculate = prefetch.width();
-                for (e, esig) in node.entries.iter().zip(esigs) {
+                for i in 0..node.len() {
                     let matched: Vec<TermId> = term_ids
                         .iter()
-                        .zip(sigs.iter())
-                        .filter(|(_, s)| {
-                            let hit = esig.contains(s);
+                        .zip(keyword_masks.iter())
+                        .filter(|(_, m)| {
+                            let hit = m.get(i);
                             sink.record(&TraceEvent::SignatureTest {
                                 level,
                                 matched: hit,
@@ -363,17 +369,18 @@ fn general_impl<const N: usize, D: BlockDevice, P: SigPayload, S: TraceSink>(
                     if matched.is_empty() && query.require_match {
                         continue;
                     }
+                    let child = node.child(i);
                     let ub_ir = scorer.upper_bound(vocab, &matched);
-                    let dist = e.rect.min_dist(&query.point);
+                    let dist = node.rect(i).min_dist(&query.point);
                     let child_upper = rank.combine(dist, ub_ir).min(upper.0);
                     let item = if node.is_leaf() {
-                        GItem::Candidate(e.child)
+                        GItem::Candidate(child)
                     } else {
                         if speculate > 0 {
-                            prefetch.enqueue(e.child);
+                            prefetch.enqueue(child);
                             speculate -= 1;
                         }
-                        GItem::Node(e.child)
+                        GItem::Node(child)
                     };
                     push(&mut heap, &mut items, &mut seq, child_upper, item);
                 }

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use ir2_geo::Rect;
 use ir2_model::{ObjPtr, ObjectSource, SpatialObject};
 use ir2_rtree::RTree;
-use ir2_sigfile::Signature;
+use ir2_sigfile::{payload_contains, Signature};
 use ir2_storage::{BlockDevice, Result};
 use ir2_text::tokenize;
 
@@ -42,33 +42,34 @@ pub fn keyword_window_query<const N: usize, D: BlockDevice, P: SigPayload>(
     let mut query_sigs: HashMap<u16, Signature> = HashMap::new();
     let mut stack = vec![root];
     while let Some(id) = stack.pop() {
-        let node = tree.read_node(id)?;
+        // Arena-backed decode plus zero-copy byte containment: this
+        // uncached path allocates nothing per entry (and no longer clones
+        // the query signature per node either).
+        let node = tree.read_node_buf(id)?;
         counters.nodes_read += 1;
         counters.cache_misses += 1; // uncached read: every visit decodes
-        let scheme = tree.ops().scheme_at(node.level);
+        let scheme = tree.ops().scheme_at(node.level());
         let qsig = query_sigs
-            .entry(node.level)
-            .or_insert_with(|| scheme.sign_terms(kws.iter().map(String::as_str)))
-            .clone();
-        for e in &node.entries {
-            if !window.intersects(&e.rect) {
+            .entry(node.level())
+            .or_insert_with(|| scheme.sign_terms(kws.iter().map(String::as_str)));
+        for i in 0..node.len() {
+            if !window.intersects(&node.rect(i)) {
                 continue;
             }
-            let esig = Signature::from_bytes(scheme.bits(), &e.payload);
-            if !esig.contains(&qsig) {
+            if !payload_contains(node.payload(i), qsig) {
                 counters.pruned_by_signature += 1;
                 continue;
             }
             if node.is_leaf() {
                 counters.candidates_checked += 1;
-                let obj = objects.load(ObjPtr(e.child))?;
+                let obj = objects.load(ObjPtr(node.child(i)))?;
                 if obj.token_set().contains_all(&kws) {
                     out.push(obj);
                 } else {
                     counters.false_positives += 1;
                 }
             } else {
-                stack.push(e.child);
+                stack.push(node.child(i));
             }
         }
     }

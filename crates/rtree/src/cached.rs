@@ -3,11 +3,13 @@
 //!
 //! A warm traversal repeatedly pays three costs per visited node: the
 //! block reads, the per-block CRC verification, and the entry
-//! deserialization (each entry allocates a payload `Vec`). Caching the
-//! *decoded* [`Node`] behind an `Arc` eliminates all three on a hit. The
-//! wrapper additionally carries a lazily-built, type-erased decoration
-//! slot so higher layers (the IR²-Tree) can attach derived per-node data —
-//! e.g. entry payloads parsed into `Signature`s — and have it cached with
+//! deserialization. Caching the *decoded* node behind an `Arc` eliminates
+//! all three on a hit. The wrapped image is an arena-backed [`NodeBuf`] —
+//! one allocation for the whole extent, entries served by offset — so even
+//! the cold decode allocates nothing per entry. The wrapper additionally
+//! carries a lazily-built, type-erased decoration slot so higher layers
+//! (the IR²-Tree) can attach derived per-node data — e.g. entry payloads
+//! assembled into a columnar `SignatureBlock` — and have it cached with
 //! the same lifetime and invalidation as the node itself.
 
 use std::any::Any;
@@ -16,30 +18,31 @@ use std::sync::OnceLock;
 
 use ir2_storage::DecodedCache;
 
-use crate::node::Node;
+use crate::node::NodeBuf;
 
 /// A decoded node plus one lazily-initialized decoration.
 ///
-/// Dereferences to the wrapped [`Node`], so cached and uncached code paths
-/// read entries identically. The decoration slot is written at most once
-/// (first caller wins); all users of a given tree must therefore agree on
-/// a single decoration type — the slot is keyed by the node, not the type.
+/// Dereferences to the wrapped [`NodeBuf`], so cached and uncached code
+/// paths read entries identically. The decoration slot is written at most
+/// once (first caller wins); all users of a given tree must therefore agree
+/// on a single decoration type — the slot is keyed by the node, not the
+/// type.
 pub struct CachedNode<const N: usize> {
-    node: Node<N>,
+    node: NodeBuf<N>,
     deco: OnceLock<Box<dyn Any + Send + Sync>>,
 }
 
 impl<const N: usize> CachedNode<N> {
     /// Wraps a freshly decoded node.
-    pub fn new(node: Node<N>) -> Self {
+    pub fn new(node: NodeBuf<N>) -> Self {
         Self {
             node,
             deco: OnceLock::new(),
         }
     }
 
-    /// The wrapped node.
-    pub fn node(&self) -> &Node<N> {
+    /// The wrapped node image.
+    pub fn node(&self) -> &NodeBuf<N> {
         &self.node
     }
 
@@ -51,7 +54,7 @@ impl<const N: usize> CachedNode<N> {
     pub fn decorations<T, F>(&self, build: F) -> &T
     where
         T: Send + Sync + 'static,
-        F: FnOnce(&Node<N>) -> T,
+        F: FnOnce(&NodeBuf<N>) -> T,
     {
         self.deco
             .get_or_init(|| Box::new(build(&self.node)))
@@ -61,9 +64,9 @@ impl<const N: usize> CachedNode<N> {
 }
 
 impl<const N: usize> Deref for CachedNode<N> {
-    type Target = Node<N>;
+    type Target = NodeBuf<N>;
 
-    fn deref(&self) -> &Node<N> {
+    fn deref(&self) -> &NodeBuf<N> {
         &self.node
     }
 }
@@ -84,24 +87,26 @@ pub type NodeCache<const N: usize> = DecodedCache<CachedNode<N>>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::Node;
     use ir2_geo::{Point, Rect};
 
-    fn leaf() -> Node<2> {
+    fn leaf() -> NodeBuf<2> {
         let mut n = Node::new(7, 0);
         n.entries.push(crate::node::Entry::new(
             1,
             Rect::from_point(Point::new([1.0, 2.0])),
             vec![0xAB, 0xCD],
         ));
-        n
+        NodeBuf::from_node(&n, 2)
     }
 
     #[test]
     fn derefs_to_the_node() {
         let c = CachedNode::new(leaf());
         assert!(c.is_leaf());
-        assert_eq!(c.id, 7);
-        assert_eq!(c.node().entries.len(), 1);
+        assert_eq!(c.id(), 7);
+        assert_eq!(c.node().len(), 1);
+        assert_eq!(c.payload(0), &[0xAB, 0xCD]);
     }
 
     #[test]
@@ -110,7 +115,7 @@ mod tests {
         let mut builds = 0;
         let first: &Vec<u8> = c.decorations(|n| {
             builds += 1;
-            n.entries[0].payload.clone()
+            n.payload(0).to_vec()
         });
         assert_eq!(first, &vec![0xAB, 0xCD]);
         let again: &Vec<u8> = c.decorations(|_| {

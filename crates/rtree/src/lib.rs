@@ -46,7 +46,7 @@ mod tree;
 pub use cached::{CachedNode, NodeCache};
 pub use config::{RTreeConfig, SplitStrategy};
 pub use nn::{NnIter, NnResult};
-pub use node::{Entry, Node, NodeId};
+pub use node::{Entry, Node, NodeBuf, NodeId};
 pub use payload::{PayloadOps, UnitPayload};
 pub use prefetch::{with_frontier_prefetch, PrefetchQueue};
 pub use search::TreeStats;

@@ -155,16 +155,17 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> NnIter<'_, N, D, P> {
                     self.cache_hits += u64::from(hit);
                     self.cache_misses += u64::from(!hit);
                     let mut speculate = self.prefetch.width();
-                    for e in &node.entries {
-                        let d = OrderedF64(e.rect.min_dist(&self.query));
+                    for i in 0..node.len() {
+                        let child = node.child(i);
+                        let d = OrderedF64(node.rect(i).min_dist(&self.query));
                         let item = if node.is_leaf() {
-                            Item::Object(e.child)
+                            Item::Object(child)
                         } else {
                             if speculate > 0 {
-                                self.prefetch.enqueue(e.child);
+                                self.prefetch.enqueue(child);
                                 speculate -= 1;
                             }
-                            Item::Node(e.child)
+                            Item::Node(child)
                         };
                         self.heap.push(Reverse((d, self.seq, item)));
                         self.seq += 1;

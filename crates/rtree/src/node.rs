@@ -161,6 +161,166 @@ impl<const N: usize> Node<N> {
     }
 }
 
+/// A decoded node that keeps its extent bytes in one arena buffer and
+/// serves entries by offset — no per-entry `Vec<u8>` payload copies, no
+/// per-entry allocation at all.
+///
+/// This is the read-path twin of [`Node`]: query traversals (nearest
+/// neighbor, window search, signature pruning) only ever need indexed
+/// access to `child`, `rect`, and a borrowed `payload` slice, which
+/// [`NodeBuf`] provides straight out of the arena. Mutations still go
+/// through the owned [`Node`] representation.
+#[derive(Debug, Clone)]
+pub struct NodeBuf<const N: usize> {
+    id: NodeId,
+    level: u16,
+    count: usize,
+    entry_len: usize,
+    payload_size: usize,
+    buf: Box<[u8]>,
+}
+
+impl<const N: usize> NodeBuf<N> {
+    /// Takes ownership of a node's extent bytes and validates the header
+    /// and entry region, exactly like [`Node::decode`] — same error
+    /// messages, one allocation total (the buffer itself, which callers
+    /// typically already hold).
+    pub fn decode(id: NodeId, buf: Vec<u8>, payload_size: usize) -> Result<Self> {
+        let (level, count, _nblocks) = Node::<N>::decode_header(&buf)?;
+        let entry_len = Node::<N>::entry_encoded_len(payload_size);
+        let need = NODE_HEADER_LEN + count as usize * entry_len;
+        if buf.len() < need {
+            return Err(StorageError::Corrupt(format!(
+                "node {id}: {} bytes but {count} entries need {need}",
+                buf.len()
+            )));
+        }
+        Ok(Self {
+            id,
+            level,
+            count: count as usize,
+            entry_len,
+            payload_size,
+            buf: buf.into_boxed_slice(),
+        })
+    }
+
+    /// Encodes an owned node into arena form (test and tooling helper).
+    pub fn from_node(node: &Node<N>, payload_size: usize) -> Self {
+        let bytes = node.encode(payload_size, 1);
+        Self::decode(node.id, bytes, payload_size).expect("encode produced a valid node")
+    }
+
+    /// First block of the node's extent.
+    #[inline]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// 0 for leaves; parents of level-`ℓ` nodes are level `ℓ + 1`.
+    #[inline]
+    pub fn level(&self) -> u16 {
+        self.level
+    }
+
+    /// True for leaf nodes.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == 0
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True if the node has no entries (only a never-written root).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Payload bytes per entry at this node's level.
+    #[inline]
+    pub fn payload_size(&self) -> usize {
+        self.payload_size
+    }
+
+    #[inline]
+    fn entry_at(&self, i: usize) -> &[u8] {
+        debug_assert!(
+            i < self.count,
+            "entry index {i} out of range {}",
+            self.count
+        );
+        let pos = NODE_HEADER_LEN + i * self.entry_len;
+        &self.buf[pos..pos + self.entry_len]
+    }
+
+    /// Object pointer (leaf) or child node id (internal) of entry `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn child(&self, i: usize) -> u64 {
+        u64::from_le_bytes(self.entry_at(i)[..REF_LEN].try_into().expect("8 bytes"))
+    }
+
+    /// MBR of entry `i`, decoded on demand (a fixed-size stack copy).
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn rect(&self, i: usize) -> Rect<N> {
+        Rect::decode(&self.entry_at(i)[REF_LEN..REF_LEN + Rect::<N>::ENCODED_LEN])
+    }
+
+    /// Borrowed payload slice of entry `i` — zero-copy out of the arena.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn payload(&self, i: usize) -> &[u8] {
+        &self.entry_at(i)[REF_LEN + Rect::<N>::ENCODED_LEN..]
+    }
+
+    /// Iterates all payload slices in entry order.
+    pub fn payloads(&self) -> impl Iterator<Item = &[u8]> + '_ {
+        (0..self.count).map(|i| self.payload(i))
+    }
+
+    /// Iterates all child references in entry order.
+    pub fn children(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.count).map(|i| self.child(i))
+    }
+
+    /// The bounding rectangle of all entries.
+    ///
+    /// # Panics
+    /// Panics if the node has no entries.
+    pub fn mbr(&self) -> Rect<N> {
+        assert!(self.count > 0, "mbr of empty node");
+        (1..self.count).fold(self.rect(0), |acc, i| acc.union(&self.rect(i)))
+    }
+
+    /// Materializes an owned [`Node`] (copies every entry; off the hot
+    /// path by construction).
+    pub fn to_node(&self) -> Node<N> {
+        Node {
+            id: self.id,
+            level: self.level,
+            entries: (0..self.count)
+                .map(|i| Entry {
+                    child: self.child(i),
+                    rect: self.rect(i),
+                    payload: self.payload(i).to_vec(),
+                })
+                .collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +378,62 @@ mod tests {
         node.entries.push(Entry::new(2, rect(1.0, 1.0), vec![]));
         let bytes = node.encode(0, 1);
         assert!(Node::<2>::decode(0, &bytes[..bytes.len() - 10], 0).is_err());
+    }
+
+    #[test]
+    fn nodebuf_accessors_match_owned_decode() {
+        let mut node = Node::<2>::new(5, 1);
+        for i in 0..7u64 {
+            node.entries.push(Entry::new(
+                100 + i,
+                rect(i as f64, -(i as f64)),
+                vec![i as u8; 9],
+            ));
+        }
+        let bytes = node.encode(9, 2);
+        let nb = NodeBuf::<2>::decode(5, bytes, 9).unwrap();
+        assert_eq!(nb.id(), 5);
+        assert_eq!(nb.level(), 1);
+        assert!(!nb.is_leaf());
+        assert_eq!(nb.len(), 7);
+        assert!(!nb.is_empty());
+        assert_eq!(nb.payload_size(), 9);
+        for (i, e) in node.entries.iter().enumerate() {
+            assert_eq!(nb.child(i), e.child);
+            assert_eq!(nb.rect(i), e.rect);
+            assert_eq!(nb.payload(i), e.payload.as_slice());
+        }
+        assert_eq!(nb.mbr(), node.mbr());
+        assert_eq!(nb.to_node(), node);
+        assert_eq!(
+            nb.children().collect::<Vec<_>>(),
+            node.entries.iter().map(|e| e.child).collect::<Vec<_>>()
+        );
+        assert_eq!(nb.payloads().count(), 7);
+    }
+
+    #[test]
+    fn nodebuf_rejects_what_node_rejects() {
+        assert!(NodeBuf::<2>::decode(0, vec![0u8; 16], 0).is_err());
+        let mut node = Node::<2>::new(0, 0);
+        node.entries.push(Entry::new(1, rect(0.0, 0.0), vec![]));
+        node.entries.push(Entry::new(2, rect(1.0, 1.0), vec![]));
+        let bytes = node.encode(0, 1);
+        let truncated = bytes[..bytes.len() - 10].to_vec();
+        assert!(NodeBuf::<2>::decode(0, truncated, 0).is_err());
+        let mut bad_ver = bytes.clone();
+        bad_ver[1] = 99;
+        assert!(NodeBuf::<2>::decode(0, bad_ver, 0).is_err());
+    }
+
+    #[test]
+    fn nodebuf_from_node_roundtrips() {
+        let mut node = Node::<2>::new(3, 0);
+        node.entries
+            .push(Entry::new(7, rect(2.0, 2.0), vec![0xAB; 4]));
+        let nb = NodeBuf::from_node(&node, 4);
+        assert_eq!(nb.to_node(), node);
+        assert!(nb.is_leaf());
     }
 
     #[test]

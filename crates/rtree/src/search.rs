@@ -33,17 +33,20 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         };
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
-            let node = self.read_node(id)?;
-            for e in &node.entries {
-                if !window.intersects(&e.rect) {
+            // Arena-backed decode: no per-entry payload allocation even on
+            // this uncached path.
+            let node = self.read_node_buf(id)?;
+            for i in 0..node.len() {
+                let rect = node.rect(i);
+                if !window.intersects(&rect) {
                     continue;
                 }
                 if node.is_leaf() {
-                    if !visit(e.child, &e.rect, &e.payload) {
+                    if !visit(node.child(i), &rect, node.payload(i)) {
                         return Ok(());
                     }
                 } else {
-                    stack.push(e.child);
+                    stack.push(node.child(i));
                 }
             }
         }
@@ -71,19 +74,19 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         let mut nodes = 0u64;
         let mut stack = vec![root];
         while let Some(id) = stack.pop() {
-            let node = self.read_node(id)?;
-            let lvl = node.level as usize;
+            let node = self.read_node_buf(id)?;
+            let lvl = node.level() as usize;
             if stats.nodes_per_level.len() <= lvl {
                 stats.nodes_per_level.resize(lvl + 1, 0);
                 stats.entries_per_level.resize(lvl + 1, 0);
             }
             stats.nodes_per_level[lvl] += 1;
-            stats.entries_per_level[lvl] += node.entries.len() as u64;
-            stats.node_blocks += self.node_blocks(node.level) as u64;
-            fills += node.entries.len() as f64 / cap;
+            stats.entries_per_level[lvl] += node.len() as u64;
+            stats.node_blocks += self.node_blocks(node.level()) as u64;
+            fills += node.len() as f64 / cap;
             nodes += 1;
             if !node.is_leaf() {
-                stack.extend(node.entries.iter().map(|e| e.child));
+                stack.extend(node.children());
             }
         }
         stats.avg_fill = fills / nodes as f64;

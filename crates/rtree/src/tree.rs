@@ -8,7 +8,7 @@ use ir2_storage::{extent, page, BlockDevice, Result, StorageError, PAGE_PAYLOAD}
 use parking_lot::Mutex;
 
 use crate::cached::{CachedNode, NodeCache};
-use crate::node::{Entry, Node, NodeId, NODE_HEADER_LEN};
+use crate::node::{Entry, Node, NodeBuf, NodeId, NODE_HEADER_LEN};
 use crate::{PayloadOps, RTreeConfig, SplitStrategy};
 
 const META_MAGIC: &[u8; 4] = b"IR2T";
@@ -396,6 +396,34 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
         Node::decode(id, &buf, payload_size)
     }
 
+    /// Reads the node at `id` into an arena-backed [`NodeBuf`] — the same
+    /// validation as [`read_node`](RTree::read_node) but zero per-entry
+    /// allocations: the extent buffer itself is the only heap traffic.
+    /// Query paths (nearest neighbor, window search, cached traversals)
+    /// use this; mutations keep the owned [`Node`] form.
+    pub fn read_node_buf(&self, id: NodeId) -> Result<NodeBuf<N>> {
+        let mut first = ir2_storage::zeroed_block();
+        extent::read_sealed_block(&self.dev, id, &mut first)?;
+        let (level, _count, nblocks) =
+            Node::<N>::decode_header(&first[..PAGE_PAYLOAD]).map_err(|e| match e {
+                StorageError::Corrupt(msg) => StorageError::Corrupt(format!("node {id}: {msg}")),
+                other => other,
+            })?;
+        let payload_size = self.ops.entry_size(level);
+        if nblocks <= 1 {
+            return NodeBuf::decode(id, first[..PAGE_PAYLOAD].to_vec(), payload_size);
+        }
+        let mut buf = vec![0u8; nblocks as usize * PAGE_PAYLOAD];
+        buf[..PAGE_PAYLOAD].copy_from_slice(&first[..PAGE_PAYLOAD]);
+        extent::read_extent_sealed_into(
+            &self.dev,
+            id + 1,
+            nblocks as u32 - 1,
+            &mut buf[PAGE_PAYLOAD..],
+        )?;
+        NodeBuf::decode(id, buf, payload_size)
+    }
+
     /// Attaches a decoded-node cache. Call at construction time, before the
     /// tree is shared; mutations afterward invalidate it automatically via
     /// the epoch.
@@ -429,13 +457,13 @@ impl<const N: usize, D: BlockDevice, P: PayloadOps> RTree<N, D, P> {
     /// instead of installed.
     pub fn read_node_cached(&self, id: NodeId) -> Result<(Arc<CachedNode<N>>, bool)> {
         let Some(cache) = &self.node_cache else {
-            return Ok((Arc::new(CachedNode::new(self.read_node(id)?)), false));
+            return Ok((Arc::new(CachedNode::new(self.read_node_buf(id)?)), false));
         };
         if let Some(node) = cache.get(id) {
             return Ok((node, true));
         }
         let snapshot = cache.epoch();
-        let node = Arc::new(CachedNode::new(self.read_node(id)?));
+        let node = Arc::new(CachedNode::new(self.read_node_buf(id)?));
         cache.insert(id, snapshot, Arc::clone(&node));
         Ok((node, false))
     }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(feature = "portable-simd", feature(portable_simd))]
 //! Signature files: the superimposed-coding substrate of the IR²-Tree.
 //!
 //! Faloutsos and Christodoulakis [FC84] introduced *signature files* as a
@@ -20,12 +21,22 @@
 //!   citation) and the analytic false-positive model
 //!   ([`expected_false_positive`]);
 //! * [`MultiLevelScheme`] — per-level lengths for the MIR²-Tree
-//!   (multi-level superimposed coding [CS89, DR83]).
+//!   (multi-level superimposed coding [CS89, DR83]);
+//! * [`SignatureBlock`] — columnar per-node signature storage with batched,
+//!   bit-exact containment kernels ([`SignatureBlock::matches_mask`]) and
+//!   zero-copy byte-level tests ([`bytes_contain`]), plus the
+//!   [`ScalarKernelGuard`] toggle the differential fuzzer uses to pin
+//!   kernel == scalar.
 
+mod block;
 mod multilevel;
 mod scheme;
 mod signature;
 
+pub use block::{
+    bytes_contain, force_scalar_kernels, kernel_contains, payload_contains, scalar_kernels_forced,
+    EntryMask, ScalarKernelGuard, SignatureBlock,
+};
 pub use multilevel::MultiLevelScheme;
 pub use scheme::{expected_false_positive, optimal_bits, optimal_params, SignatureScheme};
 pub use signature::Signature;

@@ -1,0 +1,149 @@
+//! Property tests pinning the batched containment kernels to the per-entry
+//! scalar reference (`Signature::contains`) — including bit lengths not
+//! divisible by 64 (tail-word masking) and empty/zero-bit signatures.
+
+use ir2_sigfile::{
+    bytes_contain, kernel_contains, EntryMask, ScalarKernelGuard, Signature, SignatureBlock,
+    SignatureScheme,
+};
+use proptest::prelude::*;
+
+/// Bit lengths chosen to straddle word boundaries: zero, sub-word, exact
+/// words, and off-by-one around 64/128, plus the paper's 8 B (64-bit) and
+/// 189 B (1512-bit) operating points.
+fn arb_bits() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(0usize),
+        Just(1usize),
+        Just(7usize),
+        Just(63usize),
+        Just(64usize),
+        Just(65usize),
+        Just(100usize),
+        Just(127usize),
+        Just(128usize),
+        Just(129usize),
+        Just(1512usize),
+        1usize..300,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn matches_mask_equals_scalar_contains(
+        bits in arb_bits(),
+        n in 0usize..80,
+        seed in 0u64..u64::MAX,
+        qterms in proptest::collection::vec("[a-z]{1,6}", 0..4),
+    ) {
+        let sigs: Vec<Signature> = (0..n)
+            .map(|i| {
+                // Derive per-entry signatures deterministically from the seed.
+                let mut s = Signature::zero(bits);
+                if bits > 0 {
+                    let mut x = seed.wrapping_add(i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                    for _ in 0..(x % 9) {
+                        x ^= x >> 27;
+                        x = x.wrapping_mul(0x94D049BB133111EB);
+                        s.set((x % bits as u64) as usize);
+                    }
+                }
+                s
+            })
+            .collect();
+        let block = SignatureBlock::from_signatures(bits, sigs.iter());
+        prop_assert_eq!(block.len(), sigs.len());
+
+        let query = if bits == 0 {
+            Signature::zero(0)
+        } else {
+            let scheme = SignatureScheme::new(bits, 2, seed ^ 0xABCD);
+            scheme.sign_terms(qterms.iter().map(String::as_str))
+        };
+
+        let mut mask = EntryMask::new();
+        block.matches_mask_into(&query, &mut mask);
+        prop_assert_eq!(mask.len(), sigs.len());
+        for (i, s) in sigs.iter().enumerate() {
+            prop_assert_eq!(mask.get(i), s.contains(&query), "entry {} bits {}", i, bits);
+        }
+        // The ones() iterator agrees with get().
+        let from_iter: Vec<usize> = mask.ones().collect();
+        let from_get: Vec<usize> = (0..mask.len()).filter(|&i| mask.get(i)).collect();
+        prop_assert_eq!(from_iter, from_get);
+        prop_assert_eq!(mask.count_ones(), sigs.iter().filter(|s| s.contains(&query)).count());
+
+        // Forcing the scalar path never changes a verdict.
+        let _g = ScalarKernelGuard::new();
+        let slow = block.matches_mask(&query);
+        for i in 0..block.len() {
+            prop_assert_eq!(mask.get(i), slow.get(i));
+        }
+    }
+
+    #[test]
+    fn block_roundtrip_through_payload_bytes(
+        bits in arb_bits(),
+        n in 0usize..40,
+        seed in 0u64..u64::MAX,
+    ) {
+        let sigs: Vec<Signature> = (0..n)
+            .map(|i| {
+                let mut s = Signature::zero(bits);
+                if bits > 0 {
+                    let mut x = seed ^ (i as u64).wrapping_mul(0xD6E8FEB86659FD93);
+                    for _ in 0..((x >> 60) % 7) {
+                        x = x.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(1);
+                        s.set((x % bits as u64) as usize);
+                    }
+                }
+                s
+            })
+            .collect();
+        let payloads: Vec<Vec<u8>> = sigs
+            .iter()
+            .map(|s| {
+                let mut b = vec![0u8; s.byte_len()];
+                s.write_bytes(&mut b);
+                b
+            })
+            .collect();
+        let block = SignatureBlock::from_payloads(bits, payloads.iter().map(Vec::as_slice));
+        for (i, s) in sigs.iter().enumerate() {
+            prop_assert_eq!(&block.signature_at(i), s);
+            prop_assert_eq!(block.count_ones_at(i), s.count_ones());
+        }
+        // superimpose_all == fold of or_assign.
+        let mut want = Signature::zero(bits);
+        for s in &sigs {
+            want.or_assign(s);
+        }
+        prop_assert_eq!(block.superimpose_all(), want);
+    }
+
+    #[test]
+    fn bytes_contain_equals_decode_then_contains(
+        bits in arb_bits(),
+        s_positions in proptest::collection::vec(0usize..4096, 0..48),
+        q_positions in proptest::collection::vec(0usize..4096, 0..8),
+    ) {
+        let mut sig = Signature::zero(bits);
+        let mut q = Signature::zero(bits);
+        if bits > 0 {
+            for p in s_positions {
+                sig.set(p % bits);
+            }
+            for p in q_positions {
+                q.set(p % bits);
+            }
+        }
+        let mut buf = vec![0u8; sig.byte_len()];
+        sig.write_bytes(&mut buf);
+        let scalar = Signature::from_bytes(bits, &buf).contains(&q);
+        prop_assert_eq!(bytes_contain(&buf, &q), scalar);
+        prop_assert_eq!(kernel_contains(&sig, &q), scalar);
+        let _g = ScalarKernelGuard::new();
+        prop_assert_eq!(ir2_sigfile::payload_contains(&buf, &q), scalar);
+        prop_assert_eq!(kernel_contains(&sig, &q), scalar);
+    }
+}

@@ -4,7 +4,7 @@ use std::collections::BinaryHeap;
 
 use ir2_geo::OrderedF64;
 use ir2_model::{DistanceFirstQuery, ObjPtr, ObjectSource, SpatialObject};
-use ir2_sigfile::{Signature, SignatureScheme};
+use ir2_sigfile::{payload_contains, Signature, SignatureScheme};
 use ir2_storage::{BlockDevice, Result, StorageError};
 
 /// Traversal counters of one SSF query.
@@ -155,9 +155,12 @@ impl<D: BlockDevice> SignatureFile<D> {
                 }
                 scanned += 1;
                 let off = e * entry_len;
-                let sig =
-                    Signature::from_bytes(self.scheme.bits(), &block[off + 8..off + entry_len]);
-                if sig.contains(query) {
+                // Zero-copy containment straight against the page-resident
+                // bytes — no per-signature heap decode. `payload_contains`
+                // falls back to decode-then-contains under the scalar
+                // kernel guard, which the differential fuzzer uses to pin
+                // both paths to identical answers.
+                if payload_contains(&block[off + 8..off + entry_len], query) {
                     let ptr = u64::from_le_bytes(block[off..off + 8].try_into().expect("8 bytes"));
                     f(ObjPtr(ptr));
                 }
